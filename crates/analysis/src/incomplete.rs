@@ -1,0 +1,481 @@
+//! Incomplete-type rules: wrapper-need decisions and output verification.
+//!
+//! Two jobs, both straight from the paper:
+//!
+//! 1. **Decide** (§3.2.2/§3.2.3): a used function needs a *wrapper* when
+//!    its signature involves a soon-to-be-incomplete class **by value**
+//!    (return or parameter); methods and fields of forward-declared
+//!    classes always need wrappers; everything else can be forward
+//!    declared directly.
+//! 2. **Verify**: after the engine rewrites sources, prove the result
+//!    still compiles under C++'s incomplete-type restrictions — no
+//!    by-value declarations of forward-declared classes, no member access
+//!    on them, no `new`/`delete` of them in user code.
+
+use std::collections::HashSet;
+
+use yalla_cpp::ast::{
+    Decl, DeclKind, Expr, ExprKind, ForInit, FunctionDecl, Stmt, StmtKind, TranslationUnit, Type,
+};
+use yalla_cpp::loc::Span;
+
+use crate::aliases::AliasResolver;
+use crate::symbols::SymbolTable;
+
+/// Why (and whether) a function needs a wrapper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WrapperNeed {
+    /// Plain forward declaration suffices.
+    ForwardDeclarable,
+    /// Returns an incomplete type by value — wrapper returns a pointer to a
+    /// heap-allocated result (§3.2.2).
+    ReturnsIncompleteByValue {
+        /// Key of the offending class.
+        class: String,
+    },
+    /// Takes an incomplete type by value — wrapper takes a pointer
+    /// (§3.2.2, the `parallel_for` case).
+    ParamIncompleteByValue {
+        /// Key of the offending class.
+        class: String,
+        /// Index of the offending parameter.
+        param_index: usize,
+    },
+}
+
+/// Decides whether `f` can be forward declared as-is, given the set of
+/// classes that will become incomplete (`incomplete`, by symbol key).
+///
+/// When several reasons apply, the return-type reason wins (the wrapper
+/// generator handles parameters too once it knows a wrapper is needed).
+pub fn wrapper_need(
+    f: &FunctionDecl,
+    incomplete: &HashSet<String>,
+    table: &SymbolTable,
+) -> WrapperNeed {
+    let aliases = AliasResolver::new(table);
+    let is_incomplete_by_value = |ty: &Type| -> Option<String> {
+        if !ty.is_by_value() {
+            return None;
+        }
+        let resolved = aliases.resolve_type(ty);
+        let core = resolved.core_name()?;
+        let key = table.resolve(&core.key()).map(|s| s.key.clone())?;
+        incomplete.contains(&key).then_some(key)
+    };
+    if let Some(ret) = &f.ret {
+        if let Some(class) = is_incomplete_by_value(ret) {
+            return WrapperNeed::ReturnsIncompleteByValue { class };
+        }
+    }
+    for (i, p) in f.params.iter().enumerate() {
+        if let Some(class) = is_incomplete_by_value(&p.ty) {
+            return WrapperNeed::ParamIncompleteByValue {
+                class,
+                param_index: i,
+            };
+        }
+    }
+    WrapperNeed::ForwardDeclarable
+}
+
+/// A violation of the incomplete-type rules found during verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncompleteViolation {
+    /// Key of the incomplete class involved.
+    pub class: String,
+    /// What went wrong, human-readable.
+    pub reason: String,
+    /// Where.
+    pub span: Span,
+}
+
+/// Checks that `tu` (typically: the rewritten sources re-parsed) never
+/// uses any class in `incomplete` in a way C++ forbids for incomplete
+/// types: by-value declarations, member access, `new`/`delete`.
+///
+/// Function *declarations* may mention incomplete types by value (that is
+/// legal C++ as long as the function is not defined/called), so parameters
+/// of bodyless declarations are exempt — matching the paper's reliance on
+/// that rule for forward declarations.
+pub fn check_incomplete_rules(
+    tu: &TranslationUnit,
+    incomplete: &HashSet<String>,
+    table: &SymbolTable,
+) -> Vec<IncompleteViolation> {
+    let mut v = Checker {
+        incomplete,
+        table,
+        violations: Vec::new(),
+    };
+    for d in &tu.decls {
+        v.decl(d);
+    }
+    v.violations
+}
+
+struct Checker<'a> {
+    incomplete: &'a HashSet<String>,
+    table: &'a SymbolTable,
+    violations: Vec<IncompleteViolation>,
+}
+
+impl Checker<'_> {
+    fn incomplete_core(&self, ty: &Type) -> Option<String> {
+        if !ty.is_by_value() {
+            return None;
+        }
+        let aliases = AliasResolver::new(self.table);
+        let resolved = aliases.resolve_type(ty);
+        let core = resolved.core_name()?;
+        let key = self
+            .table
+            .resolve(&core.key())
+            .map(|s| s.key.clone())
+            .unwrap_or_else(|| core.key());
+        self.incomplete.contains(&key).then_some(key)
+    }
+
+    fn flag(&mut self, class: String, reason: impl Into<String>, span: Span) {
+        self.violations.push(IncompleteViolation {
+            class,
+            reason: reason.into(),
+            span,
+        });
+    }
+
+    fn decl(&mut self, decl: &Decl) {
+        match &decl.kind {
+            DeclKind::Namespace(ns) => {
+                for d in &ns.decls {
+                    self.decl(d);
+                }
+            }
+            DeclKind::Class(c) => {
+                for m in &c.members {
+                    match &m.decl.kind {
+                        DeclKind::Variable(var) => {
+                            if let Some(k) = self.incomplete_core(&var.ty) {
+                                self.flag(
+                                    k,
+                                    "field of incomplete type (must be pointerized)",
+                                    m.decl.span,
+                                );
+                            }
+                        }
+                        DeclKind::Function(f) => self.function(f),
+                        _ => self.decl(&m.decl),
+                    }
+                }
+            }
+            DeclKind::Function(f) => self.function(f),
+            DeclKind::Variable(var) => {
+                if let Some(k) = self.incomplete_core(&var.ty) {
+                    self.flag(k, "variable of incomplete type", decl.span);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn function(&mut self, f: &FunctionDecl) {
+        // Bodyless declarations may mention incomplete types by value.
+        let Some(body) = &f.body else { return };
+        if let Some(ret) = &f.ret {
+            if let Some(k) = self.incomplete_core(ret) {
+                self.flag(k, "defined function returns incomplete type by value", body.span);
+            }
+        }
+        for p in &f.params {
+            if let Some(k) = self.incomplete_core(&p.ty) {
+                self.flag(
+                    k,
+                    "defined function takes incomplete type by value",
+                    body.span,
+                );
+            }
+        }
+        for s in &body.stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match &stmt.kind {
+            StmtKind::Decl(v) => {
+                if let Some(k) = self.incomplete_core(&v.ty) {
+                    self.flag(k, "local variable of incomplete type", stmt.span);
+                }
+                if let Some(i) = &v.init {
+                    self.expr(i);
+                }
+            }
+            StmtKind::Expr(e) => self.expr(e),
+            StmtKind::Block(b) => {
+                for s in &b.stmts {
+                    self.stmt(s);
+                }
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.expr(cond);
+                self.stmt(then_branch);
+                if let Some(e) = else_branch {
+                    self.stmt(e);
+                }
+            }
+            StmtKind::For {
+                init,
+                cond,
+                inc,
+                body,
+            } => {
+                match init.as_ref() {
+                    ForInit::Decl(v) => {
+                        if let Some(k) = self.incomplete_core(&v.ty) {
+                            self.flag(k, "loop variable of incomplete type", stmt.span);
+                        }
+                    }
+                    ForInit::Expr(e) => self.expr(e),
+                    ForInit::Empty => {}
+                }
+                if let Some(c) = cond {
+                    self.expr(c);
+                }
+                if let Some(i) = inc {
+                    self.expr(i);
+                }
+                self.stmt(body);
+            }
+            StmtKind::RangeFor { var, range, body } => {
+                if let Some(k) = self.incomplete_core(&var.ty) {
+                    self.flag(k, "loop variable of incomplete type", stmt.span);
+                }
+                self.expr(range);
+                self.stmt(body);
+            }
+            StmtKind::While { cond, body } => {
+                self.expr(cond);
+                self.stmt(body);
+            }
+            StmtKind::DoWhile { body, cond } => {
+                self.stmt(body);
+                self.expr(cond);
+            }
+            StmtKind::Return(Some(e)) => self.expr(e),
+            _ => {}
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::New { ty, args } => {
+                if let Some(k) = self.incomplete_core(ty) {
+                    self.flag(k, "new of incomplete type in user code", e.span);
+                }
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            ExprKind::BraceInit { ty: Some(ty), args } => {
+                if let Some(k) = self.incomplete_core(ty) {
+                    self.flag(k, "construction of incomplete type", e.span);
+                }
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            ExprKind::Unary { expr, .. } | ExprKind::Paren(expr) | ExprKind::Delete { expr, .. } => {
+                self.expr(expr)
+            }
+            ExprKind::Binary { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            ExprKind::Conditional {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
+                self.expr(cond);
+                self.expr(then_expr);
+                self.expr(else_expr);
+            }
+            ExprKind::Call { callee, args } => {
+                self.expr(callee);
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            ExprKind::Member { base, .. } => self.expr(base),
+            ExprKind::Index { base, index } => {
+                self.expr(base);
+                self.expr(index);
+            }
+            ExprKind::Lambda(l) => {
+                for s in &l.body.stmts {
+                    self.stmt(s);
+                }
+            }
+            ExprKind::Cast { expr, .. } => self.expr(expr),
+            ExprKind::BraceInit { ty: None, args } => {
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yalla_cpp::parse::parse_str;
+
+    fn setup(src: &str) -> (TranslationUnit, SymbolTable) {
+        let tu = parse_str(src).unwrap();
+        let table = SymbolTable::build(&tu);
+        (tu, table)
+    }
+
+    fn fn_decl(src: &str) -> (FunctionDecl, SymbolTable) {
+        let (tu, table) = setup(src);
+        let f = tu
+            .decls
+            .iter()
+            .find_map(|d| match &d.kind {
+                DeclKind::Function(f) => Some(f.clone()),
+                DeclKind::Namespace(ns) => ns.decls.iter().find_map(|d| match &d.kind {
+                    DeclKind::Function(f) => Some(f.clone()),
+                    _ => None,
+                }),
+                _ => None,
+            })
+            .expect("function in source");
+        (f, table)
+    }
+
+    fn incomplete(keys: &[&str]) -> HashSet<String> {
+        keys.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn plain_function_is_forward_declarable() {
+        let (f, t) = fn_decl("namespace K { struct B {}; } void f(int x, K::B* b);");
+        assert_eq!(
+            wrapper_need(&f, &incomplete(&["K::B"]), &t),
+            WrapperNeed::ForwardDeclarable
+        );
+    }
+
+    #[test]
+    fn incomplete_return_by_value_needs_wrapper() {
+        // The paper's TeamThreadRange case.
+        let (f, t) = fn_decl(
+            "namespace K { struct BoundsStruct { int lo; }; template<class M> BoundsStruct TeamThreadRange(M& m, int n); }",
+        );
+        assert_eq!(
+            wrapper_need(&f, &incomplete(&["K::BoundsStruct"]), &t),
+            WrapperNeed::ReturnsIncompleteByValue {
+                class: "K::BoundsStruct".into()
+            }
+        );
+    }
+
+    #[test]
+    fn incomplete_param_by_value_needs_wrapper() {
+        // The paper's parallel_for case.
+        let (f, t) = fn_decl(
+            "namespace K { struct BoundsStruct { int lo; }; template<class F> void parallel_for(BoundsStruct range, F f); }",
+        );
+        assert_eq!(
+            wrapper_need(&f, &incomplete(&["K::BoundsStruct"]), &t),
+            WrapperNeed::ParamIncompleteByValue {
+                class: "K::BoundsStruct".into(),
+                param_index: 0
+            }
+        );
+    }
+
+    #[test]
+    fn reference_and_pointer_params_are_fine() {
+        let (f, t) = fn_decl("namespace K { struct B {}; void f(B& a, const B* b); }");
+        assert_eq!(
+            wrapper_need(&f, &incomplete(&["K::B"]), &t),
+            WrapperNeed::ForwardDeclarable
+        );
+    }
+
+    #[test]
+    fn return_reason_wins_over_param() {
+        let (f, t) = fn_decl("namespace K { struct B {}; B both(B x); }");
+        assert!(matches!(
+            wrapper_need(&f, &incomplete(&["K::B"]), &t),
+            WrapperNeed::ReturnsIncompleteByValue { .. }
+        ));
+    }
+
+    #[test]
+    fn alias_to_incomplete_detected() {
+        let (f, t) =
+            fn_decl("namespace K { struct B {}; using Alias = B; Alias g(); }");
+        assert!(matches!(
+            wrapper_need(&f, &incomplete(&["K::B"]), &t),
+            WrapperNeed::ReturnsIncompleteByValue { .. }
+        ));
+    }
+
+    #[test]
+    fn checker_accepts_pointerized_code() {
+        let (tu, t) = setup(
+            "namespace K { class View; }\nstruct add_y { int y; K::View* x; };\nvoid f(K::View& v) { K::View* p = &v; }",
+        );
+        let violations = check_incomplete_rules(&tu, &incomplete(&["K::View"]), &t);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn checker_flags_by_value_field() {
+        let (tu, t) = setup("namespace K { class View; }\nstruct S { K::View v; };");
+        let violations = check_incomplete_rules(&tu, &incomplete(&["K::View"]), &t);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].reason.contains("field"));
+    }
+
+    #[test]
+    fn checker_flags_local_and_new() {
+        let (tu, t) = setup(
+            "namespace K { class View; }\nvoid f() { K::View v; auto* p = new K::View(); }",
+        );
+        let violations = check_incomplete_rules(&tu, &incomplete(&["K::View"]), &t);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+    }
+
+    #[test]
+    fn checker_allows_bodyless_declarations() {
+        // Forward-declared functions may mention incomplete types by value.
+        let (tu, t) = setup("namespace K { class B; }\nK::B make(K::B x);");
+        let violations = check_incomplete_rules(&tu, &incomplete(&["K::B"]), &t);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn checker_flags_defined_function_with_by_value_param() {
+        let (tu, t) = setup("namespace K { class B; }\nvoid f(K::B x) { }");
+        let violations = check_incomplete_rules(&tu, &incomplete(&["K::B"]), &t);
+        assert_eq!(violations.len(), 1);
+    }
+
+    #[test]
+    fn checker_descends_into_lambdas() {
+        let (tu, t) = setup(
+            "namespace K { class B; }\nvoid f() { auto l = [](int i) { K::B local; }; }",
+        );
+        let violations = check_incomplete_rules(&tu, &incomplete(&["K::B"]), &t);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+    }
+}

@@ -1,0 +1,267 @@
+//! A small AST-matcher combinator library.
+//!
+//! YALLA (the original) is built on Clang's `ASTMatchers`; this module
+//! provides the equivalent vocabulary over our AST so analysis passes can
+//! be written declaratively. Matchers are predicates over nodes, composed
+//! with `and`/`or`, and run over a whole translation unit with
+//! [`match_decls`] / [`match_exprs`].
+//!
+//! # Example
+//!
+//! ```
+//! use yalla_analysis::matchers::{class_decl, has_name, is_definition, match_decls, DeclMatcher};
+//! use yalla_cpp::parse::parse_str;
+//!
+//! let tu = parse_str("class A; class B { };").unwrap();
+//! let defs = match_decls(&tu, &class_decl().and(is_definition()));
+//! assert_eq!(defs.len(), 1);
+//! let named = match_decls(&tu, &class_decl().and(has_name("A")));
+//! assert_eq!(named.len(), 1);
+//! ```
+
+use yalla_cpp::ast::visit::{walk_tu, Visitor};
+use yalla_cpp::ast::{Decl, DeclKind, Expr, ExprKind, TranslationUnit};
+
+/// A predicate over declarations.
+pub struct DeclMatcher(Box<dyn Fn(&Decl) -> bool>);
+
+impl DeclMatcher {
+    /// Builds a matcher from a closure.
+    pub fn new(f: impl Fn(&Decl) -> bool + 'static) -> Self {
+        DeclMatcher(Box::new(f))
+    }
+
+    /// True when the matcher accepts `decl`.
+    pub fn matches(&self, decl: &Decl) -> bool {
+        (self.0)(decl)
+    }
+
+    /// Both matchers must accept.
+    pub fn and(self, other: DeclMatcher) -> DeclMatcher {
+        DeclMatcher::new(move |d| self.matches(d) && other.matches(d))
+    }
+
+    /// Either matcher may accept.
+    pub fn or(self, other: DeclMatcher) -> DeclMatcher {
+        DeclMatcher::new(move |d| self.matches(d) || other.matches(d))
+    }
+
+    /// Inverts the matcher (`unless` in Clang ASTMatchers parlance).
+    pub fn negate(self) -> DeclMatcher {
+        DeclMatcher::new(move |d| !self.matches(d))
+    }
+}
+
+/// A predicate over expressions.
+pub struct ExprMatcher(Box<dyn Fn(&Expr) -> bool>);
+
+impl ExprMatcher {
+    /// Builds a matcher from a closure.
+    pub fn new(f: impl Fn(&Expr) -> bool + 'static) -> Self {
+        ExprMatcher(Box::new(f))
+    }
+
+    /// True when the matcher accepts `expr`.
+    pub fn matches(&self, expr: &Expr) -> bool {
+        (self.0)(expr)
+    }
+
+    /// Both matchers must accept.
+    pub fn and(self, other: ExprMatcher) -> ExprMatcher {
+        ExprMatcher::new(move |e| self.matches(e) && other.matches(e))
+    }
+
+    /// Either matcher may accept.
+    pub fn or(self, other: ExprMatcher) -> ExprMatcher {
+        ExprMatcher::new(move |e| self.matches(e) || other.matches(e))
+    }
+}
+
+// ----- decl matchers (Clang-style names) -----------------------------------
+
+/// Matches class/struct declarations (`cxxRecordDecl`).
+pub fn class_decl() -> DeclMatcher {
+    DeclMatcher::new(|d| matches!(d.kind, DeclKind::Class(_)))
+}
+
+/// Matches function declarations (`functionDecl`).
+pub fn function_decl() -> DeclMatcher {
+    DeclMatcher::new(|d| matches!(d.kind, DeclKind::Function(_)))
+}
+
+/// Matches variable/field declarations (`varDecl`/`fieldDecl`).
+pub fn var_decl() -> DeclMatcher {
+    DeclMatcher::new(|d| matches!(d.kind, DeclKind::Variable(_)))
+}
+
+/// Matches type aliases (`typeAliasDecl`).
+pub fn alias_decl() -> DeclMatcher {
+    DeclMatcher::new(|d| matches!(d.kind, DeclKind::Alias(_)))
+}
+
+/// Matches enums (`enumDecl`).
+pub fn enum_decl() -> DeclMatcher {
+    DeclMatcher::new(|d| matches!(d.kind, DeclKind::Enum(_)))
+}
+
+/// Matches declarations whose declared name equals `name` (`hasName`).
+pub fn has_name(name: &str) -> DeclMatcher {
+    let name = name.to_string();
+    DeclMatcher::new(move |d| d.declared_name().as_deref() == Some(name.as_str()))
+}
+
+/// Matches definitions (classes with bodies, functions with bodies).
+pub fn is_definition() -> DeclMatcher {
+    DeclMatcher::new(|d| match &d.kind {
+        DeclKind::Class(c) => c.is_definition,
+        DeclKind::Function(f) => f.body.is_some(),
+        _ => false,
+    })
+}
+
+/// Matches templated declarations (`isTemplateDecl`-ish).
+pub fn is_template() -> DeclMatcher {
+    DeclMatcher::new(|d| match &d.kind {
+        DeclKind::Class(c) => c.template.is_some(),
+        DeclKind::Function(f) => f.template.is_some(),
+        DeclKind::Alias(a) => a.template.is_some(),
+        _ => false,
+    })
+}
+
+// ----- expr matchers ---------------------------------------------------------
+
+/// Matches call expressions (`callExpr`).
+pub fn call_expr() -> ExprMatcher {
+    ExprMatcher::new(|e| matches!(e.kind, ExprKind::Call { .. }))
+}
+
+/// Matches member-access expressions (`memberExpr`).
+pub fn member_expr() -> ExprMatcher {
+    ExprMatcher::new(|e| matches!(e.kind, ExprKind::Member { .. }))
+}
+
+/// Matches lambda expressions (`lambdaExpr`).
+pub fn lambda_expr() -> ExprMatcher {
+    ExprMatcher::new(|e| matches!(e.kind, ExprKind::Lambda(_)))
+}
+
+/// Matches calls whose callee (possibly qualified) ends with `name`
+/// (`callee(functionDecl(hasName(...)))`).
+pub fn calls_named(name: &str) -> ExprMatcher {
+    let name = name.to_string();
+    ExprMatcher::new(move |e| match &e.kind {
+        ExprKind::Call { callee, .. } => match &callee.kind {
+            ExprKind::Name(n) => n.base_ident() == name,
+            ExprKind::Member { member, .. } => member.ident == name,
+            _ => false,
+        },
+        _ => false,
+    })
+}
+
+// ----- runners ----------------------------------------------------------------
+
+/// Runs a decl matcher over the whole TU (all nesting levels), returning
+/// matching nodes.
+pub fn match_decls<'tu>(tu: &'tu TranslationUnit, matcher: &DeclMatcher) -> Vec<&'tu Decl> {
+    struct V<'m, 'tu> {
+        m: &'m DeclMatcher,
+        hits: Vec<&'tu Decl>,
+    }
+    impl<'m, 'tu> Visitor for V<'m, 'tu> {
+        fn visit_decl(&mut self, _d: &Decl) {}
+    }
+    // The generic Visitor cannot hand back references with the right
+    // lifetime, so use the TU's own recursive iterator.
+    let mut v = V {
+        m: matcher,
+        hits: Vec::new(),
+    };
+    for d in tu.walk() {
+        if v.m.matches(d) {
+            v.hits.push(d);
+        }
+    }
+    v.hits
+}
+
+/// Runs an expr matcher over the whole TU, returning owned clones of the
+/// matching expressions (expressions live deep inside bodies; cloning
+/// keeps lifetimes simple for callers).
+pub fn match_exprs(tu: &TranslationUnit, matcher: &ExprMatcher) -> Vec<Expr> {
+    struct V<'m> {
+        m: &'m ExprMatcher,
+        hits: Vec<Expr>,
+    }
+    impl Visitor for V<'_> {
+        fn visit_expr(&mut self, e: &Expr) {
+            if self.m.matches(e) {
+                self.hits.push(e.clone());
+            }
+        }
+    }
+    let mut v = V {
+        m: matcher,
+        hits: Vec::new(),
+    };
+    walk_tu(&mut v, tu);
+    v.hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yalla_cpp::parse::parse_str;
+
+    const SRC: &str = r#"
+namespace K {
+  class View;
+  template<class T> class TeamPolicy { public: int rank(); };
+  template<class F> void parallel_for(int n, F f);
+}
+struct add_y { int y; void operator()(int m); };
+void add_y::operator()(int m) {
+  K::parallel_for(5, [&](int i) { y += i; });
+}
+"#;
+
+    #[test]
+    fn decl_matchers() {
+        let tu = parse_str(SRC).unwrap();
+        assert_eq!(match_decls(&tu, &class_decl()).len(), 3);
+        assert_eq!(
+            match_decls(&tu, &class_decl().and(is_definition())).len(),
+            2
+        );
+        assert_eq!(match_decls(&tu, &class_decl().and(is_template())).len(), 1);
+        assert_eq!(match_decls(&tu, &has_name("View")).len(), 1);
+        // operator() declaration + out-of-line definition + rank + parallel_for
+        assert_eq!(match_decls(&tu, &function_decl()).len(), 4);
+        assert_eq!(
+            match_decls(&tu, &function_decl().and(is_definition())).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn expr_matchers() {
+        let tu = parse_str(SRC).unwrap();
+        let calls = match_exprs(&tu, &call_expr());
+        assert_eq!(calls.len(), 1);
+        assert_eq!(match_exprs(&tu, &lambda_expr()).len(), 1);
+        assert_eq!(match_exprs(&tu, &calls_named("parallel_for")).len(), 1);
+        assert_eq!(match_exprs(&tu, &calls_named("nothing")).len(), 0);
+    }
+
+    #[test]
+    fn combinators() {
+        let tu = parse_str(SRC).unwrap();
+        let none = match_decls(&tu, &class_decl().and(function_decl()));
+        assert!(none.is_empty());
+        let both = match_decls(&tu, &class_decl().or(enum_decl()));
+        assert_eq!(both.len(), 3);
+        let not_classes = match_decls(&tu, &class_decl().negate());
+        assert!(not_classes.iter().all(|d| !matches!(d.kind, DeclKind::Class(_))));
+    }
+}

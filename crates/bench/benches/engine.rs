@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks of the Header Substitution engine itself
+//! (the cost the paper reports as "tool time" in Figure 10 — here measured
+//! for real on this implementation, not simulated).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use yalla_core::{Engine, Options};
+use yalla_cpp::vfs::Vfs;
+
+/// The paper's Figure 3 example with a mid-sized synthetic header.
+fn figure3_vfs(filler_fns: usize) -> Vfs {
+    let mut vfs = Vfs::new();
+    let mut header = String::from("#pragma once\nnamespace Kokkos {\nnamespace Impl {\n");
+    header.push_str(
+        "struct TeamThreadRangeBoundariesStruct { int lo; int hi; };\n\
+         template<class P> class HostThreadTeamMember { public: int league_rank() const; };\n",
+    );
+    for i in 0..filler_fns {
+        header.push_str(&format!(
+            "template <typename T> inline T detail_{i}(T v) {{ return v; }}\n"
+        ));
+    }
+    header.push_str(
+        "}\nclass OpenMP;\nclass LayoutRight {};\n\
+         template<class D, class L> class View { public: View(); int& operator()(int i, int j); };\n\
+         template<class S> class TeamPolicy { public: using member_type = Impl::HostThreadTeamMember<S>; };\n\
+         template<class M> Impl::TeamThreadRangeBoundariesStruct TeamThreadRange(M& m, int n);\n\
+         template<class R, class F> void parallel_for(R range, F functor);\n}\n",
+    );
+    vfs.add_file("Kokkos_Core.hpp", header);
+    vfs.add_file(
+        "functor.hpp",
+        "#pragma once\n#include <Kokkos_Core.hpp>\n\
+         using sp_t = Kokkos::OpenMP;\n\
+         using member_t = Kokkos::TeamPolicy<sp_t>::member_type;\n\
+         struct add_y { int y; Kokkos::View<int**, Kokkos::LayoutRight> x; void operator()(member_t &m); };\n",
+    );
+    vfs.add_file(
+        "kernel.cpp",
+        "#include \"functor.hpp\"\n\
+         void add_y::operator()(member_t &m) {\n\
+           int j = m.league_rank();\n\
+           Kokkos::parallel_for(Kokkos::TeamThreadRange(m, 5), [&](int i) { x(j, i) += y; });\n\
+         }\n",
+    );
+    vfs
+}
+
+fn options() -> Options {
+    Options {
+        header: "Kokkos_Core.hpp".into(),
+        sources: vec!["kernel.cpp".into(), "functor.hpp".into()],
+        ..Options::default()
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    for filler in [100usize, 1_000, 5_000] {
+        let vfs = figure3_vfs(filler);
+        group.bench_function(format!("substitute_header_{filler}_filler_fns"), |b| {
+            b.iter_batched(
+                || vfs.clone(),
+                |vfs| Engine::new(options()).run(&vfs).expect("engine runs"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_no_verify(c: &mut Criterion) {
+    let vfs = figure3_vfs(1_000);
+    let mut opts = options();
+    opts.verify = false;
+    c.bench_function("engine/substitute_header_no_verify", |b| {
+        b.iter_batched(
+            || vfs.clone(),
+            |vfs| Engine::new(opts.clone()).run(&vfs).expect("engine runs"),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_engine, bench_engine_no_verify);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks of the C++ frontend substrate: lexing,
+//! preprocessing, and parsing throughput on generated library code.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use yalla_cpp::lex::lex_str;
+use yalla_cpp::parse::parse_tokens;
+use yalla_cpp::pp::preprocess;
+use yalla_cpp::vfs::Vfs;
+
+fn sample_source(functions: usize) -> String {
+    let mut s = String::new();
+    s.push_str("namespace lib {\n");
+    for i in 0..functions {
+        s.push_str(&format!(
+            "template <typename T{i}>\ninline T{i} fn_{i}(T{i} v, int k) {{\n  int acc = k + {i};\n  acc = acc * 3 + 1;\n  return v;\n}}\n"
+        ));
+        if i % 3 == 0 {
+            s.push_str(&format!(
+                "class Cls_{i} {{\npublic:\n  Cls_{i}();\n  int method(int a, double b) const;\n  int size_;\n}};\n"
+            ));
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn bench_lexer(c: &mut Criterion) {
+    let src = sample_source(500);
+    let mut group = c.benchmark_group("frontend");
+    group.throughput(Throughput::Bytes(src.len() as u64));
+    group.bench_function("lex", |b| b.iter(|| lex_str(&src).expect("lexes")));
+    group.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let src = sample_source(500);
+    let tokens = lex_str(&src).expect("lexes");
+    let mut group = c.benchmark_group("frontend");
+    group.throughput(Throughput::Bytes(src.len() as u64));
+    group.bench_function("parse", |b| {
+        b.iter(|| parse_tokens(tokens.clone()).expect("parses"))
+    });
+    group.finish();
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    // A 40-header include tree with guards and macros.
+    let mut vfs = Vfs::new();
+    let mut umbrella = String::from("#pragma once\n#define LIB_VERSION 30100\n");
+    for i in 0..40 {
+        let path = format!("lib/h{i}.hpp");
+        let body = format!(
+            "#ifndef H{i}_GUARD\n#define H{i}_GUARD\n#define H{i}_VALUE {i}\n{}\n#endif\n",
+            sample_source(12)
+        );
+        vfs.add_file(&path, body);
+        umbrella.push_str(&format!("#include <{path}>\n"));
+    }
+    vfs.add_file("lib.hpp", umbrella);
+    vfs.add_file(
+        "main.cpp",
+        "#include <lib.hpp>\n#if LIB_VERSION >= 30000\nint ok;\n#endif\nint main() { return H3_VALUE; }\n",
+    );
+    c.bench_function("frontend/preprocess_40_headers", |b| {
+        b.iter(|| preprocess(&vfs, "main.cpp").expect("preprocesses"))
+    });
+}
+
+criterion_group!(benches, bench_lexer, bench_parse, bench_preprocess);
+criterion_main!(benches);

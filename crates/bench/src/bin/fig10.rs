@@ -1,0 +1,45 @@
+//! Regenerates **Figure 10** of the paper: the first-time compilation of
+//! the `02` subject with and without YALLA — the one-off startup cost of
+//! running the tool and compiling the wrappers file (§5.5).
+
+use yalla_bench::harness::evaluate_subject;
+use yalla_corpus::subject_by_name;
+use yalla_sim::CompilerProfile;
+
+fn bar(ms: f64) -> String {
+    "#".repeat(((ms / 25.0).round() as usize).max(1))
+}
+
+fn main() {
+    let profile = CompilerProfile::clang();
+    let subject = subject_by_name("02").expect("02 subject");
+    let eval = evaluate_subject(&subject, &profile).expect("02 evaluates");
+
+    println!("Figure 10: first-time compilation of 02 (one bar char = 25 ms)\n");
+    let default_total = eval.default.phases.total_ms();
+    println!("default:");
+    println!(
+        "  main compile {:>8.0} ms |{}",
+        default_total,
+        bar(default_total)
+    );
+    println!("  total        {default_total:>8.0} ms\n");
+
+    let main = eval.yalla.phases.total_ms();
+    let tool = eval.tool_ms;
+    let wrappers = eval.wrappers.phases.total_ms();
+    let total = main + tool + wrappers;
+    println!("yalla (first compile):");
+    println!("  tool run     {tool:>8.0} ms |{}", bar(tool));
+    println!("  wrappers     {wrappers:>8.0} ms |{}", bar(wrappers));
+    println!("  main compile {main:>8.0} ms |{}", bar(main));
+    println!("  total        {total:>8.0} ms\n");
+
+    println!(
+        "extra one-off cost: {:.1} s (paper: ~2 s, ~1.5 s tool + ~0.5 s wrappers)",
+        (total - default_total + (default_total - main)) / 1000.0
+    );
+    println!(
+        "steady-state iterations afterwards compile only {main:.0} ms instead of {default_total:.0} ms"
+    );
+}

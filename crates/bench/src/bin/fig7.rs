@@ -1,0 +1,62 @@
+//! Regenerates **Figure 7** of the paper: time spent in the compiler's
+//! frontend and backend phases for the `02` and `drawing` subjects under
+//! the default, PCH, and YALLA configurations. Also dumps Chrome-trace
+//! JSON files (the artifact's `results/traces/` equivalents) when given
+//! `--traces <dir>`.
+
+use yalla_bench::harness::{evaluate_subject, phase_row};
+use yalla_corpus::subject_by_name;
+use yalla_sim::trace::Trace;
+use yalla_sim::CompilerProfile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_dir = args
+        .iter()
+        .position(|a| a == "--traces")
+        .and_then(|i| args.get(i + 1).cloned());
+    let profile = CompilerProfile::clang();
+
+    for name in ["02", "drawing"] {
+        let subject = subject_by_name(name).expect("subject exists");
+        let eval = match evaluate_subject(&subject, &profile) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("SKIP {e}");
+                continue;
+            }
+        };
+        println!("Figure 7: {name} subject — compilation phase breakdown");
+        println!("  {}", phase_row("default", &eval.default.phases));
+        println!("  {}", phase_row("pch", &eval.pch.phases));
+        println!("  {}", phase_row("yalla", &eval.yalla.phases));
+        // The two claims of §5.3, checked in-band:
+        let pch_backend_same =
+            (eval.pch.phases.backend_ms() - eval.default.phases.backend_ms()).abs() < 1e-6;
+        println!(
+            "  -> PCH backend identical to default: {}",
+            if pch_backend_same { "yes" } else { "NO" }
+        );
+        println!(
+            "  -> YALLA reduces both frontend ({:.1}x) and backend ({:.1}x)",
+            eval.default.phases.frontend_ms() / eval.yalla.phases.frontend_ms().max(0.001),
+            eval.default.phases.backend_ms() / eval.yalla.phases.backend_ms().max(0.001),
+        );
+        println!();
+
+        if let Some(dir) = &trace_dir {
+            std::fs::create_dir_all(dir).expect("create trace dir");
+            for (mode, phases) in [
+                ("default", &eval.default.phases),
+                ("pch", &eval.pch.phases),
+                ("yalla", &eval.yalla.phases),
+            ] {
+                let mut t = Trace::new();
+                t.push_compile(name, phases);
+                let path = format!("{dir}/{name}-{mode}.json");
+                std::fs::write(&path, t.to_json()).expect("write trace");
+                println!("  wrote {path}");
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Regenerates **Figure 8** of the paper: end-to-end development-cycle
+//! speedup (compile + link + run) of YALLA and PCH over the default
+//! configuration, per subject.
+
+use yalla_bench::harness::evaluate_all;
+use yalla_sim::CompilerProfile;
+
+fn bar(x: f64) -> String {
+    let n = (x * 4.0).round().clamp(0.0, 60.0) as usize;
+    "#".repeat(n.max(1))
+}
+
+fn main() {
+    let profile = CompilerProfile::clang();
+    println!("Figure 8: development-cycle speedup over default (compile + link + run)");
+    println!(
+        "{:<24} {:>9} {:>9}   (bars: 1 char = 0.25x)",
+        "File", "PCH", "Yalla"
+    );
+    let mut speedups = Vec::new();
+    for eval in evaluate_all(&profile) {
+        let eval = match eval {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("SKIP {e}");
+                continue;
+            }
+        };
+        let cycles = eval.dev_cycles(&profile);
+        let default = &cycles[0];
+        let pch = cycles[1].speedup_over(default);
+        let yalla = cycles[2].speedup_over(default);
+        println!("{:<24} {:>8.2}x {:>8.2}x", eval.name, pch, yalla);
+        println!("{:<24} pch   |{}", "", bar(pch));
+        println!("{:<24} yalla |{}", "", bar(yalla));
+        println!(
+            "{:<24}       (default itr {:.0} ms = {:.0} compile + {:.0} link + {:.0} run; yalla itr {:.0} ms, run {:.0} ms)",
+            "",
+            default.iteration_ms(),
+            default.compile_ms,
+            default.link_ms,
+            default.run_ms,
+            cycles[2].iteration_ms(),
+            cycles[2].run_ms,
+        );
+        speedups.push(yalla);
+    }
+    let avg = speedups.iter().sum::<f64>() / speedups.len().max(1) as f64;
+    println!("\nYALLA average development-cycle speedup: {avg:.2}x   (paper: 4.68x)");
+}

@@ -1,0 +1,94 @@
+//! Regenerates **Figure 9** of the paper: the `02` kernel as compiled by
+//! the default configuration (library calls inlined into direct memory
+//! accesses) versus after YALLA (cross-TU `callq` to `paren_operator`
+//! that the compiler cannot inline).
+
+use yalla_core::{Engine, Options};
+use yalla_corpus::subject_by_name;
+use yalla_cpp::vfs::Vfs;
+use yalla_sim::ir::{ExecConfig, Machine};
+
+fn build_machine(subject: &yalla_corpus::Subject, yalla: bool) -> (Machine, String) {
+    let options = Options {
+        header: subject.header.clone(),
+        sources: subject.sources.clone(),
+        ..Options::default()
+    };
+    // Stub the library tree (as the kernel-run harness does).
+    let keep: Vec<String> = subject.sources.clone();
+    let mut mvfs = Vfs::new();
+    for (_, file) in subject.vfs.iter() {
+        if keep.contains(&file.path) || file.path == "driver.cpp" {
+            mvfs.add_file(&file.path, file.text.clone());
+        } else {
+            mvfs.add_file(&file.path, "#pragma once\n");
+        }
+    }
+    let mut functor_class = String::from("o2_functor::operator()");
+    if yalla {
+        let result = Engine::new(options.clone())
+            .run(&subject.vfs)
+            .expect("engine runs on 02");
+        for (path, text) in &result.rewritten_sources {
+            mvfs.add_file(path, text.clone());
+        }
+        mvfs.add_file(&options.lightweight_name, result.lightweight_header.clone());
+        mvfs.add_file(&options.wrappers_name, result.wrappers_file.clone());
+        if let Some(f) = result.plan.functors.first() {
+            functor_class = format!("{}::operator()", f.name);
+        }
+    }
+    let mut machine = Machine::new(ExecConfig::default());
+    let parse = |path: &str| {
+        yalla_cpp::Frontend::new(mvfs.clone())
+            .parse_translation_unit(path)
+            .map(|t| t.ast)
+            .expect("machine parse")
+    };
+    machine.load_tu(&parse(&subject.main_source), 0);
+    if yalla {
+        machine.load_tu(&parse("yalla_wrappers.cpp"), 1);
+    }
+    (machine, functor_class)
+}
+
+fn main() {
+    let subject = subject_by_name("02").expect("02 subject");
+    println!("Figure 9: the 02 PyKokkos kernel before and after YALLA\n");
+
+    println!("--- (a) C++ kernel (original) ---");
+    let kernel_id = subject.vfs.lookup("kernel.cpp").expect("kernel.cpp");
+    println!("{}", subject.vfs.text(kernel_id));
+
+    println!("--- (b) pseudo-assembly, default build (accesses inlined) ---");
+    let (default_machine, _) = build_machine(&subject, false);
+    let asm = default_machine
+        .disassemble("o2_functor::operator()", 0)
+        .expect("kernel disassembles");
+    println!("{asm}");
+
+    println!("--- (c) pseudo-assembly, YALLA build (cross-TU calls survive) ---");
+    let (yalla_machine, functor) = build_machine(&subject, true);
+    let kernel_asm = yalla_machine
+        .disassemble("o2_functor::operator()", 0)
+        .expect("rewritten kernel disassembles");
+    println!("; kernel body:");
+    println!("{kernel_asm}");
+    let functor_asm = yalla_machine
+        .disassemble(&functor, 0)
+        .expect("functor disassembles");
+    println!("; generated functor ({functor}):");
+    println!("{functor_asm}");
+
+    let inlined = !asm.contains("callq");
+    let calls_survive = functor_asm.contains("callq <paren_operator>")
+        || kernel_asm.contains("callq");
+    println!(
+        "default build inlines all accesses: {}",
+        if inlined { "yes" } else { "NO" }
+    );
+    println!(
+        "yalla build leaves wrapper calls: {}",
+        if calls_survive { "yes" } else { "NO" }
+    );
+}

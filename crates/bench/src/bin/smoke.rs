@@ -1,0 +1,33 @@
+//! Quick end-to-end smoke run over a few subjects (development aid).
+
+use yalla_bench::harness::evaluate_subject;
+use yalla_corpus::subject_by_name;
+use yalla_sim::CompilerProfile;
+
+fn main() {
+    let profile = CompilerProfile::clang();
+    for name in std::env::args().skip(1) {
+        let subject = subject_by_name(&name).expect("unknown subject");
+        match evaluate_subject(&subject, &profile) {
+            Ok(eval) => {
+                println!(
+                    "{:<24} default {:>8.1} ms  pch {:>8.1} ms ({:>5.1}x)  yalla {:>8.1} ms ({:>5.1}x)  loc {} -> {}  run {:?} -> {:?}",
+                    eval.name,
+                    eval.default.phases.total_ms(),
+                    eval.pch.phases.total_ms(),
+                    eval.pch_speedup(),
+                    eval.yalla.phases.total_ms(),
+                    eval.yalla_speedup(),
+                    eval.default.work.lines,
+                    eval.yalla.work.lines,
+                    eval.run_cycles_default,
+                    eval.run_cycles_yalla,
+                );
+                for d in &eval.substitution.plan.diagnostics {
+                    println!("    note: {}", d.message);
+                }
+            }
+            Err(e) => println!("{name}: FAILED: {e}"),
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Regenerates **Table 2** of the paper: compilation time with the
+//! default, PCH, and YALLA configurations plus the speedups, for all 18
+//! subjects; prints the per-suite and overall averages quoted in §5.3.
+//!
+//! Usage: `table2 [--compiler clang|gcc] [--csv <path>]`
+
+use std::collections::BTreeMap;
+
+use yalla_bench::harness::evaluate_all;
+use yalla_sim::CompilerProfile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = match args.iter().position(|a| a == "--compiler") {
+        Some(i) if args.get(i + 1).map(String::as_str) == Some("gcc") => CompilerProfile::gcc(),
+        _ => CompilerProfile::clang(),
+    };
+    let csv_path = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    println!(
+        "Table 2: compilation time with {} and speedup using YALLA and PCH",
+        profile.kind.name()
+    );
+    println!(
+        "{:<24} {:<12} {:>12} {:>10} {:>11} {:>12} {:>14}",
+        "File", "Subject", "Default [ms]", "PCH [ms]", "Yalla [ms]", "PCH Speedup", "Yalla Speedup"
+    );
+
+    let mut csv = String::from("file,subject,default_ms,pch_ms,yalla_ms,pch_speedup,yalla_speedup\n");
+    let mut by_suite: BTreeMap<&str, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut all: Vec<(f64, f64)> = Vec::new();
+
+    for eval in evaluate_all(&profile) {
+        let eval = match eval {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("SKIP {e}");
+                continue;
+            }
+        };
+        let d = eval.default.phases.total_ms();
+        let p = eval.pch.phases.total_ms();
+        let y = eval.yalla.phases.total_ms();
+        println!(
+            "{:<24} {:<12} {:>12.0} {:>10.0} {:>11.0} {:>11.1}x {:>13.1}x",
+            eval.name,
+            eval.suite,
+            d,
+            p,
+            y,
+            eval.pch_speedup(),
+            eval.yalla_speedup()
+        );
+        csv.push_str(&format!(
+            "{},{},{:.1},{:.1},{:.1},{:.2},{:.2}\n",
+            eval.name,
+            eval.suite,
+            d,
+            p,
+            y,
+            eval.pch_speedup(),
+            eval.yalla_speedup()
+        ));
+        by_suite
+            .entry(eval.suite)
+            .or_default()
+            .push((eval.pch_speedup(), eval.yalla_speedup()));
+        all.push((eval.pch_speedup(), eval.yalla_speedup()));
+    }
+
+    let avg = |v: &[(f64, f64)]| {
+        let n = v.len().max(1) as f64;
+        (
+            v.iter().map(|x| x.0).sum::<f64>() / n,
+            v.iter().map(|x| x.1).sum::<f64>() / n,
+        )
+    };
+    println!();
+    for (suite, vals) in &by_suite {
+        let (p, y) = avg(vals);
+        println!("{suite:<14} average: PCH {p:.1}x, YALLA {y:.1}x");
+    }
+    let (p, y) = avg(&all);
+    println!(
+        "Overall average ({}): PCH {p:.1}x, YALLA {y:.1}x   (paper, clang: PCH 2.8x, YALLA 24.5x; gcc: 2.7x / 31.4x)",
+        profile.kind.name()
+    );
+
+    if let Some(path) = csv_path {
+        std::fs::write(&path, csv).expect("write csv");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Regenerates **Table 3** of the paper: lines of code and headers
+//! entering each subject's translation unit before and after YALLA.
+//!
+//! Usage: `table3 [--csv <path>]`
+
+use yalla_bench::harness::evaluate_all;
+use yalla_sim::CompilerProfile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv_path = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1).cloned());
+    let profile = CompilerProfile::clang();
+
+    println!("Table 3: code statistics before and after applying YALLA");
+    println!(
+        "{:<24} {:>13} {:>11} {:>16} {:>14}",
+        "File", "Default LOCs", "Yalla LOCs", "Default Headers", "Yalla Headers"
+    );
+    let mut csv = String::from("file,default_locs,yalla_locs,default_headers,yalla_headers\n");
+    for eval in evaluate_all(&profile) {
+        let eval = match eval {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("SKIP {e}");
+                continue;
+            }
+        };
+        println!(
+            "{:<24} {:>13} {:>11} {:>16} {:>14}",
+            eval.name,
+            eval.default.work.lines,
+            eval.yalla.work.lines,
+            eval.default.work.headers,
+            eval.yalla.work.headers
+        );
+        csv.push_str(&format!(
+            "{},{},{},{},{}\n",
+            eval.name,
+            eval.default.work.lines,
+            eval.yalla.work.lines,
+            eval.default.work.headers,
+            eval.yalla.work.headers
+        ));
+    }
+    println!("\n(paper, 02 row: 111301 -> 77 LOCs, 581 -> 2 headers)");
+    if let Some(path) = csv_path {
+        std::fs::write(&path, csv).expect("write csv");
+        println!("wrote {path}");
+    }
+}

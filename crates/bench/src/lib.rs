@@ -1,0 +1,8 @@
+//! Shared helpers for the benchmark harness (see the `table2`, `table3`,
+//! and `fig7`–`fig10` binaries, each of which regenerates one table or
+//! figure of the paper).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod harness;

@@ -1,0 +1,364 @@
+//! Lambda → functor transformation (§3.4).
+//!
+//! A lambda passed as a template argument has an unutterable type, so a
+//! templated wrapper taking it cannot be explicitly instantiated. Header
+//! Substitution therefore replaces each such lambda with a generated
+//! *functor*: a struct whose fields are the captured variables (with
+//! pointerized types where the captured object's class became incomplete)
+//! and whose `operator()` holds the lambda body, itself rewritten to call
+//! wrappers instead of methods of incomplete classes.
+//!
+//! Captured variables the body **mutates** become pointer fields: the
+//! construction site passes `&var` and body uses dereference — that keeps
+//! the generated `operator()` `const` (required since the functor may be
+//! passed by value into library templates) while preserving the
+//! reference-capture semantics of the original `[&]` lambda.
+
+use std::collections::HashSet;
+
+use yalla_analysis::symbols::SymbolTable;
+use yalla_analysis::usage::{LambdaUse, UsageReport};
+use yalla_cpp::ast::{
+    BinaryOp, Block, Expr, ExprKind, ForInit, QualName, Stmt, StmtKind, Type, UnaryOp,
+};
+
+use crate::plan::{mentions_pointerized, pointerize_if_needed, Functor, Plan};
+use crate::rewrite::Transformer;
+
+/// Prefix of generated functor names.
+pub const FUNCTOR_PREFIX: &str = "yalla_functor_";
+
+/// Builds the functor replacing lambda `lu` (the `index`-th functor).
+///
+/// The functor's fields are the lambda's captures in first-use order —
+/// this fixes the field order that the construction-site `{...}`
+/// initializer list must follow.
+pub fn make_functor(
+    index: usize,
+    lu: &LambdaUse,
+    plan: &Plan,
+    table: &SymbolTable,
+    _usage: &UsageReport,
+) -> Functor {
+    let name = format!("{FUNCTOR_PREFIX}{index}");
+
+    // Which captures does the body assign to?
+    let mut mutated = HashSet::new();
+    collect_mutated(&lu.lambda.body.stmts, &mut mutated);
+    // Only captures of *scalar / non-pointerized* values need the pointer
+    // treatment: objects of pointerized classes already become pointers
+    // and mutate shared state through wrappers.
+    let mutated_captures: HashSet<String> = lu
+        .captured
+        .iter()
+        .filter(|(n, t)| {
+            mutated.contains(n)
+                && t.is_by_value()
+                && !mentions_pointerized(t, &plan.pointerized_classes, table)
+        })
+        .map(|(n, _)| n.clone())
+        .collect();
+
+    let fields: Vec<(String, Type)> = lu
+        .captured
+        .iter()
+        .map(|(n, t)| {
+            let ty = if mutated_captures.contains(n) {
+                Type::pointer(t.clone())
+            } else {
+                pointerize_if_needed(t, &plan.pointerized_classes, table)
+            };
+            (n.clone(), ty)
+        })
+        .collect();
+
+    // Rewrite the body: method/operator calls on captured objects go
+    // through wrappers, and mutated captures read through their pointer.
+    let mut tr = Transformer::new(plan, table);
+    tr.push_scope(fields.iter().map(|(n, t)| (n.clone(), t.clone())));
+    tr.push_scope(
+        lu.lambda
+            .params
+            .iter()
+            .filter(|(_, n)| !n.is_empty())
+            .map(|(t, n)| (n.clone(), t.clone())),
+    );
+    let body = Block {
+        stmts: lu
+            .lambda
+            .body
+            .stmts
+            .iter()
+            .map(|s| {
+                let transformed = tr.transform_stmt(s);
+                deref_mutated_stmt(&transformed, &mutated_captures)
+            })
+            .collect(),
+        span: lu.lambda.body.span,
+    };
+    tr.pop_scope();
+    tr.pop_scope();
+
+    Functor {
+        name,
+        fields,
+        mutated_captures,
+        params: lu.lambda.params.clone(),
+        body,
+        span: lu.span,
+    }
+}
+
+/// Collects the names assigned (or incremented) anywhere in `stmts`.
+fn collect_mutated(stmts: &[Stmt], out: &mut HashSet<String>) {
+    fn expr(e: &Expr, out: &mut HashSet<String>) {
+        match &e.kind {
+            ExprKind::Binary { op, lhs, rhs } => {
+                if op.is_assignment() {
+                    if let Some(n) = lhs.as_name() {
+                        if n.segs.len() == 1 {
+                            out.insert(n.segs[0].ident.clone());
+                        }
+                    }
+                }
+                expr(lhs, out);
+                expr(rhs, out);
+            }
+            ExprKind::Unary { op, expr: inner } => {
+                if matches!(
+                    op,
+                    UnaryOp::PreInc | UnaryOp::PostInc | UnaryOp::PreDec | UnaryOp::PostDec
+                ) {
+                    if let Some(n) = inner.as_name() {
+                        if n.segs.len() == 1 {
+                            out.insert(n.segs[0].ident.clone());
+                        }
+                    }
+                }
+                expr(inner, out);
+            }
+            ExprKind::Call { callee, args } => {
+                expr(callee, out);
+                for a in args {
+                    expr(a, out);
+                }
+            }
+            ExprKind::Conditional {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
+                expr(cond, out);
+                expr(then_expr, out);
+                expr(else_expr, out);
+            }
+            ExprKind::Member { base, .. } => expr(base, out),
+            ExprKind::Index { base, index } => {
+                expr(base, out);
+                expr(index, out);
+            }
+            ExprKind::Paren(inner) | ExprKind::Cast { expr: inner, .. } => expr(inner, out),
+            ExprKind::Lambda(l) => collect_mutated(&l.body.stmts, out),
+            ExprKind::New { args, .. } | ExprKind::BraceInit { args, .. } => {
+                for a in args {
+                    expr(a, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    for s in stmts {
+        match &s.kind {
+            StmtKind::Expr(e) => expr(e, out),
+            StmtKind::Decl(v) => {
+                if let Some(i) = &v.init {
+                    expr(i, out);
+                }
+            }
+            StmtKind::Block(b) => collect_mutated(&b.stmts, out),
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                expr(cond, out);
+                collect_mutated(std::slice::from_ref(then_branch), out);
+                if let Some(e) = else_branch {
+                    collect_mutated(std::slice::from_ref(e), out);
+                }
+            }
+            StmtKind::For {
+                init,
+                cond,
+                inc,
+                body,
+            } => {
+                match init.as_ref() {
+                    ForInit::Decl(v) => {
+                        if let Some(i) = &v.init {
+                            expr(i, out);
+                        }
+                    }
+                    ForInit::Expr(e) => expr(e, out),
+                    ForInit::Empty => {}
+                }
+                if let Some(c) = cond {
+                    expr(c, out);
+                }
+                if let Some(i) = inc {
+                    expr(i, out);
+                }
+                collect_mutated(std::slice::from_ref(body), out);
+            }
+            StmtKind::RangeFor { range, body, .. } => {
+                expr(range, out);
+                collect_mutated(std::slice::from_ref(body), out);
+            }
+            StmtKind::While { cond, body } => {
+                expr(cond, out);
+                collect_mutated(std::slice::from_ref(body), out);
+            }
+            StmtKind::DoWhile { body, cond } => {
+                collect_mutated(std::slice::from_ref(body), out);
+                expr(cond, out);
+            }
+            StmtKind::Return(Some(e)) => expr(e, out),
+            _ => {}
+        }
+    }
+}
+
+/// Rewrites uses of mutated captures to `(*name)` in a statement tree.
+fn deref_mutated_stmt(stmt: &Stmt, mutated: &HashSet<String>) -> Stmt {
+    if mutated.is_empty() {
+        return stmt.clone();
+    }
+    let kind = match &stmt.kind {
+        StmtKind::Expr(e) => StmtKind::Expr(deref_mutated_expr(e, mutated)),
+        StmtKind::Decl(v) => {
+            let mut v = v.clone();
+            if let Some(i) = &mut v.init {
+                *i = deref_mutated_expr(i, mutated);
+            }
+            StmtKind::Decl(v)
+        }
+        StmtKind::Block(b) => StmtKind::Block(Block {
+            stmts: b.stmts.iter().map(|s| deref_mutated_stmt(s, mutated)).collect(),
+            span: b.span,
+        }),
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => StmtKind::If {
+            cond: deref_mutated_expr(cond, mutated),
+            then_branch: Box::new(deref_mutated_stmt(then_branch, mutated)),
+            else_branch: else_branch
+                .as_ref()
+                .map(|e| Box::new(deref_mutated_stmt(e, mutated))),
+        },
+        StmtKind::For {
+            init,
+            cond,
+            inc,
+            body,
+        } => StmtKind::For {
+            init: Box::new(match init.as_ref() {
+                ForInit::Decl(v) => {
+                    let mut v = v.clone();
+                    if let Some(i) = &mut v.init {
+                        *i = deref_mutated_expr(i, mutated);
+                    }
+                    ForInit::Decl(v)
+                }
+                ForInit::Expr(e) => ForInit::Expr(deref_mutated_expr(e, mutated)),
+                ForInit::Empty => ForInit::Empty,
+            }),
+            cond: cond.as_ref().map(|e| deref_mutated_expr(e, mutated)),
+            inc: inc.as_ref().map(|e| deref_mutated_expr(e, mutated)),
+            body: Box::new(deref_mutated_stmt(body, mutated)),
+        },
+        StmtKind::RangeFor { var, range, body } => StmtKind::RangeFor {
+            var: var.clone(),
+            range: deref_mutated_expr(range, mutated),
+            body: Box::new(deref_mutated_stmt(body, mutated)),
+        },
+        StmtKind::While { cond, body } => StmtKind::While {
+            cond: deref_mutated_expr(cond, mutated),
+            body: Box::new(deref_mutated_stmt(body, mutated)),
+        },
+        StmtKind::DoWhile { body, cond } => StmtKind::DoWhile {
+            body: Box::new(deref_mutated_stmt(body, mutated)),
+            cond: deref_mutated_expr(cond, mutated),
+        },
+        StmtKind::Return(e) => {
+            StmtKind::Return(e.as_ref().map(|e| deref_mutated_expr(e, mutated)))
+        }
+        other => other.clone(),
+    };
+    Stmt::new(kind, stmt.span)
+}
+
+fn deref_mutated_expr(expr: &Expr, mutated: &HashSet<String>) -> Expr {
+    let kind = match &expr.kind {
+        ExprKind::Name(n) if n.segs.len() == 1 && mutated.contains(&n.segs[0].ident) => {
+            // name → (*name)
+            ExprKind::Paren(Box::new(Expr::new(
+                ExprKind::Unary {
+                    op: UnaryOp::Deref,
+                    expr: Box::new(Expr::new(
+                        ExprKind::Name(QualName::ident(n.segs[0].ident.clone())),
+                        expr.span,
+                    )),
+                },
+                expr.span,
+            )))
+        }
+        ExprKind::Unary { op, expr: e } => ExprKind::Unary {
+            op: *op,
+            expr: Box::new(deref_mutated_expr(e, mutated)),
+        },
+        ExprKind::Binary { op, lhs, rhs } => ExprKind::Binary {
+            op: *op,
+            lhs: Box::new(deref_mutated_expr(lhs, mutated)),
+            rhs: Box::new(deref_mutated_expr(rhs, mutated)),
+        },
+        ExprKind::Conditional {
+            cond,
+            then_expr,
+            else_expr,
+        } => ExprKind::Conditional {
+            cond: Box::new(deref_mutated_expr(cond, mutated)),
+            then_expr: Box::new(deref_mutated_expr(then_expr, mutated)),
+            else_expr: Box::new(deref_mutated_expr(else_expr, mutated)),
+        },
+        ExprKind::Call { callee, args } => ExprKind::Call {
+            // The callee itself is left alone: calling through a mutated
+            // scalar is not in the subset.
+            callee: callee.clone(),
+            args: args.iter().map(|a| deref_mutated_expr(a, mutated)).collect(),
+        },
+        ExprKind::Member { base, arrow, member } => ExprKind::Member {
+            base: Box::new(deref_mutated_expr(base, mutated)),
+            arrow: *arrow,
+            member: member.clone(),
+        },
+        ExprKind::Index { base, index } => ExprKind::Index {
+            base: Box::new(deref_mutated_expr(base, mutated)),
+            index: Box::new(deref_mutated_expr(index, mutated)),
+        },
+        ExprKind::Paren(e) => ExprKind::Paren(Box::new(deref_mutated_expr(e, mutated))),
+        ExprKind::BraceInit { ty, args } => ExprKind::BraceInit {
+            ty: ty.clone(),
+            args: args.iter().map(|a| deref_mutated_expr(a, mutated)).collect(),
+        },
+        other => other.clone(),
+    };
+    Expr::new(kind, expr.span)
+}
+
+/// The `+=`-style operators count as assignments for capture analysis.
+#[allow(dead_code)]
+fn is_assign(op: BinaryOp) -> bool {
+    op.is_assignment()
+}

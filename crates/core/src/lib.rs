@@ -1,0 +1,61 @@
+//! Header Substitution — the YALLA engine (the paper's primary
+//! contribution), reproduced in Rust.
+//!
+//! Given a set of C++ source files and one expensive header they include,
+//! the engine (paper, Figure 5):
+//!
+//! 1. analyzes which classes, functions, methods, fields, enums and
+//!    lambdas the sources actually use from the header ([`yalla_analysis`]),
+//! 2. generates a *lightweight header* containing forward declarations of
+//!    the used classes plus declarations of *function wrappers*, *method
+//!    wrappers* and lambda-replacement *functors* (§3.2, §3.4),
+//! 3. rewrites the sources: the `#include` is swapped for the lightweight
+//!    header, by-value uses of now-incomplete classes become pointers, and
+//!    call sites are redirected to the wrappers (§3.3),
+//! 4. emits a *wrappers file* holding the wrapper definitions and explicit
+//!    template instantiations — the only translation unit that still
+//!    includes the expensive header (§3.4, Figure 6 step ③),
+//! 5. verifies the transformed program still parses and respects C++'s
+//!    incomplete-type rules (the paper's "guaranteeing that the code still
+//!    compiles").
+//!
+//! # Quick start
+//!
+//! ```
+//! use yalla_core::{Engine, Options};
+//! use yalla_cpp::vfs::Vfs;
+//!
+//! let mut vfs = Vfs::new();
+//! vfs.add_file("lib.hpp", "namespace K { class Widget { public: int id() const; }; }\n");
+//! vfs.add_file(
+//!     "main.cpp",
+//!     "#include \"lib.hpp\"\nint use(K::Widget& w) { return w.id(); }\n",
+//! );
+//! let result = Engine::new(Options {
+//!     header: "lib.hpp".into(),
+//!     sources: vec!["main.cpp".into()],
+//!     ..Options::default()
+//! })
+//! .run(&vfs)
+//! .unwrap();
+//! assert!(result.lightweight_header.contains("class Widget;"));
+//! assert!(result.rewritten_sources["main.cpp"].contains("yalla_lightweight.hpp"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod emit;
+pub mod engine;
+pub mod lambda;
+pub mod plan;
+pub mod report;
+pub mod rewrite;
+pub mod rules;
+pub mod verify;
+pub mod wrappers;
+
+pub use engine::{substitute_headers, Engine, MultiSubstitutionResult, Options, SubstitutionResult, YallaError};
+pub use plan::{Diagnostic, DiagnosticKind, Plan};
+pub use report::Report;
+pub use rules::{transformation_for, SymbolCategory, Transformation};

@@ -1,0 +1,123 @@
+//! The Header Substitution rule table (paper, Table 1).
+//!
+//! Each C++ symbol category maps to the code transformation Header
+//! Substitution applies to it. The enum is the executable form of the
+//! paper's Table 1; the engine dispatches on it, and the tests in this
+//! module assert each row verbatim.
+
+use std::fmt;
+
+/// The symbol categories of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymbolCategory {
+    /// A class or struct.
+    ClassOrStruct,
+    /// A type alias (`using`/`typedef`).
+    TypeAlias,
+    /// An enum (scoped or not).
+    Enum,
+    /// A free function whose signature is fully expressible with
+    /// forward-declared types.
+    Function,
+    /// A free function whose signature involves an incomplete type by
+    /// value (return or parameter).
+    FunctionWithIncompleteByValue,
+    /// A method or data member of a class that will be forward declared.
+    ClassMethodOrField,
+    /// A lambda passed as a template argument.
+    Lambda,
+}
+
+/// The transformations of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transformation {
+    /// Forward declare and replace by-value usages with pointers.
+    ForwardDeclareAndPointerize,
+    /// Resolve the alias and forward declare the resolved class.
+    ResolveAndForwardDeclare,
+    /// Replace usages with the underlying integer type of the enum.
+    ReplaceWithUnderlyingType,
+    /// Forward declare the function as-is.
+    ForwardDeclare,
+    /// Create a function wrapper and redirect calls to it.
+    CreateFunctionWrapper,
+    /// Create a method/field wrapper taking the object as first argument
+    /// and redirect usages to it.
+    CreateMethodWrapper,
+    /// Generate an equivalent functor and replace the lambda with a call
+    /// to its constructor.
+    LambdaToFunctor,
+}
+
+impl fmt::Display for Transformation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Transformation::ForwardDeclareAndPointerize => {
+                "forward declare and replace usages with pointers"
+            }
+            Transformation::ResolveAndForwardDeclare => "resolve and forward declare",
+            Transformation::ReplaceWithUnderlyingType => {
+                "replace usages with the datatype of the size of the enum"
+            }
+            Transformation::ForwardDeclare => "forward declare",
+            Transformation::CreateFunctionWrapper => {
+                "create a wrapper and replace usages with calls to the wrapper"
+            }
+            Transformation::CreateMethodWrapper => {
+                "create wrapper with class type as the first argument"
+            }
+            Transformation::LambdaToFunctor => {
+                "create an equivalent functor that overloads the call operator"
+            }
+        };
+        f.write_str(s)
+    }
+}
+
+/// Table 1: the transformation Header Substitution applies to each symbol
+/// category.
+pub fn transformation_for(category: SymbolCategory) -> Transformation {
+    match category {
+        SymbolCategory::ClassOrStruct => Transformation::ForwardDeclareAndPointerize,
+        SymbolCategory::TypeAlias => Transformation::ResolveAndForwardDeclare,
+        SymbolCategory::Enum => Transformation::ReplaceWithUnderlyingType,
+        SymbolCategory::Function => Transformation::ForwardDeclare,
+        SymbolCategory::FunctionWithIncompleteByValue => Transformation::CreateFunctionWrapper,
+        SymbolCategory::ClassMethodOrField => Transformation::CreateMethodWrapper,
+        SymbolCategory::Lambda => Transformation::LambdaToFunctor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_rows() {
+        use SymbolCategory as C;
+        use Transformation as T;
+        assert_eq!(transformation_for(C::ClassOrStruct), T::ForwardDeclareAndPointerize);
+        assert_eq!(transformation_for(C::TypeAlias), T::ResolveAndForwardDeclare);
+        assert_eq!(transformation_for(C::Enum), T::ReplaceWithUnderlyingType);
+        assert_eq!(transformation_for(C::Function), T::ForwardDeclare);
+        assert_eq!(
+            transformation_for(C::FunctionWithIncompleteByValue),
+            T::CreateFunctionWrapper
+        );
+        assert_eq!(transformation_for(C::ClassMethodOrField), T::CreateMethodWrapper);
+        assert_eq!(transformation_for(C::Lambda), T::LambdaToFunctor);
+    }
+
+    #[test]
+    fn display_matches_paper_wording() {
+        assert!(Transformation::ForwardDeclareAndPointerize
+            .to_string()
+            .contains("pointers"));
+        assert!(Transformation::CreateMethodWrapper
+            .to_string()
+            .contains("first argument"));
+        assert!(Transformation::LambdaToFunctor
+            .to_string()
+            .contains("call operator"));
+    }
+}

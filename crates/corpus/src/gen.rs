@@ -1,0 +1,201 @@
+//! Deterministic filler-code generation.
+//!
+//! Library bulk is generated, not hand-written: a [`LibSpec`] describes
+//! how many internal headers a library has and what mix of constructs
+//! they contain, and [`generate_library`] emits parseable C++ into a
+//! [`Vfs`]. The mix matters for the simulator: template bodies cost the
+//! frontend only (they are never instantiated by the subjects), while
+//! `inline` functions with concrete bodies reach the backend — that ratio
+//! is what makes PCH strong on some libraries and weak on others
+//! (paper Figure 7).
+
+use yalla_cpp::vfs::Vfs;
+
+/// Shape of a generated library.
+#[derive(Debug, Clone)]
+pub struct LibSpec {
+    /// Short prefix used in generated names (`kk`, `rj`, ...).
+    pub prefix: &'static str,
+    /// Namespace wrapping all generated code.
+    pub namespace: &'static str,
+    /// Directory the headers live in.
+    pub dir: &'static str,
+    /// The umbrella header's file name (within `dir`'s parent).
+    pub top_header: &'static str,
+    /// Number of internal headers.
+    pub internal_headers: usize,
+    /// Approximate lines per internal header.
+    pub lines_per_header: usize,
+    /// Of the generated function bodies, how many out of 100 are
+    /// *concrete inline* (backend cost) rather than templates
+    /// (frontend-only).
+    pub concrete_percent: usize,
+    /// Extra hand-written API text appended to the umbrella header.
+    pub api: String,
+}
+
+/// Simple deterministic PRNG (xorshift) so generation never depends on
+/// external entropy and stays reproducible.
+#[derive(Debug, Clone)]
+pub struct DetRng(u64);
+
+impl DetRng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        DetRng(seed.max(1))
+    }
+
+    /// Next value in `0..bound`.
+    pub fn next(&mut self, bound: usize) -> usize {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        (x % bound.max(1) as u64) as usize
+    }
+}
+
+/// Generates the library described by `spec` into `vfs` and returns the
+/// path of its umbrella header.
+pub fn generate_library(vfs: &mut Vfs, spec: &LibSpec) -> String {
+    let mut rng = DetRng::new(
+        spec.prefix
+            .bytes()
+            .fold(0xdead_beefu64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64)),
+    );
+    let mut top = String::new();
+    top.push_str("#pragma once\n");
+    for i in 0..spec.internal_headers {
+        let path = format!("{}/detail_{i:04}.hpp", spec.dir);
+        vfs.add_file(&path, internal_header(spec, i, &mut rng));
+        top.push_str(&format!("#include <{path}>\n"));
+    }
+    top.push_str(&format!("namespace {} {{\n", spec.namespace));
+    top.push_str(&spec.api);
+    top.push_str(&format!("\n}} // namespace {}\n", spec.namespace));
+    vfs.add_file(spec.top_header, top);
+    spec.top_header.to_string()
+}
+
+fn internal_header(spec: &LibSpec, index: usize, rng: &mut DetRng) -> String {
+    let mut out = String::with_capacity(spec.lines_per_header * 40);
+    out.push_str("#pragma once\n");
+    out.push_str(&format!("namespace {} {{ namespace detail {{\n", spec.namespace));
+    let mut line_budget = spec.lines_per_header;
+    let mut item = 0usize;
+    while line_budget > 8 {
+        let tag = format!("{}_{index:04}_{item}", spec.prefix);
+        let concrete = rng.next(100) < spec.concrete_percent;
+        let body_lines = 3 + rng.next(5);
+        let chunk = match rng.next(3) {
+            // A function (template or concrete inline).
+            0 | 1 => {
+                let mut f = String::new();
+                if concrete {
+                    f.push_str(&format!("inline int fn_{tag}(int v, int k) {{\n"));
+                } else {
+                    f.push_str(&format!(
+                        "template <typename T{item}>\ninline T{item} fn_{tag}(T{item} v, int k) {{\n"
+                    ));
+                }
+                f.push_str(&format!("  int acc = k + {item};\n"));
+                for b in 0..body_lines {
+                    f.push_str(&format!("  acc = acc * {} + {b};\n", b + 2));
+                }
+                if concrete {
+                    f.push_str("  return acc;\n}\n");
+                } else {
+                    f.push_str("  return v;\n}\n");
+                }
+                f
+            }
+            // A class with method declarations and an inline method.
+            _ => {
+                let mut c = String::new();
+                c.push_str(&format!("template <typename P{item}>\nclass Cls_{tag} {{\npublic:\n"));
+                c.push_str(&format!("  Cls_{tag}();\n"));
+                for m in 0..(2 + rng.next(3)) {
+                    c.push_str(&format!("  int method_{m}(int a, double b) const;\n"));
+                }
+                c.push_str(&format!("  int size_{item};\nprivate:\n  int cap_{item};\n}};\n"));
+                c
+            }
+        };
+        line_budget = line_budget.saturating_sub(chunk.lines().count());
+        out.push_str(&chunk);
+        item += 1;
+    }
+    out.push_str("} }\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yalla_cpp::frontend::Frontend;
+
+    fn spec() -> LibSpec {
+        LibSpec {
+            prefix: "tst",
+            namespace: "tst",
+            dir: "tst/include",
+            top_header: "tst.hpp",
+            internal_headers: 12,
+            lines_per_header: 120,
+            concrete_percent: 10,
+            api: "class Widget { public: int id() const; };\n".into(),
+        }
+    }
+
+    #[test]
+    fn generated_library_parses() {
+        let mut vfs = Vfs::new();
+        let top = generate_library(&mut vfs, &spec());
+        vfs.add_file("probe.cpp", format!("#include <{top}>\nint main() {{ return 0; }}\n"));
+        let fe = Frontend::new(vfs);
+        let tu = fe.parse_translation_unit("probe.cpp").unwrap();
+        assert_eq!(tu.stats.header_count(), 13); // umbrella + 12 internals
+        assert!(tu.stats.lines_compiled > 1000);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = Vfs::new();
+        let mut b = Vfs::new();
+        generate_library(&mut a, &spec());
+        generate_library(&mut b, &spec());
+        let ida = a.lookup("tst/include/detail_0003.hpp").unwrap();
+        let idb = b.lookup("tst/include/detail_0003.hpp").unwrap();
+        assert_eq!(a.text(ida), b.text(idb));
+    }
+
+    #[test]
+    fn concrete_percent_controls_backend_weight() {
+        let mut heavy_spec = spec();
+        heavy_spec.concrete_percent = 90;
+        let mut light = Vfs::new();
+        let mut heavy = Vfs::new();
+        let t1 = generate_library(&mut light, &spec());
+        let t2 = generate_library(&mut heavy, &heavy_spec);
+        light.add_file("p.cpp", format!("#include <{t1}>\n"));
+        heavy.add_file("p.cpp", format!("#include <{t2}>\n"));
+        let wl = yalla_sim::measure_tu(&light, "p.cpp", &[]).unwrap();
+        let wh = yalla_sim::measure_tu(&heavy, "p.cpp", &[]).unwrap();
+        assert!(
+            wh.concrete_body_stmts > wl.concrete_body_stmts * 3,
+            "heavy {} vs light {}",
+            wh.concrete_body_stmts,
+            wl.concrete_body_stmts
+        );
+    }
+
+    #[test]
+    fn det_rng_is_stable() {
+        let mut r1 = DetRng::new(42);
+        let mut r2 = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(r1.next(1000), r2.next(1000));
+        }
+    }
+}

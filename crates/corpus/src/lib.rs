@@ -1,0 +1,110 @@
+//! The evaluation corpus: synthetic miniature libraries and the 18 test
+//! subjects of the paper's Tables 2 and 3.
+//!
+//! The paper evaluates YALLA on examples from PyKokkos/Kokkos, RapidJSON,
+//! OpenCV and Boost.Asio. Those libraries cannot be vendored here, so this
+//! crate builds *synthetic* stand-ins with the same structural statistics
+//! the paper reports in Table 3 — how many headers a subject pulls in, how
+//! many lines of code enter the translation unit, and how much of that a
+//! substitution can remove — while exposing miniature APIs that exercise
+//! every Header Substitution rule (classes, templates, nested-type
+//! aliases, functions returning incomplete types by value, methods, call
+//! operators, lambdas, enums).
+//!
+//! Each [`Subject`] carries a complete virtual file tree, knows which
+//! header gets substituted, and (where the paper's Figure 8 needs a run
+//! step) provides a kernel the [`yalla_sim::ir::Machine`] can execute
+//! against the [`runtime`] natives.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gen;
+pub mod miniasio;
+pub mod minicv;
+pub mod minijson;
+pub mod minikokkos;
+pub mod ministd;
+pub mod runtime;
+pub mod subjects;
+
+use yalla_cpp::vfs::Vfs;
+
+/// Which library family a subject belongs to (Table 2 "Subject" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// A PyKokkos-generated kernel (`02`, `team_policy`, `nstream`).
+    PyKokkos,
+    /// An ExaMiniMD kernel (also PyKokkos-generated, larger app).
+    ExaMiniMd,
+    /// RapidJSON example.
+    RapidJson,
+    /// OpenCV example.
+    OpenCv,
+    /// Boost.Asio example.
+    BoostAsio,
+}
+
+impl Suite {
+    /// Display name matching the paper's Table 2.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::PyKokkos => "PyKokkos",
+            Suite::ExaMiniMd => "ExaMiniMD",
+            Suite::RapidJson => "RapidJSON",
+            Suite::OpenCv => "OpenCV",
+            Suite::BoostAsio => "Boost.Asio",
+        }
+    }
+}
+
+/// Which native runtime a subject's kernel needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeKind {
+    /// The mini-Kokkos parallel runtime.
+    Kokkos,
+    /// The mini-RapidJSON document runtime.
+    Json,
+    /// The mini-OpenCV image runtime.
+    Cv,
+    /// The mini-Asio session runtime.
+    Asio,
+}
+
+/// How to execute a subject's kernel on the abstract machine.
+#[derive(Debug, Clone)]
+pub struct KernelSpec {
+    /// Entry function name (must exist in the subject's sources).
+    pub entry: String,
+    /// Integer arguments passed to the entry.
+    pub args: Vec<i64>,
+    /// Natives to install.
+    pub runtime: RuntimeKind,
+    /// Times the entry is invoked per "run" (models the small-input runs
+    /// of §5.4).
+    pub repeat: u32,
+}
+
+/// One evaluation subject (a row of Tables 2 and 3).
+#[derive(Debug, Clone)]
+pub struct Subject {
+    /// File/subject name (Table 2 "File" column).
+    pub name: &'static str,
+    /// Library family.
+    pub suite: Suite,
+    /// The complete file tree (library + subject files).
+    pub vfs: Vfs,
+    /// Translation-unit root.
+    pub main_source: String,
+    /// All user files (rewritten by YALLA).
+    pub sources: Vec<String>,
+    /// The expensive header the subject substitutes.
+    pub header: String,
+    /// Headers covered by the PCH configuration (often broader than the
+    /// substituted header — real projects precompile a prefix header).
+    pub pch_headers: Vec<String>,
+    /// Kernel to run for development-cycle measurements, when applicable.
+    pub kernel: Option<KernelSpec>,
+}
+
+pub use subjects::{all_subjects, subject_by_name};

@@ -1,0 +1,415 @@
+//! The mini-Kokkos library: a synthetic stand-in for `Kokkos_Core.hpp`.
+//!
+//! Matches the structural statistics the paper reports for the PyKokkos
+//! subjects (Table 3): including the umbrella header pulls in ~580 headers
+//! and ~111k lines, almost none of which a kernel actually uses. The API
+//! surface replicates the constructs of the paper's Figure 3: `View` with
+//! layout template arguments, `TeamPolicy` with a *nested* `member_type`
+//! alias (the §3.2.1 case), `TeamThreadRange` returning a value of an
+//! `Impl` struct (incomplete-return wrapper case), and a templated
+//! `parallel_for` taking that struct by value plus a lambda (both wrapper
+//! cases at once).
+
+use yalla_cpp::vfs::Vfs;
+
+use crate::gen::{generate_library, LibSpec};
+
+/// The Kokkos umbrella header path.
+pub const TOP_HEADER: &str = "Kokkos_Core.hpp";
+
+/// Hand-written API placed in the umbrella header (inside `namespace
+/// Kokkos`).
+fn api() -> String {
+    r#"
+class OpenMP;
+class Serial;
+class Cuda;
+class LayoutRight {};
+class LayoutLeft {};
+
+template <typename DataType, typename Layout = LayoutRight>
+class View {
+public:
+  View();
+  View(int n0);
+  View(int n0, int n1);
+  double& operator()(int i, int j);
+  int extent(int dim) const;
+  int span() const;
+  int rank;
+};
+
+namespace Impl {
+struct TeamThreadRangeBoundariesStruct {
+  int start;
+  int end;
+};
+template <typename Policy>
+class HostThreadTeamMember {
+public:
+  int league_rank() const;
+  int league_size() const;
+  int team_size() const;
+  int team_rank() const;
+};
+}
+
+template <typename Space>
+class TeamPolicy {
+public:
+  TeamPolicy(int league_size, int team_size);
+  using member_type = Impl::HostThreadTeamMember<Space>;
+  int league_size() const;
+};
+
+template <typename RangeSpace = OpenMP>
+class RangePolicy {
+public:
+  RangePolicy(int begin, int end);
+};
+
+template <typename M>
+Impl::TeamThreadRangeBoundariesStruct TeamThreadRange(M& member, int count);
+
+template <typename R, typename F>
+void parallel_for(R range, F functor);
+
+template <typename F>
+void single(F functor);
+
+void initialize();
+void finalize();
+void fence();
+int device_id();
+"#
+    .to_string()
+}
+
+/// Builds the mini-Kokkos tree into `vfs`; returns the umbrella header.
+pub fn install(vfs: &mut Vfs) -> String {
+    generate_library(
+        vfs,
+        &LibSpec {
+            prefix: "kk",
+            namespace: "Kokkos",
+            dir: "kokkos/impl",
+            top_header: TOP_HEADER,
+            internal_headers: 580,
+            lines_per_header: 186,
+            concrete_percent: 6,
+            api: api(),
+        },
+    )
+}
+
+/// A PyKokkos-style kernel subject: `functor.hpp` + `kernel.cpp` +
+/// a `driver.cpp` that is *not* part of the substituted sources (it plays
+/// the PyKokkos framework's role of constructing views and launching).
+#[derive(Debug, Clone, Copy)]
+pub struct KernelFiles {
+    /// Functor header text.
+    pub functor_hpp: &'static str,
+    /// Kernel definition text.
+    pub kernel_cpp: &'static str,
+    /// Driver text.
+    pub driver_cpp: &'static str,
+}
+
+/// Source files for a named PyKokkos/ExaMiniMD kernel. The kernels differ
+/// in field counts and body shape (mirroring the paper's per-subject LOC
+/// variation) but all exercise the full rule set.
+pub fn kernel_files(name: &str) -> KernelFiles {
+    match name {
+        "02" => KernelFiles {
+            functor_hpp: r#"#pragma once
+#include <Kokkos_Core.hpp>
+using sp_t = Kokkos::OpenMP;
+using member_t = Kokkos::TeamPolicy<sp_t>::member_type;
+struct o2_functor {
+  int cols;
+  Kokkos::View<double**, Kokkos::LayoutRight> A;
+  Kokkos::View<double**, Kokkos::LayoutRight> x;
+  Kokkos::View<double**, Kokkos::LayoutRight> y;
+  Kokkos::View<double**, Kokkos::LayoutRight> acc;
+  void operator()(member_t &m);
+};
+"#,
+            kernel_cpp: r#"#include "functor.hpp"
+void o2_functor::operator()(member_t &m) {
+  int j = m.league_rank();
+  Kokkos::parallel_for(
+    Kokkos::TeamThreadRange(m, cols),
+    [&](int i) { acc(j, 0) += A(j, i) * x(i, 0) * y(j, 0); });
+}
+"#,
+            driver_cpp: r#"#include "functor.hpp"
+int run_kernel(int leagues, int cols) {
+  Kokkos::View<double**, Kokkos::LayoutRight> A(leagues, cols);
+  Kokkos::View<double**, Kokkos::LayoutRight> x(cols, 1);
+  Kokkos::View<double**, Kokkos::LayoutRight> y(leagues, 1);
+  Kokkos::View<double**, Kokkos::LayoutRight> acc(leagues, 1);
+  o2_functor f{cols, A, x, y, acc};
+  Kokkos::parallel_for(Kokkos::TeamPolicy<sp_t>(leagues, 1), f);
+  return 0;
+}
+"#,
+        },
+        "team_policy" => KernelFiles {
+            functor_hpp: r#"#pragma once
+#include <Kokkos_Core.hpp>
+using sp_t = Kokkos::OpenMP;
+using member_t = Kokkos::TeamPolicy<sp_t>::member_type;
+struct team_functor {
+  int width;
+  int scale;
+  Kokkos::View<double**, Kokkos::LayoutRight> data;
+  Kokkos::View<double**, Kokkos::LayoutRight> out;
+  void operator()(member_t &m);
+};
+"#,
+            kernel_cpp: r#"#include "functor.hpp"
+void team_functor::operator()(member_t &m) {
+  int row = m.league_rank();
+  int ts = m.team_size();
+  Kokkos::parallel_for(
+    Kokkos::TeamThreadRange(m, width),
+    [&](int i) { out(row, i) = data(row, i) * scale + ts; });
+}
+"#,
+            driver_cpp: r#"#include "functor.hpp"
+int run_kernel(int leagues, int width) {
+  Kokkos::View<double**, Kokkos::LayoutRight> data(leagues, width);
+  Kokkos::View<double**, Kokkos::LayoutRight> out(leagues, width);
+  team_functor f{width, 3, data, out};
+  Kokkos::parallel_for(Kokkos::TeamPolicy<sp_t>(leagues, 2), f);
+  return 0;
+}
+"#,
+        },
+        "nstream" => KernelFiles {
+            functor_hpp: r#"#pragma once
+#include <Kokkos_Core.hpp>
+using sp_t = Kokkos::OpenMP;
+using member_t = Kokkos::TeamPolicy<sp_t>::member_type;
+struct nstream_functor {
+  int n;
+  Kokkos::View<double**, Kokkos::LayoutRight> a;
+  Kokkos::View<double**, Kokkos::LayoutRight> b;
+  Kokkos::View<double**, Kokkos::LayoutRight> c;
+  void operator()(member_t &m);
+};
+"#,
+            kernel_cpp: r#"#include "functor.hpp"
+void nstream_functor::operator()(member_t &m) {
+  int j = m.league_rank();
+  Kokkos::parallel_for(
+    Kokkos::TeamThreadRange(m, n),
+    [&](int i) { a(j, i) += b(j, i) + 3 * c(j, i); });
+}
+"#,
+            driver_cpp: r#"#include "functor.hpp"
+int run_kernel(int leagues, int n) {
+  Kokkos::View<double**, Kokkos::LayoutRight> a(leagues, n);
+  Kokkos::View<double**, Kokkos::LayoutRight> b(leagues, n);
+  Kokkos::View<double**, Kokkos::LayoutRight> c(leagues, n);
+  nstream_functor f{n, a, b, c};
+  Kokkos::parallel_for(Kokkos::TeamPolicy<sp_t>(leagues, 1), f);
+  return 0;
+}
+"#,
+        },
+        // ExaMiniMD kernels: same shape, different sizes/bodies.
+        "BinningKKSort" => exa(
+            "binning",
+            r#"  int bin = m.league_rank();
+  Kokkos::parallel_for(
+    Kokkos::TeamThreadRange(m, n),
+    [&](int i) {
+      int key = i % 8;
+      bins(bin, key) += positions(bin, i);
+      counts(bin, 0) += 1;
+    });
+"#,
+            &["positions", "bins", "counts"],
+        ),
+        "FinalIntegrateFunctor" => exa(
+            "final_integrate",
+            r#"  int atom = m.league_rank();
+  Kokkos::parallel_for(
+    Kokkos::TeamThreadRange(m, n),
+    [&](int i) { velocities(atom, i) += forces(atom, i) * 0.5; });
+"#,
+            &["velocities", "forces"],
+        ),
+        "ForceLJNeigh_for" => exa(
+            "force_lj",
+            r#"  int atom = m.league_rank();
+  Kokkos::parallel_for(
+    Kokkos::TeamThreadRange(m, n),
+    [&](int i) {
+      double dx = positions(atom, i) - positions(atom, 0);
+      double r2 = dx * dx + 1;
+      double inv = 1 / r2;
+      double inv3 = inv * inv * inv;
+      forces(atom, i) += 24 * inv3 * (2 * inv3 - 1) * inv * dx;
+      energies(atom, 0) += 4 * inv3 * (inv3 - 1);
+    });
+"#,
+            &["positions", "forces", "energies"],
+        ),
+        "ForceLJNeigh_reduce" => exa(
+            "force_lj_red",
+            r#"  int atom = m.league_rank();
+  Kokkos::parallel_for(
+    Kokkos::TeamThreadRange(m, n),
+    [&](int i) {
+      double dx = positions(atom, i) - positions(atom, 0);
+      double r2 = dx * dx + 1;
+      double inv = 1 / r2;
+      double contrib = 4 * inv * (inv - 1);
+      totals(atom, 0) += contrib;
+      virials(atom, 0) += contrib * r2;
+    });
+"#,
+            &["positions", "totals", "virials"],
+        ),
+        "InitialIntegrateFunctor" => exa(
+            "init_integrate",
+            r#"  int atom = m.league_rank();
+  Kokkos::parallel_for(
+    Kokkos::TeamThreadRange(m, n),
+    [&](int i) {
+      velocities(atom, i) += forces(atom, i) * 0.5;
+      positions(atom, i) += velocities(atom, i);
+    });
+"#,
+            &["positions", "velocities", "forces"],
+        ),
+        "init_system_get_n" => exa(
+            "init_system",
+            r#"  int cell = m.league_rank();
+  int base = cell * 4;
+  Kokkos::parallel_for(
+    Kokkos::TeamThreadRange(m, n),
+    [&](int i) {
+      positions(cell, i) = base + i * 0.25;
+      ids(cell, i) = base + i;
+      types(cell, 0) += 1;
+    });
+"#,
+            &["positions", "ids", "types"],
+        ),
+        "KinE" => exa(
+            "kin_e",
+            r#"  int atom = m.league_rank();
+  Kokkos::parallel_for(
+    Kokkos::TeamThreadRange(m, n),
+    [&](int i) {
+      double v = velocities(atom, i);
+      energies(atom, 0) += v * v * 0.5;
+    });
+"#,
+            &["velocities", "energies"],
+        ),
+        "Temperature" => exa(
+            "temperature",
+            r#"  int atom = m.league_rank();
+  Kokkos::parallel_for(
+    Kokkos::TeamThreadRange(m, n),
+    [&](int i) { sums(atom, 0) += velocities(atom, i) * velocities(atom, i); });
+"#,
+            &["velocities", "sums"],
+        ),
+        other => panic!("unknown kokkos kernel `{other}`"),
+    }
+}
+
+/// Builds ExaMiniMD-style files from a kernel body and the view fields it
+/// uses.
+fn exa(tag: &str, body: &'static str, views: &[&'static str]) -> KernelFiles {
+    // Leak the generated sources: subjects are built once per process and
+    // the strings live for the whole run.
+    let mut functor = String::from(
+        "#pragma once\n#include <Kokkos_Core.hpp>\nusing sp_t = Kokkos::OpenMP;\nusing member_t = Kokkos::TeamPolicy<sp_t>::member_type;\n",
+    );
+    functor.push_str(&format!("struct {tag}_functor {{\n  int n;\n"));
+    for v in views {
+        functor.push_str(&format!(
+            "  Kokkos::View<double**, Kokkos::LayoutRight> {v};\n"
+        ));
+    }
+    functor.push_str("  void operator()(member_t &m);\n};\n");
+
+    let kernel = format!(
+        "#include \"functor.hpp\"\nvoid {tag}_functor::operator()(member_t &m) {{\n{body}}}\n"
+    );
+
+    let mut driver = String::from("#include \"functor.hpp\"\nint run_kernel(int leagues, int n) {\n");
+    for v in views {
+        driver.push_str(&format!(
+            "  Kokkos::View<double**, Kokkos::LayoutRight> {v}(leagues, n);\n"
+        ));
+    }
+    let args: Vec<String> = views.iter().map(|v| v.to_string()).collect();
+    driver.push_str(&format!("  {tag}_functor f{{n, {}}};\n", args.join(", ")));
+    driver.push_str("  Kokkos::parallel_for(Kokkos::TeamPolicy<sp_t>(leagues, 1), f);\n  return 0;\n}\n");
+
+    KernelFiles {
+        functor_hpp: Box::leak(functor.into_boxed_str()),
+        kernel_cpp: Box::leak(kernel.into_boxed_str()),
+        driver_cpp: Box::leak(driver.into_boxed_str()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yalla_cpp::frontend::Frontend;
+
+    #[test]
+    fn kokkos_tree_matches_table_3_scale() {
+        let mut vfs = Vfs::new();
+        install(&mut vfs);
+        vfs.add_file("probe.cpp", "#include <Kokkos_Core.hpp>\nint main() { return 0; }\n");
+        let fe = Frontend::new(vfs);
+        let tu = fe.parse_translation_unit("probe.cpp").unwrap();
+        // Paper Table 3: 581 headers, ~111300 lines.
+        assert_eq!(tu.stats.header_count(), 581);
+        assert!(
+            (90_000..130_000).contains(&tu.stats.lines_compiled),
+            "lines = {}",
+            tu.stats.lines_compiled
+        );
+    }
+
+    #[test]
+    fn all_kernels_parse_against_the_library() {
+        let mut base = Vfs::new();
+        install(&mut base);
+        for name in [
+            "02",
+            "team_policy",
+            "nstream",
+            "BinningKKSort",
+            "FinalIntegrateFunctor",
+            "ForceLJNeigh_for",
+            "ForceLJNeigh_reduce",
+            "InitialIntegrateFunctor",
+            "init_system_get_n",
+            "KinE",
+            "Temperature",
+        ] {
+            let files = kernel_files(name);
+            let mut vfs = base.clone();
+            vfs.add_file("functor.hpp", files.functor_hpp);
+            vfs.add_file("kernel.cpp", files.kernel_cpp);
+            vfs.add_file("driver.cpp", files.driver_cpp);
+            let fe = Frontend::new(vfs);
+            fe.parse_translation_unit("kernel.cpp")
+                .unwrap_or_else(|e| panic!("{name}: kernel.cpp does not parse: {e}"));
+            let fe2 = Frontend::new(fe.vfs().clone());
+            fe2.parse_translation_unit("driver.cpp")
+                .unwrap_or_else(|e| panic!("{name}: driver.cpp does not parse: {e}"));
+        }
+    }
+}

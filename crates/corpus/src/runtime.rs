@@ -1,0 +1,508 @@
+//! Native runtimes for the abstract machine.
+//!
+//! Each library's behaviour (views, documents, images, sockets) is
+//! provided as [`yalla_sim::ir::Machine`] natives. The natives always run
+//! "inside the library", so they invoke user callbacks from a dedicated
+//! [`RUNTIME_TU`] — meaning the *callback invocation* costs the same under
+//! every build configuration, and run-time differences come only from the
+//! code YALLA actually rewrote (wrapper calls crossing into the wrappers
+//! TU), which is the effect §5.4 and Figure 9 describe.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use yalla_sim::ir::{ExecError, Machine, TuId, Value};
+
+use crate::RuntimeKind;
+
+/// The TU natives "live in" when they call back into user code.
+pub const RUNTIME_TU: TuId = 99;
+
+/// Installs the natives for `kind` into `machine`.
+pub fn install(machine: &mut Machine, kind: RuntimeKind) {
+    match kind {
+        RuntimeKind::Kokkos => install_kokkos(machine),
+        RuntimeKind::Json => install_json(machine),
+        RuntimeKind::Cv => install_cv(machine),
+        RuntimeKind::Asio => install_asio(machine),
+    }
+}
+
+fn obj(class: &str, fields: &[(&str, Value)]) -> Value {
+    Value::Obj {
+        class: class.into(),
+        fields: Rc::new(RefCell::new(
+            fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect::<HashMap<_, _>>(),
+        )),
+    }
+}
+
+fn array2(rows: i64, cols: i64) -> Value {
+    Value::Array2 {
+        data: Rc::new(RefCell::new(vec![0.0; (rows * cols).max(1) as usize])),
+        cols: cols.max(1) as usize,
+    }
+}
+
+fn arg_i(args: &[Value], i: usize) -> i64 {
+    args.get(i).and_then(Value::as_i64).unwrap_or(0)
+}
+
+fn install_kokkos(m: &mut Machine) {
+    m.register_native("ctor::View", |_m, args| {
+        let n0 = arg_i(&args, 0).max(1);
+        let n1 = if args.len() > 1 { arg_i(&args, 1).max(1) } else { 1 };
+        Ok(array2(n0, n1))
+    });
+    m.register_native("ctor::TeamPolicy", |_m, args| {
+        Ok(obj(
+            "__policy",
+            &[
+                ("league", Value::Int(arg_i(&args, 0))),
+                ("team", Value::Int(arg_i(&args, 1).max(1))),
+            ],
+        ))
+    });
+    m.register_native("Kokkos::TeamThreadRange", |_m, args| {
+        Ok(Value::Range {
+            lo: 0,
+            hi: arg_i(&args, 1),
+        })
+    });
+    m.register_native("Kokkos::parallel_for", |m, mut args| {
+        if args.len() < 2 {
+            return Err(ExecError {
+                message: "parallel_for needs (range, functor)".into(),
+            });
+        }
+        let f = args.pop().expect("checked length");
+        let range = args.pop().expect("checked length");
+        match range {
+            Value::Int(n) => {
+                for i in 0..n {
+                    m.call_value(&f, vec![Value::Int(i)], RUNTIME_TU)?;
+                }
+            }
+            Value::Range { lo, hi } => {
+                for i in lo..hi {
+                    m.call_value(&f, vec![Value::Int(i)], RUNTIME_TU)?;
+                }
+            }
+            Value::Obj { class, fields } if class == "__policy" => {
+                let league = fields
+                    .borrow()
+                    .get("league")
+                    .and_then(Value::as_i64)
+                    .unwrap_or(0);
+                let team = fields
+                    .borrow()
+                    .get("team")
+                    .and_then(Value::as_i64)
+                    .unwrap_or(1);
+                for j in 0..league {
+                    let member = obj(
+                        "__member",
+                        &[("rank", Value::Int(j)), ("team", Value::Int(team))],
+                    );
+                    m.call_value(&f, vec![member], RUNTIME_TU)?;
+                }
+            }
+            other => {
+                return Err(ExecError {
+                    message: format!("parallel_for over {other:?}"),
+                })
+            }
+        }
+        Ok(Value::Unit)
+    });
+    m.register_native("Kokkos::single", |m, args| {
+        if let Some(f) = args.first() {
+            m.call_value(f, vec![], RUNTIME_TU)?;
+        }
+        Ok(Value::Unit)
+    });
+    for trivial in ["Kokkos::initialize", "Kokkos::finalize", "Kokkos::fence"] {
+        m.register_native(trivial, |_m, _a| Ok(Value::Unit));
+    }
+    m.register_native("Kokkos::device_id", |_m, _a| Ok(Value::Int(0)));
+    m.set_method_dispatcher(|_m, recv, method, args| {
+        match (recv, method) {
+            (Value::Obj { fields, .. }, "league_rank" | "team_rank") => Some(Ok(fields
+                .borrow()
+                .get("rank")
+                .cloned()
+                .unwrap_or(Value::Int(0)))),
+            (Value::Obj { fields, .. }, "team_size" | "league_size") => Some(Ok(fields
+                .borrow()
+                .get("team")
+                .cloned()
+                .unwrap_or(Value::Int(1)))),
+            (Value::Array2 { data, cols }, "extent") => {
+                let d = args.first().and_then(Value::as_i64).unwrap_or(0);
+                let rows = (data.borrow().len() / cols.max(&1)) as i64;
+                Some(Ok(Value::Int(if d == 0 { rows } else { *cols as i64 })))
+            }
+            (Value::Array2 { data, .. }, "span") => {
+                Some(Ok(Value::Int(data.borrow().len() as i64)))
+            }
+            (Value::Array2 { .. }, "rank") => Some(Ok(Value::Int(2))),
+            _ => None,
+        }
+    });
+}
+
+fn install_json(m: &mut Machine) {
+    m.register_native("ctor::Document", |_m, _a| {
+        Ok(obj("__doc", &[("members", Value::Int(0))]))
+    });
+    m.register_native("ctor::StringBuffer", |_m, _a| {
+        Ok(obj("__buf", &[("size", Value::Int(0))]))
+    });
+    m.register_native("ctor::Writer", |_m, _a| {
+        Ok(obj("__writer", &[("events", Value::Int(0))]))
+    });
+    m.register_native("rapidjson::MakeBuffer", |_m, _a| {
+        Ok(obj("__buf", &[("size", Value::Int(0))]))
+    });
+    m.set_method_dispatcher(|m, recv, method, args| {
+        let Value::Obj { fields, .. } = recv else {
+            return None;
+        };
+        let charge = |m: &mut Machine, c: u64| {
+            m.cycles += c;
+        };
+        match method {
+            "Parse" => {
+                let len = match args.first() {
+                    Some(Value::Str(s)) => s.len() as i64,
+                    _ => 16,
+                };
+                charge(m, 40 + 4 * len as u64);
+                fields
+                    .borrow_mut()
+                    .insert("members".into(), Value::Int(len / 4 + 1));
+                Some(Ok(Value::Unit))
+            }
+            "HasParseError" => Some(Ok(Value::Bool(false))),
+            "MemberCount" | "Size" => Some(Ok(fields
+                .borrow()
+                .get("members")
+                .cloned()
+                .unwrap_or(Value::Int(4)))),
+            "GetRoot" => Some(Ok(obj("__val", &[("members", Value::Int(4))]))),
+            "IsObject" | "IsArray" | "IsNumber" => Some(Ok(Value::Bool(true))),
+            "GetDouble" => Some(Ok(Value::Float(1.5))),
+            "GetString" | "c_str" => Some(Ok(Value::Str("x".into()))),
+            "GetSize" => Some(Ok(fields
+                .borrow()
+                .get("size")
+                .cloned()
+                .unwrap_or(Value::Int(0)))),
+            "Clear" => {
+                fields.borrow_mut().insert("size".into(), Value::Int(0));
+                Some(Ok(Value::Unit))
+            }
+            "StartObject" | "EndObject" | "Key" | "Int" | "Double" => {
+                charge(m, 6);
+                let n = fields
+                    .borrow()
+                    .get("events")
+                    .and_then(Value::as_i64)
+                    .unwrap_or(0);
+                fields.borrow_mut().insert("events".into(), Value::Int(n + 1));
+                Some(Ok(Value::Bool(true)))
+            }
+            "size" => Some(Ok(Value::Int(8))),
+            _ => None,
+        }
+    });
+}
+
+fn install_cv(m: &mut Machine) {
+    m.register_native("ctor::Mat", |_m, args| {
+        let r = arg_i(&args, 0).max(1);
+        let c = arg_i(&args, 1).max(1);
+        Ok(array2(r, c))
+    });
+    for ctor in ["ctor::Point", "ctor::Size"] {
+        m.register_native(ctor, |_m, args| {
+            Ok(obj(
+                "__pt",
+                &[
+                    ("x", Value::Int(arg_i(&args, 0))),
+                    ("y", Value::Int(arg_i(&args, 1))),
+                ],
+            ))
+        });
+    }
+    m.register_native("ctor::Scalar", |_m, args| {
+        Ok(obj(
+            "__scalar",
+            &[("v0", args.first().cloned().unwrap_or(Value::Float(0.0)))],
+        ))
+    });
+    m.register_native("cv::imread", |_m, _a| Ok(array2(64, 64)));
+    m.register_native("cv::imwrite", |m, _a| {
+        m.cycles += 200;
+        Ok(Value::Unit)
+    });
+    for filter in ["cv::GaussianBlur", "cv::Laplacian", "cv::undistort"] {
+        m.register_native(filter, |m, args| {
+            if let Some(Value::Array2 { data, .. }) = args.first() {
+                m.cycles += 3 * data.borrow().len() as u64;
+            }
+            Ok(Value::Unit)
+        });
+    }
+    for draw in ["cv::line", "cv::circle", "cv::ellipse"] {
+        m.register_native(draw, |m, _args| {
+            m.cycles += 120;
+            Ok(Value::Unit)
+        });
+    }
+    m.register_native("cv::calibrateCamera", |m, _args| {
+        m.cycles += 5_000;
+        Ok(Value::Float(0.42))
+    });
+    m.register_native("cv::stereoRectify", |m, _args| {
+        m.cycles += 2_500;
+        Ok(Value::Unit)
+    });
+    m.register_native("cv::forEachPixel", |m, args| {
+        let (img, op) = match (args.first(), args.get(1)) {
+            (Some(i), Some(o)) => (i.clone(), o.clone()),
+            _ => {
+                return Err(ExecError {
+                    message: "forEachPixel needs (img, op)".into(),
+                })
+            }
+        };
+        if let Value::Array2 { data, cols } = &img {
+            let rows = data.borrow().len() / cols.max(&1);
+            for r in 0..rows {
+                for c in 0..*cols {
+                    op_call(m, &op, r as i64, c as i64)?;
+                }
+            }
+        }
+        Ok(Value::Unit)
+    });
+    m.register_native("cv::imshow", |_m, _a| Ok(Value::Unit));
+    m.register_native("cv::waitKey", |_m, _a| Ok(Value::Int(-1)));
+    m.register_native("cv::namedWindow", |_m, _a| Ok(Value::Unit));
+    m.set_method_dispatcher(|_m, recv, method, args| match (recv, method) {
+        (Value::Array2 { data, cols }, "at") => {
+            let r = args.first().and_then(Value::as_i64).unwrap_or(0) as usize;
+            let c = args.get(1).and_then(Value::as_i64).unwrap_or(0) as usize;
+            let idx = r * cols + c;
+            Some(Ok(Value::Float(
+                data.borrow().get(idx).copied().unwrap_or(0.0),
+            )))
+        }
+        (Value::Array2 { data, cols }, "rows") => {
+            Some(Ok(Value::Int((data.borrow().len() / cols.max(&1)) as i64)))
+        }
+        (Value::Array2 { cols, .. }, "cols") => Some(Ok(Value::Int(*cols as i64))),
+        (Value::Array2 { data, .. }, "total") => {
+            Some(Ok(Value::Int(data.borrow().len() as i64)))
+        }
+        (Value::Array2 { data, cols }, "clone") => {
+            let copy = data.borrow().clone();
+            Some(Ok(Value::Array2 {
+                data: Rc::new(RefCell::new(copy)),
+                cols: *cols,
+            }))
+        }
+        (Value::Obj { fields, .. }, f @ ("x" | "y" | "width" | "height" | "v0")) => {
+            let key = match f {
+                "width" => "x",
+                "height" => "y",
+                other => other,
+            };
+            Some(Ok(fields
+                .borrow()
+                .get(key)
+                .cloned()
+                .unwrap_or(Value::Int(0))))
+        }
+        _ => None,
+    });
+}
+
+fn op_call(m: &mut Machine, op: &Value, r: i64, c: i64) -> Result<(), ExecError> {
+    m.call_value(op, vec![Value::Int(r), Value::Int(c)], RUNTIME_TU)?;
+    Ok(())
+}
+
+fn install_asio(m: &mut Machine) {
+    m.register_native("ctor::io_context", |_m, _a| {
+        Ok(obj("__ctx", &[("jobs", Value::Int(0))]))
+    });
+    m.register_native("ctor::tcp_endpoint", |_m, args| {
+        Ok(obj("__ep", &[("port", Value::Int(arg_i(&args, 0)))]))
+    });
+    m.register_native("ctor::tcp_socket", |_m, _a| {
+        Ok(obj("__sock", &[("bytes", Value::Int(0))]))
+    });
+    m.register_native("ctor::tcp_acceptor", |_m, _a| Ok(obj("__acc", &[])));
+    m.register_native("ctor::mutable_buffer", |_m, args| {
+        Ok(obj("__mbuf", &[("n", Value::Int(arg_i(&args, 1)))]))
+    });
+    m.register_native("asio::buffer", |_m, args| {
+        Ok(obj("__mbuf", &[("n", Value::Int(arg_i(&args, 1)))]))
+    });
+    // Async ops: invoke the handler synchronously, once, with a byte count.
+    m.register_native("asio::async_read", |m, args| {
+        m.cycles += 80;
+        if let Some(h) = args.get(2) {
+            m.call_value(h, vec![Value::Int(64)], RUNTIME_TU)?;
+        }
+        Ok(Value::Unit)
+    });
+    m.register_native("asio::async_write", |m, args| {
+        m.cycles += 80;
+        if let Some(h) = args.get(2) {
+            m.call_value(h, vec![Value::Int(64)], RUNTIME_TU)?;
+        }
+        Ok(Value::Unit)
+    });
+    m.register_native("asio::async_accept", |m, args| {
+        m.cycles += 120;
+        if let Some(h) = args.get(1) {
+            m.call_value(h, vec![Value::Int(0)], RUNTIME_TU)?;
+        }
+        Ok(Value::Unit)
+    });
+    m.register_native("asio::post", |m, args| {
+        if let Some(h) = args.get(1) {
+            m.call_value(h, vec![], RUNTIME_TU)?;
+        }
+        Ok(Value::Unit)
+    });
+    m.set_method_dispatcher(|m, recv, method, _args| {
+        let Value::Obj { fields, .. } = recv else {
+            return None;
+        };
+        match method {
+            "run" => {
+                m.cycles += 40;
+                Some(Ok(Value::Int(1)))
+            }
+            "stop" | "close" => Some(Ok(Value::Unit)),
+            "stopped" | "failed" => Some(Ok(Value::Bool(false))),
+            "is_open" => Some(Ok(Value::Bool(true))),
+            "available" | "size" => Some(Ok(Value::Int(64))),
+            "value" => Some(Ok(Value::Int(0))),
+            "use_count" => Some(Ok(Value::Int(1))),
+            "port" => Some(Ok(fields
+                .borrow()
+                .get("port")
+                .cloned()
+                .unwrap_or(Value::Int(0)))),
+            _ => None,
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yalla_cpp::parse::parse_str;
+    use yalla_sim::ir::ExecConfig;
+
+    #[test]
+    fn kokkos_parallel_for_over_policy() {
+        let mut m = Machine::new(ExecConfig::default());
+        install(&mut m, RuntimeKind::Kokkos);
+        m.load_tu(
+            &parse_str(
+                r#"
+int go(int leagues) {
+  Kokkos::View<double**, Kokkos::LayoutRight> acc(leagues, 1);
+  Kokkos::parallel_for(Kokkos::TeamPolicy<int>(leagues, 1), [&](member_t& mm) {
+    acc(0, 0) += 1;
+  });
+  return 0;
+}
+"#,
+            )
+            .unwrap(),
+            0,
+        );
+        // The lambda has a typed param; our machine binds by position.
+        m.call("go", vec![Value::Int(5)], 0).unwrap();
+        assert!(m.cycles > 0);
+    }
+
+    #[test]
+    fn json_parse_and_write() {
+        let mut m = Machine::new(ExecConfig::default());
+        install(&mut m, RuntimeKind::Json);
+        m.load_tu(
+            &parse_str(
+                r#"
+int go(rapidjson::Document& doc) {
+  doc.Parse("{\"a\": 1, \"b\": 2}");
+  return doc.MemberCount();
+}
+"#,
+            )
+            .unwrap(),
+            0,
+        );
+        let doc = m.call("ctor::Document", vec![], RUNTIME_TU).unwrap();
+        let v = m.call("go", vec![doc], 0).unwrap();
+        assert!(v.as_i64().unwrap() > 0);
+    }
+
+    #[test]
+    fn cv_for_each_pixel_invokes_lambda() {
+        let mut m = Machine::new(ExecConfig::default());
+        install(&mut m, RuntimeKind::Cv);
+        m.load_tu(
+            &parse_str(
+                r#"
+int go() {
+  int hits = 0;
+  cv::forEachPixel(cv::imread("x.png"), [&](int r, int c) { hits += 1; });
+  return hits;
+}
+"#,
+            )
+            .unwrap(),
+            0,
+        );
+        let v = m.call("go", vec![], 0).unwrap();
+        assert_eq!(v.as_i64(), Some(64 * 64));
+    }
+
+    #[test]
+    fn asio_handlers_fire() {
+        let mut m = Machine::new(ExecConfig::default());
+        install(&mut m, RuntimeKind::Asio);
+        m.load_tu(
+            &parse_str(
+                r#"
+int go(asio::tcp_socket& sock, asio::mutable_buffer& buf) {
+  int seen = 0;
+  asio::async_read(sock, buf, [&](int n) { seen += n; });
+  asio::async_write(sock, buf, [&](int n) { seen += n; });
+  return seen;
+}
+"#,
+            )
+            .unwrap(),
+            0,
+        );
+        let sock = m.call("ctor::tcp_socket", vec![], RUNTIME_TU).unwrap();
+        let buf = m
+            .call("ctor::mutable_buffer", vec![Value::Int(0), Value::Int(64)], RUNTIME_TU)
+            .unwrap();
+        let v = m.call("go", vec![sock, buf], 0).unwrap();
+        assert_eq!(v.as_i64(), Some(128));
+    }
+}

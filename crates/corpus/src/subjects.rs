@@ -1,0 +1,501 @@
+//! The 18 evaluation subjects (Tables 2 and 3 of the paper).
+
+use std::sync::OnceLock;
+
+use yalla_cpp::vfs::Vfs;
+
+use crate::{miniasio, minicv, minijson, minikokkos, ministd};
+use crate::{KernelSpec, RuntimeKind, Subject, Suite};
+
+/// All 18 subjects, in the paper's Table 2 order.
+pub fn all_subjects() -> Vec<Subject> {
+    let mut v = vec![
+        pykokkos("02", Suite::PyKokkos),
+        pykokkos("team_policy", Suite::PyKokkos),
+        pykokkos("nstream", Suite::PyKokkos),
+        pykokkos("BinningKKSort", Suite::ExaMiniMd),
+        pykokkos("FinalIntegrateFunctor", Suite::ExaMiniMd),
+        pykokkos("ForceLJNeigh_for", Suite::ExaMiniMd),
+        pykokkos("ForceLJNeigh_reduce", Suite::ExaMiniMd),
+        pykokkos("InitialIntegrateFunctor", Suite::ExaMiniMd),
+        pykokkos("init_system_get_n", Suite::ExaMiniMd),
+        pykokkos("KinE", Suite::ExaMiniMd),
+        pykokkos("Temperature", Suite::ExaMiniMd),
+    ];
+    v.extend([
+        rapidjson("archiver"),
+        rapidjson("capitalize"),
+        rapidjson("condense"),
+        opencv("3calibration"),
+        opencv("drawing"),
+        opencv("laplace"),
+        asio("chat_server"),
+    ]);
+    v
+}
+
+/// Looks up one subject by its Table 2 name.
+pub fn subject_by_name(name: &str) -> Option<Subject> {
+    all_subjects().into_iter().find(|s| s.name == name)
+}
+
+// ---- shared library trees (built once per process) ------------------------
+
+fn kokkos_base() -> &'static Vfs {
+    static BASE: OnceLock<Vfs> = OnceLock::new();
+    BASE.get_or_init(|| {
+        let mut vfs = Vfs::new();
+        minikokkos::install(&mut vfs);
+        vfs
+    })
+}
+
+fn json_base() -> &'static Vfs {
+    static BASE: OnceLock<Vfs> = OnceLock::new();
+    BASE.get_or_init(|| {
+        let mut vfs = Vfs::new();
+        minijson::install(&mut vfs);
+        ministd::install(&mut vfs);
+        vfs
+    })
+}
+
+fn cv_base() -> &'static Vfs {
+    static BASE: OnceLock<Vfs> = OnceLock::new();
+    BASE.get_or_init(|| {
+        let mut vfs = Vfs::new();
+        minicv::install(&mut vfs);
+        ministd::install(&mut vfs);
+        vfs
+    })
+}
+
+fn asio_base() -> &'static Vfs {
+    static BASE: OnceLock<Vfs> = OnceLock::new();
+    BASE.get_or_init(|| {
+        let mut vfs = Vfs::new();
+        miniasio::install(&mut vfs);
+        ministd::install(&mut vfs);
+        vfs
+    })
+}
+
+// ---- PyKokkos / ExaMiniMD ---------------------------------------------------
+
+fn pykokkos(name: &'static str, suite: Suite) -> Subject {
+    let files = minikokkos::kernel_files(name);
+    let mut vfs = kokkos_base().clone();
+    vfs.add_file("functor.hpp", files.functor_hpp);
+    vfs.add_file("kernel.cpp", files.kernel_cpp);
+    vfs.add_file("driver.cpp", files.driver_cpp);
+    Subject {
+        name,
+        suite,
+        vfs,
+        main_source: "kernel.cpp".into(),
+        sources: vec!["kernel.cpp".into(), "functor.hpp".into()],
+        header: minikokkos::TOP_HEADER.into(),
+        pch_headers: vec![minikokkos::TOP_HEADER.into()],
+        kernel: Some(KernelSpec {
+            entry: "run_kernel".into(),
+            args: vec![24, 48],
+            runtime: RuntimeKind::Kokkos,
+            repeat: 2_000,
+        }),
+    }
+}
+
+// ---- RapidJSON ---------------------------------------------------------------
+
+fn rapidjson(name: &'static str) -> Subject {
+    let mut vfs = json_base().clone();
+    let (source, driver, extra_includes): (&str, &str, &str) = match name {
+        "condense" => (
+            r#"#include <rapidjson/document.h>
+using rapidjson::Document;
+using rapidjson::StringBuffer;
+using rapidjson::Writer;
+int count_members(Document& doc, const char* text) {
+  doc.Parse(text);
+  if (doc.HasParseError()) {
+    return 0;
+  }
+  return doc.MemberCount();
+}
+int condense(Document& doc, StringBuffer& out, Writer<StringBuffer>& writer, const char* text) {
+  int n = count_members(doc, text);
+  writer.StartObject();
+  for (int i = 0; i < n; i++) {
+    writer.Key("k");
+    writer.Int(i);
+  }
+  writer.EndObject();
+  return out.GetSize() + n;
+}
+"#,
+            r#"#include <rapidjson/document.h>
+int condense(rapidjson::Document& doc, rapidjson::StringBuffer& out, rapidjson::Writer<rapidjson::StringBuffer>& writer, const char* text);
+int run_kernel(int iters, int n) {
+  rapidjson::Document doc;
+  rapidjson::StringBuffer out;
+  rapidjson::Writer<rapidjson::StringBuffer> writer(out);
+  int total = 0;
+  for (int i = 0; i < iters; i++) {
+    total += condense(doc, out, writer, "{\"alpha\": 1, \"beta\": [2, 3]}");
+  }
+  return total;
+}
+"#,
+            "",
+        ),
+        "capitalize" => (
+            r#"#include <rapidjson/document.h>
+#include <mini_std/io.hpp>
+using rapidjson::Document;
+using rapidjson::Value;
+int capitalize_keys(Document& doc, const char* text) {
+  doc.Parse(text);
+  Value& root = doc.GetRoot();
+  int upper = 0;
+  int n = root.Size();
+  for (int i = 0; i < n; i++) {
+    const char* s = root.GetString();
+    if (s) {
+      upper++;
+    }
+  }
+  return upper;
+}
+"#,
+            r#"#include <rapidjson/document.h>
+int capitalize_keys(rapidjson::Document& doc, const char* text);
+int run_kernel(int iters, int n) {
+  rapidjson::Document doc;
+  int total = 0;
+  for (int i = 0; i < iters; i++) {
+    total += capitalize_keys(doc, "{\"name\": \"value\", \"k\": 2}");
+  }
+  return total;
+}
+"#,
+            "",
+        ),
+        "archiver" => (
+            r#"#include <rapidjson/document.h>
+#include <mini_std/io.hpp>
+#include <mini_std/containers.hpp>
+#include <mini_std/algorithm.hpp>
+using rapidjson::Document;
+using rapidjson::StringBuffer;
+using rapidjson::Writer;
+int load_archive(Document& doc, const char* text) {
+  doc.Parse(text);
+  if (doc.HasParseError()) {
+    return -1;
+  }
+  return doc.MemberCount();
+}
+int save_archive(Writer<StringBuffer>& writer, int records) {
+  writer.StartObject();
+  for (int i = 0; i < records; i++) {
+    writer.Key("record");
+    writer.Double(i * 1.5);
+  }
+  writer.EndObject();
+  return records;
+}
+int roundtrip(Document& doc, StringBuffer& out, Writer<StringBuffer>& writer, const char* text) {
+  int n = load_archive(doc, text);
+  if (n < 0) {
+    return 0;
+  }
+  return save_archive(writer, n) + out.GetSize();
+}
+"#,
+            r#"#include <rapidjson/document.h>
+int roundtrip(rapidjson::Document& doc, rapidjson::StringBuffer& out, rapidjson::Writer<rapidjson::StringBuffer>& writer, const char* text);
+int run_kernel(int iters, int n) {
+  rapidjson::Document doc;
+  rapidjson::StringBuffer out;
+  rapidjson::Writer<rapidjson::StringBuffer> writer(out);
+  int total = 0;
+  for (int i = 0; i < iters; i++) {
+    total += roundtrip(doc, out, writer, "{\"records\": [1, 2, 3, 4], \"meta\": {\"v\": 2}}");
+  }
+  return total;
+}
+"#,
+            "",
+        ),
+        other => panic!("unknown rapidjson subject `{other}`"),
+    };
+    let _ = extra_includes;
+    let main = format!("{name}.cpp");
+    vfs.add_file(&main, source);
+    vfs.add_file("driver.cpp", driver);
+    Subject {
+        name,
+        suite: Suite::RapidJson,
+        vfs,
+        main_source: main.clone(),
+        sources: vec![main],
+        header: minijson::TOP_HEADER.into(),
+        pch_headers: vec![minijson::TOP_HEADER.into()],
+        kernel: Some(KernelSpec {
+            entry: "run_kernel".into(),
+            args: vec![200, 0],
+            runtime: RuntimeKind::Json,
+            repeat: 400,
+        }),
+    }
+}
+
+// ---- OpenCV --------------------------------------------------------------------
+
+fn opencv(name: &'static str) -> Subject {
+    let mut vfs = cv_base().clone();
+    let (source, driver, pch): (&str, &str, Vec<String>) = match name {
+        "3calibration" => (
+            r#"#include <opencv2/core.hpp>
+#include <opencv2/imgproc.hpp>
+#include <opencv2/calib3d.hpp>
+#include <mini_std/io.hpp>
+using cv::Mat;
+using cv::Size;
+double calibrate_three(Mat& obj_pts, Mat& img_pts, Size& size, Mat& camera, Mat& dist) {
+  double err = 0;
+  for (int cam = 0; cam < 3; cam++) {
+    err += cv::calibrateCamera(obj_pts, img_pts, size, camera, dist);
+  }
+  cv::undistort(obj_pts, img_pts, camera, dist);
+  return err;
+}
+int checker(Mat& img) {
+  int count = 0;
+  int r = img.rows;
+  int c = img.cols;
+  for (int i = 0; i < r; i++) {
+    for (int j = 0; j < c; j++) {
+      if (img.at(i, j) > 0.5) {
+        count++;
+      }
+    }
+  }
+  return count;
+}
+"#,
+            r#"#include <opencv2/core.hpp>
+double calibrate_three(cv::Mat& obj_pts, cv::Mat& img_pts, cv::Size& size, cv::Mat& camera, cv::Mat& dist);
+int checker(cv::Mat& img);
+int run_kernel(int iters, int n) {
+  cv::Mat obj(16, 16);
+  cv::Mat img(16, 16);
+  cv::Mat camera(3, 3);
+  cv::Mat dist(1, 5);
+  cv::Size size(640, 480);
+  int total = 0;
+  for (int i = 0; i < iters; i++) {
+    total += calibrate_three(obj, img, size, camera, dist);
+    total += checker(img);
+  }
+  return total;
+}
+"#,
+            vec![
+                minicv::CORE.into(),
+                minicv::IMGPROC.into(),
+                minicv::CALIB3D.into(),
+            ],
+        ),
+        "drawing" => (
+            r#"#include <opencv2/core.hpp>
+#include <opencv2/imgproc.hpp>
+#include <mini_std/io.hpp>
+using cv::Mat;
+using cv::Point;
+using cv::Scalar;
+int draw_scene(Mat& img, Point& a, Point& b, Scalar& color) {
+  for (int i = 0; i < 8; i++) {
+    cv::line(img, a, b, color, cv::LINE_8);
+    cv::circle(img, a, 10 + i, color);
+  }
+  int bright = 0;
+  cv::forEachPixel(img, [&](int r, int c) {
+    if (img.at(r, c) > 0.9) {
+      bright++;
+    }
+  });
+  return bright;
+}
+"#,
+            r#"#include <opencv2/core.hpp>
+int draw_scene(cv::Mat& img, cv::Point& a, cv::Point& b, cv::Scalar& color);
+int run_kernel(int iters, int n) {
+  cv::Mat img(48, 48);
+  cv::Point a(0, 0);
+  cv::Point b(47, 47);
+  cv::Scalar color(255, 0, 0);
+  int total = 0;
+  for (int i = 0; i < iters; i++) {
+    total += draw_scene(img, a, b, color);
+  }
+  return total;
+}
+"#,
+            vec![minicv::CORE.into(), minicv::IMGPROC.into()],
+        ),
+        "laplace" => (
+            r#"#include <opencv2/core.hpp>
+#include <opencv2/imgproc.hpp>
+#include <opencv2/highgui.hpp>
+#include <mini_std/io.hpp>
+using cv::Mat;
+using cv::Size;
+double laplace_filter(Mat& src, Mat& dst, Size& ksize) {
+  cv::GaussianBlur(src, dst, ksize, 1.5);
+  cv::Laplacian(dst, dst, 3);
+  double total = 0;
+  int r = dst.rows;
+  int c = dst.cols;
+  for (int i = 0; i < r; i++) {
+    for (int j = 0; j < c; j++) {
+      total += dst.at(i, j);
+    }
+  }
+  cv::imshow("laplace", dst);
+  return total;
+}
+"#,
+            r#"#include <opencv2/core.hpp>
+double laplace_filter(cv::Mat& src, cv::Mat& dst, cv::Size& ksize);
+int run_kernel(int iters, int n) {
+  cv::Mat src(32, 32);
+  cv::Mat dst(32, 32);
+  cv::Size ksize(3, 3);
+  double total = 0;
+  for (int i = 0; i < iters; i++) {
+    total += laplace_filter(src, dst, ksize);
+  }
+  return total > 0 ? 1 : 0;
+}
+"#,
+            vec![
+                minicv::CORE.into(),
+                minicv::IMGPROC.into(),
+                minicv::HIGHGUI.into(),
+                crate::ministd::STD_IO.into(),
+            ],
+        ),
+        other => panic!("unknown opencv subject `{other}`"),
+    };
+    let main = format!("{name}.cpp");
+    vfs.add_file(&main, source);
+    vfs.add_file("driver.cpp", driver);
+    Subject {
+        name,
+        suite: Suite::OpenCv,
+        vfs,
+        main_source: main.clone(),
+        sources: vec![main],
+        header: minicv::CORE.into(),
+        pch_headers: pch,
+        kernel: Some(KernelSpec {
+            entry: "run_kernel".into(),
+            args: vec![40, 0],
+            runtime: RuntimeKind::Cv,
+            repeat: 300,
+        }),
+    }
+}
+
+// ---- Boost.Asio --------------------------------------------------------------------
+
+fn asio(name: &'static str) -> Subject {
+    let mut vfs = asio_base().clone();
+    let source = r#"#include <boost/asio.hpp>
+#include <boost/aux.hpp>
+#include <mini_std/io.hpp>
+#include <mini_std/containers.hpp>
+#include <mini_std/algorithm.hpp>
+using asio::tcp_socket;
+using asio::mutable_buffer;
+int handle_session(tcp_socket& socket, mutable_buffer& buf, int rounds) {
+  int transferred = 0;
+  for (int i = 0; i < rounds; i++) {
+    asio::async_read(socket, buf, [&](int n) { transferred += n; });
+    asio::async_write(socket, buf, [&](int n) { transferred += n; });
+  }
+  if (socket.is_open()) {
+    transferred += socket.available();
+  }
+  return transferred;
+}
+int accept_loop(asio::tcp_acceptor& acceptor, tcp_socket& socket, mutable_buffer& buf, int sessions) {
+  int total = 0;
+  for (int s = 0; s < sessions; s++) {
+    asio::async_accept(acceptor, [&](int code) { total += code; });
+    total += handle_session(socket, buf, 4);
+  }
+  return total;
+}
+"#;
+    let driver = r#"#include <boost/asio.hpp>
+int accept_loop(asio::tcp_acceptor& acceptor, asio::tcp_socket& socket, asio::mutable_buffer& buf, int sessions);
+int run_kernel(int sessions, int n) {
+  asio::io_context ctx;
+  asio::tcp_endpoint ep(4242);
+  asio::tcp_acceptor acceptor(ctx, ep);
+  asio::tcp_socket socket(ctx);
+  asio::mutable_buffer buf(0, 512);
+  return accept_loop(acceptor, socket, buf, sessions);
+}
+"#;
+    let main = format!("{name}.cpp");
+    vfs.add_file(&main, source);
+    vfs.add_file("driver.cpp", driver);
+    Subject {
+        name,
+        suite: Suite::BoostAsio,
+        vfs,
+        main_source: main.clone(),
+        sources: vec![main],
+        header: miniasio::TOP_HEADER.into(),
+        pch_headers: vec![miniasio::TOP_HEADER.into(), miniasio::BOOST_AUX.into()],
+        kernel: Some(KernelSpec {
+            entry: "run_kernel".into(),
+            args: vec![60, 0],
+            runtime: RuntimeKind::Asio,
+            repeat: 500,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yalla_cpp::frontend::Frontend;
+
+    #[test]
+    fn there_are_18_subjects() {
+        let subjects = all_subjects();
+        assert_eq!(subjects.len(), 18);
+        let names: Vec<&str> = subjects.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"02"));
+        assert!(names.contains(&"chat_server"));
+        assert!(subject_by_name("condense").is_some());
+        assert!(subject_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn non_kokkos_subjects_parse() {
+        for name in ["condense", "drawing", "chat_server"] {
+            let s = subject_by_name(name).unwrap();
+            let fe = Frontend::new(s.vfs.clone());
+            fe.parse_translation_unit(&s.main_source)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let fe2 = Frontend::new(s.vfs.clone());
+            fe2.parse_translation_unit("driver.cpp")
+                .unwrap_or_else(|e| panic!("{name} driver: {e}"));
+        }
+    }
+}

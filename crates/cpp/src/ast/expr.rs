@@ -1,0 +1,335 @@
+//! Expressions.
+
+use std::fmt;
+
+use crate::ast::name::QualName;
+use crate::ast::stmt::Block;
+use crate::ast::types::Type;
+use crate::loc::Span;
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+    BitNot,
+    Deref,
+    AddrOf,
+    PreInc,
+    PreDec,
+    PostInc,
+    PostDec,
+}
+
+impl UnaryOp {
+    /// Source spelling (prefix forms; post-inc/dec render after operand).
+    pub fn as_str(self) -> &'static str {
+        use UnaryOp::*;
+        match self {
+            Neg => "-",
+            Not => "!",
+            BitNot => "~",
+            Deref => "*",
+            AddrOf => "&",
+            PreInc | PostInc => "++",
+            PreDec | PostDec => "--",
+        }
+    }
+}
+
+/// Binary (and compound-assignment) operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Assign,
+    AddAssign,
+    SubAssign,
+    MulAssign,
+    DivAssign,
+    RemAssign,
+    ShlAssign,
+    ShrAssign,
+    AndAssign,
+    OrAssign,
+    XorAssign,
+    Comma,
+}
+
+impl BinaryOp {
+    /// Source spelling.
+    pub fn as_str(self) -> &'static str {
+        use BinaryOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Rem => "%",
+            Shl => "<<",
+            Shr => ">>",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            Eq => "==",
+            Ne => "!=",
+            And => "&&",
+            Or => "||",
+            BitAnd => "&",
+            BitOr => "|",
+            BitXor => "^",
+            Assign => "=",
+            AddAssign => "+=",
+            SubAssign => "-=",
+            MulAssign => "*=",
+            DivAssign => "/=",
+            RemAssign => "%=",
+            ShlAssign => "<<=",
+            ShrAssign => ">>=",
+            AndAssign => "&=",
+            OrAssign => "|=",
+            XorAssign => "^=",
+            Comma => ",",
+        }
+    }
+
+    /// True for `=` and the compound assignments.
+    pub fn is_assignment(self) -> bool {
+        use BinaryOp::*;
+        matches!(
+            self,
+            Assign
+                | AddAssign
+                | SubAssign
+                | MulAssign
+                | DivAssign
+                | RemAssign
+                | ShlAssign
+                | ShrAssign
+                | AndAssign
+                | OrAssign
+                | XorAssign
+        )
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How a lambda captures its environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LambdaCapture {
+    /// `[&]` — capture everything by reference.
+    AllByRef,
+    /// `[=]` — capture everything by value.
+    AllByValue,
+    /// `[x]` — capture `x` by value.
+    ByValue(String),
+    /// `[&x]` — capture `x` by reference.
+    ByRef(String),
+    /// `[this]`.
+    This,
+}
+
+/// A lambda expression.
+///
+/// Lambdas are central to the paper: a lambda passed as a template argument
+/// cannot be explicitly instantiated (its type is unutterable), so YALLA
+/// rewrites each lambda into a named functor (§3.4). The parser assigns
+/// each lambda a stable `id` used to name the generated functor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LambdaExpr {
+    /// Stable, per-translation-unit lambda number.
+    pub id: u32,
+    /// Capture list, in source order.
+    pub captures: Vec<LambdaCapture>,
+    /// Parameters.
+    pub params: Vec<(Type, String)>,
+    /// Body.
+    pub body: Block,
+}
+
+/// The kind (and operands) of an expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// String literal.
+    Str(String),
+    /// Character literal.
+    Char(char),
+    /// `nullptr`.
+    Null,
+    /// `this`.
+    This,
+    /// A (possibly qualified, possibly templated) name use.
+    Name(QualName),
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation or assignment.
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Conditional `c ? t : e`.
+    Conditional {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then-value.
+        then_expr: Box<Expr>,
+        /// Else-value.
+        else_expr: Box<Expr>,
+    },
+    /// A call: `callee(args...)`. When `callee` is a [`ExprKind::Member`],
+    /// this is a method call; when it is a plain [`ExprKind::Name`] that
+    /// resolves to an object, it is an overloaded `operator()` call — the
+    /// distinction is made during analysis, not parsing.
+    Call {
+        /// The callee expression.
+        callee: Box<Expr>,
+        /// Arguments, in order.
+        args: Vec<Expr>,
+    },
+    /// Member access `base.member` or `base->member`.
+    Member {
+        /// Object expression.
+        base: Box<Expr>,
+        /// True for `->`.
+        arrow: bool,
+        /// Member name (may carry explicit template arguments).
+        member: crate::ast::name::NameSeg,
+    },
+    /// Array subscript `base[index]`.
+    Index {
+        /// The indexed expression.
+        base: Box<Expr>,
+        /// The index.
+        index: Box<Expr>,
+    },
+    /// A lambda.
+    Lambda(LambdaExpr),
+    /// `new T(args...)` / `new T{args...}`.
+    New {
+        /// Allocated type.
+        ty: Type,
+        /// Constructor arguments.
+        args: Vec<Expr>,
+    },
+    /// `delete expr` / `delete[] expr`.
+    Delete {
+        /// True for `delete[]`.
+        array: bool,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// A named cast (`static_cast<T>(e)` et al.) or functional cast `T(e)`.
+    Cast {
+        /// Cast spelling ("static_cast", "reinterpret_cast", ...).
+        kind: String,
+        /// Target type.
+        ty: Type,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Braced initialization `T{args...}` (or bare `{args...}`).
+    BraceInit {
+        /// Type, when written.
+        ty: Option<Type>,
+        /// Initializer elements.
+        args: Vec<Expr>,
+    },
+    /// Parenthesized expression.
+    Paren(Box<Expr>),
+    /// `sizeof(type-or-expr)` — operand kept as rendered text.
+    Sizeof(String),
+}
+
+/// An expression with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// What the expression is.
+    pub kind: ExprKind,
+    /// Source range of the whole expression.
+    pub span: Span,
+}
+
+impl Expr {
+    /// Creates an expression node.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+
+    /// If this expression (after stripping parens) is a plain name, return it.
+    pub fn as_name(&self) -> Option<&QualName> {
+        match &self.kind {
+            ExprKind::Name(n) => Some(n),
+            ExprKind::Paren(inner) => inner.as_name(),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_classification() {
+        assert!(BinaryOp::Assign.is_assignment());
+        assert!(BinaryOp::AddAssign.is_assignment());
+        assert!(!BinaryOp::Add.is_assignment());
+        assert!(!BinaryOp::Eq.is_assignment());
+    }
+
+    #[test]
+    fn as_name_strips_parens() {
+        let name = QualName::ident("x");
+        let inner = Expr::new(ExprKind::Name(name.clone()), Span::dummy());
+        let outer = Expr::new(ExprKind::Paren(Box::new(inner)), Span::dummy());
+        assert_eq!(outer.as_name(), Some(&name));
+        let lit = Expr::new(ExprKind::Int(3), Span::dummy());
+        assert!(lit.as_name().is_none());
+    }
+
+    #[test]
+    fn operator_spellings() {
+        assert_eq!(BinaryOp::Shr.as_str(), ">>");
+        assert_eq!(UnaryOp::AddrOf.as_str(), "&");
+        assert_eq!(UnaryOp::PostInc.as_str(), "++");
+    }
+}

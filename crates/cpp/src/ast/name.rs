@@ -1,0 +1,236 @@
+//! Qualified names and template arguments.
+//!
+//! A qualified name such as `Kokkos::TeamPolicy<sp_t>::member_type` is the
+//! unit the Header Substitution analysis reasons about: the paper (§3.2.1)
+//! forward-declares "the class after the last scope operator" and treats
+//! earlier segments as namespaces or enclosing classes. Each [`NameSeg`]
+//! therefore keeps its own optional template-argument list.
+
+use std::fmt;
+
+use crate::ast::types::Type;
+
+/// A template argument: a type, a constant expression (kept as rendered
+/// text plus an optional evaluated integer), or a parameter pack expansion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemplateArg {
+    /// A type argument, e.g. the `int**` in `View<int**, LayoutRight>`.
+    Type(Type),
+    /// A non-type (value) argument, e.g. the `5` in `Array<int, 5>`.
+    Value(String),
+    /// A pack expansion `Ts...`.
+    Pack(String),
+}
+
+impl fmt::Display for TemplateArg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateArg::Type(t) => write!(f, "{t}"),
+            TemplateArg::Value(v) => write!(f, "{v}"),
+            TemplateArg::Pack(p) => write!(f, "{p}..."),
+        }
+    }
+}
+
+/// One `::`-separated segment of a qualified name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NameSeg {
+    /// The identifier.
+    pub ident: String,
+    /// Explicit template arguments, if written (`TeamPolicy<sp_t>`).
+    pub args: Option<Vec<TemplateArg>>,
+}
+
+impl NameSeg {
+    /// A segment with no template arguments.
+    pub fn plain(ident: impl Into<String>) -> Self {
+        NameSeg {
+            ident: ident.into(),
+            args: None,
+        }
+    }
+
+    /// A segment with explicit template arguments.
+    pub fn with_args(ident: impl Into<String>, args: Vec<TemplateArg>) -> Self {
+        NameSeg {
+            ident: ident.into(),
+            args: Some(args),
+        }
+    }
+}
+
+impl fmt::Display for NameSeg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.ident)?;
+        if let Some(args) = &self.args {
+            f.write_str("<")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            // Avoid emitting `>>` when the last argument itself ended in `>`.
+            f.write_str(">")?;
+        }
+        Ok(())
+    }
+}
+
+/// A possibly-qualified name: `[::] seg (:: seg)*`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualName {
+    /// True if the name starts with a global `::`.
+    pub global: bool,
+    /// The `::`-separated segments; never empty.
+    pub segs: Vec<NameSeg>,
+}
+
+impl QualName {
+    /// An unqualified single-identifier name.
+    pub fn ident(name: impl Into<String>) -> Self {
+        QualName {
+            global: false,
+            segs: vec![NameSeg::plain(name)],
+        }
+    }
+
+    /// Builds a name from plain segments, e.g. `["Kokkos", "View"]`.
+    pub fn from_segs<I, S>(segs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let segs: Vec<NameSeg> = segs.into_iter().map(NameSeg::plain).collect();
+        assert!(!segs.is_empty(), "qualified name needs at least one segment");
+        QualName { global: false, segs }
+    }
+
+    /// The last segment (the entity actually named).
+    pub fn last(&self) -> &NameSeg {
+        self.segs.last().expect("QualName is never empty")
+    }
+
+    /// The identifier of the last segment.
+    pub fn base_ident(&self) -> &str {
+        &self.last().ident
+    }
+
+    /// True if the name has more than one segment (or a global `::`).
+    pub fn is_qualified(&self) -> bool {
+        self.global || self.segs.len() > 1
+    }
+
+    /// The qualifying prefix (everything before the last segment), if any.
+    pub fn prefix(&self) -> Option<QualName> {
+        if self.segs.len() <= 1 {
+            return None;
+        }
+        Some(QualName {
+            global: self.global,
+            segs: self.segs[..self.segs.len() - 1].to_vec(),
+        })
+    }
+
+    /// Returns a copy with `seg` appended.
+    pub fn child(&self, seg: NameSeg) -> QualName {
+        let mut segs = self.segs.clone();
+        segs.push(seg);
+        QualName {
+            global: self.global,
+            segs,
+        }
+    }
+
+    /// The name without any template arguments, as `A::B::C` text. This is
+    /// the key used by the symbol table.
+    pub fn key(&self) -> String {
+        let mut out = String::new();
+        for (i, seg) in self.segs.iter().enumerate() {
+            if i > 0 {
+                out.push_str("::");
+            }
+            out.push_str(&seg.ident);
+        }
+        out
+    }
+}
+
+impl fmt::Display for QualName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.global {
+            f.write_str("::")?;
+        }
+        for (i, seg) in self.segs.iter().enumerate() {
+            if i > 0 {
+                f.write_str("::")?;
+            }
+            write!(f, "{seg}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::types::{Builtin, Type};
+
+    #[test]
+    fn display_plain_and_qualified() {
+        assert_eq!(QualName::ident("x").to_string(), "x");
+        assert_eq!(
+            QualName::from_segs(["Kokkos", "OpenMP"]).to_string(),
+            "Kokkos::OpenMP"
+        );
+    }
+
+    #[test]
+    fn display_with_template_args() {
+        let view = QualName {
+            global: false,
+            segs: vec![
+                NameSeg::plain("Kokkos"),
+                NameSeg::with_args(
+                    "View",
+                    vec![
+                        TemplateArg::Type(Type::pointer(Type::pointer(Type::builtin(
+                            Builtin::Int,
+                        )))),
+                        TemplateArg::Type(Type::named(QualName::ident("LayoutRight"))),
+                    ],
+                ),
+            ],
+        };
+        assert_eq!(view.to_string(), "Kokkos::View<int**, LayoutRight>");
+    }
+
+    #[test]
+    fn key_strips_template_args() {
+        let name = QualName {
+            global: true,
+            segs: vec![
+                NameSeg::plain("Kokkos"),
+                NameSeg::with_args("TeamPolicy", vec![TemplateArg::Value("4".into())]),
+                NameSeg::plain("member_type"),
+            ],
+        };
+        assert_eq!(name.key(), "Kokkos::TeamPolicy::member_type");
+        assert_eq!(name.base_ident(), "member_type");
+        assert!(name.is_qualified());
+    }
+
+    #[test]
+    fn prefix_and_child() {
+        let name = QualName::from_segs(["A", "B", "C"]);
+        let prefix = name.prefix().unwrap();
+        assert_eq!(prefix.to_string(), "A::B");
+        assert_eq!(prefix.child(NameSeg::plain("C")), name);
+        assert!(QualName::ident("x").prefix().is_none());
+    }
+
+    #[test]
+    fn pack_arg_display() {
+        assert_eq!(TemplateArg::Pack("Ts".into()).to_string(), "Ts...");
+    }
+}

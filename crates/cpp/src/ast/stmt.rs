@@ -1,0 +1,132 @@
+//! Statements.
+
+use crate::ast::decl::VarDecl;
+use crate::ast::expr::Expr;
+use crate::loc::Span;
+
+/// A brace-enclosed sequence of statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+    /// Source range including the braces.
+    pub span: Span,
+}
+
+impl Block {
+    /// An empty block with a dummy span.
+    pub fn empty() -> Self {
+        Block {
+            stmts: Vec::new(),
+            span: Span::dummy(),
+        }
+    }
+}
+
+/// The init clause of a classic `for` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForInit {
+    /// `for (int i = 0; ...)`.
+    Decl(VarDecl),
+    /// `for (i = 0; ...)`.
+    Expr(Expr),
+    /// `for (; ...)`.
+    Empty,
+}
+
+/// The kind of a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// An expression statement.
+    Expr(Expr),
+    /// A local variable declaration (possibly several declarators flattened
+    /// into consecutive statements by the parser).
+    Decl(VarDecl),
+    /// A nested block.
+    Block(Block),
+    /// `if (cond) then else?`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_branch: Box<Stmt>,
+        /// Else-branch.
+        else_branch: Option<Box<Stmt>>,
+    },
+    /// Classic three-clause `for`.
+    For {
+        /// Init clause.
+        init: Box<ForInit>,
+        /// Condition (optional).
+        cond: Option<Expr>,
+        /// Increment (optional).
+        inc: Option<Expr>,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// Range-based `for (decl : range)`.
+    RangeFor {
+        /// The loop variable.
+        var: VarDecl,
+        /// The range expression.
+        range: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `do body while (cond);`.
+    DoWhile {
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Condition.
+        cond: Expr,
+    },
+    /// `return expr?;`.
+    Return(Option<Expr>),
+    /// `break;`.
+    Break,
+    /// `continue;`.
+    Continue,
+    /// `;`.
+    Empty,
+}
+
+/// A statement with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// What the statement is.
+    pub kind: StmtKind,
+    /// Source range.
+    pub span: Span,
+}
+
+impl Stmt {
+    /// Creates a statement node.
+    pub fn new(kind: StmtKind, span: Span) -> Self {
+        Stmt { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_block() {
+        let b = Block::empty();
+        assert!(b.stmts.is_empty());
+        assert!(!b.span.is_real());
+    }
+
+    #[test]
+    fn stmt_construction() {
+        let s = Stmt::new(StmtKind::Break, Span::dummy());
+        assert_eq!(s.kind, StmtKind::Break);
+    }
+}

@@ -1,0 +1,346 @@
+//! Type representations.
+//!
+//! Types are what Header Substitution transforms: a by-value use of a class
+//! that becomes forward-declared must be *pointerized* (paper §3.3.2), and
+//! wrapper synthesis inspects return/parameter types for incompleteness
+//! (§3.2.2). The representation is deliberately structural so those
+//! rewrites are simple tree edits.
+
+use std::fmt;
+
+use crate::ast::name::QualName;
+
+/// Builtin (fundamental) types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // self-describing C++ fundamental types
+pub enum Builtin {
+    Void,
+    Bool,
+    Char,
+    UChar,
+    Short,
+    UShort,
+    Int,
+    UInt,
+    Long,
+    ULong,
+    LongLong,
+    ULongLong,
+    Float,
+    Double,
+    SizeT,
+    Auto,
+}
+
+impl Builtin {
+    /// C++ spelling of the builtin.
+    pub fn as_str(self) -> &'static str {
+        use Builtin::*;
+        match self {
+            Void => "void",
+            Bool => "bool",
+            Char => "char",
+            UChar => "unsigned char",
+            Short => "short",
+            UShort => "unsigned short",
+            Int => "int",
+            UInt => "unsigned int",
+            Long => "long",
+            ULong => "unsigned long",
+            LongLong => "long long",
+            ULongLong => "unsigned long long",
+            Float => "float",
+            Double => "double",
+            SizeT => "size_t",
+            Auto => "auto",
+        }
+    }
+}
+
+impl fmt::Display for Builtin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The structure of a type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeKind {
+    /// A named (possibly qualified, possibly templated) type.
+    Named(QualName),
+    /// A fundamental type.
+    Builtin(Builtin),
+    /// Pointer to a type: `T*`.
+    Pointer(Box<Type>),
+    /// Lvalue reference: `T&`.
+    LValueRef(Box<Type>),
+    /// Rvalue reference: `T&&`.
+    RValueRef(Box<Type>),
+    /// Array of a type: `T[n]` (`None` for unsized `T[]`).
+    Array(Box<Type>, Option<u64>),
+    /// Function type `ret(params...)`; used for function pointers/params.
+    Function {
+        /// Return type.
+        ret: Box<Type>,
+        /// Parameter types.
+        params: Vec<Type>,
+    },
+}
+
+/// A type with cv-qualification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Type {
+    /// The type structure.
+    pub kind: TypeKind,
+    /// `const` qualification at this level.
+    pub is_const: bool,
+    /// `volatile` qualification at this level.
+    pub is_volatile: bool,
+}
+
+impl Type {
+    /// An unqualified type of the given kind.
+    pub fn new(kind: TypeKind) -> Self {
+        Type {
+            kind,
+            is_const: false,
+            is_volatile: false,
+        }
+    }
+
+    /// A named type.
+    pub fn named(name: QualName) -> Self {
+        Type::new(TypeKind::Named(name))
+    }
+
+    /// A builtin type.
+    pub fn builtin(b: Builtin) -> Self {
+        Type::new(TypeKind::Builtin(b))
+    }
+
+    /// `void`.
+    pub fn void() -> Self {
+        Type::builtin(Builtin::Void)
+    }
+
+    /// Pointer to `inner`.
+    pub fn pointer(inner: Type) -> Self {
+        Type::new(TypeKind::Pointer(Box::new(inner)))
+    }
+
+    /// Lvalue reference to `inner`.
+    pub fn lvalue_ref(inner: Type) -> Self {
+        Type::new(TypeKind::LValueRef(Box::new(inner)))
+    }
+
+    /// Rvalue reference to `inner`.
+    pub fn rvalue_ref(inner: Type) -> Self {
+        Type::new(TypeKind::RValueRef(Box::new(inner)))
+    }
+
+    /// Returns a `const`-qualified copy of this type.
+    pub fn as_const(mut self) -> Self {
+        self.is_const = true;
+        self
+    }
+
+    /// True if this is exactly `void` (ignoring qualifiers).
+    pub fn is_void(&self) -> bool {
+        matches!(self.kind, TypeKind::Builtin(Builtin::Void))
+    }
+
+    /// True if this type is passed around by value: not a pointer,
+    /// reference, array, or function type. Qualifiers are ignored.
+    ///
+    /// This is the test the paper's wrapper rule applies to return and
+    /// parameter types (§3.2.2): only *by-value* uses of incomplete types
+    /// are illegal.
+    pub fn is_by_value(&self) -> bool {
+        matches!(self.kind, TypeKind::Named(_) | TypeKind::Builtin(_))
+    }
+
+    /// The named type at the core of this type, if any, stripping
+    /// qualifiers, pointers, references, and arrays.
+    pub fn core_name(&self) -> Option<&QualName> {
+        match &self.kind {
+            TypeKind::Named(n) => Some(n),
+            TypeKind::Builtin(_) => None,
+            TypeKind::Pointer(t)
+            | TypeKind::LValueRef(t)
+            | TypeKind::RValueRef(t)
+            | TypeKind::Array(t, _) => t.core_name(),
+            TypeKind::Function { .. } => None,
+        }
+    }
+
+    /// Visits every named type mentioned anywhere in this type, including
+    /// template arguments — the set the paper adds to `usedClasses` when a
+    /// function mentioning them is forward-declared (Fig. 5 lines 7–10).
+    pub fn for_each_named<'a>(&'a self, f: &mut impl FnMut(&'a QualName)) {
+        match &self.kind {
+            TypeKind::Named(n) => {
+                f(n);
+                for seg in &n.segs {
+                    if let Some(args) = &seg.args {
+                        for arg in args {
+                            if let crate::ast::name::TemplateArg::Type(t) = arg {
+                                t.for_each_named(f);
+                            }
+                        }
+                    }
+                }
+            }
+            TypeKind::Builtin(_) => {}
+            TypeKind::Pointer(t)
+            | TypeKind::LValueRef(t)
+            | TypeKind::RValueRef(t)
+            | TypeKind::Array(t, _) => t.for_each_named(f),
+            TypeKind::Function { ret, params } => {
+                ret.for_each_named(f);
+                for p in params {
+                    p.for_each_named(f);
+                }
+            }
+        }
+    }
+
+    /// Rewrites this type in place, replacing every by-value occurrence of
+    /// the named type `target` (by symbol key) with a pointer to it.
+    /// Returns true if anything changed.
+    ///
+    /// This implements the paper's pointerization rule (§3.3.2): `View<...> x;`
+    /// becomes `View<...>* x;`, while `View<...>&` and `View<...>*` are left
+    /// alone (references and pointers to incomplete types are legal).
+    pub fn pointerize(&mut self, target_key: &str) -> bool {
+        match &mut self.kind {
+            TypeKind::Named(n) => {
+                let mut changed = false;
+                // Template arguments of a pointerized type are left as-is:
+                // they are type-level, not object-level, uses.
+                if n.key() == target_key {
+                    let inner = std::mem::replace(self, Type::void());
+                    *self = Type::pointer(inner);
+                    changed = true;
+                }
+                changed
+            }
+            TypeKind::Builtin(_) => false,
+            // Already behind a pointer/reference: legal for incomplete types.
+            TypeKind::Pointer(_) | TypeKind::LValueRef(_) | TypeKind::RValueRef(_) => false,
+            TypeKind::Array(t, _) => t.pointerize(target_key),
+            TypeKind::Function { .. } => false,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_const {
+            f.write_str("const ")?;
+        }
+        if self.is_volatile {
+            f.write_str("volatile ")?;
+        }
+        match &self.kind {
+            TypeKind::Named(n) => write!(f, "{n}"),
+            TypeKind::Builtin(b) => write!(f, "{b}"),
+            TypeKind::Pointer(t) => write!(f, "{t}*"),
+            TypeKind::LValueRef(t) => write!(f, "{t}&"),
+            TypeKind::RValueRef(t) => write!(f, "{t}&&"),
+            TypeKind::Array(t, Some(n)) => write!(f, "{t}[{n}]"),
+            TypeKind::Array(t, None) => write!(f, "{t}[]"),
+            TypeKind::Function { ret, params } => {
+                write!(f, "{ret}(")?;
+                for (i, p) in params.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::name::{NameSeg, TemplateArg};
+
+    fn view_type() -> Type {
+        Type::named(QualName {
+            global: false,
+            segs: vec![
+                NameSeg::plain("Kokkos"),
+                NameSeg::with_args(
+                    "View",
+                    vec![TemplateArg::Type(Type::pointer(Type::builtin(Builtin::Int)))],
+                ),
+            ],
+        })
+    }
+
+    #[test]
+    fn display_compound_types() {
+        assert_eq!(Type::pointer(Type::builtin(Builtin::Int)).to_string(), "int*");
+        assert_eq!(
+            Type::lvalue_ref(Type::builtin(Builtin::Double)).as_const().to_string(),
+            "const double&"
+        );
+        assert_eq!(view_type().to_string(), "Kokkos::View<int*>");
+    }
+
+    #[test]
+    fn by_value_detection() {
+        assert!(view_type().is_by_value());
+        assert!(Type::builtin(Builtin::Int).is_by_value());
+        assert!(!Type::pointer(view_type()).is_by_value());
+        assert!(!Type::lvalue_ref(view_type()).is_by_value());
+    }
+
+    #[test]
+    fn core_name_strips_indirections() {
+        let t = Type::pointer(Type::lvalue_ref(view_type()));
+        assert_eq!(t.core_name().unwrap().key(), "Kokkos::View");
+        assert!(Type::builtin(Builtin::Int).core_name().is_none());
+    }
+
+    #[test]
+    fn pointerize_by_value_use() {
+        let mut t = view_type();
+        assert!(t.pointerize("Kokkos::View"));
+        assert_eq!(t.to_string(), "Kokkos::View<int*>*");
+        // Idempotent: already a pointer now.
+        assert!(!t.pointerize("Kokkos::View"));
+    }
+
+    #[test]
+    fn pointerize_leaves_references_alone() {
+        let mut t = Type::lvalue_ref(view_type());
+        assert!(!t.pointerize("Kokkos::View"));
+        assert_eq!(t.to_string(), "Kokkos::View<int*>&");
+    }
+
+    #[test]
+    fn pointerize_ignores_other_types() {
+        let mut t = view_type();
+        assert!(!t.pointerize("Kokkos::OpenMP"));
+    }
+
+    #[test]
+    fn for_each_named_descends_into_template_args() {
+        let t = Type::named(QualName {
+            global: false,
+            segs: vec![NameSeg::with_args(
+                "TeamPolicy",
+                vec![TemplateArg::Type(Type::named(QualName::from_segs([
+                    "Kokkos", "OpenMP",
+                ])))],
+            )],
+        });
+        let mut seen = Vec::new();
+        t.for_each_named(&mut |n| seen.push(n.key()));
+        assert_eq!(seen, vec!["TeamPolicy".to_string(), "Kokkos::OpenMP".to_string()]);
+    }
+}

@@ -1,0 +1,7 @@
+//! Lexical analysis: tokens and the lexer.
+
+mod lexer;
+mod token;
+
+pub use lexer::{lex_file, lex_str, Lexer};
+pub use token::{Punct, Token, TokenKind};

@@ -1,0 +1,237 @@
+//! Token definitions for the C++ subset.
+
+use std::fmt;
+
+use crate::loc::Span;
+
+/// Punctuators and operators.
+///
+/// `>>` is *never* produced by the lexer: consecutive `>`s are emitted as
+/// individual [`Punct::Gt`] tokens and merged by the parser only in
+/// expression context. This sidesteps the classic `Foo<Bar<int>>` ambiguity
+/// the same way modern compilers do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // the variants are self-describing operator names
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    ColonColon,
+    Dot,
+    DotStar,
+    Ellipsis,
+    Arrow,
+    ArrowStar,
+    Plus,
+    PlusPlus,
+    PlusEq,
+    Minus,
+    MinusMinus,
+    MinusEq,
+    Star,
+    StarEq,
+    Slash,
+    SlashEq,
+    Percent,
+    PercentEq,
+    Amp,
+    AmpAmp,
+    AmpEq,
+    Pipe,
+    PipePipe,
+    PipeEq,
+    Caret,
+    CaretEq,
+    Tilde,
+    Bang,
+    BangEq,
+    Eq,
+    EqEq,
+    Lt,
+    LtEq,
+    Shl,
+    ShlEq,
+    Gt,
+    GtEq,
+    Question,
+    Hash,
+    HashHash,
+}
+
+impl Punct {
+    /// The exact source text of the punctuator.
+    pub fn as_str(self) -> &'static str {
+        use Punct::*;
+        match self {
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Semi => ";",
+            Comma => ",",
+            Colon => ":",
+            ColonColon => "::",
+            Dot => ".",
+            DotStar => ".*",
+            Ellipsis => "...",
+            Arrow => "->",
+            ArrowStar => "->*",
+            Plus => "+",
+            PlusPlus => "++",
+            PlusEq => "+=",
+            Minus => "-",
+            MinusMinus => "--",
+            MinusEq => "-=",
+            Star => "*",
+            StarEq => "*=",
+            Slash => "/",
+            SlashEq => "/=",
+            Percent => "%",
+            PercentEq => "%=",
+            Amp => "&",
+            AmpAmp => "&&",
+            AmpEq => "&=",
+            Pipe => "|",
+            PipePipe => "||",
+            PipeEq => "|=",
+            Caret => "^",
+            CaretEq => "^=",
+            Tilde => "~",
+            Bang => "!",
+            BangEq => "!=",
+            Eq => "=",
+            EqEq => "==",
+            Lt => "<",
+            LtEq => "<=",
+            Shl => "<<",
+            ShlEq => "<<=",
+            Gt => ">",
+            GtEq => ">=",
+            Question => "?",
+            Hash => "#",
+            HashHash => "##",
+        }
+    }
+}
+
+impl fmt::Display for Punct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The kind (and payload) of a token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword; keywords are distinguished at parse time.
+    Ident(String),
+    /// An integer literal (value truncated to `i64`; suffixes dropped).
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A string literal (content without quotes, escapes resolved).
+    Str(String),
+    /// A character literal.
+    Char(char),
+    /// A punctuator or operator.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// True if this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s == name)
+    }
+
+    /// True if this is the punctuator `p`.
+    pub fn is_punct(&self, p: Punct) -> bool {
+        matches!(self, TokenKind::Punct(q) if *q == p)
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Float(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "{s:?}"),
+            TokenKind::Char(c) => write!(f, "'{c}'"),
+            TokenKind::Punct(p) => write!(f, "{p}"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A lexed token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Where (in the original file) the token came from. Tokens created by
+    /// macro expansion carry the span of the macro *use*.
+    pub span: Span,
+    /// Physical line (1-based) the token starts on — used by the
+    /// preprocessor for directive/line bookkeeping.
+    pub line: u32,
+}
+
+impl Token {
+    /// Shorthand for an EOF token with a dummy span.
+    pub fn eof() -> Self {
+        Token {
+            kind: TokenKind::Eof,
+            span: Span::dummy(),
+            line: 0,
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn punct_round_trip_text() {
+        assert_eq!(Punct::ColonColon.as_str(), "::");
+        assert_eq!(Punct::Ellipsis.to_string(), "...");
+        assert_eq!(Punct::ShlEq.as_str(), "<<=");
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(TokenKind::Ident("class".into()).is_ident("class"));
+        assert!(!TokenKind::Ident("klass".into()).is_ident("class"));
+        assert!(TokenKind::Punct(Punct::Semi).is_punct(Punct::Semi));
+        assert!(!TokenKind::Punct(Punct::Semi).is_punct(Punct::Comma));
+        assert!(!TokenKind::Eof.is_ident("class"));
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        for k in [
+            TokenKind::Ident("x".into()),
+            TokenKind::Int(0),
+            TokenKind::Str(String::new()),
+            TokenKind::Eof,
+        ] {
+            assert!(!k.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Source locations: files, byte spans, and line/column mapping.
+//!
+//! Every token produced by the lexer and every AST node produced by the
+//! parser carries a [`Span`] that points back into the *original* file text
+//! (not the concatenated translation unit). This is what makes source
+//! rewriting possible: YALLA edits user files in place, keyed by byte
+//! offsets, exactly like Clang's `Rewriter`.
+
+use std::fmt;
+
+/// Identifier of a file registered in a [`crate::vfs::Vfs`].
+///
+/// `FileId`s are dense indices; the id `FileId::UNKNOWN` marks synthesized
+/// tokens (e.g. produced by macro expansion of a builtin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+impl FileId {
+    /// Sentinel for locations that do not correspond to user-visible text.
+    pub const UNKNOWN: FileId = FileId(u32::MAX);
+}
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == FileId::UNKNOWN {
+            write!(f, "<unknown>")
+        } else {
+            write!(f, "file#{}", self.0)
+        }
+    }
+}
+
+/// A half-open byte range `[start, end)` within a single file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// File the span points into.
+    pub file: FileId,
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Default for Span {
+    /// The default span is [`Span::dummy`].
+    fn default() -> Self {
+        Span::dummy()
+    }
+}
+
+impl Span {
+    /// Creates a new span. `start` must not exceed `end`.
+    pub fn new(file: FileId, start: u32, end: u32) -> Self {
+        debug_assert!(start <= end, "span start after end");
+        Span { file, start, end }
+    }
+
+    /// A zero-width span with no real location.
+    pub fn dummy() -> Self {
+        Span {
+            file: FileId::UNKNOWN,
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// True if this span has a real file behind it.
+    pub fn is_real(&self) -> bool {
+        self.file != FileId::UNKNOWN
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// True if the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    ///
+    /// If the two spans live in different files (possible after `#include`
+    /// splicing), the left span wins — YALLA only rewrites within one file
+    /// at a time, so this is the conservative choice.
+    pub fn to(self, other: Span) -> Span {
+        if self.file != other.file {
+            return self;
+        }
+        Span {
+            file: self.file,
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}..{}", self.file, self.start, self.end)
+    }
+}
+
+/// Computed line/column (both 1-based) for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes).
+    pub col: u32,
+}
+
+/// Maps byte offsets in a file to line/column pairs.
+///
+/// Built lazily per file; the line table stores the byte offset at which
+/// each line starts.
+#[derive(Debug, Clone)]
+pub struct LineMap {
+    line_starts: Vec<u32>,
+}
+
+impl LineMap {
+    /// Builds the line table for `text`.
+    pub fn new(text: &str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        LineMap { line_starts }
+    }
+
+    /// Number of lines in the file (a trailing newline does not add a line).
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// Line/column of byte `offset`.
+    pub fn line_col(&self, offset: u32) -> LineCol {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(idx) => idx,
+            Err(idx) => idx - 1,
+        };
+        LineCol {
+            line: line as u32 + 1,
+            col: offset - self.line_starts[line] + 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join_same_file() {
+        let a = Span::new(FileId(0), 4, 8);
+        let b = Span::new(FileId(0), 6, 12);
+        let joined = a.to(b);
+        assert_eq!(joined.start, 4);
+        assert_eq!(joined.end, 12);
+        assert_eq!(joined.len(), 8);
+    }
+
+    #[test]
+    fn span_join_cross_file_keeps_left() {
+        let a = Span::new(FileId(0), 4, 8);
+        let b = Span::new(FileId(1), 0, 2);
+        assert_eq!(a.to(b), a);
+    }
+
+    #[test]
+    fn dummy_span_is_not_real() {
+        assert!(!Span::dummy().is_real());
+        assert!(Span::dummy().is_empty());
+        assert!(Span::new(FileId(0), 1, 1).is_real());
+    }
+
+    #[test]
+    fn line_map_basic() {
+        let map = LineMap::new("ab\ncd\n\nxyz");
+        assert_eq!(map.line_count(), 4);
+        assert_eq!(map.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(map.line_col(1), LineCol { line: 1, col: 2 });
+        assert_eq!(map.line_col(3), LineCol { line: 2, col: 1 });
+        assert_eq!(map.line_col(6), LineCol { line: 3, col: 1 });
+        assert_eq!(map.line_col(7), LineCol { line: 4, col: 1 });
+        assert_eq!(map.line_col(9), LineCol { line: 4, col: 3 });
+    }
+
+    #[test]
+    fn line_map_empty_file() {
+        let map = LineMap::new("");
+        assert_eq!(map.line_count(), 1);
+        assert_eq!(map.line_col(0), LineCol { line: 1, col: 1 });
+    }
+}

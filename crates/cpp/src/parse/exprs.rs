@@ -1,0 +1,893 @@
+//! Expression parsing (precedence climbing).
+
+use crate::ast::{
+    BinaryOp, Builtin, Expr, ExprKind, LambdaCapture, LambdaExpr, NameSeg, QualName, Type,
+    UnaryOp,
+};
+use crate::error::Result;
+use crate::lex::{Punct, TokenKind};
+use crate::parse::Parser;
+
+impl Parser {
+    /// Parses a full expression (assignment level; the comma operator is
+    /// not part of the subset — commas separate arguments only).
+    pub(crate) fn parse_expr(&mut self) -> Result<Expr> {
+        self.enter_depth()?;
+        let result = self.parse_assignment();
+        self.leave_depth();
+        result
+    }
+
+    fn parse_assignment(&mut self) -> Result<Expr> {
+        let lhs = self.parse_conditional()?;
+        let op = if self.check_punct(Punct::Eq) {
+            Some(BinaryOp::Assign)
+        } else if self.check_punct(Punct::PlusEq) {
+            Some(BinaryOp::AddAssign)
+        } else if self.check_punct(Punct::MinusEq) {
+            Some(BinaryOp::SubAssign)
+        } else if self.check_punct(Punct::StarEq) {
+            Some(BinaryOp::MulAssign)
+        } else if self.check_punct(Punct::SlashEq) {
+            Some(BinaryOp::DivAssign)
+        } else if self.check_punct(Punct::PercentEq) {
+            Some(BinaryOp::RemAssign)
+        } else if self.check_punct(Punct::ShlEq) {
+            Some(BinaryOp::ShlAssign)
+        } else if self.check_punct(Punct::AmpEq) {
+            Some(BinaryOp::AndAssign)
+        } else if self.check_punct(Punct::PipeEq) {
+            Some(BinaryOp::OrAssign)
+        } else if self.check_punct(Punct::CaretEq) {
+            Some(BinaryOp::XorAssign)
+        } else if self.check_punct(Punct::Gt) && self.gt_adjacent_kind(1) == Some(Punct::GtEq) {
+            // `>>=` arrives as `>` `>=`.
+            self.bump();
+            Some(BinaryOp::ShrAssign)
+        } else {
+            None
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.parse_assignment()?;
+            let span = lhs.span.to(rhs.span);
+            return Ok(Expr::new(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            ));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_conditional(&mut self) -> Result<Expr> {
+        let cond = self.parse_binary(0)?;
+        if self.eat_punct(Punct::Question) {
+            let then_expr = self.parse_assignment()?;
+            self.expect_punct(Punct::Colon)?;
+            let else_expr = self.parse_assignment()?;
+            let span = cond.span.to(else_expr.span);
+            return Ok(Expr::new(
+                ExprKind::Conditional {
+                    cond: Box::new(cond),
+                    then_expr: Box::new(then_expr),
+                    else_expr: Box::new(else_expr),
+                },
+                span,
+            ));
+        }
+        Ok(cond)
+    }
+
+    /// Is the token `n` ahead a `>`-family punct immediately adjacent to
+    /// the current `>` (no whitespace)? Used to reassemble `>>` and `>>=`.
+    fn gt_adjacent_kind(&self, n: usize) -> Option<Punct> {
+        let cur = self.peek_at(n - 1);
+        let next = self.peek_at(n);
+        if cur.span.file == next.span.file && cur.span.end == next.span.start {
+            if let TokenKind::Punct(p) = next.kind {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Binary-operator level `min_prec` and tighter (precedence climbing).
+    fn parse_binary(&mut self, min_prec: u8) -> Result<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let (op, prec, extra_tokens) = match self.binary_op_here() {
+                Some(x) => x,
+                None => return Ok(lhs),
+            };
+            if prec < min_prec {
+                return Ok(lhs);
+            }
+            self.bump();
+            for _ in 0..extra_tokens {
+                self.bump();
+            }
+            let rhs = self.parse_binary(prec + 1)?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+    }
+
+    /// Identifies the binary operator at the cursor: `(op, precedence,
+    /// extra tokens to consume)`. Precedence: higher binds tighter.
+    fn binary_op_here(&self) -> Option<(BinaryOp, u8, u8)> {
+        use BinaryOp::*;
+        let p = match &self.peek().kind {
+            TokenKind::Punct(p) => *p,
+            _ => return None,
+        };
+        Some(match p {
+            Punct::PipePipe => (Or, 1, 0),
+            Punct::AmpAmp => (And, 2, 0),
+            Punct::Pipe => (BitOr, 3, 0),
+            Punct::Caret => (BitXor, 4, 0),
+            Punct::Amp => (BitAnd, 5, 0),
+            Punct::EqEq => (Eq, 6, 0),
+            Punct::BangEq => (Ne, 6, 0),
+            Punct::Lt => (Lt, 7, 0),
+            Punct::LtEq => (Le, 7, 0),
+            Punct::GtEq => (Ge, 7, 0),
+            Punct::Gt => {
+                if self.gt_adjacent_kind(1) == Some(Punct::Gt) {
+                    (Shr, 8, 1)
+                } else {
+                    (Gt, 7, 0)
+                }
+            }
+            Punct::Shl => (Shl, 8, 0),
+            Punct::Plus => (Add, 9, 0),
+            Punct::Minus => (Sub, 9, 0),
+            Punct::Star => (Mul, 10, 0),
+            Punct::Slash => (Div, 10, 0),
+            Punct::Percent => (Rem, 10, 0),
+            _ => return None,
+        })
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        let start = self.span();
+        let op = if self.check_punct(Punct::Minus) {
+            Some(UnaryOp::Neg)
+        } else if self.check_punct(Punct::Bang) {
+            Some(UnaryOp::Not)
+        } else if self.check_punct(Punct::Tilde) {
+            Some(UnaryOp::BitNot)
+        } else if self.check_punct(Punct::Star) {
+            Some(UnaryOp::Deref)
+        } else if self.check_punct(Punct::Amp) {
+            Some(UnaryOp::AddrOf)
+        } else if self.check_punct(Punct::PlusPlus) {
+            Some(UnaryOp::PreInc)
+        } else if self.check_punct(Punct::MinusMinus) {
+            Some(UnaryOp::PreDec)
+        } else {
+            None
+        };
+        if let Some(op) = op {
+            self.bump();
+            let expr = self.parse_unary()?;
+            let span = start.to(expr.span);
+            return Ok(Expr::new(
+                ExprKind::Unary {
+                    op,
+                    expr: Box::new(expr),
+                },
+                span,
+            ));
+        }
+        if self.eat_punct(Punct::Plus) {
+            // Unary plus is a no-op.
+            return self.parse_unary();
+        }
+        if self.check_kw("new") {
+            return self.parse_new();
+        }
+        if self.check_kw("delete") {
+            let start = self.bump().span;
+            let array = if self.check_punct(Punct::LBracket) {
+                self.bump();
+                self.expect_punct(Punct::RBracket)?;
+                true
+            } else {
+                false
+            };
+            let expr = self.parse_unary()?;
+            let span = start.to(expr.span);
+            return Ok(Expr::new(
+                ExprKind::Delete {
+                    array,
+                    expr: Box::new(expr),
+                },
+                span,
+            ));
+        }
+        if self.check_kw("sizeof") {
+            let start = self.bump().span;
+            self.expect_punct(Punct::LParen)?;
+            let from = self.save();
+            self.skip_until_top_level(&[]);
+            let text = self.render_range(from, self.save());
+            let end = self.expect_punct(Punct::RParen)?;
+            return Ok(Expr::new(ExprKind::Sizeof(text), start.to(end)));
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_new(&mut self) -> Result<Expr> {
+        let start = self.expect_kw("new")?;
+        let ty = self.parse_type()?;
+        let mut args = Vec::new();
+        let mut end = start;
+        if self.check_punct(Punct::LParen) {
+            self.bump();
+            args = self.parse_call_args()?;
+            end = self.expect_punct(Punct::RParen)?;
+        } else if self.check_punct(Punct::LBrace) {
+            self.bump();
+            args = self.parse_call_args()?;
+            end = self.expect_punct(Punct::RBrace)?;
+        } else if self.check_punct(Punct::LBracket) {
+            self.bump();
+            let len = self.parse_expr()?;
+            args.push(len);
+            end = self.expect_punct(Punct::RBracket)?;
+        }
+        Ok(Expr::new(ExprKind::New { ty, args }, start.to(end)))
+    }
+
+    pub(crate) fn parse_call_args(&mut self) -> Result<Vec<Expr>> {
+        let mut args = Vec::new();
+        if self.check_punct(Punct::RParen) || self.check_punct(Punct::RBrace) {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.parse_expr()?);
+            if !self.eat_punct(Punct::Comma) {
+                return Ok(args);
+            }
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr> {
+        let mut expr = self.parse_primary()?;
+        loop {
+            if self.check_punct(Punct::LParen) {
+                self.bump();
+                let args = self.parse_call_args()?;
+                let end = self.expect_punct(Punct::RParen)?;
+                let span = expr.span.to(end);
+                expr = Expr::new(
+                    ExprKind::Call {
+                        callee: Box::new(expr),
+                        args,
+                    },
+                    span,
+                );
+            } else if self.check_punct(Punct::LBracket) {
+                self.bump();
+                let index = self.parse_expr()?;
+                let end = self.expect_punct(Punct::RBracket)?;
+                let span = expr.span.to(end);
+                expr = Expr::new(
+                    ExprKind::Index {
+                        base: Box::new(expr),
+                        index: Box::new(index),
+                    },
+                    span,
+                );
+            } else if self.check_punct(Punct::Dot) || self.check_punct(Punct::Arrow) {
+                let arrow = self.check_punct(Punct::Arrow);
+                self.bump();
+                let (ident, iend) = self.ident()?;
+                // Optional explicit template args on the member name when
+                // unambiguous (followed by `(`), e.g. `obj.get<int>()`.
+                let args = if self.check_punct(Punct::Lt) {
+                    let save = self.save();
+                    match self.parse_template_args() {
+                        Ok(a) if self.check_punct(Punct::LParen) => Some(a),
+                        _ => {
+                            self.restore(save);
+                            None
+                        }
+                    }
+                } else {
+                    None
+                };
+                let span = expr.span.to(iend);
+                expr = Expr::new(
+                    ExprKind::Member {
+                        base: Box::new(expr),
+                        arrow,
+                        member: NameSeg { ident, args },
+                    },
+                    span,
+                );
+            } else if self.check_punct(Punct::PlusPlus) {
+                let end = self.bump().span;
+                let span = expr.span.to(end);
+                expr = Expr::new(
+                    ExprKind::Unary {
+                        op: UnaryOp::PostInc,
+                        expr: Box::new(expr),
+                    },
+                    span,
+                );
+            } else if self.check_punct(Punct::MinusMinus) {
+                let end = self.bump().span;
+                let span = expr.span.to(end);
+                expr = Expr::new(
+                    ExprKind::Unary {
+                        op: UnaryOp::PostDec,
+                        expr: Box::new(expr),
+                    },
+                    span,
+                );
+            } else {
+                return Ok(expr);
+            }
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        let tok = self.peek().clone();
+        match &tok.kind {
+            TokenKind::Int(v) => {
+                let v = *v;
+                self.bump();
+                Ok(Expr::new(ExprKind::Int(v), tok.span))
+            }
+            TokenKind::Float(v) => {
+                let v = *v;
+                self.bump();
+                Ok(Expr::new(ExprKind::Float(v), tok.span))
+            }
+            TokenKind::Str(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(Expr::new(ExprKind::Str(s), tok.span))
+            }
+            TokenKind::Char(c) => {
+                let c = *c;
+                self.bump();
+                Ok(Expr::new(ExprKind::Char(c), tok.span))
+            }
+            TokenKind::Punct(Punct::LParen) => {
+                self.bump();
+                let inner = self.parse_expr()?;
+                let end = self.expect_punct(Punct::RParen)?;
+                Ok(Expr::new(
+                    ExprKind::Paren(Box::new(inner)),
+                    tok.span.to(end),
+                ))
+            }
+            TokenKind::Punct(Punct::LBracket) => self.parse_lambda(),
+            TokenKind::Punct(Punct::LBrace) => {
+                // Bare braced init list (argument position).
+                self.bump();
+                let args = self.parse_call_args()?;
+                let end = self.expect_punct(Punct::RBrace)?;
+                Ok(Expr::new(
+                    ExprKind::BraceInit { ty: None, args },
+                    tok.span.to(end),
+                ))
+            }
+            TokenKind::Ident(word) => match word.as_str() {
+                "true" => {
+                    self.bump();
+                    Ok(Expr::new(ExprKind::Bool(true), tok.span))
+                }
+                "false" => {
+                    self.bump();
+                    Ok(Expr::new(ExprKind::Bool(false), tok.span))
+                }
+                "nullptr" => {
+                    self.bump();
+                    Ok(Expr::new(ExprKind::Null, tok.span))
+                }
+                "this" => {
+                    self.bump();
+                    Ok(Expr::new(ExprKind::This, tok.span))
+                }
+                "static_cast" | "dynamic_cast" | "const_cast" | "reinterpret_cast" => {
+                    let kind = word.clone();
+                    self.bump();
+                    self.expect_punct(Punct::Lt)?;
+                    let ty = self.parse_type()?;
+                    self.expect_punct(Punct::Gt)?;
+                    self.expect_punct(Punct::LParen)?;
+                    let inner = self.parse_expr()?;
+                    let end = self.expect_punct(Punct::RParen)?;
+                    Ok(Expr::new(
+                        ExprKind::Cast {
+                            kind,
+                            ty,
+                            expr: Box::new(inner),
+                        },
+                        tok.span.to(end),
+                    ))
+                }
+                // Functional cast on builtins: `int(x)`, `double(y)`.
+                "int" | "double" | "float" | "bool" | "char" | "unsigned" | "long" | "short"
+                | "size_t" => {
+                    let ty = self.parse_type()?;
+                    self.expect_punct(Punct::LParen)?;
+                    let inner = self.parse_expr()?;
+                    let end = self.expect_punct(Punct::RParen)?;
+                    Ok(Expr::new(
+                        ExprKind::Cast {
+                            kind: "functional".into(),
+                            ty,
+                            expr: Box::new(inner),
+                        },
+                        tok.span.to(end),
+                    ))
+                }
+                _ => self.parse_id_expression(),
+            },
+            TokenKind::Punct(Punct::ColonColon) => self.parse_id_expression(),
+            _ => Err(self.err("expected expression")),
+        }
+    }
+
+    /// Parses an id-expression: a qualified name whose segments may carry
+    /// template arguments, disambiguated speculatively: `g_add<int>(...)`
+    /// is a template-id; `a < b` is a comparison.
+    fn parse_id_expression(&mut self) -> Result<Expr> {
+        let start = self.span();
+        let global = self.eat_punct(Punct::ColonColon);
+        let mut segs = Vec::new();
+        let mut end;
+        loop {
+            let (ident, ispan) = self.ident()?;
+            end = ispan;
+            let args = if self.check_punct(Punct::Lt) {
+                let save = self.save();
+                match self.parse_template_args() {
+                    Ok(a) if self.template_id_accepts_here() => Some(a),
+                    _ => {
+                        self.restore(save);
+                        None
+                    }
+                }
+            } else {
+                None
+            };
+            segs.push(NameSeg { ident, args });
+            if self.check_punct(Punct::ColonColon)
+                && matches!(self.peek_at(1).kind, TokenKind::Ident(_))
+            {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let name = QualName { global, segs };
+        // `T{...}` after a name is a braced init of that type.
+        if self.check_punct(Punct::LBrace) {
+            self.bump();
+            let args = self.parse_call_args()?;
+            let rend = self.expect_punct(Punct::RBrace)?;
+            let ty = Type::named(name);
+            return Ok(Expr::new(
+                ExprKind::BraceInit { ty: Some(ty), args },
+                start.to(rend),
+            ));
+        }
+        let _ = Builtin::Void; // (keep import used in all cfgs)
+        Ok(Expr::new(ExprKind::Name(name), start.to(end)))
+    }
+
+    /// After speculatively parsing `<...>` in expression context, decide
+    /// whether to accept it as template arguments: accept only when the
+    /// next token could follow a template-id but not a comparison chain.
+    fn template_id_accepts_here(&self) -> bool {
+        match &self.peek().kind {
+            TokenKind::Punct(p) => matches!(
+                p,
+                Punct::LParen
+                    | Punct::RParen
+                    | Punct::Comma
+                    | Punct::Semi
+                    | Punct::LBrace
+                    | Punct::RBrace
+                    | Punct::ColonColon
+                    | Punct::Gt
+                    | Punct::RBracket
+                    | Punct::Dot
+                    | Punct::Arrow
+            ),
+            TokenKind::Eof => true,
+            _ => false,
+        }
+    }
+
+    /// Parses a lambda expression `[caps](params) specs? -> ret? { body }`.
+    fn parse_lambda(&mut self) -> Result<Expr> {
+        let start = self.expect_punct(Punct::LBracket)?;
+        let mut captures = Vec::new();
+        if !self.check_punct(Punct::RBracket) {
+            loop {
+                if self.eat_punct(Punct::Amp) {
+                    if let TokenKind::Ident(name) = &self.peek().kind {
+                        let name = name.clone();
+                        self.bump();
+                        captures.push(LambdaCapture::ByRef(name));
+                    } else {
+                        captures.push(LambdaCapture::AllByRef);
+                    }
+                } else if self.eat_punct(Punct::Eq) {
+                    captures.push(LambdaCapture::AllByValue);
+                } else if self.eat_kw("this") {
+                    captures.push(LambdaCapture::This);
+                } else {
+                    let (name, _) = self.ident()?;
+                    captures.push(LambdaCapture::ByValue(name));
+                }
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(Punct::RBracket)?;
+        let mut params = Vec::new();
+        if self.eat_punct(Punct::LParen) {
+            if !self.check_punct(Punct::RParen) {
+                loop {
+                    let ty = self.parse_type()?;
+                    let name = match &self.peek().kind {
+                        TokenKind::Ident(n) => {
+                            let n = n.clone();
+                            self.bump();
+                            n
+                        }
+                        _ => String::new(),
+                    };
+                    params.push((ty, name));
+                    if !self.eat_punct(Punct::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect_punct(Punct::RParen)?;
+        }
+        // Optional specifiers and trailing return type.
+        loop {
+            if self.eat_kw("mutable") || self.eat_kw("constexpr") || self.eat_kw("noexcept") {
+                continue;
+            }
+            break;
+        }
+        if self.eat_punct(Punct::Arrow) {
+            let _ret = self.parse_type()?;
+        }
+        let body = self.parse_block()?;
+        let end = body.span;
+        let id = self.next_lambda_id();
+        Ok(Expr::new(
+            ExprKind::Lambda(LambdaExpr {
+                id,
+                captures,
+                params,
+                body,
+            }),
+            start.to(end),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::Parser;
+
+    fn expr(src: &str) -> Expr {
+        let toks = crate::lex::lex_str(src).unwrap();
+        let mut p = Parser::new(toks);
+        let e = p.parse_expr().unwrap();
+        assert!(p.at_eof() || p.check_punct(Punct::Semi), "leftover input");
+        e
+    }
+
+    #[test]
+    fn precedence() {
+        let e = expr("1 + 2 * 3");
+        match e.kind {
+            ExprKind::Binary { op, rhs, .. } => {
+                assert_eq!(op, BinaryOp::Add);
+                assert!(matches!(
+                    rhs.kind,
+                    ExprKind::Binary {
+                        op: BinaryOp::Mul,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assignment_is_right_associative() {
+        let e = expr("a = b = c");
+        match e.kind {
+            ExprKind::Binary { op, rhs, .. } => {
+                assert_eq!(op, BinaryOp::Assign);
+                assert!(matches!(
+                    rhs.kind,
+                    ExprKind::Binary {
+                        op: BinaryOp::Assign,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compound_assignment() {
+        assert!(matches!(
+            expr("x += y").kind,
+            ExprKind::Binary {
+                op: BinaryOp::AddAssign,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn template_id_call() {
+        let e = expr("g_add<int>(1, 2)");
+        match e.kind {
+            ExprKind::Call { callee, args } => {
+                let name = callee.as_name().unwrap();
+                assert_eq!(name.key(), "g_add");
+                assert!(name.segs[0].args.is_some());
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn less_than_is_not_template() {
+        let e = expr("i < m");
+        assert!(matches!(
+            e.kind,
+            ExprKind::Binary {
+                op: BinaryOp::Lt,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn less_than_with_member_rhs() {
+        let e = expr("i < obj.size");
+        assert!(matches!(
+            e.kind,
+            ExprKind::Binary {
+                op: BinaryOp::Lt,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn shift_right_from_adjacent_gts() {
+        let e = expr("a >> 2");
+        assert!(matches!(
+            e.kind,
+            ExprKind::Binary {
+                op: BinaryOp::Shr,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn comparison_chain_not_shift() {
+        // `a > b` with a space stays a comparison even if followed by `> c`
+        // ... which would be (a > b) > c.
+        let e = expr("a > b");
+        assert!(matches!(
+            e.kind,
+            ExprKind::Binary {
+                op: BinaryOp::Gt,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn member_call_chain() {
+        let e = expr("m.league_rank()");
+        match e.kind {
+            ExprKind::Call { callee, args } => {
+                assert!(args.is_empty());
+                match &callee.kind {
+                    ExprKind::Member { member, arrow, .. } => {
+                        assert_eq!(member.ident, "league_rank");
+                        assert!(!arrow);
+                    }
+                    other => panic!("bad callee: {other:?}"),
+                }
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arrow_and_deref() {
+        let e = expr("(*x)(j, i)");
+        assert!(matches!(e.kind, ExprKind::Call { .. }));
+        let e = expr("p->field");
+        assert!(matches!(
+            e.kind,
+            ExprKind::Member { arrow: true, .. }
+        ));
+    }
+
+    #[test]
+    fn call_operator_on_object() {
+        // x(j, i) — overloaded operator() use; parses as Call with Name callee.
+        let e = expr("x(j, i)");
+        match e.kind {
+            ExprKind::Call { callee, args } => {
+                assert_eq!(callee.as_name().unwrap().key(), "x");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lambda_with_ref_capture() {
+        let e = expr("[&](int i) { x(j, i) += y; }");
+        match e.kind {
+            ExprKind::Lambda(l) => {
+                assert_eq!(l.captures, vec![LambdaCapture::AllByRef]);
+                assert_eq!(l.params.len(), 1);
+                assert_eq!(l.params[0].1, "i");
+                assert_eq!(l.body.stmts.len(), 1);
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lambda_capture_variants() {
+        let e = expr("[=, &a, b, this](double d) mutable -> int { return 0; }");
+        match e.kind {
+            ExprKind::Lambda(l) => {
+                assert_eq!(
+                    l.captures,
+                    vec![
+                        LambdaCapture::AllByValue,
+                        LambdaCapture::ByRef("a".into()),
+                        LambdaCapture::ByValue("b".into()),
+                        LambdaCapture::This,
+                    ]
+                );
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn new_and_delete() {
+        let e = expr("new Kokkos::View<int>(5)");
+        match e.kind {
+            ExprKind::New { ty, args } => {
+                assert_eq!(ty.to_string(), "Kokkos::View<int>");
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+        assert!(matches!(
+            expr("delete p").kind,
+            ExprKind::Delete { array: false, .. }
+        ));
+        assert!(matches!(
+            expr("delete[] p").kind,
+            ExprKind::Delete { array: true, .. }
+        ));
+    }
+
+    #[test]
+    fn casts() {
+        let e = expr("static_cast<double>(x)");
+        assert!(matches!(e.kind, ExprKind::Cast { .. }));
+        let e = expr("int(x)");
+        assert!(
+            matches!(&e.kind, ExprKind::Cast { kind, .. } if kind == "functional"),
+            "functional cast"
+        );
+    }
+
+    #[test]
+    fn brace_init_with_type() {
+        let e = expr("lambda_functor{x, j, y}");
+        match e.kind {
+            ExprKind::BraceInit { ty, args } => {
+                assert_eq!(ty.unwrap().to_string(), "lambda_functor");
+                assert_eq!(args.len(), 3);
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conditional_expression() {
+        let e = expr("a ? b : c");
+        assert!(matches!(e.kind, ExprKind::Conditional { .. }));
+    }
+
+    #[test]
+    fn qualified_call() {
+        let e = expr("Kokkos::parallel_for(range, body)");
+        match e.kind {
+            ExprKind::Call { callee, .. } => {
+                assert_eq!(callee.as_name().unwrap().key(), "Kokkos::parallel_for");
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subscript_and_postincrement() {
+        let e = expr("v[i]++");
+        assert!(matches!(
+            e.kind,
+            ExprKind::Unary {
+                op: UnaryOp::PostInc,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn sizeof_expr() {
+        let e = expr("sizeof(int)");
+        assert!(matches!(e.kind, ExprKind::Sizeof(s) if s == "int"));
+    }
+
+    #[test]
+    fn address_of_and_logical() {
+        let e = expr("&x != nullptr && !done");
+        assert!(matches!(
+            e.kind,
+            ExprKind::Binary {
+                op: BinaryOp::And,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn stream_output_chain() {
+        let e = expr("std::cout << x << 2");
+        assert!(matches!(
+            e.kind,
+            ExprKind::Binary {
+                op: BinaryOp::Shl,
+                ..
+            }
+        ));
+    }
+}

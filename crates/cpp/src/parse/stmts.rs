@@ -1,0 +1,509 @@
+//! Statement parsing.
+
+use crate::ast::{Block, Expr, ExprKind, ForInit, Stmt, StmtKind, Type, TypeKind, VarDecl};
+use crate::error::Result;
+use crate::lex::{Punct, TokenKind};
+use crate::parse::Parser;
+
+impl Parser {
+    /// Parses a `{ ... }` block.
+    pub(crate) fn parse_block(&mut self) -> Result<Block> {
+        self.enter_depth()?;
+        let result = self.parse_block_inner();
+        self.leave_depth();
+        result
+    }
+
+    fn parse_block_inner(&mut self) -> Result<Block> {
+        let start = self.expect_punct(Punct::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.check_punct(Punct::RBrace) {
+            if self.at_eof() {
+                return Err(self.err("unterminated block"));
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        let end = self.expect_punct(Punct::RBrace)?;
+        Ok(Block {
+            stmts,
+            span: start.to(end),
+        })
+    }
+
+    /// Parses one statement.
+    pub(crate) fn parse_stmt(&mut self) -> Result<Stmt> {
+        let start = self.span();
+        if self.check_punct(Punct::LBrace) {
+            let block = self.parse_block()?;
+            let span = block.span;
+            return Ok(Stmt::new(StmtKind::Block(block), span));
+        }
+        if self.eat_punct(Punct::Semi) {
+            return Ok(Stmt::new(StmtKind::Empty, start));
+        }
+        if self.check_kw("if") {
+            return self.parse_if();
+        }
+        if self.check_kw("for") {
+            return self.parse_for();
+        }
+        if self.check_kw("while") {
+            self.bump();
+            self.expect_punct(Punct::LParen)?;
+            let cond = self.parse_expr()?;
+            self.expect_punct(Punct::RParen)?;
+            let body = self.parse_stmt()?;
+            let span = start.to(body.span);
+            return Ok(Stmt::new(
+                StmtKind::While {
+                    cond,
+                    body: Box::new(body),
+                },
+                span,
+            ));
+        }
+        if self.check_kw("do") {
+            self.bump();
+            let body = self.parse_stmt()?;
+            self.expect_kw("while")?;
+            self.expect_punct(Punct::LParen)?;
+            let cond = self.parse_expr()?;
+            self.expect_punct(Punct::RParen)?;
+            let end = self.expect_punct(Punct::Semi)?;
+            return Ok(Stmt::new(
+                StmtKind::DoWhile {
+                    body: Box::new(body),
+                    cond,
+                },
+                start.to(end),
+            ));
+        }
+        if self.check_kw("return") {
+            self.bump();
+            let value = if self.check_punct(Punct::Semi) {
+                None
+            } else {
+                Some(self.parse_expr()?)
+            };
+            let end = self.expect_punct(Punct::Semi)?;
+            return Ok(Stmt::new(StmtKind::Return(value), start.to(end)));
+        }
+        if self.check_kw("break") {
+            self.bump();
+            let end = self.expect_punct(Punct::Semi)?;
+            return Ok(Stmt::new(StmtKind::Break, start.to(end)));
+        }
+        if self.check_kw("continue") {
+            self.bump();
+            let end = self.expect_punct(Punct::Semi)?;
+            return Ok(Stmt::new(StmtKind::Continue, start.to(end)));
+        }
+        // Declaration vs expression: try a declaration first, backtrack on
+        // failure.
+        if self.at_type_start() {
+            let save = self.save();
+            if let Some(var) = self.try_parse_var_decl()? {
+                let end = self.expect_punct(Punct::Semi)?;
+                return Ok(Stmt::new(StmtKind::Decl(var), start.to(end)));
+            }
+            self.restore(save);
+        }
+        let expr = self.parse_expr()?;
+        let end = self.expect_punct(Punct::Semi)?;
+        Ok(Stmt::new(StmtKind::Expr(expr), start.to(end)))
+    }
+
+    fn parse_if(&mut self) -> Result<Stmt> {
+        let start = self.expect_kw("if")?;
+        self.expect_punct(Punct::LParen)?;
+        let cond = self.parse_expr()?;
+        self.expect_punct(Punct::RParen)?;
+        let then_branch = self.parse_stmt()?;
+        let mut span = start.to(then_branch.span);
+        let else_branch = if self.eat_kw("else") {
+            let e = self.parse_stmt()?;
+            span = span.to(e.span);
+            Some(Box::new(e))
+        } else {
+            None
+        };
+        Ok(Stmt::new(
+            StmtKind::If {
+                cond,
+                then_branch: Box::new(then_branch),
+                else_branch,
+            },
+            span,
+        ))
+    }
+
+    fn parse_for(&mut self) -> Result<Stmt> {
+        let start = self.expect_kw("for")?;
+        self.expect_punct(Punct::LParen)?;
+        // Range-for detection: `type name : range`.
+        let save = self.save();
+        if self.at_type_start() {
+            if let Ok(ty) = self.parse_type() {
+                if let TokenKind::Ident(name) = self.peek().kind.clone() {
+                    self.bump();
+                    if self.eat_punct(Punct::Colon) {
+                        let range = self.parse_expr()?;
+                        self.expect_punct(Punct::RParen)?;
+                        let body = self.parse_stmt()?;
+                        let span = start.to(body.span);
+                        return Ok(Stmt::new(
+                            StmtKind::RangeFor {
+                                var: VarDecl {
+                                    ty,
+                                    name,
+                                    is_static: false,
+                                    is_constexpr: false,
+                                    init: None,
+                                    brace_init: false,
+                                },
+                                range,
+                                body: Box::new(body),
+                            },
+                            span,
+                        ));
+                    }
+                }
+            }
+            self.restore(save);
+        }
+        // Classic for.
+        let init = if self.eat_punct(Punct::Semi) {
+            ForInit::Empty
+        } else if self.at_type_start() {
+            let save = self.save();
+            match self.try_parse_var_decl()? {
+                Some(var) => {
+                    self.expect_punct(Punct::Semi)?;
+                    ForInit::Decl(var)
+                }
+                None => {
+                    self.restore(save);
+                    let e = self.parse_expr()?;
+                    self.expect_punct(Punct::Semi)?;
+                    ForInit::Expr(e)
+                }
+            }
+        } else {
+            let e = self.parse_expr()?;
+            self.expect_punct(Punct::Semi)?;
+            ForInit::Expr(e)
+        };
+        let cond = if self.check_punct(Punct::Semi) {
+            None
+        } else {
+            Some(self.parse_expr()?)
+        };
+        self.expect_punct(Punct::Semi)?;
+        let inc = if self.check_punct(Punct::RParen) {
+            None
+        } else {
+            Some(self.parse_expr()?)
+        };
+        self.expect_punct(Punct::RParen)?;
+        let body = self.parse_stmt()?;
+        let span = start.to(body.span);
+        Ok(Stmt::new(
+            StmtKind::For {
+                init: Box::new(init),
+                cond,
+                inc,
+                body: Box::new(body),
+            },
+            span,
+        ))
+    }
+
+    /// Attempts to parse `type name ( = expr | {args} | (args) )?`.
+    /// Returns `Ok(None)` (cursor moved; caller restores) when the shape
+    /// does not match a declaration.
+    pub(crate) fn try_parse_var_decl(&mut self) -> Result<Option<VarDecl>> {
+        let mut is_static = false;
+        let mut is_constexpr = false;
+        loop {
+            if self.eat_kw("static") {
+                is_static = true;
+            } else if self.eat_kw("constexpr") {
+                is_constexpr = true;
+            } else {
+                break;
+            }
+        }
+        let mut ty = match self.parse_type() {
+            Ok(t) => t,
+            Err(_) => return Ok(None),
+        };
+        let name = match &self.peek().kind {
+            TokenKind::Ident(n) if super::types_allows_decl_name(n) => {
+                let n = n.clone();
+                self.bump();
+                n
+            }
+            _ => return Ok(None),
+        };
+        // Array suffix.
+        while self.check_punct(Punct::LBracket) {
+            self.bump();
+            let len = match &self.peek().kind {
+                TokenKind::Int(v) => {
+                    let v = *v as u64;
+                    self.bump();
+                    Some(v)
+                }
+                TokenKind::Punct(Punct::RBracket) => None,
+                _ => {
+                    // Non-constant length: treat as unsized.
+                    self.skip_until_top_level(&[]);
+                    None
+                }
+            };
+            self.expect_punct(Punct::RBracket)?;
+            ty = Type::new(TypeKind::Array(Box::new(ty), len));
+        }
+        // Initializer.
+        if self.eat_punct(Punct::Eq) {
+            let init = self.parse_expr()?;
+            if !self.check_punct(Punct::Semi) && !self.check_punct(Punct::Comma) {
+                return Ok(None);
+            }
+            return Ok(Some(VarDecl {
+                ty,
+                name,
+                is_static,
+                is_constexpr,
+                init: Some(init),
+                brace_init: false,
+            }));
+        }
+        if self.check_punct(Punct::LBrace) {
+            let start = self.span();
+            self.bump();
+            let args = self.parse_call_args()?;
+            let end = self.expect_punct(Punct::RBrace)?;
+            let init = Expr::new(
+                ExprKind::BraceInit {
+                    ty: Some(ty.clone()),
+                    args,
+                },
+                start.to(end),
+            );
+            return Ok(Some(VarDecl {
+                ty,
+                name,
+                is_static,
+                is_constexpr,
+                init: Some(init),
+                brace_init: true,
+            }));
+        }
+        if self.check_punct(Punct::LParen) {
+            // Direct initialization `T x(args);` — only when followed by `;`.
+            let save = self.save();
+            self.bump();
+            let args = match self.parse_call_args() {
+                Ok(a) => a,
+                Err(_) => {
+                    self.restore(save);
+                    return Ok(None);
+                }
+            };
+            if !self.check_punct(Punct::RParen) {
+                self.restore(save);
+                return Ok(None);
+            }
+            let end = self.bump().span;
+            if !self.check_punct(Punct::Semi) {
+                self.restore(save);
+                return Ok(None);
+            }
+            let init = Expr::new(
+                ExprKind::BraceInit {
+                    ty: Some(ty.clone()),
+                    args,
+                },
+                end,
+            );
+            return Ok(Some(VarDecl {
+                ty,
+                name,
+                is_static,
+                is_constexpr,
+                init: Some(init),
+                brace_init: false,
+            }));
+        }
+        if self.check_punct(Punct::Semi) || self.check_punct(Punct::Comma) {
+            return Ok(Some(VarDecl {
+                ty,
+                name,
+                is_static,
+                is_constexpr,
+                init: None,
+                brace_init: false,
+            }));
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::Parser;
+
+    fn block(src: &str) -> Block {
+        let toks = crate::lex::lex_str(src).unwrap();
+        let mut p = Parser::new(toks);
+        let b = p.parse_block().unwrap();
+        assert!(p.at_eof(), "leftover input");
+        b
+    }
+
+    #[test]
+    fn kernel_body_from_figure_3() {
+        let b = block(
+            "{ int j = m.league_rank(); Kokkos::parallel_for(Kokkos::TeamThreadRange(m, 5), [&](int i) { x(j, i) += y; }); }",
+        );
+        assert_eq!(b.stmts.len(), 2);
+        assert!(matches!(b.stmts[0].kind, StmtKind::Decl(_)));
+        assert!(matches!(b.stmts[1].kind, StmtKind::Expr(_)));
+    }
+
+    #[test]
+    fn classic_for_loop() {
+        let b = block("{ for (int i = 0; i < m; i++) { acc += v[i]; } }");
+        match &b.stmts[0].kind {
+            StmtKind::For { init, cond, inc, .. } => {
+                assert!(matches!(init.as_ref(), ForInit::Decl(_)));
+                assert!(cond.is_some());
+                assert!(inc.is_some());
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_with_this_member_bound() {
+        // From the paper's Figure 9a: for (i = 0; i < this->M; i++)
+        let b = block("{ int i = 0; for (i = 0; i < this->M; i++) { t += A(j, i) * x(i); } }");
+        assert_eq!(b.stmts.len(), 2);
+        match &b.stmts[1].kind {
+            StmtKind::For { init, .. } => assert!(matches!(init.as_ref(), ForInit::Expr(_))),
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn range_for() {
+        let b = block("{ for (int v : values) { total += v; } }");
+        assert!(matches!(b.stmts[0].kind, StmtKind::RangeFor { .. }));
+    }
+
+    #[test]
+    fn if_else_chain() {
+        let b = block("{ if (a) { x = 1; } else if (b) y = 2; else { z = 3; } }");
+        match &b.stmts[0].kind {
+            StmtKind::If { else_branch, .. } => {
+                assert!(else_branch.is_some());
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn while_and_do_while() {
+        let b = block("{ while (x < 10) x++; do { x--; } while (x > 0); }");
+        assert!(matches!(b.stmts[0].kind, StmtKind::While { .. }));
+        assert!(matches!(b.stmts[1].kind, StmtKind::DoWhile { .. }));
+    }
+
+    #[test]
+    fn declarations_with_initializers() {
+        let b = block("{ int a; int b = 2; double c{3.5}; auto d = b; }");
+        assert_eq!(b.stmts.len(), 4);
+        for s in &b.stmts {
+            assert!(matches!(s.kind, StmtKind::Decl(_)), "{s:?}");
+        }
+        match &b.stmts[2].kind {
+            StmtKind::Decl(v) => assert!(v.brace_init),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn pointer_declaration_vs_multiplication() {
+        // `View* v;` is a decl. Bare `a * b;` is *also* a declaration by
+        // C++'s disambiguation rule (a statement that can be a declaration
+        // is one) — our grammar-only parser agrees. An actual
+        // multiplication must appear in expression position.
+        let b = block("{ View* v; a * b; c = a * b; }");
+        assert!(matches!(b.stmts[0].kind, StmtKind::Decl(_)));
+        assert!(matches!(b.stmts[1].kind, StmtKind::Decl(_)));
+        assert!(matches!(b.stmts[2].kind, StmtKind::Expr(_)));
+    }
+
+    #[test]
+    fn templated_local_declaration() {
+        let b = block("{ Kokkos::View<int**, Kokkos::LayoutRight> x; }");
+        match &b.stmts[0].kind {
+            StmtKind::Decl(v) => {
+                assert_eq!(v.ty.to_string(), "Kokkos::View<int**, Kokkos::LayoutRight>");
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_declaration() {
+        let b = block("{ int buf[16]; double grid[4][4]; }");
+        match &b.stmts[0].kind {
+            StmtKind::Decl(v) => assert_eq!(v.ty.to_string(), "int[16]"),
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn return_forms() {
+        let b = block("{ return; }");
+        assert!(matches!(b.stmts[0].kind, StmtKind::Return(None)));
+        let b = block("{ return x + 1; }");
+        assert!(matches!(b.stmts[0].kind, StmtKind::Return(Some(_))));
+    }
+
+    #[test]
+    fn direct_initialization() {
+        let b = block("{ Timer t(5); }");
+        match &b.stmts[0].kind {
+            StmtKind::Decl(v) => {
+                assert_eq!(v.name, "t");
+                assert!(v.init.is_some());
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn method_call_statement_not_decl() {
+        let b = block("{ obj.run(); helper(x); }");
+        assert!(matches!(b.stmts[0].kind, StmtKind::Expr(_)));
+        assert!(matches!(b.stmts[1].kind, StmtKind::Expr(_)));
+    }
+
+    #[test]
+    fn nested_blocks_and_empty_stmt() {
+        let b = block("{ ; { int x; } }");
+        assert!(matches!(b.stmts[0].kind, StmtKind::Empty));
+        assert!(matches!(b.stmts[1].kind, StmtKind::Block(_)));
+    }
+
+    #[test]
+    fn unterminated_block_is_error() {
+        let toks = crate::lex::lex_str("{ int x;").unwrap();
+        let mut p = Parser::new(toks);
+        assert!(p.parse_block().is_err());
+    }
+}

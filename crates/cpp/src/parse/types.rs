@@ -1,0 +1,389 @@
+//! Type and qualified-name parsing.
+
+use crate::ast::{Builtin, NameSeg, QualName, TemplateArg, Type};
+use crate::error::Result;
+use crate::lex::{Punct, TokenKind};
+use crate::parse::Parser;
+
+impl Parser {
+    /// True if the upcoming tokens can plausibly start a type.
+    pub(crate) fn at_type_start(&self) -> bool {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                is_builtin_start(s)
+                    || matches!(s.as_str(), "const" | "volatile" | "typename" | "auto")
+                    || is_plain_ident(s)
+            }
+            TokenKind::Punct(Punct::ColonColon) => true,
+            _ => false,
+        }
+    }
+
+    /// Parses a type: cv-qualifiers, a core (builtin or qualified name),
+    /// then `*`/`&`/`&&` suffixes with interleaved `const`.
+    pub(crate) fn parse_type(&mut self) -> Result<Type> {
+        let mut is_const = false;
+        let mut is_volatile = false;
+        loop {
+            if self.eat_kw("const") {
+                is_const = true;
+            } else if self.eat_kw("volatile") {
+                is_volatile = true;
+            } else if self.eat_kw("typename") || self.eat_kw("struct") || self.eat_kw("class") {
+                // Elaborated type specifier / dependent-name keyword: the
+                // type that follows is what matters.
+            } else {
+                break;
+            }
+        }
+        let mut ty = self.parse_core_type()?;
+        ty.is_const |= is_const;
+        ty.is_volatile |= is_volatile;
+        loop {
+            if self.eat_punct(Punct::Star) {
+                ty = Type::pointer(ty);
+                while self.eat_kw("const") {
+                    ty.is_const = true;
+                }
+                while self.eat_kw("volatile") {
+                    ty.is_volatile = true;
+                }
+            } else if self.eat_punct(Punct::Amp) {
+                ty = Type::lvalue_ref(ty);
+            } else if self.eat_punct(Punct::AmpAmp) {
+                ty = Type::rvalue_ref(ty);
+            } else if self.eat_kw("const") {
+                // Trailing const (east const): `int const`.
+                ty.is_const = true;
+            } else {
+                break;
+            }
+        }
+        Ok(ty)
+    }
+
+    fn parse_core_type(&mut self) -> Result<Type> {
+        if let TokenKind::Ident(s) = &self.peek().kind {
+            if is_builtin_start(s) {
+                return self.parse_builtin();
+            }
+            if s == "auto" {
+                self.bump();
+                return Ok(Type::builtin(Builtin::Auto));
+            }
+        }
+        let name = self.parse_qual_name(true)?;
+        Ok(Type::named(name))
+    }
+
+    fn parse_builtin(&mut self) -> Result<Type> {
+        let mut unsigned = false;
+        let mut signed = false;
+        let mut longs = 0u8;
+        let mut short = false;
+        let mut base: Option<&'static str> = None;
+        while let TokenKind::Ident(word) = &self.peek().kind {
+            let word = word.clone();
+            match word.as_str() {
+                "unsigned" => unsigned = true,
+                "signed" => signed = true,
+                "long" => longs += 1,
+                "short" => short = true,
+                "int" => base = Some("int"),
+                "char" => base = Some("char"),
+                "bool" => base = Some("bool"),
+                "float" => base = Some("float"),
+                "double" => base = Some("double"),
+                "void" => base = Some("void"),
+                "size_t" => base = Some("size_t"),
+                _ => break,
+            }
+            self.bump();
+        }
+        let _ = signed;
+        let b = match (base, unsigned, longs, short) {
+            (Some("void"), ..) => Builtin::Void,
+            (Some("bool"), ..) => Builtin::Bool,
+            (Some("float"), ..) => Builtin::Float,
+            (Some("double"), _, 0, _) => Builtin::Double,
+            (Some("double"), _, _, _) => Builtin::Double,
+            (Some("size_t"), ..) => Builtin::SizeT,
+            (Some("char"), true, ..) => Builtin::UChar,
+            (Some("char"), false, ..) => Builtin::Char,
+            (_, u, _, true) => {
+                if u {
+                    Builtin::UShort
+                } else {
+                    Builtin::Short
+                }
+            }
+            (_, u, 2, _) => {
+                if u {
+                    Builtin::ULongLong
+                } else {
+                    Builtin::LongLong
+                }
+            }
+            (_, u, 1, _) => {
+                if u {
+                    Builtin::ULong
+                } else {
+                    Builtin::Long
+                }
+            }
+            (Some("int") | None, true, 0, false) => Builtin::UInt,
+            _ => Builtin::Int,
+        };
+        Ok(Type::builtin(b))
+    }
+
+    /// Parses a (possibly `::`-qualified) name. When `allow_args` is true,
+    /// `<...>` after a segment is parsed as template arguments — used in
+    /// type context. In expression context use
+    /// [`Parser::parse_qual_name_speculative_args`] instead.
+    pub(crate) fn parse_qual_name(&mut self, allow_args: bool) -> Result<QualName> {
+        let global = self.eat_punct(Punct::ColonColon);
+        let mut segs = Vec::new();
+        loop {
+            let (ident, _) = self.ident()?;
+            let args = if allow_args && self.check_punct(Punct::Lt) {
+                Some(self.parse_template_args()?)
+            } else {
+                None
+            };
+            segs.push(NameSeg { ident, args });
+            if self.check_punct(Punct::ColonColon)
+                && matches!(self.peek_at(1).kind, TokenKind::Ident(_))
+            {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(QualName { global, segs })
+    }
+
+    /// Parses `<arg, arg, ...>` including the closing `>`.
+    pub(crate) fn parse_template_args(&mut self) -> Result<Vec<TemplateArg>> {
+        self.enter_depth()?;
+        let result = self.parse_template_args_inner();
+        self.leave_depth();
+        result
+    }
+
+    fn parse_template_args_inner(&mut self) -> Result<Vec<TemplateArg>> {
+        self.expect_punct(Punct::Lt)?;
+        let mut args = Vec::new();
+        if self.eat_punct(Punct::Gt) {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.parse_template_arg()?);
+            if self.eat_punct(Punct::Comma) {
+                continue;
+            }
+            self.expect_punct(Punct::Gt)?;
+            break;
+        }
+        Ok(args)
+    }
+
+    fn parse_template_arg(&mut self) -> Result<TemplateArg> {
+        // Try a type first; if the type parse succeeds but is not followed
+        // by `,`, `>`, or `...`, it was actually an expression.
+        let save = self.save();
+        if self.at_type_start() {
+            if let Ok(ty) = self.parse_type() {
+                if self.check_punct(Punct::Comma) || self.check_punct(Punct::Gt) {
+                    return Ok(TemplateArg::Type(ty));
+                }
+                if self.eat_punct(Punct::Ellipsis) {
+                    return Ok(TemplateArg::Pack(ty.to_string()));
+                }
+            }
+            self.restore(save);
+        }
+        // Value argument: consume tokens until `,` or `>` at depth 0
+        // (tracking `<` nesting as well).
+        let from = self.save();
+        let mut angle = 0i32;
+        let mut depth = 0i32;
+        loop {
+            match &self.peek().kind {
+                TokenKind::Eof => break,
+                TokenKind::Punct(Punct::Lt) => {
+                    angle += 1;
+                    self.bump();
+                }
+                TokenKind::Punct(Punct::Gt) => {
+                    if angle == 0 && depth == 0 {
+                        break;
+                    }
+                    angle -= 1;
+                    self.bump();
+                }
+                TokenKind::Punct(Punct::Comma) if angle == 0 && depth == 0 => break,
+                TokenKind::Punct(Punct::LParen | Punct::LBrace | Punct::LBracket) => {
+                    depth += 1;
+                    self.bump();
+                }
+                TokenKind::Punct(Punct::RParen | Punct::RBrace | Punct::RBracket) => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                    self.bump();
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        let text = self.render_range(from, self.save());
+        if text.is_empty() {
+            return Err(self.err("expected template argument"));
+        }
+        Ok(TemplateArg::Value(text))
+    }
+}
+
+fn is_builtin_start(s: &str) -> bool {
+    matches!(
+        s,
+        "void"
+            | "bool"
+            | "char"
+            | "short"
+            | "int"
+            | "long"
+            | "float"
+            | "double"
+            | "unsigned"
+            | "signed"
+            | "size_t"
+    )
+}
+
+fn is_plain_ident(s: &str) -> bool {
+    // Keywords that can never start a type.
+    !matches!(
+        s,
+        "return"
+            | "if"
+            | "else"
+            | "for"
+            | "while"
+            | "do"
+            | "break"
+            | "continue"
+            | "new"
+            | "delete"
+            | "this"
+            | "true"
+            | "false"
+            | "nullptr"
+            | "sizeof"
+            | "operator"
+            | "template"
+            | "namespace"
+            | "using"
+            | "typedef"
+            | "public"
+            | "private"
+            | "protected"
+            | "static_assert"
+            | "case"
+            | "switch"
+            | "default"
+            | "enum"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::Parser;
+
+    fn parse_type_str(src: &str) -> Type {
+        let toks = crate::lex::lex_str(src).unwrap();
+        let mut p = Parser::new(toks);
+        p.parse_type().unwrap()
+    }
+
+    #[test]
+    fn builtins() {
+        assert_eq!(parse_type_str("int").to_string(), "int");
+        assert_eq!(parse_type_str("unsigned int").to_string(), "unsigned int");
+        assert_eq!(parse_type_str("unsigned").to_string(), "unsigned int");
+        assert_eq!(parse_type_str("long long").to_string(), "long long");
+        assert_eq!(parse_type_str("unsigned long").to_string(), "unsigned long");
+        assert_eq!(parse_type_str("void").to_string(), "void");
+        assert_eq!(parse_type_str("size_t").to_string(), "size_t");
+    }
+
+    #[test]
+    fn cv_and_indirection() {
+        assert_eq!(parse_type_str("const int&").to_string(), "const int&");
+        assert_eq!(parse_type_str("int const").to_string(), "const int");
+        assert_eq!(parse_type_str("int**").to_string(), "int**");
+        assert_eq!(parse_type_str("int&&").to_string(), "int&&");
+        assert_eq!(
+            parse_type_str("const char* const").to_string(),
+            "const const char*"
+        );
+    }
+
+    #[test]
+    fn named_with_namespace() {
+        let t = parse_type_str("Kokkos::OpenMP");
+        assert_eq!(t.core_name().unwrap().key(), "Kokkos::OpenMP");
+    }
+
+    #[test]
+    fn templated_name() {
+        let t = parse_type_str("Kokkos::View<int**, Kokkos::LayoutRight>");
+        assert_eq!(t.to_string(), "Kokkos::View<int**, Kokkos::LayoutRight>");
+    }
+
+    #[test]
+    fn nested_template_closers() {
+        let t = parse_type_str("std::vector<std::vector<int>>");
+        assert_eq!(t.to_string(), "std::vector<std::vector<int>>");
+    }
+
+    #[test]
+    fn template_member_type() {
+        let t = parse_type_str("Kokkos::TeamPolicy<sp_t>::member_type");
+        let name = t.core_name().unwrap();
+        assert_eq!(name.key(), "Kokkos::TeamPolicy::member_type");
+        assert_eq!(name.segs[1].args.as_ref().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn value_template_args() {
+        let t = parse_type_str("Array<double, 3>");
+        assert_eq!(t.to_string(), "Array<double, 3>");
+        match &t.core_name().unwrap().segs[0].args.as_ref().unwrap()[1] {
+            TemplateArg::Value(v) => assert_eq!(v, "3"),
+            other => panic!("expected value arg, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn typename_keyword_is_transparent() {
+        let t = parse_type_str("typename T::value_type");
+        assert_eq!(t.core_name().unwrap().key(), "T::value_type");
+    }
+
+    #[test]
+    fn empty_template_args() {
+        let t = parse_type_str("Foo<>");
+        assert_eq!(t.to_string(), "Foo<>");
+    }
+
+    #[test]
+    fn global_qualification() {
+        let t = parse_type_str("::Kokkos::View<int>");
+        assert!(t.core_name().unwrap().global);
+    }
+}

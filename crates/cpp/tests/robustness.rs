@@ -1,0 +1,149 @@
+//! Failure-injection and robustness tests for the frontend: hostile or
+//! degenerate inputs must produce structured errors, never panics, and
+//! resource limits must hold.
+
+use yalla_cpp::frontend::Frontend;
+use yalla_cpp::parse::parse_str;
+use yalla_cpp::vfs::Vfs;
+
+#[test]
+fn deep_include_chain_within_limit_works() {
+    let mut vfs = Vfs::new();
+    for i in 0..150 {
+        let body = if i == 149 {
+            "int bottom;\n".to_string()
+        } else {
+            format!("#include <h{}.hpp>\n", i + 1)
+        };
+        vfs.add_file(&format!("h{i}.hpp"), format!("#pragma once\n{body}"));
+    }
+    vfs.add_file("main.cpp", "#include <h0.hpp>\n");
+    let fe = Frontend::new(vfs);
+    let tu = fe.parse_translation_unit("main.cpp").unwrap();
+    assert_eq!(tu.stats.header_count(), 150);
+}
+
+#[test]
+fn include_depth_limit_stops_self_inclusion() {
+    let mut vfs = Vfs::new();
+    // No guard: includes itself forever.
+    vfs.add_file("loop.hpp", "#include <loop.hpp>\n");
+    vfs.add_file("main.cpp", "#include <loop.hpp>\n");
+    let fe = Frontend::new(vfs);
+    let err = fe.parse_translation_unit("main.cpp").unwrap_err();
+    assert!(err.to_string().contains("cycle"), "{err}");
+}
+
+#[test]
+fn unbalanced_everything_is_an_error() {
+    for src in [
+        "namespace N {",
+        "class C { public:",
+        "int f() { if (x) {",
+        "template <typename T",
+        "enum E { A,",
+        "int x = (1 + (2;",
+        "void f(int a,,int b);",
+    ] {
+        assert!(parse_str(src).is_err(), "should fail: {src}");
+    }
+}
+
+#[test]
+fn deeply_nested_expressions_do_not_overflow() {
+    // 40 levels of parens parse fine...
+    let mut expr = String::from("1");
+    for _ in 0..40 {
+        expr = format!("({expr})");
+    }
+    let tu = parse_str(&format!("int x = {expr};")).unwrap();
+    assert_eq!(tu.decls.len(), 1);
+    // ...while pathological nesting is rejected with a structured error
+    // instead of blowing the stack.
+    let mut bomb = String::from("1");
+    for _ in 0..10_000 {
+        bomb = format!("({bomb})");
+    }
+    let err = parse_str(&format!("int x = {bomb};")).unwrap_err();
+    assert!(err.to_string().contains("nested too deeply"), "{err}");
+}
+
+#[test]
+fn deeply_nested_template_args_parse() {
+    let mut ty = String::from("int");
+    for _ in 0..40 {
+        ty = format!("Box<{ty}>");
+    }
+    let tu = parse_str(&format!("{ty} x;")).unwrap();
+    assert_eq!(tu.decls.len(), 1);
+}
+
+#[test]
+fn many_small_declarations_scale_linearly_enough() {
+    let mut src = String::new();
+    for i in 0..20_000 {
+        src.push_str(&format!("inline int f{i}(int v) {{ return v + {i}; }}\n"));
+    }
+    let start = std::time::Instant::now();
+    let tu = parse_str(&src).unwrap();
+    assert_eq!(tu.decls.len(), 20_000);
+    // Generous bound: even debug builds parse 20k functions in seconds.
+    assert!(start.elapsed().as_secs() < 30);
+}
+
+#[test]
+fn macro_bomb_is_bounded_by_recursion_guard() {
+    // Self-referential macros must not blow up (C-standard behaviour:
+    // painted-blue names stop expanding).
+    let mut vfs = Vfs::new();
+    vfs.add_file(
+        "m.cpp",
+        "#define A B B\n#define B A A\nint x = A;\n",
+    );
+    let fe = Frontend::new(vfs);
+    // Parse may fail (the expansion is `B B` etc., not valid C++ in this
+    // position is fine) but must return quickly and without a panic.
+    let _ = fe.parse_translation_unit("m.cpp");
+}
+
+#[test]
+fn empty_and_whitespace_files() {
+    for text in ["", "\n\n\n", "   \t  ", "// only a comment\n", "/* block */"] {
+        let mut vfs = Vfs::new();
+        vfs.add_file("e.cpp", text);
+        let fe = Frontend::new(vfs);
+        let tu = fe.parse_translation_unit("e.cpp").unwrap();
+        assert!(tu.ast.decls.is_empty());
+    }
+}
+
+#[test]
+fn non_ascii_content_in_strings_and_comments() {
+    let tu = parse_str("// héllo wörld 🎉\nconst char* s = \"ünïcode\";\n").unwrap();
+    assert_eq!(tu.decls.len(), 1);
+}
+
+#[test]
+fn conditional_stack_abuse() {
+    let mut src = String::new();
+    for _ in 0..64 {
+        src.push_str("#if 1\n");
+    }
+    src.push_str("int x;\n");
+    for _ in 0..64 {
+        src.push_str("#endif\n");
+    }
+    let mut vfs = Vfs::new();
+    vfs.add_file("c.cpp", src);
+    let fe = Frontend::new(vfs);
+    let tu = fe.parse_translation_unit("c.cpp").unwrap();
+    assert_eq!(tu.ast.decls.len(), 1);
+}
+
+#[test]
+fn stray_endif_is_an_error() {
+    let mut vfs = Vfs::new();
+    vfs.add_file("c.cpp", "#endif\nint x;\n");
+    let fe = Frontend::new(vfs);
+    assert!(fe.parse_translation_unit("c.cpp").is_err());
+}

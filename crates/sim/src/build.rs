@@ -1,0 +1,129 @@
+//! Convenience build drivers: measure + cost in one call.
+
+use yalla_cpp::vfs::Vfs;
+use yalla_cpp::Result;
+
+use crate::cost::CompilerProfile;
+use crate::link::ObjectFile;
+use crate::pch::PchFile;
+use crate::phases::PhaseBreakdown;
+use crate::tu::{measure_tu, TuWork};
+
+/// The outcome of compiling one translation unit.
+#[derive(Debug, Clone, Copy)]
+pub struct CompiledTu {
+    /// Per-phase virtual times.
+    pub phases: PhaseBreakdown,
+    /// The object file produced (for linking).
+    pub object: ObjectFile,
+    /// The measured work (for reporting).
+    pub work: TuWork,
+}
+
+fn object_of(work: &TuWork) -> ObjectFile {
+    ObjectFile {
+        code_stmts: work.backend_stmts(),
+        symbols: work.decls / 4 + 1,
+    }
+}
+
+/// Measures and compiles `main` with no PCH.
+///
+/// # Errors
+///
+/// Propagates frontend errors.
+pub fn compile_default(
+    vfs: &Vfs,
+    main: &str,
+    profile: &CompilerProfile,
+    defines: &[(String, String)],
+) -> Result<CompiledTu> {
+    let work = measure_tu(vfs, main, defines)?;
+    Ok(CompiledTu {
+        phases: profile.compile(&work),
+        object: object_of(&work),
+        work,
+    })
+}
+
+/// Builds a PCH for `headers` (a synthetic TU that includes each of them,
+/// the way real projects precompile a common prefix header).
+///
+/// # Errors
+///
+/// Propagates frontend errors.
+pub fn build_pch(
+    vfs: &Vfs,
+    headers: &[&str],
+    profile: &CompilerProfile,
+    defines: &[(String, String)],
+) -> Result<PchFile> {
+    let mut pch_vfs = vfs.clone();
+    let mut src = String::new();
+    for h in headers {
+        src.push_str(&format!("#include <{h}>\n"));
+    }
+    pch_vfs.add_file("__pch_prefix.hpp", src);
+    let work = measure_tu(&pch_vfs, "__pch_prefix.hpp", defines)?;
+    Ok(PchFile::build(profile, work))
+}
+
+/// Measures and compiles `main` using a previously built PCH.
+///
+/// # Errors
+///
+/// Propagates frontend errors.
+pub fn compile_using_pch(
+    vfs: &Vfs,
+    main: &str,
+    pch: &PchFile,
+    profile: &CompilerProfile,
+    defines: &[(String, String)],
+) -> Result<CompiledTu> {
+    let work = measure_tu(vfs, main, defines)?;
+    Ok(CompiledTu {
+        phases: pch.compile_using(profile, &work),
+        object: object_of(&work),
+        work,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_vfs() -> Vfs {
+        let mut vfs = Vfs::new();
+        let mut lib = String::from("#pragma once\nnamespace lib {\n");
+        for i in 0..150 {
+            lib.push_str(&format!("inline int f{i}(int v) {{ return v * {i}; }}\n"));
+        }
+        lib.push_str("}\n");
+        vfs.add_file("lib.hpp", lib);
+        vfs.add_file(
+            "main.cpp",
+            "#include <lib.hpp>\nint main() { return lib::f3(4); }\n",
+        );
+        vfs
+    }
+
+    #[test]
+    fn default_compile_produces_object() {
+        let c = compile_default(&test_vfs(), "main.cpp", &CompilerProfile::clang(), &[]).unwrap();
+        assert!(c.phases.total_ms() > 0.0);
+        assert!(c.object.code_stmts > 100);
+        assert_eq!(c.work.headers, 1);
+    }
+
+    #[test]
+    fn pch_speeds_up_frontend() {
+        let vfs = test_vfs();
+        let profile = CompilerProfile::clang();
+        let cold = compile_default(&vfs, "main.cpp", &profile, &[]).unwrap();
+        let pch = build_pch(&vfs, &["lib.hpp"], &profile, &[]).unwrap();
+        let warm = compile_using_pch(&vfs, "main.cpp", &pch, &profile, &[]).unwrap();
+        assert!(warm.phases.frontend_ms() < cold.phases.frontend_ms());
+        // Backend untouched by PCH (Fig. 7a).
+        assert!((warm.phases.backend_ms() - cold.phases.backend_ms()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,173 @@
+//! The local development cycle (paper Figure 1 / Figure 6 / Figure 8).
+//!
+//! One *iteration* of the cycle is: edit → recompile the user TU → link →
+//! run. The initial build additionally pays, under YALLA, the tool run and
+//! the wrappers compile (Figure 10); under PCH, the PCH build.
+
+use crate::cost::CompilerProfile;
+use crate::link::{link_ms, ObjectFile};
+use crate::phases::PhaseBreakdown;
+
+/// Simulated CPU frequency: cycles per virtual millisecond (3.6 GHz, the
+/// paper's i7-11700K base clock).
+pub const CYCLES_PER_MS: f64 = 3.6e6;
+
+/// Which build strategy a cycle uses (the x-axis families of Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BuildConfig {
+    /// Plain compile of everything.
+    Default,
+    /// Precompiled header for the expensive includes.
+    Pch,
+    /// Header Substitution.
+    Yalla,
+    /// Header Substitution with link-time optimization (§5.4 discussion).
+    YallaLto,
+}
+
+impl BuildConfig {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BuildConfig::Default => "default",
+            BuildConfig::Pch => "pch",
+            BuildConfig::Yalla => "yalla",
+            BuildConfig::YallaLto => "yalla+lto",
+        }
+    }
+}
+
+/// The timed pieces of one development-cycle iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleReport {
+    /// Which configuration.
+    pub config: BuildConfig,
+    /// User-TU compile time (step ④).
+    pub compile_ms: f64,
+    /// Link time (step ⑤).
+    pub link_ms: f64,
+    /// Run time of the rebuilt program.
+    pub run_ms: f64,
+    /// One-off costs paid before the first iteration (tool run, wrappers
+    /// compile, PCH build).
+    pub initial_extra_ms: f64,
+}
+
+impl CycleReport {
+    /// Time of one steady-state iteration (edit→compile→link→run).
+    pub fn iteration_ms(&self) -> f64 {
+        self.compile_ms + self.link_ms + self.run_ms
+    }
+
+    /// Time of the first build (includes one-off costs).
+    pub fn initial_ms(&self) -> f64 {
+        self.initial_extra_ms + self.iteration_ms()
+    }
+
+    /// Speedup of this configuration's steady-state iteration over
+    /// `baseline`'s.
+    pub fn speedup_over(&self, baseline: &CycleReport) -> f64 {
+        baseline.iteration_ms() / self.iteration_ms()
+    }
+}
+
+/// Builds [`CycleReport`]s from per-configuration measurements.
+#[derive(Debug, Clone, Copy)]
+pub struct DevCycleSim {
+    profile: CompilerProfile,
+}
+
+impl DevCycleSim {
+    /// Creates a simulator for `profile`.
+    pub fn new(profile: CompilerProfile) -> Self {
+        DevCycleSim { profile }
+    }
+
+    /// The profile in use.
+    pub fn profile(&self) -> &CompilerProfile {
+        &self.profile
+    }
+
+    /// Assembles one iteration's report.
+    ///
+    /// * `compile` — the user TU's phase times under this configuration;
+    /// * `objects` — every object linked into the executable (user TU
+    ///   object first; YALLA adds the wrappers object);
+    /// * `run_cycles` — dynamic cycles from the abstract machine;
+    /// * `initial_extra_ms` — one-off costs (tool, wrapper compile, PCH
+    ///   build) paid before the first iteration.
+    pub fn cycle(
+        &self,
+        config: BuildConfig,
+        compile: &PhaseBreakdown,
+        objects: &[ObjectFile],
+        run_cycles: u64,
+        initial_extra_ms: f64,
+    ) -> CycleReport {
+        let lto = config == BuildConfig::YallaLto;
+        CycleReport {
+            config,
+            compile_ms: compile.total_ms(),
+            link_ms: link_ms(&self.profile, objects, lto),
+            run_ms: run_cycles as f64 / CYCLES_PER_MS,
+            initial_extra_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakdown(total: f64) -> PhaseBreakdown {
+        PhaseBreakdown {
+            parse_sema_ms: total,
+            ..PhaseBreakdown::default()
+        }
+    }
+
+    #[test]
+    fn iteration_and_initial_totals() {
+        let sim = DevCycleSim::new(CompilerProfile::clang());
+        let r = sim.cycle(
+            BuildConfig::Yalla,
+            &breakdown(20.0),
+            &[ObjectFile {
+                code_stmts: 100,
+                symbols: 10,
+            }],
+            36_000_000, // 10 ms at 3.6 GHz
+            2_000.0,
+        );
+        assert!(r.iteration_ms() > 30.0);
+        assert!((r.run_ms - 10.0).abs() < 1e-9);
+        assert!(r.initial_ms() > 2_000.0);
+    }
+
+    #[test]
+    fn speedup_comparison() {
+        let sim = DevCycleSim::new(CompilerProfile::clang());
+        let slow = sim.cycle(BuildConfig::Default, &breakdown(650.0), &[], 0, 0.0);
+        let fast = sim.cycle(BuildConfig::Yalla, &breakdown(17.0), &[], 0, 0.0);
+        let s = fast.speedup_over(&slow);
+        assert!(s > 10.0, "{s}");
+    }
+
+    #[test]
+    fn lto_makes_linking_slower() {
+        let sim = DevCycleSim::new(CompilerProfile::clang());
+        let objs = [ObjectFile {
+            code_stmts: 10_000,
+            symbols: 500,
+        }];
+        let plain = sim.cycle(BuildConfig::Yalla, &breakdown(10.0), &objs, 0, 0.0);
+        let lto = sim.cycle(BuildConfig::YallaLto, &breakdown(10.0), &objs, 0, 0.0);
+        assert!(lto.link_ms > plain.link_ms * 2.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(BuildConfig::Default.label(), "default");
+        assert_eq!(BuildConfig::YallaLto.label(), "yalla+lto");
+    }
+}

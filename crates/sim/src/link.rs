@@ -1,0 +1,74 @@
+//! Link-time modeling, including the LTO trade-off of §5.4.
+
+use crate::cost::CompilerProfile;
+
+/// An object file produced by compiling one translation unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ObjectFile {
+    /// Statements that were code-generated into this object.
+    pub code_stmts: usize,
+    /// Exported symbols (functions + globals), for symbol-resolution cost.
+    pub symbols: usize,
+}
+
+/// Simulated link of `objects` into an executable. Returns milliseconds.
+///
+/// With `lto`, cross-TU optimization re-runs inlining and optimization
+/// over all code at link time — the paper found this recovers the lost
+/// run-time performance but costs too much wall-clock for the development
+/// cycle (§5.4).
+pub fn link_ms(profile: &CompilerProfile, objects: &[ObjectFile], lto: bool) -> f64 {
+    let stmts: usize = objects.iter().map(|o| o.code_stmts).sum();
+    let symbols: usize = objects.iter().map(|o| o.symbols).sum();
+    let mut ms = profile.link_base_ms
+        + stmts as f64 * profile.link_per_stmt_us / 1000.0
+        + symbols as f64 * 0.4 / 1000.0;
+    if lto {
+        ms += stmts as f64 * profile.lto_per_stmt_us / 1000.0;
+    }
+    ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linking_scales_with_objects() {
+        let p = CompilerProfile::clang();
+        let small = link_ms(
+            &p,
+            &[ObjectFile {
+                code_stmts: 10,
+                symbols: 5,
+            }],
+            false,
+        );
+        let large = link_ms(
+            &p,
+            &[
+                ObjectFile {
+                    code_stmts: 10_000,
+                    symbols: 900,
+                },
+                ObjectFile {
+                    code_stmts: 8_000,
+                    symbols: 700,
+                },
+            ],
+            false,
+        );
+        assert!(large > small);
+        assert!(small >= p.link_base_ms);
+    }
+
+    #[test]
+    fn lto_costs_more_than_plain_link() {
+        let p = CompilerProfile::clang();
+        let objs = [ObjectFile {
+            code_stmts: 5_000,
+            symbols: 300,
+        }];
+        assert!(link_ms(&p, &objs, true) > 2.0 * link_ms(&p, &objs, false));
+    }
+}

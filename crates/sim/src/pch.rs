@@ -1,0 +1,98 @@
+//! Precompiled-header modeling (§2.2, §5.3 of the paper).
+
+use crate::cost::CompilerProfile;
+use crate::phases::PhaseBreakdown;
+use crate::tu::TuWork;
+
+/// Approximate serialized AST size per preprocessed line (bytes). The
+/// paper (§6) notes PCH files reach "hundreds of megabytes" for its test
+/// subjects; real Clang PCHs for ~100k-line TUs are tens to hundreds of MB.
+const PCH_BYTES_PER_LINE: f64 = 900.0;
+
+/// A built precompiled header.
+#[derive(Debug, Clone, Copy)]
+pub struct PchFile {
+    /// The work the PCH covers (the header TU's own measurements).
+    pub work: TuWork,
+    /// Time spent building the PCH (a full frontend pass plus
+    /// serialization).
+    pub build: PhaseBreakdown,
+    /// Estimated on-disk size in bytes.
+    pub size_bytes: u64,
+}
+
+impl PchFile {
+    /// Builds a PCH for a header whose own TU measures `header_work`.
+    ///
+    /// Building costs a full frontend run (the header must be parsed) plus
+    /// a serialization pass; there is no backend work.
+    pub fn build(profile: &CompilerProfile, header_work: TuWork) -> PchFile {
+        let mut build = profile.compile(&header_work);
+        // No code is generated when producing a PCH.
+        build.optimize_ms = 0.0;
+        build.codegen_ms = 0.0;
+        // Serialization: proportional to AST size, comparable to the load
+        // cost.
+        build.parse_sema_ms +=
+            header_work.lines as f64 * profile.pch_load_per_line_us / 1000.0;
+        PchFile {
+            work: header_work,
+            build,
+            size_bytes: (header_work.lines as f64 * PCH_BYTES_PER_LINE) as u64,
+        }
+    }
+
+    /// Size in megabytes.
+    pub fn size_mb(&self) -> f64 {
+        self.size_bytes as f64 / 1e6
+    }
+
+    /// Simulates compiling `tu_work` using this PCH.
+    pub fn compile_using(&self, profile: &CompilerProfile, tu_work: &TuWork) -> PhaseBreakdown {
+        profile.compile_with_pch(tu_work, &self.work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header_work() -> TuWork {
+        TuWork {
+            lines: 111_000,
+            headers: 580,
+            tokens: 690_000,
+            instantiations: 200,
+            concrete_body_stmts: 1_000,
+            uninstantiated_template_stmts: 60_000,
+            ..TuWork::default()
+        }
+    }
+
+    #[test]
+    fn pch_build_has_no_backend() {
+        let pch = PchFile::build(&CompilerProfile::clang(), header_work());
+        assert_eq!(pch.build.backend_ms(), 0.0);
+        assert!(pch.build.frontend_ms() > 100.0);
+    }
+
+    #[test]
+    fn pch_size_is_large_for_big_headers() {
+        let pch = PchFile::build(&CompilerProfile::clang(), header_work());
+        // The paper notes hundreds of MB; our 111k-line header ⇒ ~100 MB.
+        assert!(pch.size_mb() > 50.0, "{}", pch.size_mb());
+    }
+
+    #[test]
+    fn compile_using_pch_is_faster_than_cold() {
+        let profile = CompilerProfile::clang();
+        let pch = PchFile::build(&profile, header_work());
+        let mut tu = header_work();
+        tu.lines += 200;
+        tu.tokens += 2_000;
+        tu.instantiations += 20;
+        let cold = profile.compile(&tu);
+        let warm = pch.compile_using(&profile, &tu);
+        assert!(warm.total_ms() < cold.total_ms() / 2.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Per-phase virtual timings.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Virtual milliseconds spent in each compiler phase for one translation
+/// unit (the granularity of the paper's Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseBreakdown {
+    /// Preprocessing (include resolution, macro expansion).
+    pub preprocess_ms: f64,
+    /// Lexing, parsing, semantic analysis — or PCH AST deserialization.
+    pub parse_sema_ms: f64,
+    /// Template instantiation.
+    pub instantiate_ms: f64,
+    /// Optimization passes.
+    pub optimize_ms: f64,
+    /// Machine-code generation.
+    pub codegen_ms: f64,
+}
+
+impl PhaseBreakdown {
+    /// Frontend time (preprocess + parse/sema + instantiation), matching
+    /// the paper's Clang `-ftime-trace` frontend bucket.
+    pub fn frontend_ms(&self) -> f64 {
+        self.preprocess_ms + self.parse_sema_ms + self.instantiate_ms
+    }
+
+    /// Backend time (optimization + codegen).
+    pub fn backend_ms(&self) -> f64 {
+        self.optimize_ms + self.codegen_ms
+    }
+
+    /// Total compile time for the TU.
+    pub fn total_ms(&self) -> f64 {
+        self.frontend_ms() + self.backend_ms()
+    }
+}
+
+impl Add for PhaseBreakdown {
+    type Output = PhaseBreakdown;
+    fn add(self, rhs: PhaseBreakdown) -> PhaseBreakdown {
+        PhaseBreakdown {
+            preprocess_ms: self.preprocess_ms + rhs.preprocess_ms,
+            parse_sema_ms: self.parse_sema_ms + rhs.parse_sema_ms,
+            instantiate_ms: self.instantiate_ms + rhs.instantiate_ms,
+            optimize_ms: self.optimize_ms + rhs.optimize_ms,
+            codegen_ms: self.codegen_ms + rhs.codegen_ms,
+        }
+    }
+}
+
+impl AddAssign for PhaseBreakdown {
+    fn add_assign(&mut self, rhs: PhaseBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for PhaseBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "frontend {:.1} ms (pp {:.1}, parse {:.1}, inst {:.1}) + backend {:.1} ms (opt {:.1}, cg {:.1}) = {:.1} ms",
+            self.frontend_ms(),
+            self.preprocess_ms,
+            self.parse_sema_ms,
+            self.instantiate_ms,
+            self.backend_ms(),
+            self.optimize_ms,
+            self.codegen_ms,
+            self.total_ms()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = PhaseBreakdown {
+            preprocess_ms: 1.0,
+            parse_sema_ms: 2.0,
+            instantiate_ms: 3.0,
+            optimize_ms: 4.0,
+            codegen_ms: 5.0,
+        };
+        assert_eq!(a.frontend_ms(), 6.0);
+        assert_eq!(a.backend_ms(), 9.0);
+        assert_eq!(a.total_ms(), 15.0);
+        let b = a + a;
+        assert_eq!(b.total_ms(), 30.0);
+        let mut c = a;
+        c += a;
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn display_mentions_all_phases() {
+        let s = PhaseBreakdown::default().to_string();
+        assert!(s.contains("frontend"));
+        assert!(s.contains("backend"));
+    }
+}

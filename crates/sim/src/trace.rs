@@ -1,0 +1,129 @@
+//! Chrome-trace output (`chrome://tracing`), matching the artifact's
+//! `results/traces/*.json` files (paper appendix A.6).
+
+use std::fmt::Write as _;
+
+use crate::phases::PhaseBreakdown;
+
+/// One complete ("X") trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (e.g. "Frontend").
+    pub name: String,
+    /// Category (e.g. "compile").
+    pub category: String,
+    /// Start, in virtual microseconds.
+    pub start_us: f64,
+    /// Duration, in virtual microseconds.
+    pub duration_us: f64,
+}
+
+/// A trace under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    cursor_us: f64,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event of `duration_us` at the current cursor and
+    /// advances the cursor.
+    pub fn push(&mut self, name: &str, category: &str, duration_us: f64) {
+        self.events.push(TraceEvent {
+            name: name.into(),
+            category: category.into(),
+            start_us: self.cursor_us,
+            duration_us,
+        });
+        self.cursor_us += duration_us;
+    }
+
+    /// Appends the standard frontend/backend events for one TU compile
+    /// (the layout the paper's trace JSONs show).
+    pub fn push_compile(&mut self, tu_name: &str, phases: &PhaseBreakdown) {
+        self.push(
+            &format!("{tu_name}: frontend"),
+            "compile",
+            phases.frontend_ms() * 1000.0,
+        );
+        self.push(
+            &format!("{tu_name}: backend"),
+            "compile",
+            phases.backend_ms() * 1000.0,
+        );
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Serializes to Chrome trace JSON (array-of-events form).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let _ = write!(
+                out,
+                "  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {:.1}, \"dur\": {:.1}, \"pid\": 1, \"tid\": 1}}",
+                escape(&e.name),
+                escape(&e.category),
+                e.start_us,
+                e.duration_us
+            );
+        }
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_sequential() {
+        let mut t = Trace::new();
+        t.push("a", "compile", 10.0);
+        t.push("b", "compile", 5.0);
+        assert_eq!(t.events()[0].start_us, 0.0);
+        assert_eq!(t.events()[1].start_us, 10.0);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut t = Trace::new();
+        t.push_compile(
+            "02",
+            &PhaseBreakdown {
+                parse_sema_ms: 1.0,
+                codegen_ms: 2.0,
+                ..PhaseBreakdown::default()
+            },
+        );
+        let json = t.to_json();
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("02: frontend"));
+        assert!(json.contains("02: backend"));
+        assert!(json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut t = Trace::new();
+        t.push("quo\"te", "c", 1.0);
+        assert!(t.to_json().contains("quo\\\"te"));
+    }
+}

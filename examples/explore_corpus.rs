@@ -1,0 +1,27 @@
+//! Walk the evaluation corpus: print each subject's library family, the
+//! header it substitutes, and the scale of the translation unit — the raw
+//! material of the paper's Table 3.
+//!
+//! Run with `cargo run --release --example explore_corpus`.
+
+use yalla::corpus::all_subjects;
+use yalla::sim::measure_tu;
+
+fn main() {
+    println!(
+        "{:<24} {:<12} {:<24} {:>10} {:>9} {:>8}",
+        "subject", "suite", "substituted header", "TU lines", "headers", "kernel?"
+    );
+    for subject in all_subjects() {
+        let work = measure_tu(&subject.vfs, &subject.main_source, &[]).expect("subject parses");
+        println!(
+            "{:<24} {:<12} {:<24} {:>10} {:>9} {:>8}",
+            subject.name,
+            subject.suite.name(),
+            subject.header,
+            work.lines,
+            work.headers,
+            if subject.kernel.is_some() { "yes" } else { "no" }
+        );
+    }
+}

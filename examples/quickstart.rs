@@ -1,0 +1,53 @@
+//! Quickstart: substitute a header in a small program and print every
+//! artifact YALLA generates.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use yalla::{Engine, Options, Vfs};
+
+fn main() -> Result<(), yalla::YallaError> {
+    // A little library: one class, one function that returns a value of a
+    // helper struct (the case that needs a *function wrapper*), and a
+    // templated algorithm (the case that needs explicit instantiation).
+    let mut vfs = Vfs::new();
+    vfs.add_file(
+        "geometry.hpp",
+        r#"#pragma once
+namespace geo {
+struct BoundingBox { int w; int h; };
+class Shape {
+public:
+  Shape();
+  int area() const;
+  int perimeter() const;
+};
+BoundingBox measure(Shape& shape);
+template <typename F>
+void for_each_vertex(Shape& shape, int count, F visit);
+}
+"#,
+    );
+    vfs.add_file(
+        "app.cpp",
+        r#"#include "geometry.hpp"
+int summarize(geo::Shape& shape) {
+  int total = shape.area();
+  geo::for_each_vertex(shape, 4, [&](int v) { total += v; });
+  return total + shape.perimeter();
+}
+"#,
+    );
+
+    let result = Engine::new(Options {
+        header: "geometry.hpp".into(),
+        sources: vec!["app.cpp".into()],
+        ..Options::default()
+    })
+    .run(&vfs)?;
+
+    println!("==== report ====\n{}", result.report);
+    println!("==== yalla_lightweight.hpp ====\n{}", result.lightweight_header);
+    println!("==== yalla_wrappers.cpp ====\n{}", result.wrappers_file);
+    println!("==== rewritten app.cpp ====\n{}", result.rewritten_sources["app.cpp"]);
+    Ok(())
+}

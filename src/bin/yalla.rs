@@ -1,0 +1,192 @@
+//! The `yalla` command-line tool: Header Substitution on real files.
+//!
+//! Mirrors the original tool's interface (paper §4.1: "the user provides a
+//! source file and the header file they want substituted"):
+//!
+//! ```text
+//! yalla --header <NAME> [--include-dir <DIR>]... [--out-dir <DIR>]
+//!       [--define NAME=VALUE]... [--keep <SYMBOL>]... [--no-verify]
+//!       <SOURCES>...
+//! ```
+//!
+//! Sources and every file reachable through `--include-dir` are loaded
+//! into the in-memory file system, the engine runs, and the artifacts
+//! (lightweight header, wrappers file, rewritten sources) are written to
+//! `--out-dir` (default `yalla-out/`). Exit status is non-zero when the
+//! engine fails or verification does not pass.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use yalla::{Engine, Options, Vfs};
+
+struct Cli {
+    header: String,
+    sources: Vec<String>,
+    include_dirs: Vec<PathBuf>,
+    out_dir: PathBuf,
+    defines: Vec<(String, String)>,
+    keep: Vec<String>,
+    verify: bool,
+}
+
+const USAGE: &str = "usage: yalla --header <NAME> [--include-dir <DIR>]... \
+[--out-dir <DIR>] [--define NAME=VALUE]... [--keep <SYMBOL>]... [--no-verify] <SOURCES>...";
+
+fn parse_args() -> Result<Cli, String> {
+    let mut args = std::env::args().skip(1);
+    let mut cli = Cli {
+        header: String::new(),
+        sources: Vec::new(),
+        include_dirs: Vec::new(),
+        out_dir: PathBuf::from("yalla-out"),
+        defines: Vec::new(),
+        keep: Vec::new(),
+        verify: true,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--header" => {
+                cli.header = args.next().ok_or("--header needs a value")?;
+            }
+            "--include-dir" | "-I" => {
+                cli.include_dirs
+                    .push(PathBuf::from(args.next().ok_or("--include-dir needs a value")?));
+            }
+            "--out-dir" | "-o" => {
+                cli.out_dir = PathBuf::from(args.next().ok_or("--out-dir needs a value")?);
+            }
+            "--define" | "-D" => {
+                let kv = args.next().ok_or("--define needs NAME=VALUE")?;
+                match kv.split_once('=') {
+                    Some((k, v)) => cli.defines.push((k.to_string(), v.to_string())),
+                    None => cli.defines.push((kv, "1".to_string())),
+                }
+            }
+            "--keep" => {
+                cli.keep.push(args.next().ok_or("--keep needs a symbol")?);
+            }
+            "--no-verify" => cli.verify = false,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n{USAGE}"));
+            }
+            source => cli.sources.push(source.to_string()),
+        }
+    }
+    if cli.header.is_empty() {
+        return Err(format!("missing --header\n{USAGE}"));
+    }
+    if cli.sources.is_empty() {
+        return Err(format!("no source files given\n{USAGE}"));
+    }
+    Ok(cli)
+}
+
+/// Loads a directory tree (C++ files only) into the VFS under its
+/// directory-relative paths.
+fn load_dir(vfs: &mut Vfs, dir: &Path) -> std::io::Result<usize> {
+    let mut loaded = 0;
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+                continue;
+            }
+            let is_cpp = path
+                .extension()
+                .and_then(|e| e.to_str())
+                .is_some_and(|e| matches!(e, "h" | "hpp" | "hh" | "hxx" | "cpp" | "cc" | "cxx"));
+            if !is_cpp {
+                continue;
+            }
+            let rel = path
+                .strip_prefix(dir)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let text = std::fs::read_to_string(&path)?;
+            vfs.add_file(&rel, text);
+            loaded += 1;
+        }
+    }
+    Ok(loaded)
+}
+
+fn run() -> Result<(), String> {
+    let cli = parse_args()?;
+    let mut vfs = Vfs::new();
+    for dir in &cli.include_dirs {
+        let n = load_dir(&mut vfs, dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        vfs.add_search_path("");
+        eprintln!("loaded {n} files from {}", dir.display());
+    }
+    let mut source_names = Vec::new();
+    for src in &cli.sources {
+        let text =
+            std::fs::read_to_string(src).map_err(|e| format!("reading {src}: {e}"))?;
+        let name = Path::new(src)
+            .file_name()
+            .map(|n| n.to_string_lossy().to_string())
+            .unwrap_or_else(|| src.clone());
+        vfs.add_file(&name, text);
+        source_names.push(name);
+    }
+
+    let options = Options {
+        header: cli.header.clone(),
+        sources: source_names,
+        defines: cli.defines.clone(),
+        extra_symbols: cli.keep.clone(),
+        verify: cli.verify,
+        ..Options::default()
+    };
+    let result = Engine::new(options.clone())
+        .run(&vfs)
+        .map_err(|e| e.to_string())?;
+
+    print!("{}", result.report);
+    for d in &result.plan.diagnostics {
+        eprintln!("note: {}", d.message);
+    }
+    if cli.verify && !result.report.verification.passed() {
+        return Err(format!(
+            "verification failed: {:?}",
+            result.report.verification
+        ));
+    }
+
+    std::fs::create_dir_all(&cli.out_dir)
+        .map_err(|e| format!("creating {}: {e}", cli.out_dir.display()))?;
+    let write = |name: &str, text: &str| -> Result<(), String> {
+        let path = cli.out_dir.join(name);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+        }
+        std::fs::write(&path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+        Ok(())
+    };
+    write(&options.lightweight_name, &result.lightweight_header)?;
+    write(&options.wrappers_name, &result.wrappers_file)?;
+    for (name, text) in &result.rewritten_sources {
+        write(name, text)?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("yalla: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! **yalla** — a from-scratch Rust reproduction of *"Speeding up the Local
+//! C++ Development Cycle with Header Substitution"* (CGO 2025).
+//!
+//! Header Substitution replaces an expensive `#include` in C++ sources
+//! with a generated *lightweight header* (forward declarations + function
+//! and method *wrappers* + lambda-replacement *functors*), a *wrappers
+//! file* holding the wrapper definitions and explicit instantiations, and
+//! rewritten sources — cutting the lines of code entering the user's
+//! translation unit by orders of magnitude and speeding the
+//! edit-compile-run loop accordingly.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! * [`cpp`] — the C++ subset frontend (VFS, lexer, preprocessor, parser,
+//!   pretty printer) built for this reproduction,
+//! * [`analysis`] — symbol tables, alias resolution, usage analysis, and
+//!   the incomplete-type rules,
+//! * [`core`] — the Header Substitution engine itself (the paper's
+//!   contribution),
+//! * [`sim`] — the compilation-pipeline and development-cycle simulator
+//!   that stands in for the paper's Clang/GCC testbed,
+//! * [`corpus`] — synthetic stand-ins for Kokkos, RapidJSON, OpenCV and
+//!   Boost.Asio, plus the paper's 18 evaluation subjects.
+//!
+//! # Quick start
+//!
+//! ```
+//! use yalla::{Engine, Options, Vfs};
+//!
+//! let mut vfs = Vfs::new();
+//! vfs.add_file("widgets.hpp", "namespace w { class Widget { public: int id() const; }; }");
+//! vfs.add_file(
+//!     "app.cpp",
+//!     "#include \"widgets.hpp\"\nint describe(w::Widget& widget) { return widget.id(); }\n",
+//! );
+//!
+//! let result = Engine::new(Options {
+//!     header: "widgets.hpp".into(),
+//!     sources: vec!["app.cpp".into()],
+//!     ..Options::default()
+//! })
+//! .run(&vfs)?;
+//!
+//! assert!(result.lightweight_header.contains("class Widget;"));
+//! assert!(result.report.verification.passed());
+//! # Ok::<(), yalla::YallaError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use yalla_analysis as analysis;
+pub use yalla_core as core;
+pub use yalla_corpus as corpus;
+pub use yalla_cpp as cpp;
+pub use yalla_sim as sim;
+
+pub use yalla_core::{substitute_headers, Engine, MultiSubstitutionResult, Options, Report, SubstitutionResult, YallaError};
+pub use yalla_cpp::vfs::Vfs;
+pub use yalla_cpp::Frontend;
+pub use yalla_sim::{CompilerProfile, PhaseBreakdown};

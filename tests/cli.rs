@@ -1,0 +1,117 @@
+//! End-to-end test of the `yalla` command-line tool on real files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_yalla")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("yalla-cli-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("include")).expect("mkdir");
+    dir
+}
+
+#[test]
+fn cli_substitutes_a_header_on_disk() {
+    let dir = scratch("basic");
+    std::fs::write(
+        dir.join("include/widgets.hpp"),
+        "#pragma once\nnamespace w {\nclass Widget {\npublic:\n  int id() const;\n};\n}\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("app.cpp"),
+        "#include <widgets.hpp>\nint describe(w::Widget& widget) { return widget.id(); }\n",
+    )
+    .unwrap();
+
+    let out = Command::new(bin())
+        .current_dir(&dir)
+        .args([
+            "--header",
+            "widgets.hpp",
+            "--include-dir",
+            "include",
+            "--out-dir",
+            "out",
+            "app.cpp",
+        ])
+        .output()
+        .expect("cli runs");
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let lw = std::fs::read_to_string(dir.join("out/yalla_lightweight.hpp")).unwrap();
+    assert!(lw.contains("class Widget;"), "{lw}");
+    let app = std::fs::read_to_string(dir.join("out/app.cpp")).unwrap();
+    assert!(app.contains("yalla_lightweight.hpp"), "{app}");
+    assert!(app.contains("id(widget)"), "{app}");
+    let wrappers = std::fs::read_to_string(dir.join("out/yalla_wrappers.cpp")).unwrap();
+    assert!(wrappers.contains("#include <widgets.hpp>"), "{wrappers}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_rejects_missing_header_flag() {
+    let out = Command::new(bin())
+        .args(["app.cpp"])
+        .output()
+        .expect("cli runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--header"));
+}
+
+#[test]
+fn cli_fails_cleanly_on_missing_source() {
+    let dir = scratch("missing");
+    let out = Command::new(bin())
+        .current_dir(&dir)
+        .args(["--header", "x.hpp", "nope.cpp"])
+        .output()
+        .expect("cli runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("nope.cpp"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_keep_predeclares_symbols() {
+    let dir = scratch("keep");
+    std::fs::write(
+        dir.join("include/lib.hpp"),
+        "#pragma once\nnamespace L {\nclass Used { public:\n  int id() const;\n};\nclass Spare;\n}\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("app.cpp"),
+        "#include <lib.hpp>\nint f(L::Used& u) { return u.id(); }\n",
+    )
+    .unwrap();
+    let out = Command::new(bin())
+        .current_dir(&dir)
+        .args([
+            "--header",
+            "lib.hpp",
+            "--include-dir",
+            "include",
+            "--out-dir",
+            "out",
+            "--keep",
+            "L::Spare",
+            "app.cpp",
+        ])
+        .output()
+        .expect("cli runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let lw = std::fs::read_to_string(dir.join("out/yalla_lightweight.hpp")).unwrap();
+    assert!(lw.contains("class Spare;"), "{lw}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,149 @@
+//! Property-based tests over the frontend and the substitution engine.
+
+use proptest::prelude::*;
+use yalla::cpp::lex::lex_str;
+use yalla::cpp::parse::parse_str;
+use yalla::cpp::pretty::print_tu;
+use yalla::{Engine, Options, Vfs};
+
+// ---------- generators -------------------------------------------------------
+
+/// A C++-ish identifier.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| format!("id_{s}"))
+}
+
+/// A simple type spelling.
+fn simple_type() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("int".to_string()),
+        Just("double".to_string()),
+        Just("bool".to_string()),
+        ident().prop_map(|c| format!("Cls_{c}")),
+        ident().prop_map(|c| format!("Cls_{c}*")),
+        ident().prop_map(|c| format!("Cls_{c}&")),
+    ]
+}
+
+/// A small, well-formed declaration.
+fn decl() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // variable
+        (simple_type(), ident()).prop_map(|(t, n)| {
+            let t = t.trim_end_matches(['&']).to_string(); // no ref globals
+            format!("{t} {n};")
+        }),
+        // function declaration
+        (simple_type(), ident(), simple_type(), ident())
+            .prop_map(|(r, f, p, a)| format!("{r} fn_{f}({p} {a});")),
+        // class with a field and method
+        (ident(), simple_type(), ident()).prop_map(|(c, t, m)| {
+            let t = t.trim_end_matches(['&', '*']).to_string();
+            format!("class Cls_{c} {{\npublic:\n  {t} field_;\n  {t} get_{m}() const;\n}};")
+        }),
+        // function template with a body
+        (ident(), ident()).prop_map(|(f, p)| format!(
+            "template <typename T>\nT tfn_{f}(T {p}) {{ return {p}; }}"
+        )),
+        // enum
+        (ident(), ident(), ident()).prop_map(|(e, a, b)| format!(
+            "enum class En_{e} {{ A_{a} = 1, B_{b} = 4, }};"
+        )),
+        // namespace wrapping a class
+        (ident(), ident()).prop_map(|(n, c)| format!(
+            "namespace ns_{n} {{ class Cls_{c}; }}"
+        )),
+    ]
+}
+
+fn translation_unit() -> impl Strategy<Value = String> {
+    prop::collection::vec(decl(), 1..12).prop_map(|ds| ds.join("\n"))
+}
+
+// ---------- properties ---------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The lexer never panics, whatever bytes it gets.
+    #[test]
+    fn lexer_never_panics(input in "\\PC*") {
+        let _ = lex_str(&input);
+    }
+
+    /// The parser never panics on arbitrary token soup (it may error).
+    #[test]
+    fn parser_never_panics(input in "[a-zA-Z0-9_{}();:<>,&*+=\\-\\. \n]*") {
+        let _ = parse_str(&input);
+    }
+
+    /// print → parse → print is a fixed point on generated declarations.
+    #[test]
+    fn pretty_print_round_trips(src in translation_unit()) {
+        let tu = parse_str(&src).expect("generated decls parse");
+        let once = print_tu(&tu);
+        let tu2 = parse_str(&once).unwrap_or_else(|e| panic!("reparse failed: {e}\n{once}"));
+        let twice = print_tu(&tu2);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Lexing is insensitive to trailing whitespace/comments.
+    #[test]
+    fn lexer_ignores_trailing_trivia(src in translation_unit()) {
+        let a = lex_str(&src).expect("lexes");
+        let b = lex_str(&format!("{src}   // trailing comment\n/* block */  ")).expect("lexes");
+        let strip = |mut v: Vec<yalla::cpp::lex::Token>| {
+            v.pop();
+            v.into_iter().map(|t| t.kind).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(strip(a), strip(b));
+    }
+
+    /// Header Substitution, run on a generated library header plus a tiny
+    /// user file, always produces output that passes its own verification
+    /// (or reports a structured diagnostic — never panics, never emits
+    /// invalid code silently).
+    #[test]
+    fn engine_output_always_verifies(decls in prop::collection::vec(decl(), 1..8), use_class in ident()) {
+        let mut header = String::from("#pragma once\nnamespace lib {\n");
+        for d in &decls {
+            header.push_str(d);
+            header.push('\n');
+        }
+        header.push_str(&format!("class Target_{use_class} {{ public: int size() const; }};\n"));
+        header.push_str("}\n");
+
+        let mut vfs = Vfs::new();
+        vfs.add_file("lib.hpp", header);
+        vfs.add_file(
+            "main.cpp",
+            format!(
+                "#include \"lib.hpp\"\nint use_it(lib::Target_{use_class}& t) {{ return t.size(); }}\n"
+            ),
+        );
+        let result = Engine::new(Options {
+            header: "lib.hpp".into(),
+            sources: vec!["main.cpp".into()],
+            ..Options::default()
+        })
+        .run(&vfs)
+        .expect("engine runs");
+        prop_assert!(
+            result.report.verification.passed(),
+            "verification failed: {:?}\nheader:\n{}\nlightweight:\n{}",
+            result.report.verification,
+            vfs.text(vfs.lookup("lib.hpp").unwrap()),
+            result.lightweight_header
+        );
+    }
+
+    /// The simulator is monotone: adding lines never makes a compile faster.
+    #[test]
+    fn cost_model_is_monotone(lines in 1usize..200_000, extra in 1usize..50_000) {
+        use yalla::sim::tu::TuWork;
+        let profile = yalla::CompilerProfile::clang();
+        let small = TuWork { lines, tokens: lines * 6, ..TuWork::default() };
+        let large = TuWork { lines: lines + extra, tokens: (lines + extra) * 6, ..TuWork::default() };
+        prop_assert!(profile.compile(&large).total_ms() > profile.compile(&small).total_ms());
+    }
+}

@@ -1,0 +1,101 @@
+//! Integration tests over the evaluation corpus: the engine must verify on
+//! real subjects, the simulated speedup ordering must match the paper's
+//! shape, and — the paper's strongest claim — the substituted program must
+//! compute the *same result* as the original.
+
+use yalla::corpus::{subject_by_name, Subject};
+use yalla::{CompilerProfile, Engine, Options};
+use yalla_bench::harness::{evaluate_subject, run_kernel_full};
+
+fn options_for(subject: &Subject) -> Options {
+    Options {
+        header: subject.header.clone(),
+        sources: subject.sources.clone(),
+        ..Options::default()
+    }
+}
+
+/// The representative pair the paper uses for its Figure 7 deep dive.
+#[test]
+fn kokkos_subject_02_shapes() {
+    let subject = subject_by_name("02").expect("02 exists");
+    let eval = evaluate_subject(&subject, &CompilerProfile::clang()).expect("02 evaluates");
+
+    // Table 3 shape: ~111k lines -> tens; 58x headers -> 2.
+    assert!(eval.default.work.lines > 90_000);
+    assert!(eval.yalla.work.lines < 200);
+    assert_eq!(eval.yalla.work.headers, 2);
+
+    // Table 2 shape: YALLA order-of-tens speedup, PCH single-digit,
+    // YALLA beats PCH.
+    assert!(eval.yalla_speedup() > 20.0, "{}", eval.yalla_speedup());
+    assert!((1.5..10.0).contains(&eval.pch_speedup()), "{}", eval.pch_speedup());
+    assert!(eval.yalla.phases.total_ms() < eval.pch.phases.total_ms());
+
+    // Figure 7 shape: PCH leaves the backend untouched; YALLA shrinks it.
+    assert!((eval.pch.phases.backend_ms() - eval.default.phases.backend_ms()).abs() < 1e-9);
+    assert!(eval.yalla.phases.backend_ms() < eval.default.phases.backend_ms() / 10.0);
+
+    // §5.4 shape: the YALLA build runs slower (wrapper calls cannot be
+    // inlined across TUs).
+    let (d, y) = (
+        eval.run_cycles_default.unwrap(),
+        eval.run_cycles_yalla.unwrap(),
+    );
+    assert!(y > d, "yalla run ({y}) should be slower than default ({d})");
+}
+
+#[test]
+fn condense_subject_shapes() {
+    let subject = subject_by_name("condense").expect("condense exists");
+    let eval = evaluate_subject(&subject, &CompilerProfile::clang()).expect("condense evaluates");
+    // Paper: 24.7x yalla, 1.2x pch — backend-heavy header-only library.
+    assert!(eval.yalla_speedup() > 10.0);
+    assert!(eval.pch_speedup() < 2.5);
+}
+
+#[test]
+fn kernels_compute_identical_results_after_substitution() {
+    // The "runs correctly" guarantee, checked end to end: original and
+    // substituted programs produce the same answer on the abstract
+    // machine.
+    for name in ["02", "nstream", "KinE", "condense", "drawing", "chat_server"] {
+        let subject = subject_by_name(name).expect("subject exists");
+        let spec = subject.kernel.clone().expect("subject has a kernel");
+        let options = options_for(&subject);
+        let result = Engine::new(options.clone())
+            .run(&subject.vfs)
+            .unwrap_or_else(|e| panic!("{name}: engine: {e}"));
+        assert!(result.report.verification.passed(), "{name}");
+        let (_, original) =
+            run_kernel_full(&subject, &spec, None).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (_, substituted) = run_kernel_full(&subject, &spec, Some((&result, &options)))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            original, substituted,
+            "{name}: substituted program computes a different result"
+        );
+    }
+}
+
+#[test]
+fn every_subject_passes_verification() {
+    // The full gauntlet (slower; the per-subject engine run parses the
+    // whole library tree).
+    for subject in yalla::corpus::all_subjects() {
+        let result = Engine::new(options_for(&subject))
+            .run(&subject.vfs)
+            .unwrap_or_else(|e| panic!("{}: engine: {e}", subject.name));
+        assert!(
+            result.report.verification.passed(),
+            "{}: verification failed: {:?}",
+            subject.name,
+            result.report.verification
+        );
+        assert!(
+            result.report.before.loc > result.report.after.loc,
+            "{}: substitution must shrink the TU",
+            subject.name
+        );
+    }
+}

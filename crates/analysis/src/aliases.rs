@@ -131,8 +131,7 @@ impl<'t> AliasResolver<'t> {
                     if self.table.get(&target_name.key()).is_none() {
                         let mut scopes = sym.scope.clone();
                         while !scopes.is_empty() {
-                            let candidate =
-                                format!("{}::{}", scopes.join("::"), target_name.key());
+                            let candidate = format!("{}::{}", scopes.join("::"), target_name.key());
                             if self.table.get(&candidate).is_some() {
                                 let mut segs: Vec<yalla_cpp::ast::NameSeg> = scopes
                                     .iter()
@@ -148,11 +147,8 @@ impl<'t> AliasResolver<'t> {
                 }
                 // Substitute template arguments positionally when the alias
                 // is an alias template (`template<class T> using V = W<T>`).
-                if let (Some(header), Some(args)) =
-                    (&alias.template, name.last().args.as_ref())
-                {
-                    let params: Vec<&str> =
-                        header.params.iter().map(|p| p.name()).collect();
+                if let (Some(header), Some(args)) = (&alias.template, name.last().args.as_ref()) {
+                    let params: Vec<&str> = header.params.iter().map(|p| p.name()).collect();
                     out = substitute_params(&out, &params, args);
                 }
                 // Member alias of a class template: `TeamPolicy<sp_t>::
@@ -162,10 +158,8 @@ impl<'t> AliasResolver<'t> {
                 if sym.nested_in_class && name.segs.len() >= 2 {
                     let class_seg = &name.segs[name.segs.len() - 2];
                     if let Some(args) = &class_seg.args {
-                        if let Some(SymbolKind::Class(class)) = self
-                            .table
-                            .get(&sym.scope.join("::"))
-                            .map(|s| &s.kind)
+                        if let Some(SymbolKind::Class(class)) =
+                            self.table.get(&sym.scope.join("::")).map(|s| &s.kind)
                         {
                             if let Some(header) = &class.template {
                                 let params: Vec<&str> =
@@ -177,13 +171,11 @@ impl<'t> AliasResolver<'t> {
                 }
                 Some(out)
             }
-            TypeKind::Pointer(inner) => self
-                .step(inner)
-                .map(|t| {
-                    let mut out = Type::pointer(t);
-                    out.is_const = ty.is_const;
-                    out
-                }),
+            TypeKind::Pointer(inner) => self.step(inner).map(|t| {
+                let mut out = Type::pointer(t);
+                out.is_const = ty.is_const;
+                out
+            }),
             TypeKind::LValueRef(inner) => self.step(inner).map(Type::lvalue_ref),
             TypeKind::RValueRef(inner) => self.step(inner).map(Type::rvalue_ref),
             _ => None,
@@ -195,11 +187,7 @@ impl<'t> AliasResolver<'t> {
 /// occurrence of `params[i]` is replaced by `args[i]`. Used for alias
 /// templates and for concretizing method-wrapper signatures from a
 /// receiver's template arguments.
-pub fn substitute_params(
-    ty: &Type,
-    params: &[&str],
-    args: &[yalla_cpp::ast::TemplateArg],
-) -> Type {
+pub fn substitute_params(ty: &Type, params: &[&str], args: &[yalla_cpp::ast::TemplateArg]) -> Type {
     use yalla_cpp::ast::TemplateArg;
     let mut out = ty.clone();
     match &mut out.kind {
@@ -303,7 +291,10 @@ mod tests {
         let t = setup(
             "namespace K { template<class T, class L> class View; template<class T> using RightView = View<T, LayoutRight>; }",
         );
-        assert_eq!(resolve(&t, "K::RightView<int>"), "K::View<int, LayoutRight>");
+        assert_eq!(
+            resolve(&t, "K::RightView<int>"),
+            "K::View<int, LayoutRight>"
+        );
     }
 
     #[test]
@@ -316,8 +307,14 @@ mod tests {
     fn resolve_key_through_alias() {
         let t = setup("namespace K { class Real; using Fake = Real; }");
         let r = AliasResolver::new(&t);
-        assert_eq!(r.resolve_key_to_class("K::Fake").as_deref(), Some("K::Real"));
-        assert_eq!(r.resolve_key_to_class("K::Real").as_deref(), Some("K::Real"));
+        assert_eq!(
+            r.resolve_key_to_class("K::Fake").as_deref(),
+            Some("K::Real")
+        );
+        assert_eq!(
+            r.resolve_key_to_class("K::Real").as_deref(),
+            Some("K::Real")
+        );
         assert!(r.resolve_key_to_class("K::Missing").is_none());
     }
 }
@@ -343,7 +340,10 @@ mod deep_tests {
         };
         let r = AliasResolver::new(&table);
         assert_eq!(r.resolve_type(&ty).to_string(), "K::Member<sp_t>&");
-        assert_eq!(r.resolve_type_deep(&ty).to_string(), "K::Member<K::OpenMP>&");
+        assert_eq!(
+            r.resolve_type_deep(&ty).to_string(),
+            "K::Member<K::OpenMP>&"
+        );
     }
 }
 

@@ -103,6 +103,8 @@ pub fn check_incomplete_rules(
     incomplete: &HashSet<String>,
     table: &SymbolTable,
 ) -> Vec<IncompleteViolation> {
+    let _span = yalla_obs::span("analysis", "incomplete_rules");
+    yalla_obs::count(yalla_obs::metrics::names::INCOMPLETE_CHECKS, 1);
     let mut v = Checker {
         incomplete,
         table,
@@ -183,7 +185,11 @@ impl Checker<'_> {
         let Some(body) = &f.body else { return };
         if let Some(ret) = &f.ret {
             if let Some(k) = self.incomplete_core(ret) {
-                self.flag(k, "defined function returns incomplete type by value", body.span);
+                self.flag(
+                    k,
+                    "defined function returns incomplete type by value",
+                    body.span,
+                );
             }
         }
         for p in &f.params {
@@ -288,9 +294,9 @@ impl Checker<'_> {
                     self.expr(a);
                 }
             }
-            ExprKind::Unary { expr, .. } | ExprKind::Paren(expr) | ExprKind::Delete { expr, .. } => {
-                self.expr(expr)
-            }
+            ExprKind::Unary { expr, .. }
+            | ExprKind::Paren(expr)
+            | ExprKind::Delete { expr, .. } => self.expr(expr),
             ExprKind::Binary { lhs, rhs, .. } => {
                 self.expr(lhs);
                 self.expr(rhs);
@@ -421,8 +427,7 @@ mod tests {
 
     #[test]
     fn alias_to_incomplete_detected() {
-        let (f, t) =
-            fn_decl("namespace K { struct B {}; using Alias = B; Alias g(); }");
+        let (f, t) = fn_decl("namespace K { struct B {}; using Alias = B; Alias g(); }");
         assert!(matches!(
             wrapper_need(&f, &incomplete(&["K::B"]), &t),
             WrapperNeed::ReturnsIncompleteByValue { .. }
@@ -448,9 +453,8 @@ mod tests {
 
     #[test]
     fn checker_flags_local_and_new() {
-        let (tu, t) = setup(
-            "namespace K { class View; }\nvoid f() { K::View v; auto* p = new K::View(); }",
-        );
+        let (tu, t) =
+            setup("namespace K { class View; }\nvoid f() { K::View v; auto* p = new K::View(); }");
         let violations = check_incomplete_rules(&tu, &incomplete(&["K::View"]), &t);
         assert_eq!(violations.len(), 2, "{violations:?}");
     }
@@ -472,9 +476,8 @@ mod tests {
 
     #[test]
     fn checker_descends_into_lambdas() {
-        let (tu, t) = setup(
-            "namespace K { class B; }\nvoid f() { auto l = [](int i) { K::B local; }; }",
-        );
+        let (tu, t) =
+            setup("namespace K { class B; }\nvoid f() { auto l = [](int i) { K::B local; }; }");
         let violations = check_incomplete_rules(&tu, &incomplete(&["K::B"]), &t);
         assert_eq!(violations.len(), 1, "{violations:?}");
     }

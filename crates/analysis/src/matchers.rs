@@ -262,6 +262,8 @@ void add_y::operator()(int m) {
         let both = match_decls(&tu, &class_decl().or(enum_decl()));
         assert_eq!(both.len(), 3);
         let not_classes = match_decls(&tu, &class_decl().negate());
-        assert!(not_classes.iter().all(|d| !matches!(d.kind, DeclKind::Class(_))));
+        assert!(not_classes
+            .iter()
+            .all(|d| !matches!(d.kind, DeclKind::Class(_))));
     }
 }

@@ -78,11 +78,16 @@ pub struct SymbolTable {
 impl SymbolTable {
     /// Builds the table from a translation unit.
     pub fn build(tu: &TranslationUnit) -> Self {
+        let _span = yalla_obs::span("analysis", "symbol_table");
         let mut table = SymbolTable::default();
         let mut scope = Vec::new();
         for d in &tu.decls {
             table.add_decl(d, &mut scope, false);
         }
+        yalla_obs::count(
+            yalla_obs::metrics::names::SYMBOLS_RESOLVED,
+            table.len() as i64,
+        );
         table
     }
 

@@ -160,6 +160,7 @@ impl UsageReport {
         target_files: &HashSet<FileId>,
         source_files: &HashSet<FileId>,
     ) -> Self {
+        let _span = yalla_obs::span("analysis", "usage_collection");
         let mut c = Collector {
             table,
             aliases: AliasResolver::new(table),
@@ -170,6 +171,12 @@ impl UsageReport {
             namespace_ctx: Vec::new(),
         };
         c.walk_decls(&tu.decls);
+        let used = c.report.classes.len()
+            + c.report.functions.len()
+            + c.report.methods.len()
+            + c.report.fields.len()
+            + c.report.enums.len();
+        yalla_obs::count(yalla_obs::metrics::names::USED_SYMBOLS, used as i64);
         c.report
     }
 
@@ -296,7 +303,11 @@ impl<'a> Collector<'a> {
                             }
                         }
                         DeclKind::Alias(a) => {
-                            self.record_type(&a.target, m.decl.span, Some(UsageNature::AliasTarget));
+                            self.record_type(
+                                &a.target,
+                                m.decl.span,
+                                Some(UsageNature::AliasTarget),
+                            );
                         }
                         _ => {}
                     }
@@ -732,8 +743,7 @@ impl<'a> Collector<'a> {
     /// Computes the free variables of a lambda's body that refer to the
     /// enclosing scope, in first-use order, with their declared types.
     fn lambda_captures(&self, l: &LambdaExpr) -> Vec<(String, Type)> {
-        let mut bound: HashSet<String> =
-            l.params.iter().map(|(_, n)| n.clone()).collect();
+        let mut bound: HashSet<String> = l.params.iter().map(|(_, n)| n.clone()).collect();
         let mut captured: Vec<(String, Type)> = Vec::new();
         let mut order = Vec::new();
         collect_free_names(&l.body.stmts, &mut bound, &mut order);
@@ -930,9 +940,9 @@ fn collect_free_names(stmts: &[Stmt], bound: &mut HashSet<String>, out: &mut Vec
                     }
                 }
             }
-            ExprKind::Unary { expr, .. } | ExprKind::Paren(expr) | ExprKind::Delete { expr, .. } => {
-                expr_names(expr, bound, out)
-            }
+            ExprKind::Unary { expr, .. }
+            | ExprKind::Paren(expr)
+            | ExprKind::Delete { expr, .. } => expr_names(expr, bound, out),
             ExprKind::Binary { lhs, rhs, .. } => {
                 expr_names(lhs, bound, out);
                 expr_names(rhs, bound, out);
@@ -1233,13 +1243,21 @@ void add_y::operator()(member_t &m) {
 
     #[test]
     fn field_access_recorded() {
-        let r = analyze(KOKKOS_MINI, "void f(Kokkos::View<int,int>& v) { int r = v.rank; }");
-        assert!(r.fields.contains_key(&("Kokkos::View".into(), "rank".into())));
+        let r = analyze(
+            KOKKOS_MINI,
+            "void f(Kokkos::View<int,int>& v) { int r = v.rank; }",
+        );
+        assert!(r
+            .fields
+            .contains_key(&("Kokkos::View".into(), "rank".into())));
     }
 
     #[test]
     fn new_expression_is_by_value_use() {
-        let r = analyze(KOKKOS_MINI, "void f() { auto* p = new Kokkos::LayoutRight(); }");
+        let r = analyze(
+            KOKKOS_MINI,
+            "void f() { auto* p = new Kokkos::LayoutRight(); }",
+        );
         assert!(r.classes["Kokkos::LayoutRight"].has_by_value());
     }
 

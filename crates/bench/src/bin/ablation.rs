@@ -63,7 +63,10 @@ fn main() {
     for (h, step) in &multi.steps {
         assert!(step.report.verification.passed(), "{h} failed verification");
     }
-    println!("  (every step verified; wrappers files: {})\n", multi.steps.len());
+    println!(
+        "  (every step verified; wrappers files: {})\n",
+        multi.steps.len()
+    );
 
     // ---------------------------------------------------------------
     println!("== Ablation 2: YALLA + PCH combined (laplace) ==\n");

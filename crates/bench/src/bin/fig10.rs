@@ -1,8 +1,16 @@
 //! Regenerates **Figure 10** of the paper: the first-time compilation of
 //! the `02` subject with and without YALLA — the one-off startup cost of
 //! running the tool and compiling the wrappers file (§5.5).
+//!
+//! The tool bar is decomposed from the engine's *measured* span data
+//! (`SubstitutionResult::timings`, recorded by `yalla-obs` spans around
+//! each Figure-5 phase), scaled to the virtual tool time so the phase
+//! shares are real even though the magnitude is simulated.
+//!
+//! Also writes `results/BENCH_fig10.json` with every per-run record.
 
 use yalla_bench::harness::evaluate_subject;
+use yalla_bench::results::{records_for, write_records};
 use yalla_corpus::subject_by_name;
 use yalla_sim::CompilerProfile;
 
@@ -31,6 +39,27 @@ fn main() {
     let total = main + tool + wrappers;
     println!("yalla (first compile):");
     println!("  tool run     {tool:>8.0} ms |{}", bar(tool));
+
+    // Split the tool bar by the engine's span-measured phase durations.
+    let t = &eval.substitution.timings;
+    let phases = [
+        ("parse", t.parse),
+        ("analyze", t.analyze),
+        ("plan", t.plan),
+        ("generate", t.generate),
+        ("verify", t.verify),
+    ];
+    let measured_total = t.total().as_secs_f64().max(1e-12);
+    for (name, dur) in phases {
+        let share = dur.as_secs_f64() / measured_total;
+        println!(
+            "    {name:<10} {:>6.0} ms ({:>4.1}% of measured {:.2} ms tool run)",
+            tool * share,
+            100.0 * share,
+            measured_total * 1000.0
+        );
+    }
+
     println!("  wrappers     {wrappers:>8.0} ms |{}", bar(wrappers));
     println!("  main compile {main:>8.0} ms |{}", bar(main));
     println!("  total        {total:>8.0} ms\n");
@@ -42,4 +71,10 @@ fn main() {
     println!(
         "steady-state iterations afterwards compile only {main:.0} ms instead of {default_total:.0} ms"
     );
+
+    let records = records_for(&eval);
+    match write_records(std::path::Path::new("results"), "fig10", &records) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
 }

@@ -5,6 +5,7 @@
 //! `--traces <dir>`.
 
 use yalla_bench::harness::{evaluate_subject, phase_row};
+use yalla_bench::results::{records_for, write_records};
 use yalla_corpus::subject_by_name;
 use yalla_sim::trace::Trace;
 use yalla_sim::CompilerProfile;
@@ -16,6 +17,7 @@ fn main() {
         .position(|a| a == "--traces")
         .and_then(|i| args.get(i + 1).cloned());
     let profile = CompilerProfile::clang();
+    let mut records = Vec::new();
 
     for name in ["02", "drawing"] {
         let subject = subject_by_name(name).expect("subject exists");
@@ -44,19 +46,37 @@ fn main() {
         );
         println!();
 
+        records.extend(records_for(&eval));
+
         if let Some(dir) = &trace_dir {
             std::fs::create_dir_all(dir).expect("create trace dir");
-            for (mode, phases) in [
+            // Each configuration gets its own pid track (labelled via a
+            // metadata event), so the merged file shows the three builds
+            // side by side in the viewer.
+            let mut traces = Vec::new();
+            for (pid, (mode, phases)) in [
                 ("default", &eval.default.phases),
                 ("pch", &eval.pch.phases),
                 ("yalla", &eval.yalla.phases),
-            ] {
-                let mut t = Trace::new();
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let mut t = Trace::for_process(pid as u32 + 1, &format!("config={mode}"));
                 t.push_compile(name, phases);
                 let path = format!("{dir}/{name}-{mode}.json");
                 std::fs::write(&path, t.to_json()).expect("write trace");
                 println!("  wrote {path}");
+                traces.push(t);
             }
+            let merged = format!("{dir}/{name}-all.json");
+            std::fs::write(&merged, Trace::merged_json(&traces)).expect("write trace");
+            println!("  wrote {merged}");
         }
+    }
+
+    match write_records(std::path::Path::new("results"), "fig7", &records) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
     }
 }

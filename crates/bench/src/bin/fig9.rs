@@ -81,8 +81,8 @@ fn main() {
     println!("{functor_asm}");
 
     let inlined = !asm.contains("callq");
-    let calls_survive = functor_asm.contains("callq <paren_operator>")
-        || kernel_asm.contains("callq");
+    let calls_survive =
+        functor_asm.contains("callq <paren_operator>") || kernel_asm.contains("callq");
     println!(
         "default build inlines all accesses: {}",
         if inlined { "yes" } else { "NO" }

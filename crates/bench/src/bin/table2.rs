@@ -7,6 +7,7 @@
 use std::collections::BTreeMap;
 
 use yalla_bench::harness::evaluate_all;
+use yalla_bench::results::{records_for, write_records};
 use yalla_sim::CompilerProfile;
 
 fn main() {
@@ -29,9 +30,11 @@ fn main() {
         "File", "Subject", "Default [ms]", "PCH [ms]", "Yalla [ms]", "PCH Speedup", "Yalla Speedup"
     );
 
-    let mut csv = String::from("file,subject,default_ms,pch_ms,yalla_ms,pch_speedup,yalla_speedup\n");
+    let mut csv =
+        String::from("file,subject,default_ms,pch_ms,yalla_ms,pch_speedup,yalla_speedup\n");
     let mut by_suite: BTreeMap<&str, Vec<(f64, f64)>> = BTreeMap::new();
     let mut all: Vec<(f64, f64)> = Vec::new();
+    let mut records = Vec::new();
 
     for eval in evaluate_all(&profile) {
         let eval = match eval {
@@ -41,6 +44,7 @@ fn main() {
                 continue;
             }
         };
+        records.extend(records_for(&eval));
         let d = eval.default.phases.total_ms();
         let p = eval.pch.phases.total_ms();
         let y = eval.yalla.phases.total_ms();
@@ -92,5 +96,9 @@ fn main() {
     if let Some(path) = csv_path {
         std::fs::write(&path, csv).expect("write csv");
         println!("wrote {path}");
+    }
+    match write_records(std::path::Path::new("results"), "table2", &records) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
     }
 }

@@ -275,12 +275,17 @@ pub fn evaluate_all(profile: &CompilerProfile) -> Vec<Result<SubjectEvaluation, 
             handles.push(scope.spawn(move || evaluate_subject(subject, &profile)));
         }
         for (slot, handle) in results.iter_mut().zip(handles) {
-            *slot = Some(handle.join().unwrap_or_else(|_| {
-                Err("evaluation thread panicked".to_string())
-            }));
+            *slot = Some(
+                handle
+                    .join()
+                    .unwrap_or_else(|_| Err("evaluation thread panicked".to_string())),
+            );
         }
     });
-    results.into_iter().map(|r| r.expect("slot filled")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("slot filled"))
+        .collect()
 }
 
 /// Builds the two-object link list for a yalla build (used by figures).

@@ -3,7 +3,7 @@
 
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use yalla_analysis::symbols::SymbolTable;
 use yalla_analysis::usage::UsageReport;
@@ -97,7 +97,10 @@ impl Default for Options {
 }
 
 /// Wall-clock timings of the engine phases (the paper's Figure 10 "tool
-/// time" breakdown).
+/// time" breakdown). Each field is the measured duration of the matching
+/// `engine/*` span — [`Engine::run`] closes a [`yalla_obs::Span`] per phase
+/// and stores what it returns, so the Report and the Chrome trace can never
+/// disagree.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Timings {
     /// Preprocess + parse of the original TU.
@@ -179,9 +182,11 @@ impl Engine {
     pub fn run(&self, vfs: &Vfs) -> Result<SubstitutionResult, YallaError> {
         let opts = &self.options;
         let mut timings = Timings::default();
+        let _run_span = yalla_obs::span("engine", "substitute");
+        yalla_obs::count(yalla_obs::metrics::names::ENGINE_RUNS, 1);
 
         // ---- parse the original TU (analysis input) ---------------------
-        let t0 = Instant::now();
+        let parse_span = yalla_obs::span("engine", "parse");
         let main_source = opts
             .sources
             .first()
@@ -191,7 +196,7 @@ impl Engine {
             fe.define(k, v);
         }
         let parsed = fe.parse_translation_unit(main_source)?;
-        timings.parse = t0.elapsed();
+        timings.parse = parse_span.finish();
 
         // ---- identify target files (header + its transitive includes) ---
         let header_file = vfs
@@ -210,7 +215,7 @@ impl Engine {
         }
 
         // ---- analysis (Fig. 5 lines 2–10) --------------------------------
-        let t1 = Instant::now();
+        let analyze_span = yalla_obs::span("engine", "analyze");
         let table = SymbolTable::build(&parsed.ast);
         let mut usage = UsageReport::collect(&parsed.ast, &table, &target_files, &source_files);
         // Pre-declared symbols (paper §6): force-listed classes/functions
@@ -219,40 +224,35 @@ impl Engine {
         let mut predeclare_diags = Vec::new();
         for key in &opts.extra_symbols {
             match table.resolve(key) {
-                Some(sym) if target_files.contains(&sym.file) => {
-                    match &sym.kind {
-                        yalla_analysis::symbols::SymbolKind::Class(_) => {
-                            usage.classes.entry(sym.key.clone()).or_default();
-                        }
-                        yalla_analysis::symbols::SymbolKind::Function(f) => {
-                            usage
-                                .functions
-                                .entry(sym.key.clone())
-                                .or_insert_with(|| yalla_analysis::usage::UsedFunction {
-                                    key: sym.key.clone(),
-                                    decl: (**f).clone(),
-                                    calls: Vec::new(),
-                                });
-                        }
-                        other => predeclare_diags.push(format!(
-                            "pre-declared symbol `{key}` is a {}, which needs no declaration",
-                            other.tag()
-                        )),
+                Some(sym) if target_files.contains(&sym.file) => match &sym.kind {
+                    yalla_analysis::symbols::SymbolKind::Class(_) => {
+                        usage.classes.entry(sym.key.clone()).or_default();
                     }
-                }
+                    yalla_analysis::symbols::SymbolKind::Function(f) => {
+                        usage.functions.entry(sym.key.clone()).or_insert_with(|| {
+                            yalla_analysis::usage::UsedFunction {
+                                key: sym.key.clone(),
+                                decl: (**f).clone(),
+                                calls: Vec::new(),
+                            }
+                        });
+                    }
+                    other => predeclare_diags.push(format!(
+                        "pre-declared symbol `{key}` is a {}, which needs no declaration",
+                        other.tag()
+                    )),
+                },
                 Some(_) => predeclare_diags.push(format!(
                     "pre-declared symbol `{key}` is not defined by `{}`",
                     opts.header
                 )),
-                None => predeclare_diags.push(format!(
-                    "pre-declared symbol `{key}` not found"
-                )),
+                None => predeclare_diags.push(format!("pre-declared symbol `{key}` not found")),
             }
         }
-        timings.analyze = t1.elapsed();
+        timings.analyze = analyze_span.finish();
 
         // ---- plan (Fig. 5 lines 11–25) ------------------------------------
-        let t2 = Instant::now();
+        let plan_span = yalla_obs::span("engine", "plan");
         let mut plan = Plan::build(&usage, &table);
         for message in predeclare_diags {
             plan.diagnostics.push(Diagnostic {
@@ -271,10 +271,14 @@ impl Engine {
                 span: None,
             });
         }
-        timings.plan = t2.elapsed();
+        timings.plan = plan_span.finish();
+        yalla_obs::count(
+            yalla_obs::metrics::names::WRAPPERS_GENERATED,
+            (plan.fn_wrappers.len() + plan.method_wrappers.len()) as i64,
+        );
 
         // ---- emit + rewrite (Fig. 5 lines 26–27) ---------------------------
-        let t3 = Instant::now();
+        let generate_span = yalla_obs::span("engine", "generate");
         let lightweight = emit::lightweight_header(&plan, &opts.header);
         let wrappers = emit::wrappers_file(&plan, &opts.header, &opts.lightweight_name);
         let mut rewritten = BTreeMap::new();
@@ -295,7 +299,7 @@ impl Engine {
                 rewritten.insert(s.clone(), new_text);
             }
         }
-        timings.generate = t3.elapsed();
+        timings.generate = generate_span.finish();
 
         // ---- report + verification -----------------------------------------
         let mut report = Report::from_plan(&plan);
@@ -303,7 +307,7 @@ impl Engine {
             loc: parsed.stats.lines_compiled,
             headers: parsed.stats.header_count(),
         };
-        let t4 = Instant::now();
+        let verify_span = yalla_obs::span("engine", "verify");
         if opts.verify {
             report.verification = verify(
                 vfs,
@@ -330,7 +334,7 @@ impl Engine {
                 };
             }
         }
-        timings.verify = t4.elapsed();
+        timings.verify = verify_span.finish();
 
         Ok(SubstitutionResult {
             lightweight_header: lightweight,
@@ -370,7 +374,9 @@ mod tests {
         // actual Kokkos_Core.hpp expands to ~111k lines; see Table 3).
         let mut bulk = String::from("#pragma once\nnamespace Kokkos { namespace Impl {\n");
         for i in 0..200 {
-            bulk.push_str(&format!("inline int detail_fn_{i}(int x) {{ return x + {i}; }}\n"));
+            bulk.push_str(&format!(
+                "inline int detail_fn_{i}(int x) {{ return x + {i}; }}\n"
+            ));
         }
         bulk.push_str("} }\n");
         vfs.add_file("Kokkos_Bulk.hpp", bulk);
@@ -457,12 +463,18 @@ void add_y::operator()(member_t &m) {
         assert!(lw.contains("class LayoutRight;"), "{lw}");
         assert!(lw.contains("class View;"), "{lw}");
         assert!(lw.contains("class HostThreadTeamMember;"), "{lw}");
-        assert!(lw.contains("struct TeamThreadRangeBoundariesStruct;"), "{lw}");
+        assert!(
+            lw.contains("struct TeamThreadRangeBoundariesStruct;"),
+            "{lw}"
+        );
         // Function wrappers (lines 10–16).
         assert!(lw.contains("TeamThreadRange_w"), "{lw}");
         assert!(lw.contains("parallel_for_w"), "{lw}");
         // Method wrappers (lines 18–21).
-        assert!(lw.contains("league_rank(ObjectT& obj)") || lw.contains("league_rank(ObjectT&"), "{lw}");
+        assert!(
+            lw.contains("league_rank(ObjectT& obj)") || lw.contains("league_rank(ObjectT&"),
+            "{lw}"
+        );
         assert!(lw.contains("paren_operator"), "{lw}");
         // Functor replacing the lambda (lines 23–28).
         assert!(lw.contains("struct yalla_functor_0"), "{lw}");
@@ -474,10 +486,16 @@ void add_y::operator()(member_t &m) {
         let r = run_kokkos();
         let functor_hpp = &r.rewritten_sources["functor.hpp"];
         // Include swapped (Fig. 4b line 3).
-        assert!(functor_hpp.contains("#include \"yalla_lightweight.hpp\""), "{functor_hpp}");
+        assert!(
+            functor_hpp.contains("#include \"yalla_lightweight.hpp\""),
+            "{functor_hpp}"
+        );
         assert!(!functor_hpp.contains("Kokkos_Core.hpp"), "{functor_hpp}");
         // member_t re-aliased to the non-nested class (line 8).
-        assert!(functor_hpp.contains("HostThreadTeamMember"), "{functor_hpp}");
+        assert!(
+            functor_hpp.contains("HostThreadTeamMember"),
+            "{functor_hpp}"
+        );
         // Field pointerized (line 12).
         assert!(
             functor_hpp.contains("Kokkos::View<int**, Kokkos::LayoutRight>* x;"),
@@ -500,7 +518,10 @@ void add_y::operator()(member_t &m) {
         assert!(wf.contains("#include <Kokkos_Core.hpp>"), "{wf}");
         assert!(wf.contains("#include \"yalla_lightweight.hpp\""), "{wf}");
         // Heap allocation for incomplete return (paper §3.2.2).
-        assert!(wf.contains("return new Kokkos::Impl::TeamThreadRangeBoundariesStruct"), "{wf}");
+        assert!(
+            wf.contains("return new Kokkos::Impl::TeamThreadRangeBoundariesStruct"),
+            "{wf}"
+        );
         // Explicit instantiations (paper §3.4).
         assert!(wf.contains("template "), "{wf}");
         assert!(
@@ -553,7 +574,10 @@ void add_y::operator()(member_t &m) {
         })
         .run(&kokkos_vfs())
         .unwrap_err();
-        assert!(matches!(err, YallaError::Cpp(_) | YallaError::SourceNotFound(_)));
+        assert!(matches!(
+            err,
+            YallaError::Cpp(_) | YallaError::SourceNotFound(_)
+        ));
     }
 
     #[test]
@@ -588,7 +612,9 @@ void add_y::operator()(member_t &m) {
         let wrappers = r.install_into(&mut vfs, &opts);
         assert_eq!(wrappers, "yalla_wrappers.cpp");
         assert!(vfs.lookup("yalla_lightweight.hpp").is_some());
-        assert!(vfs.text(vfs.lookup("kernel.cpp").unwrap()).contains("parallel_for_w"));
+        assert!(vfs
+            .text(vfs.lookup("kernel.cpp").unwrap())
+            .contains("parallel_for_w"));
     }
 }
 
@@ -624,8 +650,14 @@ mod extra_symbol_tests {
     #[test]
     fn unknown_pre_declared_symbol_is_a_diagnostic_not_an_error() {
         let mut vfs = Vfs::new();
-        vfs.add_file("lib.hpp", "namespace L { class C { public: int id() const; }; }");
-        vfs.add_file("main.cpp", "#include \"lib.hpp\"\nint f(L::C& c) { return c.id(); }\n");
+        vfs.add_file(
+            "lib.hpp",
+            "namespace L { class C { public: int id() const; }; }",
+        );
+        vfs.add_file(
+            "main.cpp",
+            "#include \"lib.hpp\"\nint f(L::C& c) { return c.id(); }\n",
+        );
         let result = Engine::new(Options {
             header: "lib.hpp".into(),
             sources: vec!["main.cpp".into()],
@@ -756,8 +788,14 @@ mod multi_tests {
         .unwrap();
         assert_eq!(multi.steps.len(), 2);
         let final_main = &multi.rewritten_sources["main.cpp"];
-        assert!(final_main.contains("yalla_lightweight_0.hpp"), "{final_main}");
-        assert!(final_main.contains("yalla_lightweight_1.hpp"), "{final_main}");
+        assert!(
+            final_main.contains("yalla_lightweight_0.hpp"),
+            "{final_main}"
+        );
+        assert!(
+            final_main.contains("yalla_lightweight_1.hpp"),
+            "{final_main}"
+        );
         assert!(!final_main.contains("liba.hpp"));
         assert!(!final_main.contains("libb.hpp"));
         // Both method calls rewritten through wrappers.
@@ -774,7 +812,11 @@ mod multi_tests {
         let vfs = two_lib_vfs();
         let multi = substitute_headers(
             &vfs,
-            &["liba.hpp".into(), "not_included.hpp".into(), "libb.hpp".into()],
+            &[
+                "liba.hpp".into(),
+                "not_included.hpp".into(),
+                "libb.hpp".into(),
+            ],
             &["main.cpp".into()],
         );
         // not_included.hpp is not in the VFS at all → engine reports
@@ -794,7 +836,10 @@ mod multi_tests {
         .unwrap();
         let mut out = vfs.clone();
         let wrappers = multi.install_into(&mut out);
-        assert_eq!(wrappers, vec!["yalla_wrappers_0.cpp", "yalla_wrappers_1.cpp"]);
+        assert_eq!(
+            wrappers,
+            vec!["yalla_wrappers_0.cpp", "yalla_wrappers_1.cpp"]
+        );
         // Substituted TU parses.
         let fe = Frontend::new(out);
         fe.parse_translation_unit("main.cpp").unwrap();

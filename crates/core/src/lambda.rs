@@ -243,7 +243,11 @@ fn deref_mutated_stmt(stmt: &Stmt, mutated: &HashSet<String>) -> Stmt {
             StmtKind::Decl(v)
         }
         StmtKind::Block(b) => StmtKind::Block(Block {
-            stmts: b.stmts.iter().map(|s| deref_mutated_stmt(s, mutated)).collect(),
+            stmts: b
+                .stmts
+                .iter()
+                .map(|s| deref_mutated_stmt(s, mutated))
+                .collect(),
             span: b.span,
         }),
         StmtKind::If {
@@ -291,9 +295,7 @@ fn deref_mutated_stmt(stmt: &Stmt, mutated: &HashSet<String>) -> Stmt {
             body: Box::new(deref_mutated_stmt(body, mutated)),
             cond: deref_mutated_expr(cond, mutated),
         },
-        StmtKind::Return(e) => {
-            StmtKind::Return(e.as_ref().map(|e| deref_mutated_expr(e, mutated)))
-        }
+        StmtKind::Return(e) => StmtKind::Return(e.as_ref().map(|e| deref_mutated_expr(e, mutated))),
         other => other.clone(),
     };
     Stmt::new(kind, stmt.span)
@@ -336,9 +338,16 @@ fn deref_mutated_expr(expr: &Expr, mutated: &HashSet<String>) -> Expr {
             // The callee itself is left alone: calling through a mutated
             // scalar is not in the subset.
             callee: callee.clone(),
-            args: args.iter().map(|a| deref_mutated_expr(a, mutated)).collect(),
+            args: args
+                .iter()
+                .map(|a| deref_mutated_expr(a, mutated))
+                .collect(),
         },
-        ExprKind::Member { base, arrow, member } => ExprKind::Member {
+        ExprKind::Member {
+            base,
+            arrow,
+            member,
+        } => ExprKind::Member {
             base: Box::new(deref_mutated_expr(base, mutated)),
             arrow: *arrow,
             member: member.clone(),
@@ -350,7 +359,10 @@ fn deref_mutated_expr(expr: &Expr, mutated: &HashSet<String>) -> Expr {
         ExprKind::Paren(e) => ExprKind::Paren(Box::new(deref_mutated_expr(e, mutated))),
         ExprKind::BraceInit { ty, args } => ExprKind::BraceInit {
             ty: ty.clone(),
-            args: args.iter().map(|a| deref_mutated_expr(a, mutated)).collect(),
+            args: args
+                .iter()
+                .map(|a| deref_mutated_expr(a, mutated))
+                .collect(),
         },
         other => other.clone(),
     };

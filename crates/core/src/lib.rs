@@ -55,7 +55,10 @@ pub mod rules;
 pub mod verify;
 pub mod wrappers;
 
-pub use engine::{substitute_headers, Engine, MultiSubstitutionResult, Options, SubstitutionResult, YallaError};
+pub use engine::{
+    substitute_headers, Engine, MultiSubstitutionResult, Options, SubstitutionResult, Timings,
+    YallaError,
+};
 pub use plan::{Diagnostic, DiagnosticKind, Plan};
 pub use report::Report;
 pub use rules::{transformation_for, SymbolCategory, Transformation};

@@ -306,11 +306,7 @@ impl Plan {
         }
 
         // ---- functions (Fig. 5 lines 16–22) ------------------------------
-        let incomplete: HashSet<String> = plan
-            .classes
-            .iter()
-            .map(|c| c.key.clone())
-            .collect();
+        let incomplete: HashSet<String> = plan.classes.iter().map(|c| c.key.clone()).collect();
         for (key, used) in &usage.functions {
             let sym = table.get(key);
             let namespace = sym.map(|s| s.scope.clone()).unwrap_or_default();

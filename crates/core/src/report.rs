@@ -151,7 +151,10 @@ mod tests {
                 loc: 111301,
                 headers: 581,
             },
-            after: TuStats { loc: 77, headers: 2 },
+            after: TuStats {
+                loc: 77,
+                headers: 2,
+            },
             ..Report::default()
         };
         assert!((r.loc_reduction() - 1445.5).abs() < 1.0);

@@ -282,10 +282,7 @@ impl<'p> Transformer<'p> {
                 member,
             } => {
                 // Bare field access via wrapper.
-                if let Some(class_key) = self
-                    .infer_type(base)
-                    .and_then(|t| self.class_key_of(&t))
-                {
+                if let Some(class_key) = self.infer_type(base).and_then(|t| self.class_key_of(&t)) {
                     if let Some((wname, MemberKind::Field)) = self
                         .member_wrappers
                         .get(&(class_key.clone(), member.ident.clone()))
@@ -321,9 +318,7 @@ impl<'p> Transformer<'p> {
                     };
                     let base = n.base_ident().to_string();
                     if let Some(sym) = self.table.resolve(&prefix.key()) {
-                        if let Some(v) =
-                            self.enum_constants.get(&(sym.key.clone(), base.clone()))
-                        {
+                        if let Some(v) = self.enum_constants.get(&(sym.key.clone(), base.clone())) {
                             self.changed = true;
                             return Expr::new(ExprKind::Int(*v), expr.span);
                         }
@@ -350,10 +345,8 @@ impl<'p> Transformer<'p> {
                         .fields
                         .iter()
                         .map(|(name, _)| {
-                            let base = Expr::new(
-                                ExprKind::Name(QualName::ident(name.clone())),
-                                expr.span,
-                            );
+                            let base =
+                                Expr::new(ExprKind::Name(QualName::ident(name.clone())), expr.span);
                             if functor.mutated_captures.contains(name) {
                                 // Mutated captures are pointer fields:
                                 // pass the variable's address.
@@ -463,10 +456,8 @@ impl<'p> Transformer<'p> {
                             .cloned()
                         {
                             self.changed = true;
-                            let mut new_args = vec![Expr::new(
-                                ExprKind::Name(n.clone()),
-                                callee.span,
-                            )];
+                            let mut new_args =
+                                vec![Expr::new(ExprKind::Name(n.clone()), callee.span)];
                             new_args.extend(args.iter().map(|a| self.transform_expr(a)));
                             return Expr::new(
                                 ExprKind::Call {
@@ -495,14 +486,10 @@ impl<'p> Transformer<'p> {
                             args: n.last().args.clone(),
                         }],
                     };
-                    let new_args: Vec<Expr> =
-                        args.iter().map(|a| self.transform_expr(a)).collect();
+                    let new_args: Vec<Expr> = args.iter().map(|a| self.transform_expr(a)).collect();
                     return Expr::new(
                         ExprKind::Call {
-                            callee: Box::new(Expr::new(
-                                ExprKind::Name(new_callee),
-                                callee.span,
-                            )),
+                            callee: Box::new(Expr::new(ExprKind::Name(new_callee), callee.span)),
                             args: new_args,
                         },
                         whole.span,
@@ -546,9 +533,7 @@ impl<'p> Transformer<'p> {
                 }
             }
             ExprKind::Member { base, member, .. } => {
-                let class_key = self
-                    .infer_type(base)
-                    .and_then(|t| self.class_key_of(&t))?;
+                let class_key = self.infer_type(base).and_then(|t| self.class_key_of(&t))?;
                 match &self.table.get(&class_key)?.kind {
                     SymbolKind::Class(c) => c
                         .fields()
@@ -599,6 +584,10 @@ pub fn rewrite_file(
     for decl in decls {
         collect_decl_edits(decl, file, transformer, &mut edits);
     }
+    yalla_obs::count(
+        yalla_obs::metrics::names::REWRITES_APPLIED,
+        edits.len() as i64,
+    );
     apply_edits(text, edits)
 }
 
@@ -618,12 +607,7 @@ fn line_offsets(text: &str) -> Vec<(usize, &str)> {
     out
 }
 
-fn collect_decl_edits(
-    decl: &Decl,
-    file: FileId,
-    tr: &mut Transformer<'_>,
-    edits: &mut Vec<Edit>,
-) {
+fn collect_decl_edits(decl: &Decl, file: FileId, tr: &mut Transformer<'_>, edits: &mut Vec<Edit>) {
     match &decl.kind {
         DeclKind::Namespace(ns) => {
             for d in &ns.decls {
@@ -660,12 +644,13 @@ fn collect_decl_edits(
             }
             // Out-of-line method definitions get the owning class's fields
             // in scope.
-            let class = f.qualifier.as_ref().and_then(|q| {
-                match &tr.table.resolve(&q.key())?.kind {
-                    SymbolKind::Class(c) => Some((**c).clone()),
-                    _ => None,
-                }
-            });
+            let class =
+                f.qualifier
+                    .as_ref()
+                    .and_then(|q| match &tr.table.resolve(&q.key())?.kind {
+                        SymbolKind::Class(c) => Some((**c).clone()),
+                        _ => None,
+                    });
             collect_function_edits(f, decl, file, class.as_ref(), tr, edits);
         }
         DeclKind::Variable(v) => {
@@ -749,7 +734,10 @@ fn collect_function_edits(
 fn pretty_var(v: &VarDecl) -> String {
     // Reuse the pretty printer through a wrapping declaration.
     let d = Decl::new(DeclKind::Variable(v.clone()), Span::dummy());
-    pretty::print_decl(&d).trim_end().trim_end_matches(';').to_string()
+    pretty::print_decl(&d)
+        .trim_end()
+        .trim_end_matches(';')
+        .to_string()
 }
 
 #[cfg(test)]

@@ -96,15 +96,24 @@ mod tests {
     fn table_1_rows() {
         use SymbolCategory as C;
         use Transformation as T;
-        assert_eq!(transformation_for(C::ClassOrStruct), T::ForwardDeclareAndPointerize);
-        assert_eq!(transformation_for(C::TypeAlias), T::ResolveAndForwardDeclare);
+        assert_eq!(
+            transformation_for(C::ClassOrStruct),
+            T::ForwardDeclareAndPointerize
+        );
+        assert_eq!(
+            transformation_for(C::TypeAlias),
+            T::ResolveAndForwardDeclare
+        );
         assert_eq!(transformation_for(C::Enum), T::ReplaceWithUnderlyingType);
         assert_eq!(transformation_for(C::Function), T::ForwardDeclare);
         assert_eq!(
             transformation_for(C::FunctionWithIncompleteByValue),
             T::CreateFunctionWrapper
         );
-        assert_eq!(transformation_for(C::ClassMethodOrField), T::CreateMethodWrapper);
+        assert_eq!(
+            transformation_for(C::ClassMethodOrField),
+            T::CreateMethodWrapper
+        );
         assert_eq!(transformation_for(C::Lambda), T::LambdaToFunctor);
     }
 

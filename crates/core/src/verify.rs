@@ -84,11 +84,7 @@ pub fn verify_plan_artifacts(
     main_source: &str,
 ) -> Verification {
     let lw = crate::emit::lightweight_header(plan, header_name);
-    let wf = crate::emit::wrappers_file(
-        plan,
-        header_name,
-        crate::emit::LIGHTWEIGHT_HEADER_NAME,
-    );
+    let wf = crate::emit::wrappers_file(plan, header_name, crate::emit::LIGHTWEIGHT_HEADER_NAME);
     verify(
         original_vfs,
         rewritten,
@@ -110,8 +106,14 @@ mod tests {
         // A "rewrite" that leaves a by-value field of a forward-declared
         // class must fail the incomplete-type check.
         let mut vfs = Vfs::new();
-        vfs.add_file("lib.hpp", "#pragma once\nnamespace L { class Big { public: int id(); }; }\n");
-        vfs.add_file("main.cpp", "#include <lib.hpp>\nstruct S { L::Big field; };\n");
+        vfs.add_file(
+            "lib.hpp",
+            "#pragma once\nnamespace L { class Big { public: int id(); }; }\n",
+        );
+        vfs.add_file(
+            "main.cpp",
+            "#include <lib.hpp>\nstruct S { L::Big field; };\n",
+        );
         let mut rewritten = BTreeMap::new();
         // Broken output: include swapped but the field not pointerized.
         rewritten.insert(
@@ -156,8 +158,14 @@ mod tests {
     #[test]
     fn verify_accepts_a_correct_rewrite() {
         let mut vfs = Vfs::new();
-        vfs.add_file("lib.hpp", "#pragma once\nnamespace L { class Big { public: int id(); }; }\n");
-        vfs.add_file("main.cpp", "#include <lib.hpp>\nstruct S { L::Big field; };\n");
+        vfs.add_file(
+            "lib.hpp",
+            "#pragma once\nnamespace L { class Big { public: int id(); }; }\n",
+        );
+        vfs.add_file(
+            "main.cpp",
+            "#include <lib.hpp>\nstruct S { L::Big field; };\n",
+        );
         let mut rewritten = BTreeMap::new();
         rewritten.insert(
             "main.cpp".to_string(),

@@ -15,13 +15,9 @@ use yalla_analysis::aliases::AliasResolver;
 use yalla_analysis::incomplete::WrapperNeed;
 use yalla_analysis::symbols::{SymbolKind, SymbolTable};
 use yalla_analysis::usage::{FieldUsage, MethodUsage, UsageReport};
-use yalla_cpp::ast::{
-    FunctionDecl, FunctionName, Param, Type, TypeKind,
-};
+use yalla_cpp::ast::{FunctionDecl, FunctionName, Param, Type, TypeKind};
 
-use crate::plan::{
-    Diagnostic, DiagnosticKind, FnWrapper, MemberKind, MethodWrapper, Plan,
-};
+use crate::plan::{Diagnostic, DiagnosticKind, FnWrapper, MemberKind, MethodWrapper, Plan};
 
 /// Suffix appended to wrapped function names (the paper's `_w`).
 pub const WRAPPER_SUFFIX: &str = "_w";
@@ -165,11 +161,7 @@ pub fn make_fn_wrapper(
     diagnostics: &mut Vec<Diagnostic>,
 ) -> FnWrapper {
     let aliases = AliasResolver::new(table);
-    let base = original
-        .name
-        .as_ident()
-        .unwrap_or("wrapped")
-        .to_string();
+    let base = original.name.as_ident().unwrap_or("wrapped").to_string();
     let wrapper_name = format!("{base}{WRAPPER_SUFFIX}");
 
     let is_incomplete_by_value = |ty: &Type| -> bool {
@@ -207,12 +199,7 @@ pub fn make_fn_wrapper(
     let tparam_names: Vec<String> = original
         .template
         .as_ref()
-        .map(|t| {
-            t.params
-                .iter()
-                .map(|p| p.name().to_string())
-                .collect()
-        })
+        .map(|t| t.params.iter().map(|p| p.name().to_string()).collect())
         .unwrap_or_default();
     let mut pending = Vec::new();
     if let Some(used) = usage.functions.get(key) {
@@ -343,7 +330,11 @@ pub fn make_method_wrapper(
             _ => q,
         }
     };
-    let ret = mdecl.ret.as_ref().map(&concretize).unwrap_or_else(Type::void);
+    let ret = mdecl
+        .ret
+        .as_ref()
+        .map(&concretize)
+        .unwrap_or_else(Type::void);
     let params: Vec<Param> = mdecl
         .params
         .iter()
@@ -438,11 +429,7 @@ pub fn make_field_wrapper(
     })
 }
 
-fn render_receiver(
-    recv: &Type,
-    _usage: &UsageReport,
-    aliases: &AliasResolver<'_>,
-) -> String {
+fn render_receiver(recv: &Type, _usage: &UsageReport, aliases: &AliasResolver<'_>) -> String {
     let mut t = strip_ref(recv);
     t.is_const = false;
     aliases.resolve_type_deep(&t).to_string()

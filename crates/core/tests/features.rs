@@ -108,7 +108,11 @@ fn incomplete_return_gets_wrapper_with_heap_allocation() {
         "namespace L { struct Fat { int buf[64]; }; Fat make(); int weigh(Fat f); }",
         "int f() { return L::weigh(L::make()); }",
     );
-    assert!(r.report.verification.passed(), "{:?}", r.report.verification);
+    assert!(
+        r.report.verification.passed(),
+        "{:?}",
+        r.report.verification
+    );
     assert_eq!(r.report.function_wrappers, 2);
     let wf = &r.wrappers_file;
     assert!(wf.contains("return new L::Fat("), "{wf}");
@@ -125,7 +129,10 @@ fn explicit_template_args_survive_and_instantiate() {
     assert!(r.report.verification.passed());
     let wf = &r.wrappers_file;
     assert!(wf.contains("template L::Box* wrap_w<int>(int);"), "{wf}");
-    assert!(wf.contains("template L::Box* wrap_w<double>(double);"), "{wf}");
+    assert!(
+        wf.contains("template L::Box* wrap_w<double>(double);"),
+        "{wf}"
+    );
     let main = &r.rewritten_sources["main.cpp"];
     assert!(main.contains("wrap_w<int>(3)"), "{main}");
 }
@@ -171,7 +178,10 @@ fn colliding_method_names_across_classes_are_renamed() {
         .map(|w| w.wrapper_name.as_str())
         .collect();
     assert_eq!(names.len(), 2);
-    assert_ne!(names[0], names[1], "wrapper names must not collide: {names:?}");
+    assert_ne!(
+        names[0], names[1],
+        "wrapper names must not collide: {names:?}"
+    );
 }
 
 // ---- Table 1 row 6: lambdas ------------------------------------------------------------
@@ -192,7 +202,11 @@ fn lambda_passed_to_wrapped_template_becomes_functor() {
         "namespace L { struct R { int n; }; R range(int n); template <typename X, typename F> void apply(X x, F f); }",
         "void f() { int acc = 0; L::apply(L::range(3), [&](int i) { acc += i; }); }",
     );
-    assert!(r.report.verification.passed(), "{:?}", r.report.verification);
+    assert!(
+        r.report.verification.passed(),
+        "{:?}",
+        r.report.verification
+    );
     assert_eq!(r.report.functors, 1);
     let lw = &r.lightweight_header;
     // Mutated capture -> pointer field + const operator().
@@ -251,8 +265,14 @@ fn using_declaration_of_target_class_counts_as_use() {
 #[test]
 fn sources_keep_unrelated_includes() {
     let mut vfs = Vfs::new();
-    vfs.add_file("lib.hpp", "#pragma once\nnamespace L { class C { public: int id(); }; }");
-    vfs.add_file("other.hpp", "#pragma once\ninline int helper(int v) { return v; }\n");
+    vfs.add_file(
+        "lib.hpp",
+        "#pragma once\nnamespace L { class C { public: int id(); }; }",
+    );
+    vfs.add_file(
+        "other.hpp",
+        "#pragma once\ninline int helper(int v) { return v; }\n",
+    );
     vfs.add_file(
         "main.cpp",
         "#include <lib.hpp>\n#include <other.hpp>\nint f(L::C& c) { return helper(c.id()); }\n",
@@ -276,7 +296,10 @@ fn defines_flow_into_the_engine() {
         "lib.hpp",
         "#pragma once\n#if FANCY\nnamespace L { class C { public: int id(); }; }\n#else\nnamespace L { class D { public: int id(); }; }\n#endif\n",
     );
-    vfs.add_file("main.cpp", "#include <lib.hpp>\nint f(L::C& c) { return c.id(); }\n");
+    vfs.add_file(
+        "main.cpp",
+        "#include <lib.hpp>\nint f(L::C& c) { return c.id(); }\n",
+    );
     let r = Engine::new(Options {
         header: "lib.hpp".into(),
         sources: vec!["main.cpp".into()],

@@ -59,11 +59,9 @@ impl DetRng {
 /// Generates the library described by `spec` into `vfs` and returns the
 /// path of its umbrella header.
 pub fn generate_library(vfs: &mut Vfs, spec: &LibSpec) -> String {
-    let mut rng = DetRng::new(
-        spec.prefix
-            .bytes()
-            .fold(0xdead_beefu64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64)),
-    );
+    let mut rng = DetRng::new(spec.prefix.bytes().fold(0xdead_beefu64, |a, b| {
+        a.wrapping_mul(31).wrapping_add(b as u64)
+    }));
     let mut top = String::new();
     top.push_str("#pragma once\n");
     for i in 0..spec.internal_headers {
@@ -81,7 +79,10 @@ pub fn generate_library(vfs: &mut Vfs, spec: &LibSpec) -> String {
 fn internal_header(spec: &LibSpec, index: usize, rng: &mut DetRng) -> String {
     let mut out = String::with_capacity(spec.lines_per_header * 40);
     out.push_str("#pragma once\n");
-    out.push_str(&format!("namespace {} {{ namespace detail {{\n", spec.namespace));
+    out.push_str(&format!(
+        "namespace {} {{ namespace detail {{\n",
+        spec.namespace
+    ));
     let mut line_budget = spec.lines_per_header;
     let mut item = 0usize;
     while line_budget > 8 {
@@ -113,12 +114,16 @@ fn internal_header(spec: &LibSpec, index: usize, rng: &mut DetRng) -> String {
             // A class with method declarations and an inline method.
             _ => {
                 let mut c = String::new();
-                c.push_str(&format!("template <typename P{item}>\nclass Cls_{tag} {{\npublic:\n"));
+                c.push_str(&format!(
+                    "template <typename P{item}>\nclass Cls_{tag} {{\npublic:\n"
+                ));
                 c.push_str(&format!("  Cls_{tag}();\n"));
                 for m in 0..(2 + rng.next(3)) {
                     c.push_str(&format!("  int method_{m}(int a, double b) const;\n"));
                 }
-                c.push_str(&format!("  int size_{item};\nprivate:\n  int cap_{item};\n}};\n"));
+                c.push_str(&format!(
+                    "  int size_{item};\nprivate:\n  int cap_{item};\n}};\n"
+                ));
                 c
             }
         };
@@ -152,7 +157,10 @@ mod tests {
     fn generated_library_parses() {
         let mut vfs = Vfs::new();
         let top = generate_library(&mut vfs, &spec());
-        vfs.add_file("probe.cpp", format!("#include <{top}>\nint main() {{ return 0; }}\n"));
+        vfs.add_file(
+            "probe.cpp",
+            format!("#include <{top}>\nint main() {{ return 0; }}\n"),
+        );
         let fe = Frontend::new(vfs);
         let tu = fe.parse_translation_unit("probe.cpp").unwrap();
         assert_eq!(tu.stats.header_count(), 13); // umbrella + 12 internals

@@ -158,6 +158,10 @@ mod tests {
             "lines = {}",
             tu.stats.lines_compiled
         );
-        assert!((300..360).contains(&tu.stats.header_count()), "{}", tu.stats.header_count());
+        assert!(
+            (300..360).contains(&tu.stats.header_count()),
+            "{}",
+            tu.stats.header_count()
+        );
     }
 }

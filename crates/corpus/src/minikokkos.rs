@@ -344,7 +344,8 @@ fn exa(tag: &str, body: &'static str, views: &[&'static str]) -> KernelFiles {
         "#include \"functor.hpp\"\nvoid {tag}_functor::operator()(member_t &m) {{\n{body}}}\n"
     );
 
-    let mut driver = String::from("#include \"functor.hpp\"\nint run_kernel(int leagues, int n) {\n");
+    let mut driver =
+        String::from("#include \"functor.hpp\"\nint run_kernel(int leagues, int n) {\n");
     for v in views {
         driver.push_str(&format!(
             "  Kokkos::View<double**, Kokkos::LayoutRight> {v}(leagues, n);\n"
@@ -352,7 +353,9 @@ fn exa(tag: &str, body: &'static str, views: &[&'static str]) -> KernelFiles {
     }
     let args: Vec<String> = views.iter().map(|v| v.to_string()).collect();
     driver.push_str(&format!("  {tag}_functor f{{n, {}}};\n", args.join(", ")));
-    driver.push_str("  Kokkos::parallel_for(Kokkos::TeamPolicy<sp_t>(leagues, 1), f);\n  return 0;\n}\n");
+    driver.push_str(
+        "  Kokkos::parallel_for(Kokkos::TeamPolicy<sp_t>(leagues, 1), f);\n  return 0;\n}\n",
+    );
 
     KernelFiles {
         functor_hpp: Box::leak(functor.into_boxed_str()),
@@ -370,7 +373,10 @@ mod tests {
     fn kokkos_tree_matches_table_3_scale() {
         let mut vfs = Vfs::new();
         install(&mut vfs);
-        vfs.add_file("probe.cpp", "#include <Kokkos_Core.hpp>\nint main() { return 0; }\n");
+        vfs.add_file(
+            "probe.cpp",
+            "#include <Kokkos_Core.hpp>\nint main() { return 0; }\n",
+        );
         let fe = Frontend::new(vfs);
         let tu = fe.parse_translation_unit("probe.cpp").unwrap();
         // Paper Table 3: 581 headers, ~111300 lines.

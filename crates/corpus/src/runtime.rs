@@ -55,7 +55,11 @@ fn arg_i(args: &[Value], i: usize) -> i64 {
 fn install_kokkos(m: &mut Machine) {
     m.register_native("ctor::View", |_m, args| {
         let n0 = arg_i(&args, 0).max(1);
-        let n1 = if args.len() > 1 { arg_i(&args, 1).max(1) } else { 1 };
+        let n1 = if args.len() > 1 {
+            arg_i(&args, 1).max(1)
+        } else {
+            1
+        };
         Ok(array2(n0, n1))
     });
     m.register_native("ctor::TeamPolicy", |_m, args| {
@@ -129,29 +133,25 @@ fn install_kokkos(m: &mut Machine) {
         m.register_native(trivial, |_m, _a| Ok(Value::Unit));
     }
     m.register_native("Kokkos::device_id", |_m, _a| Ok(Value::Int(0)));
-    m.set_method_dispatcher(|_m, recv, method, args| {
-        match (recv, method) {
-            (Value::Obj { fields, .. }, "league_rank" | "team_rank") => Some(Ok(fields
-                .borrow()
-                .get("rank")
-                .cloned()
-                .unwrap_or(Value::Int(0)))),
-            (Value::Obj { fields, .. }, "team_size" | "league_size") => Some(Ok(fields
-                .borrow()
-                .get("team")
-                .cloned()
-                .unwrap_or(Value::Int(1)))),
-            (Value::Array2 { data, cols }, "extent") => {
-                let d = args.first().and_then(Value::as_i64).unwrap_or(0);
-                let rows = (data.borrow().len() / cols.max(&1)) as i64;
-                Some(Ok(Value::Int(if d == 0 { rows } else { *cols as i64 })))
-            }
-            (Value::Array2 { data, .. }, "span") => {
-                Some(Ok(Value::Int(data.borrow().len() as i64)))
-            }
-            (Value::Array2 { .. }, "rank") => Some(Ok(Value::Int(2))),
-            _ => None,
+    m.set_method_dispatcher(|_m, recv, method, args| match (recv, method) {
+        (Value::Obj { fields, .. }, "league_rank" | "team_rank") => Some(Ok(fields
+            .borrow()
+            .get("rank")
+            .cloned()
+            .unwrap_or(Value::Int(0)))),
+        (Value::Obj { fields, .. }, "team_size" | "league_size") => Some(Ok(fields
+            .borrow()
+            .get("team")
+            .cloned()
+            .unwrap_or(Value::Int(1)))),
+        (Value::Array2 { data, cols }, "extent") => {
+            let d = args.first().and_then(Value::as_i64).unwrap_or(0);
+            let rows = (data.borrow().len() / cols.max(&1)) as i64;
+            Some(Ok(Value::Int(if d == 0 { rows } else { *cols as i64 })))
         }
+        (Value::Array2 { data, .. }, "span") => Some(Ok(Value::Int(data.borrow().len() as i64))),
+        (Value::Array2 { .. }, "rank") => Some(Ok(Value::Int(2))),
+        _ => None,
     });
 }
 
@@ -213,7 +213,9 @@ fn install_json(m: &mut Machine) {
                     .get("events")
                     .and_then(Value::as_i64)
                     .unwrap_or(0);
-                fields.borrow_mut().insert("events".into(), Value::Int(n + 1));
+                fields
+                    .borrow_mut()
+                    .insert("events".into(), Value::Int(n + 1));
                 Some(Ok(Value::Bool(true)))
             }
             "size" => Some(Ok(Value::Int(8))),
@@ -307,9 +309,7 @@ fn install_cv(m: &mut Machine) {
             Some(Ok(Value::Int((data.borrow().len() / cols.max(&1)) as i64)))
         }
         (Value::Array2 { cols, .. }, "cols") => Some(Ok(Value::Int(*cols as i64))),
-        (Value::Array2 { data, .. }, "total") => {
-            Some(Ok(Value::Int(data.borrow().len() as i64)))
-        }
+        (Value::Array2 { data, .. }, "total") => Some(Ok(Value::Int(data.borrow().len() as i64))),
         (Value::Array2 { data, cols }, "clone") => {
             let copy = data.borrow().clone();
             Some(Ok(Value::Array2 {
@@ -500,7 +500,11 @@ int go(asio::tcp_socket& sock, asio::mutable_buffer& buf) {
         );
         let sock = m.call("ctor::tcp_socket", vec![], RUNTIME_TU).unwrap();
         let buf = m
-            .call("ctor::mutable_buffer", vec![Value::Int(0), Value::Int(64)], RUNTIME_TU)
+            .call(
+                "ctor::mutable_buffer",
+                vec![Value::Int(0), Value::Int(64)],
+                RUNTIME_TU,
+            )
             .unwrap();
         let v = m.call("go", vec![sock, buf], 0).unwrap();
         assert_eq!(v.as_i64(), Some(128));

@@ -127,7 +127,11 @@ impl TemplateHeader {
                 out.push_str(", ");
             }
             match p {
-                TemplateParam::Type { name, pack, default } => {
+                TemplateParam::Type {
+                    name,
+                    pack,
+                    default,
+                } => {
                     out.push_str("typename");
                     if *pack {
                         out.push_str("...");
@@ -475,7 +479,10 @@ mod tests {
                 },
             ],
         };
-        assert_eq!(th.render(), "template <typename T, int N = 4, typename... Ts>");
+        assert_eq!(
+            th.render(),
+            "template <typename T, int N = 4, typename... Ts>"
+        );
     }
 
     #[test]

@@ -102,8 +102,14 @@ impl QualName {
         S: Into<String>,
     {
         let segs: Vec<NameSeg> = segs.into_iter().map(NameSeg::plain).collect();
-        assert!(!segs.is_empty(), "qualified name needs at least one segment");
-        QualName { global: false, segs }
+        assert!(
+            !segs.is_empty(),
+            "qualified name needs at least one segment"
+        );
+        QualName {
+            global: false,
+            segs,
+        }
     }
 
     /// The last segment (the entity actually named).

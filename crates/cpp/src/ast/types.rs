@@ -275,7 +275,9 @@ mod tests {
                 NameSeg::plain("Kokkos"),
                 NameSeg::with_args(
                     "View",
-                    vec![TemplateArg::Type(Type::pointer(Type::builtin(Builtin::Int)))],
+                    vec![TemplateArg::Type(Type::pointer(Type::builtin(
+                        Builtin::Int,
+                    )))],
                 ),
             ],
         })
@@ -283,9 +285,14 @@ mod tests {
 
     #[test]
     fn display_compound_types() {
-        assert_eq!(Type::pointer(Type::builtin(Builtin::Int)).to_string(), "int*");
         assert_eq!(
-            Type::lvalue_ref(Type::builtin(Builtin::Double)).as_const().to_string(),
+            Type::pointer(Type::builtin(Builtin::Int)).to_string(),
+            "int*"
+        );
+        assert_eq!(
+            Type::lvalue_ref(Type::builtin(Builtin::Double))
+                .as_const()
+                .to_string(),
             "const double&"
         );
         assert_eq!(view_type().to_string(), "Kokkos::View<int*>");
@@ -341,6 +348,9 @@ mod tests {
         });
         let mut seen = Vec::new();
         t.for_each_named(&mut |n| seen.push(n.key()));
-        assert_eq!(seen, vec!["TeamPolicy".to_string(), "Kokkos::OpenMP".to_string()]);
+        assert_eq!(
+            seen,
+            vec!["TeamPolicy".to_string(), "Kokkos::OpenMP".to_string()]
+        );
     }
 }

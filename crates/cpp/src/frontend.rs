@@ -68,12 +68,19 @@ impl Frontend {
     ///
     /// Propagates preprocessing and parsing failures.
     pub fn parse_translation_unit(&self, main_path: &str) -> Result<ParsedTu> {
-        let mut pp = Preprocessor::new(&self.vfs);
-        for (k, v) in &self.defines {
-            pp.define(k, v);
-        }
-        let out = pp.run(main_path)?;
-        let ast = parse_tokens(out.tokens)?;
+        let out = {
+            let _span = yalla_obs::span("frontend", "preprocess");
+            let mut pp = Preprocessor::new(&self.vfs);
+            for (k, v) in &self.defines {
+                pp.define(k, v);
+            }
+            pp.run(main_path)?
+        };
+        let ast = {
+            let _span = yalla_obs::span("frontend", "parse");
+            parse_tokens(out.tokens)?
+        };
+        yalla_obs::count(yalla_obs::metrics::names::AST_DECLS, ast.decls.len() as i64);
         Ok(ParsedTu {
             ast,
             stats: out.stats,
@@ -106,7 +113,10 @@ mod tests {
     #[test]
     fn defines_apply() {
         let mut vfs = Vfs::new();
-        vfs.add_file("m.cpp", "#if MODE == 2\nint two;\n#else\nint other;\n#endif\n");
+        vfs.add_file(
+            "m.cpp",
+            "#if MODE == 2\nint two;\n#else\nint other;\n#endif\n",
+        );
         let mut fe = Frontend::new(vfs);
         fe.define("MODE", "2");
         let tu = fe.parse_translation_unit("m.cpp").unwrap();

@@ -86,8 +86,9 @@ impl<'a> Lexer<'a> {
                 b' ' | b'\t' | b'\r' | b'\n' => {
                     self.bump();
                 }
-                b'\\' if self.peek_at(1) == b'\n'
-                    || (self.peek_at(1) == b'\r' && self.peek_at(2) == b'\n') =>
+                b'\\'
+                    if self.peek_at(1) == b'\n'
+                        || (self.peek_at(1) == b'\r' && self.peek_at(2) == b'\n') =>
                 {
                     // A line splice joins two physical lines into one
                     // logical line: advance past the newline *without*
@@ -565,10 +566,7 @@ mod tests {
     #[test]
     fn two_gt_never_merge() {
         let ks = kinds("Vec<Vec<int>> x; a >> b");
-        let gts = ks
-            .iter()
-            .filter(|k| k.is_punct(Punct::Gt))
-            .count();
+        let gts = ks.iter().filter(|k| k.is_punct(Punct::Gt)).count();
         assert_eq!(gts, 4, "all > tokens stay separate: {ks:?}");
     }
 

@@ -15,7 +15,9 @@ impl Parser {
     pub(crate) fn parse_decl(&mut self) -> Result<Decl> {
         let start = self.span();
         // namespace
-        if self.check_kw("namespace") || (self.check_kw("inline") && self.peek_at(1).kind.is_ident("namespace")) {
+        if self.check_kw("namespace")
+            || (self.check_kw("inline") && self.peek_at(1).kind.is_ident("namespace"))
+        {
             let is_inline = self.eat_kw("inline");
             self.expect_kw("namespace")?;
             let mut names = Vec::new();
@@ -135,7 +137,8 @@ impl Parser {
             return Ok(Decl::new(DeclKind::UsingNamespace(name), start.to(end)));
         }
         // `using X = T;` vs `using A::b;`
-        if matches!(self.peek().kind, TokenKind::Ident(_)) && self.peek_at(1).kind.is_punct(Punct::Eq)
+        if matches!(self.peek().kind, TokenKind::Ident(_))
+            && self.peek_at(1).kind.is_punct(Punct::Eq)
         {
             let (name, _) = self.ident()?;
             self.bump(); // =
@@ -611,7 +614,8 @@ impl Parser {
         if self.check_punct(Punct::LParen) {
             let mut full_specs = specs;
             full_specs.is_static = specs.is_static;
-            return self.parse_function_tail(fname, qualifier, template, full_specs, start)
+            return self
+                .parse_function_tail(fname, qualifier, template, full_specs, start)
                 .map(|mut d| {
                     if let DeclKind::Function(f) = &mut d.kind {
                         // A trailing return type (`auto f() -> int`) wins
@@ -716,9 +720,7 @@ impl Parser {
             let (ident, _) = self.ident()?;
             // A qualifying segment may carry template args:
             // `View<T>::method`.
-            let args = if self.check_punct(Punct::Lt)
-                && !self.peek_at(1).kind.is_punct(Punct::Lt)
-            {
+            let args = if self.check_punct(Punct::Lt) && !self.peek_at(1).kind.is_punct(Punct::Lt) {
                 let save = self.save();
                 match self.parse_template_args() {
                     Ok(a)
@@ -1089,8 +1091,7 @@ mod tests {
                 let th = c.template.as_ref().unwrap();
                 assert_eq!(th.params.len(), 2);
                 assert_eq!(c.methods().count(), 4);
-                let names: Vec<String> =
-                    c.methods().map(|(_, f)| f.name.spelling()).collect();
+                let names: Vec<String> = c.methods().map(|(_, f)| f.name.spelling()).collect();
                 assert!(names.contains(&"View".to_string()));
                 assert!(names.contains(&"~View".to_string()));
                 assert!(names.contains(&"operator()".to_string()));
@@ -1105,8 +1106,7 @@ mod tests {
         let d = first(src);
         match d.kind {
             DeclKind::Class(c) => {
-                let accesses: Vec<AccessSpecifier> =
-                    c.members.iter().map(|m| m.access).collect();
+                let accesses: Vec<AccessSpecifier> = c.members.iter().map(|m| m.access).collect();
                 assert_eq!(
                     accesses,
                     vec![
@@ -1171,7 +1171,8 @@ mod tests {
 
     #[test]
     fn global_variables() {
-        let tu = parse_str("int g = 5;\nstatic const double PI = 3.14159;\nKokkos::View<int> v;").unwrap();
+        let tu = parse_str("int g = 5;\nstatic const double PI = 3.14159;\nKokkos::View<int> v;")
+            .unwrap();
         assert_eq!(tu.decls.len(), 3);
         match &tu.decls[1].kind {
             DeclKind::Variable(v) => {
@@ -1199,7 +1200,8 @@ mod tests {
 
     #[test]
     fn constructor_with_init_list() {
-        let src = "class P { public: P(int x) : x_(x), y_{0} { run(); } private: int x_; int y_; };";
+        let src =
+            "class P { public: P(int x) : x_(x), y_{0} { run(); } private: int x_; int y_; };";
         let d = first(src);
         match d.kind {
             DeclKind::Class(c) => {
@@ -1296,7 +1298,8 @@ void add_y::operator()(member_t &m) {
 
     #[test]
     fn nested_classes() {
-        let src = "class TeamPolicy { public: class member_type { public: int league_rank() const; }; };";
+        let src =
+            "class TeamPolicy { public: class member_type { public: int league_rank() const; }; };";
         let d = first(src);
         match d.kind {
             DeclKind::Class(c) => {

@@ -1,8 +1,7 @@
 //! Expression parsing (precedence climbing).
 
 use crate::ast::{
-    BinaryOp, Builtin, Expr, ExprKind, LambdaCapture, LambdaExpr, NameSeg, QualName, Type,
-    UnaryOp,
+    BinaryOp, Builtin, Expr, ExprKind, LambdaCapture, LambdaExpr, NameSeg, QualName, Type, UnaryOp,
 };
 use crate::error::Result;
 use crate::lex::{Punct, TokenKind};
@@ -737,10 +736,7 @@ mod tests {
         let e = expr("(*x)(j, i)");
         assert!(matches!(e.kind, ExprKind::Call { .. }));
         let e = expr("p->field");
-        assert!(matches!(
-            e.kind,
-            ExprKind::Member { arrow: true, .. }
-        ));
+        assert!(matches!(e.kind, ExprKind::Member { arrow: true, .. }));
     }
 
     #[test]

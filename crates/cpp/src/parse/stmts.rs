@@ -377,7 +377,9 @@ mod tests {
     fn classic_for_loop() {
         let b = block("{ for (int i = 0; i < m; i++) { acc += v[i]; } }");
         match &b.stmts[0].kind {
-            StmtKind::For { init, cond, inc, .. } => {
+            StmtKind::For {
+                init, cond, inc, ..
+            } => {
                 assert!(matches!(init.as_ref(), ForInit::Decl(_)));
                 assert!(cond.is_some());
                 assert!(inc.is_some());

@@ -20,35 +20,34 @@ pub fn eval_condition(tokens: &[Token], macros: &mut MacroTable, span: Span) -> 
     let mut i = 0;
     while i < tokens.len() {
         if tokens[i].kind.is_ident("defined") {
-            let (name, consumed) = if i + 1 < tokens.len()
-                && tokens[i + 1].kind.is_punct(Punct::LParen)
-            {
-                match tokens.get(i + 2).map(|t| &t.kind) {
-                    Some(TokenKind::Ident(n))
-                        if tokens
-                            .get(i + 3)
-                            .is_some_and(|t| t.kind.is_punct(Punct::RParen)) =>
-                    {
-                        (n.clone(), 4)
+            let (name, consumed) =
+                if i + 1 < tokens.len() && tokens[i + 1].kind.is_punct(Punct::LParen) {
+                    match tokens.get(i + 2).map(|t| &t.kind) {
+                        Some(TokenKind::Ident(n))
+                            if tokens
+                                .get(i + 3)
+                                .is_some_and(|t| t.kind.is_punct(Punct::RParen)) =>
+                        {
+                            (n.clone(), 4)
+                        }
+                        _ => {
+                            return Err(CppError::Directive {
+                                message: "malformed defined()".into(),
+                                span,
+                            })
+                        }
                     }
-                    _ => {
-                        return Err(CppError::Directive {
-                            message: "malformed defined()".into(),
-                            span,
-                        })
+                } else {
+                    match tokens.get(i + 1).map(|t| &t.kind) {
+                        Some(TokenKind::Ident(n)) => (n.clone(), 2),
+                        _ => {
+                            return Err(CppError::Directive {
+                                message: "defined requires a name".into(),
+                                span,
+                            })
+                        }
                     }
-                }
-            } else {
-                match tokens.get(i + 1).map(|t| &t.kind) {
-                    Some(TokenKind::Ident(n)) => (n.clone(), 2),
-                    _ => {
-                        return Err(CppError::Directive {
-                            message: "defined requires a name".into(),
-                            span,
-                        })
-                    }
-                }
-            };
+                };
             resolved.push(Token {
                 kind: TokenKind::Int(i64::from(macros.is_defined(&name))),
                 span,

@@ -86,6 +86,19 @@ impl<'v> Preprocessor<'v> {
             })?;
         self.process_file(main, true)?;
         self.stats.macro_expansions = self.macros.expansions;
+        {
+            use yalla_obs::metrics::names;
+            yalla_obs::count(
+                names::FILES_PREPROCESSED,
+                self.stats.files_entered.len() as i64,
+            );
+            yalla_obs::count(names::LINES_PREPROCESSED, self.stats.lines_compiled as i64);
+            yalla_obs::count(
+                names::INCLUDES_RESOLVED,
+                self.stats.include_edges.len() as i64,
+            );
+            yalla_obs::count(names::MACRO_EXPANSIONS, self.stats.macro_expansions as i64);
+        }
         let last_line = self.out.last().map(|t| t.line).unwrap_or(1);
         self.out.push(Token {
             kind: TokenKind::Eof,
@@ -110,8 +123,14 @@ impl<'v> Preprocessor<'v> {
         }
         self.depth += 1;
         self.stats.enter_file(file, is_main);
+        // One span per file entry; recursion through `handle_include` nests
+        // these, so the trace mirrors the include tree.
+        let _file_span = yalla_obs::span("pp", self.vfs.path(file));
 
-        let tokens = lex_file(file, self.vfs.text(file))?;
+        let tokens = {
+            let _lex_span = yalla_obs::span("pp", "lex");
+            lex_file(file, self.vfs.text(file))?
+        };
         let mut conds: Vec<CondFrame> = Vec::new();
         let mut pending: Vec<Token> = Vec::new();
         let mut counted_lines: HashSet<u32> = HashSet::new();
@@ -351,9 +370,9 @@ impl<'v> Preprocessor<'v> {
             }
         };
         // Function-like only when `(` directly abuts the macro name.
-        let is_function_like = rest.get(1).is_some_and(|t| {
-            t.kind.is_punct(Punct::LParen) && t.span.start == name_tok.span.end
-        });
+        let is_function_like = rest
+            .get(1)
+            .is_some_and(|t| t.kind.is_punct(Punct::LParen) && t.span.start == name_tok.span.end);
         if !is_function_like {
             self.macros.define(
                 name,
@@ -429,7 +448,10 @@ mod tests {
     #[test]
     fn include_splices_tokens() {
         let out = pp(
-            &[("a.hpp", "int a;"), ("main.cpp", "#include \"a.hpp\"\nint b;")],
+            &[
+                ("a.hpp", "int a;"),
+                ("main.cpp", "#include \"a.hpp\"\nint b;"),
+            ],
             "main.cpp",
         );
         assert_eq!(render(&out), "int a ; int b ;");
@@ -459,14 +481,8 @@ mod tests {
     fn include_guard_prevents_double_entry() {
         let out = pp(
             &[
-                (
-                    "g.hpp",
-                    "#ifndef G_HPP\n#define G_HPP\nint g;\n#endif\n",
-                ),
-                (
-                    "main.cpp",
-                    "#include \"g.hpp\"\n#include \"g.hpp\"\nint m;",
-                ),
+                ("g.hpp", "#ifndef G_HPP\n#define G_HPP\nint g;\n#endif\n"),
+                ("main.cpp", "#include \"g.hpp\"\n#include \"g.hpp\"\nint m;"),
             ],
             "main.cpp",
         );

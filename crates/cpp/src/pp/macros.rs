@@ -200,7 +200,10 @@ impl MacroTable {
                 let left = expand_one(&body[i], &arg_for);
                 let right = expand_one(&body[i + 2], &arg_for);
                 let l = left.last().map(|t| t.kind.to_string()).unwrap_or_default();
-                let r = right.first().map(|t| t.kind.to_string()).unwrap_or_default();
+                let r = right
+                    .first()
+                    .map(|t| t.kind.to_string())
+                    .unwrap_or_default();
                 let pasted = format!("{l}{r}");
                 out.extend(left.iter().take(left.len().saturating_sub(1)).cloned());
                 out.push(Token {

@@ -11,6 +11,6 @@ mod engine;
 mod macros;
 mod stats;
 
-pub use engine::{preprocess, Preprocessor, PpOutput};
+pub use engine::{preprocess, PpOutput, Preprocessor};
 pub use macros::{MacroDef, MacroTable};
 pub use stats::PpStats;

@@ -459,7 +459,11 @@ pub fn expr_text(expr: &Expr) -> String {
             arrow,
             member,
         } => {
-            format!("{}{}{member}", expr_text(base), if *arrow { "->" } else { "." })
+            format!(
+                "{}{}{member}",
+                expr_text(base),
+                if *arrow { "->" } else { "." }
+            )
         }
         ExprKind::Index { base, index } => {
             format!("{}[{}]", expr_text(base), expr_text(index))
@@ -499,7 +503,11 @@ pub fn expr_text(expr: &Expr) -> String {
             format!("new {ty}({})", args_s.join(", "))
         }
         ExprKind::Delete { array, expr } => {
-            format!("delete{} {}", if *array { "[]" } else { "" }, expr_text(expr))
+            format!(
+                "delete{} {}",
+                if *array { "[]" } else { "" },
+                expr_text(expr)
+            )
         }
         ExprKind::Cast { kind, ty, expr } => {
             if kind == "functional" {
@@ -532,7 +540,8 @@ mod tests {
 
     fn round_trip_twice_is_stable(src: &str) {
         let once = round_trip(src);
-        let tu2 = parse_str(&once).unwrap_or_else(|e| panic!("reparse failed: {e}\n--- emitted:\n{once}"));
+        let tu2 = parse_str(&once)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- emitted:\n{once}"));
         let twice = print_tu(&tu2);
         assert_eq!(once, twice, "print→parse→print must be a fixed point");
     }
@@ -581,7 +590,10 @@ mod tests {
     #[test]
     fn explicit_instantiation_renders() {
         let out = round_trip("template int g_add<int>(int x, int y);");
-        assert!(out.contains("template int g_add<int>(int x, int y);"), "{out}");
+        assert!(
+            out.contains("template int g_add<int>(int x, int y);"),
+            "{out}"
+        );
         round_trip_twice_is_stable("template int g_add<int>(int x, int y);");
     }
 

@@ -223,8 +223,14 @@ mod tests {
         let far = vfs.add_file("sys/inc.hpp", "far");
         let main = vfs.add_file("proj/main.cpp", "");
         vfs.add_search_path("sys");
-        assert_eq!(vfs.resolve_include("inc.hpp", Some(main), true).unwrap(), near);
-        assert_eq!(vfs.resolve_include("inc.hpp", Some(main), false).unwrap(), far);
+        assert_eq!(
+            vfs.resolve_include("inc.hpp", Some(main), true).unwrap(),
+            near
+        );
+        assert_eq!(
+            vfs.resolve_include("inc.hpp", Some(main), false).unwrap(),
+            far
+        );
     }
 
     #[test]
@@ -248,6 +254,9 @@ mod tests {
     fn angled_include_falls_back_to_exact_path() {
         let mut vfs = Vfs::new();
         let id = vfs.add_file("Kokkos_Core.hpp", "");
-        assert_eq!(vfs.resolve_include("Kokkos_Core.hpp", None, false).unwrap(), id);
+        assert_eq!(
+            vfs.resolve_include("Kokkos_Core.hpp", None, false).unwrap(),
+            id
+        );
     }
 }

@@ -96,10 +96,7 @@ fn macro_bomb_is_bounded_by_recursion_guard() {
     // Self-referential macros must not blow up (C-standard behaviour:
     // painted-blue names stop expanding).
     let mut vfs = Vfs::new();
-    vfs.add_file(
-        "m.cpp",
-        "#define A B B\n#define B A A\nint x = A;\n",
-    );
+    vfs.add_file("m.cpp", "#define A B B\n#define B A A\nint x = A;\n");
     let fe = Frontend::new(vfs);
     // Parse may fail (the expansion is `B B` etc., not valid C++ in this
     // position is fine) but must return quickly and without a panic.
@@ -108,7 +105,13 @@ fn macro_bomb_is_bounded_by_recursion_guard() {
 
 #[test]
 fn empty_and_whitespace_files() {
-    for text in ["", "\n\n\n", "   \t  ", "// only a comment\n", "/* block */"] {
+    for text in [
+        "",
+        "\n\n\n",
+        "   \t  ",
+        "// only a comment\n",
+        "/* block */",
+    ] {
         let mut vfs = Vfs::new();
         vfs.add_file("e.cpp", text);
         let fe = Frontend::new(vfs);

@@ -1,0 +1,228 @@
+//! A std-only, dependency-free shim of the [criterion] crate.
+//!
+//! The offline build environment cannot fetch crates.io, so this crate
+//! provides the subset of the criterion API the workspace's benches use:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`Throughput`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is honest but simple: each benchmark warms up briefly,
+//! then runs timed batches until ~250 ms of samples accumulate, and the
+//! mean/min per-iteration times are printed (with MiB/s when a byte
+//! throughput is set). There are no statistics, plots, or baselines.
+//!
+//! [criterion]: https://docs.rs/criterion
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Target measurement time per benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(250);
+/// Warm-up time per benchmark.
+const WARMUP_TARGET: Duration = Duration::from_millis(50);
+
+/// How expensive the per-iteration setup of
+/// [`Bencher::iter_batched`] is relative to the routine (ignored by the
+/// shim: every iteration gets a fresh setup).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small setup value.
+    SmallInput,
+    /// Large setup value.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Elements per iteration.
+    Elements(u64),
+}
+
+/// Per-iteration timing collector handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        let warm = Instant::now();
+        while warm.elapsed() < WARMUP_TARGET {
+            std_black_box(routine());
+        }
+        let measure = Instant::now();
+        while measure.elapsed() < MEASURE_TARGET {
+            let t = Instant::now();
+            std_black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm = Instant::now();
+        while warm.elapsed() < WARMUP_TARGET {
+            let input = setup();
+            std_black_box(routine(input));
+        }
+        let measure = Instant::now();
+        while measure.elapsed() < MEASURE_TARGET {
+            let input = setup();
+            let t = Instant::now();
+            std_black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{id:<48} no samples");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = *self.samples.iter().min().expect("non-empty");
+        let mut line = format!(
+            "{id:<48} mean {:>12?}  min {:>12?}  ({} samples)",
+            mean,
+            min,
+            self.samples.len()
+        );
+        if let Some(Throughput::Bytes(bytes)) = throughput {
+            let mibs = bytes as f64 / mean.as_secs_f64() / (1024.0 * 1024.0);
+            line.push_str(&format!("  {mibs:>9.1} MiB/s"));
+        }
+        if let Some(Throughput::Elements(n)) = throughput {
+            let eps = n as f64 / mean.as_secs_f64();
+            line.push_str(&format!("  {eps:>12.0} elem/s"));
+        }
+        println!("{line}");
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(id.as_ref(), None);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.as_ref()), self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` for one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut b = Bencher::default();
+        b.iter(|| 1 + 1);
+        assert!(!b.samples.is_empty());
+    }
+
+    #[test]
+    fn iter_batched_collects_samples() {
+        let mut b = Bencher::default();
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(!b.samples.is_empty());
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("noop", |b| b.iter(|| black_box(0)));
+        g.finish();
+        c.bench_function("top", |b| b.iter(|| black_box(0)));
+    }
+}

@@ -1,0 +1,216 @@
+//! The metrics registry: named counters and gauges, shared across
+//! threads.
+//!
+//! Counters are monotone sums (`files preprocessed`, `wrappers
+//! generated`); gauges hold the latest value (`lines in current TU`).
+//! Cells are `Arc<AtomicI64>`, so a handle obtained once can be bumped
+//! from any thread without re-locking the registry, and concurrent adds
+//! aggregate correctly.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Well-known metric names, so producers and readers agree on spelling.
+pub mod names {
+    /// Files that entered preprocessing.
+    pub const FILES_PREPROCESSED: &str = "pp.files_preprocessed";
+    /// Active source lines delivered to the parser.
+    pub const LINES_PREPROCESSED: &str = "pp.lines_preprocessed";
+    /// `#include` directives resolved.
+    pub const INCLUDES_RESOLVED: &str = "pp.includes_resolved";
+    /// Macro expansions performed.
+    pub const MACRO_EXPANSIONS: &str = "pp.macro_expansions";
+    /// Top-level declarations parsed into ASTs.
+    pub const AST_DECLS: &str = "parse.ast_decls";
+    /// Symbols entered into symbol tables.
+    pub const SYMBOLS_RESOLVED: &str = "analysis.symbols_resolved";
+    /// Classes/functions found used in the sources.
+    pub const USED_SYMBOLS: &str = "analysis.used_symbols";
+    /// Incomplete-type rule checks executed.
+    pub const INCOMPLETE_CHECKS: &str = "analysis.incomplete_checks";
+    /// Function + method wrappers generated.
+    pub const WRAPPERS_GENERATED: &str = "engine.wrappers_generated";
+    /// Source files rewritten.
+    pub const REWRITES_APPLIED: &str = "engine.rewrites_applied";
+    /// Engine runs completed.
+    pub const ENGINE_RUNS: &str = "engine.runs";
+    /// Cache hits (reserved for future caching layers).
+    pub const CACHE_HITS: &str = "cache.hits";
+    /// Cache misses (reserved for future caching layers).
+    pub const CACHE_MISSES: &str = "cache.misses";
+    /// Simulated dev-cycle iterations assembled.
+    pub const SIM_ITERATIONS: &str = "sim.iterations";
+}
+
+/// What a metric slot is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone sum.
+    Counter,
+    /// Latest value.
+    Gauge,
+}
+
+/// A cheap, thread-safe handle to one counter cell.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicI64>,
+}
+
+impl Counter {
+    /// Adds `delta` and returns the new value.
+    pub fn add(&self, delta: i64) -> i64 {
+        self.cell.fetch_add(delta, Ordering::Relaxed) + delta
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A cheap, thread-safe handle to one gauge cell.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Sets the value, returning it.
+    pub fn set(&self, value: i64) -> i64 {
+        self.cell.store(value, Ordering::Relaxed);
+        value
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct Slot {
+    cell: Arc<AtomicI64>,
+    kind: MetricKind,
+}
+
+/// A registry of named metric cells.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    slots: Mutex<BTreeMap<String, Slot>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn cell(&self, name: &str, kind: MetricKind) -> Arc<AtomicI64> {
+        let mut slots = self.slots.lock().expect("metrics lock");
+        Arc::clone(
+            &slots
+                .entry(name.to_string())
+                .or_insert_with(|| Slot {
+                    cell: Arc::new(AtomicI64::new(0)),
+                    kind,
+                })
+                .cell,
+        )
+    }
+
+    /// The counter named `name` (created at zero on first use).
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter {
+            cell: self.cell(name, MetricKind::Counter),
+        }
+    }
+
+    /// The gauge named `name` (created at zero on first use).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge {
+            cell: self.cell(name, MetricKind::Gauge),
+        }
+    }
+
+    /// A snapshot of every metric: `(name, kind, value)`, name-sorted.
+    pub fn snapshot(&self) -> Vec<(String, MetricKind, i64)> {
+        let slots = self.slots.lock().expect("metrics lock");
+        slots
+            .iter()
+            .map(|(name, slot)| (name.clone(), slot.kind, slot.cell.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Resets every cell to zero (slots stay registered).
+    pub fn reset(&self) {
+        let slots = self.slots.lock().expect("metrics lock");
+        for slot in slots.values() {
+            slot.cell.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(reg.counter("a").add(2), 2);
+        assert_eq!(reg.counter("a").add(3), 5);
+        assert_eq!(reg.counter("a").get(), 5);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("g").set(10);
+        reg.gauge("g").set(7);
+        assert_eq!(reg.gauge("g").get(), 7);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_typed() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("z").set(1);
+        reg.counter("a").add(4);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap,
+            vec![
+                ("a".to_string(), MetricKind::Counter, 4),
+                ("z".to_string(), MetricKind::Gauge, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn counters_aggregate_across_threads() {
+        let reg = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = reg.counter("shared");
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        c.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter("shared").get(), 8000);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_slots() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").add(9);
+        reg.reset();
+        assert_eq!(
+            reg.snapshot(),
+            vec![("a".to_string(), MetricKind::Counter, 0)]
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! The profiler: hierarchical RAII spans plus counter events, recorded
+//! against a shared wall-clock epoch.
+//!
+//! Design constraints (from the paper's own methodology — `-ftime-trace`
+//! style attribution of where time goes):
+//!
+//! * **Negligible overhead when disabled.** `span()` always reads the
+//!   clock (so callers can derive timings from spans whether or not a
+//!   trace is being collected) but allocates and records nothing unless
+//!   the profiler is enabled; the enabled check is one relaxed atomic
+//!   load.
+//! * **Thread-aware.** Each OS thread gets a stable small `tid` on first
+//!   use; events from worker threads land on their own tracks.
+//! * **One event model.** Events are [`crate::Event`]s, shared with the
+//!   simulator's virtual-time traces.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::event::{ArgValue, Event, Phase};
+use crate::metrics::MetricsRegistry;
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+fn current_tid() -> u64 {
+    THREAD_TID.with(|t| *t)
+}
+
+#[derive(Debug)]
+struct Inner {
+    enabled: AtomicBool,
+    epoch: Instant,
+    pid: AtomicU32,
+    events: Mutex<Vec<Event>>,
+    metrics: MetricsRegistry,
+}
+
+/// A handle to a profiler; clones share the same recording.
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    inner: Arc<Inner>,
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Profiler::new()
+    }
+}
+
+impl Profiler {
+    /// A new, *disabled* profiler.
+    pub fn new() -> Self {
+        Profiler {
+            inner: Arc::new(Inner {
+                enabled: AtomicBool::new(false),
+                epoch: Instant::now(),
+                pid: AtomicU32::new(1),
+                events: Mutex::new(Vec::new()),
+                metrics: MetricsRegistry::new(),
+            }),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Sets the pid stamped on events and pushes a `process_name`
+    /// metadata event, so multiple profiles load side-by-side.
+    pub fn set_process(&self, pid: u32, label: &str) {
+        self.inner.pid.store(pid, Ordering::Relaxed);
+        self.push(Event::process_name(pid, label));
+    }
+
+    fn now_us(&self) -> f64 {
+        self.inner.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    fn push(&self, event: Event) {
+        if self.is_enabled() {
+            self.inner.events.lock().expect("events lock").push(event);
+        }
+    }
+
+    /// Opens a span. The guard *always* measures wall time (so
+    /// [`Span::finish`] returns a real duration even when profiling is
+    /// off); an event is recorded only when the profiler is enabled at
+    /// the time the span closes.
+    pub fn span(&self, cat: &'static str, name: &str) -> Span {
+        Span {
+            profiler: self.clone(),
+            // Skip the allocation when nothing will be recorded.
+            name: self.is_enabled().then(|| name.to_string()),
+            cat,
+            ts_us: self.now_us(),
+            start: Instant::now(),
+            done: false,
+        }
+    }
+
+    /// Records an instant marker.
+    pub fn instant(&self, cat: &str, name: &str) {
+        if !self.is_enabled() {
+            return;
+        }
+        let ts = self.now_us();
+        self.push(Event {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: Phase::Instant,
+            ts_us: ts,
+            dur_us: 0.0,
+            pid: self.inner.pid.load(Ordering::Relaxed),
+            tid: current_tid(),
+            args: Vec::new(),
+        });
+    }
+
+    /// Bumps the counter metric `name` by `delta`; when enabled, also
+    /// records a counter event sampling the new total.
+    pub fn count(&self, name: &str, delta: i64) {
+        let total = self.inner.metrics.counter(name).add(delta);
+        if self.is_enabled() {
+            let ts = self.now_us();
+            self.push(Event::counter(
+                name,
+                ts,
+                total,
+                self.inner.pid.load(Ordering::Relaxed),
+                current_tid(),
+            ));
+        }
+    }
+
+    /// Sets the gauge metric `name` (no trace event).
+    pub fn gauge(&self, name: &str, value: i64) {
+        self.inner.metrics.gauge(name).set(value);
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// A copy of the recorded events.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.events.lock().expect("events lock").clone()
+    }
+
+    /// Drains and returns the recorded events.
+    pub fn take_events(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.inner.events.lock().expect("events lock"))
+    }
+
+    /// Clears events and zeroes metrics.
+    pub fn reset(&self) {
+        self.inner.events.lock().expect("events lock").clear();
+        self.inner.metrics.reset();
+    }
+
+    /// Serializes the recorded events as Chrome-trace JSON.
+    pub fn chrome_trace(&self) -> String {
+        crate::chrome::to_json(&self.events())
+    }
+
+    /// Renders the human-readable span + metrics summary.
+    pub fn summary(&self) -> String {
+        let mut out = crate::summary::span_table(&self.events());
+        out.push_str(&crate::summary::metrics_table(&self.inner.metrics));
+        out
+    }
+
+    fn record_span(&self, name: String, cat: &'static str, ts_us: f64, dur: Duration) {
+        self.push(Event {
+            name,
+            cat: cat.to_string(),
+            ph: Phase::Complete,
+            ts_us,
+            dur_us: dur.as_secs_f64() * 1e6,
+            pid: self.inner.pid.load(Ordering::Relaxed),
+            tid: current_tid(),
+            args: Vec::new(),
+        });
+    }
+
+    /// Records a pre-measured complete event with explicit timestamps —
+    /// the bridge for producers that keep their own (virtual) clock.
+    pub fn record_event(&self, mut event: Event) {
+        if event.pid == 0 {
+            event.pid = self.inner.pid.load(Ordering::Relaxed);
+        }
+        self.push(event);
+    }
+
+    /// Attaches `args` to the most recent recorded event, if any (used to
+    /// annotate a just-closed span with result counts).
+    pub fn annotate_last(&self, args: &[(&str, ArgValue)]) {
+        if !self.is_enabled() {
+            return;
+        }
+        if let Some(last) = self.inner.events.lock().expect("events lock").last_mut() {
+            for (k, v) in args {
+                last.args.push((k.to_string(), v.clone()));
+            }
+        }
+    }
+}
+
+/// RAII guard for one span. Dropping (or calling [`Span::finish`])
+/// closes the span; recording happens iff the profiler was enabled when
+/// the span opened.
+#[derive(Debug)]
+pub struct Span {
+    profiler: Profiler,
+    name: Option<String>,
+    cat: &'static str,
+    ts_us: f64,
+    start: Instant,
+    done: bool,
+}
+
+impl Span {
+    /// Time elapsed since the span opened.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Closes the span and returns its measured wall-clock duration
+    /// (valid whether or not profiling is enabled).
+    pub fn finish(mut self) -> Duration {
+        let dur = self.start.elapsed();
+        self.close(dur);
+        dur
+    }
+
+    fn close(&mut self, dur: Duration) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        if let Some(name) = self.name.take() {
+            self.profiler.record_span(name, self.cat, self.ts_us, dur);
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let dur = self.start.elapsed();
+        self.close(dur);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_mode_records_nothing_but_still_times() {
+        let p = Profiler::new();
+        let sp = p.span("t", "work");
+        std::thread::sleep(Duration::from_millis(2));
+        let dur = sp.finish();
+        p.count("c", 3);
+        p.instant("t", "marker");
+        assert!(dur >= Duration::from_millis(2));
+        assert!(
+            p.events().is_empty(),
+            "disabled profiler must record zero events"
+        );
+        // Metrics still aggregate while disabled.
+        assert_eq!(p.metrics().counter("c").get(), 3);
+    }
+
+    #[test]
+    fn enabled_mode_records_complete_events() {
+        let p = Profiler::new();
+        p.set_enabled(true);
+        {
+            let _outer = p.span("t", "outer");
+            let _inner = p.span("t", "inner");
+        }
+        let events = p.events();
+        assert_eq!(events.len(), 2);
+        // Inner drops first.
+        assert_eq!(events[0].name, "inner");
+        assert_eq!(events[1].name, "outer");
+        assert!(events[1].encloses(&events[0]), "{events:?}");
+    }
+
+    #[test]
+    fn spans_from_threads_get_distinct_tids() {
+        let p = Profiler::new();
+        p.set_enabled(true);
+        let _main = p.span("t", "main").finish();
+        let p2 = p.clone();
+        std::thread::spawn(move || {
+            p2.span("t", "worker").finish();
+        })
+        .join()
+        .unwrap();
+        let events = p.events();
+        assert_eq!(events.len(), 2);
+        assert_ne!(events[0].tid, events[1].tid);
+    }
+
+    #[test]
+    fn counter_events_sample_running_total() {
+        let p = Profiler::new();
+        p.set_enabled(true);
+        p.count("n", 2);
+        p.count("n", 5);
+        let events = p.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0].args,
+            vec![("value".to_string(), ArgValue::Int(2))]
+        );
+        assert_eq!(
+            events[1].args,
+            vec![("value".to_string(), ArgValue::Int(7))]
+        );
+    }
+
+    #[test]
+    fn annotate_last_attaches_args() {
+        let p = Profiler::new();
+        p.set_enabled(true);
+        p.span("t", "s").finish();
+        p.annotate_last(&[("k", ArgValue::Int(9))]);
+        assert_eq!(
+            p.events()[0].args,
+            vec![("k".to_string(), ArgValue::Int(9))]
+        );
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let p = Profiler::new();
+        p.set_enabled(true);
+        p.span("t", "s").finish();
+        p.count("c", 1);
+        p.reset();
+        assert!(p.events().is_empty());
+        assert_eq!(p.metrics().counter("c").get(), 0);
+    }
+}

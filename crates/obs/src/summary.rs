@@ -1,0 +1,123 @@
+//! Human-readable sinks: an aggregated span table and a metrics table.
+//!
+//! The span table is the terminal-friendly equivalent of loading the
+//! Chrome trace — per `(category, name)` it shows call count, total and
+//! mean wall time, and the share of the total profiled time, sorted by
+//! total descending (the "where does time go" view the paper's Figure 10
+//! asks of the tool itself).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{Event, Phase};
+use crate::metrics::{MetricKind, MetricsRegistry};
+
+#[derive(Debug, Default, Clone, Copy)]
+struct SpanAgg {
+    count: u64,
+    total_us: f64,
+    max_us: f64,
+}
+
+/// Renders the aggregated span table for `events`.
+pub fn span_table(events: &[Event]) -> String {
+    let mut agg: BTreeMap<(String, String), SpanAgg> = BTreeMap::new();
+    for e in events {
+        if e.ph != Phase::Complete {
+            continue;
+        }
+        let slot = agg.entry((e.cat.clone(), e.name.clone())).or_default();
+        slot.count += 1;
+        slot.total_us += e.dur_us;
+        slot.max_us = slot.max_us.max(e.dur_us);
+    }
+    let mut out = String::from("spans (aggregated by category/name):\n");
+    if agg.is_empty() {
+        out.push_str("  (none recorded)\n");
+        return out;
+    }
+    // Share is computed against the top-level envelope: the largest
+    // total, which for the engine is the all-enclosing run span.
+    let denom = agg
+        .values()
+        .map(|a| a.total_us)
+        .fold(0.0_f64, f64::max)
+        .max(1e-9);
+    let mut rows: Vec<(&(String, String), &SpanAgg)> = agg.iter().collect();
+    rows.sort_by(|a, b| b.1.total_us.total_cmp(&a.1.total_us));
+    let _ = writeln!(
+        out,
+        "  {:<34} {:>7} {:>12} {:>12} {:>12} {:>7}",
+        "category/name", "count", "total [us]", "mean [us]", "max [us]", "share"
+    );
+    for ((cat, name), a) in rows {
+        let _ = writeln!(
+            out,
+            "  {:<34} {:>7} {:>12.1} {:>12.1} {:>12.1} {:>6.1}%",
+            format!("{cat}/{name}"),
+            a.count,
+            a.total_us,
+            a.total_us / a.count as f64,
+            a.max_us,
+            100.0 * a.total_us / denom,
+        );
+    }
+    out
+}
+
+/// Renders the metrics table for `metrics`.
+pub fn metrics_table(metrics: &MetricsRegistry) -> String {
+    let snap = metrics.snapshot();
+    let mut out = String::from("metrics:\n");
+    if snap.is_empty() {
+        out.push_str("  (none recorded)\n");
+        return out;
+    }
+    for (name, kind, value) in snap {
+        let tag = match kind {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        };
+        let _ = writeln!(out, "  {name:<34} {tag:<8} {value:>12}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_and_sorts_by_total() {
+        let events = vec![
+            Event::complete("parse", "engine", 0.0, 10.0, 1, 1),
+            Event::complete("parse", "engine", 10.0, 30.0, 1, 1),
+            Event::complete("verify", "engine", 40.0, 5.0, 1, 1),
+            Event::counter("files", 1.0, 3, 1, 1), // ignored: not Complete
+        ];
+        let table = span_table(&events);
+        let parse_pos = table.find("engine/parse").unwrap();
+        let verify_pos = table.find("engine/verify").unwrap();
+        assert!(parse_pos < verify_pos, "{table}");
+        assert!(table.contains("40.0"), "{table}"); // parse total
+        assert!(table.contains("20.0"), "{table}"); // parse mean
+    }
+
+    #[test]
+    fn empty_tables_say_so() {
+        assert!(span_table(&[]).contains("(none recorded)"));
+        assert!(metrics_table(&MetricsRegistry::new()).contains("(none recorded)"));
+    }
+
+    #[test]
+    fn metrics_table_lists_kind_and_value() {
+        let reg = MetricsRegistry::new();
+        reg.counter("pp.files").add(12);
+        reg.gauge("depth").set(3);
+        let table = metrics_table(&reg);
+        assert!(table.contains("pp.files"), "{table}");
+        assert!(table.contains("counter"), "{table}");
+        assert!(table.contains("gauge"), "{table}");
+        assert!(table.contains("12"), "{table}");
+    }
+}

@@ -1,0 +1,144 @@
+//! A std-only, dependency-free shim of the [proptest] crate.
+//!
+//! The offline build environment cannot fetch crates.io, so this crate
+//! provides the *subset* of the proptest API the workspace actually uses,
+//! under the same package name:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map`, tuple composition,
+//!   integer-range strategies, and [`strategy::Just`],
+//! * string strategies from a regex-like pattern (`"[a-z][a-z0-9_]{0,8}"`,
+//!   `"\\PC*"`, character classes, `*`/`+`/`?`/`{m,n}` quantifiers),
+//! * [`collection::vec`] (also reachable as `prop::collection::vec`),
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`) plus
+//!   [`prop_assert!`], [`prop_assert_eq!`] and [`prop_oneof!`].
+//!
+//! Generation is deterministic: each test case seeds a small xorshift RNG
+//! from the test's module path, name and case index, so failures
+//! reproduce across runs. There is no shrinking — a failing case panics
+//! with the generated inputs visible in the assertion message.
+//!
+//! [proptest]: https://docs.rs/proptest
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod pattern;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace alias matching `proptest::prop::...` paths used with a glob
+/// import of the prelude (`prop::collection::vec(...)`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs `body` for `cases` generated inputs
+/// (default 64, configurable with a leading
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            #[allow(clippy::redundant_closure_call)]
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test (shim: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test (shim: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn determinism_same_seed_same_value() {
+        let s = "[a-z]{4}";
+        let mut a = crate::test_runner::TestRng::for_case("t", 7);
+        let mut b = crate::test_runner::TestRng::for_case("t", 7);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ident_pattern_shape(s in "[a-z][a-z0-9_]{0,8}") {
+            assert!(!s.is_empty() && s.len() <= 9, "{s}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+
+        #[test]
+        fn non_control_has_no_control(s in "\\PC*") {
+            assert!(!s.chars().any(char::is_control), "{s:?}");
+        }
+
+        #[test]
+        fn vec_respects_bounds(v in prop::collection::vec(1usize..10, 2..5)) {
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|x| (1..10).contains(x)));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            s in prop_oneof![
+                Just("fixed".to_string()),
+                "[0-9]{2}".prop_map(|d| format!("num_{d}")),
+            ]
+        ) {
+            assert!(s == "fixed" || s.starts_with("num_"), "{s}");
+        }
+    }
+}

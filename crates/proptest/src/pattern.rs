@@ -1,0 +1,322 @@
+//! A generator for the regex-like string patterns proptest accepts as
+//! `&str` strategies.
+//!
+//! Supported syntax — the subset this workspace's properties use:
+//!
+//! * literal characters,
+//! * escapes: `\\`, `\n`, `\t`, `\r`, `\.`, `\-`, and `\PC` (any
+//!   non-control character, proptest's spelling of "printable"),
+//! * character classes `[...]` with ranges (`a-z`), literals, and the
+//!   escapes above; `-` at the start/end is literal,
+//! * postfix quantifiers `*` (0..=16), `+` (1..=16), `?`, `{m}`, `{m,n}`.
+//!
+//! Unsupported constructs panic with a clear message: patterns live in
+//! test code, so failing fast beats silently wrong generation.
+
+use crate::test_runner::TestRng;
+
+/// Default repetition cap for `*` and `+`.
+const UNBOUNDED_MAX: usize = 16;
+
+/// One generatable atom.
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A single literal character.
+    Lit(char),
+    /// Inclusive character ranges (a class).
+    Class(Vec<(char, char)>),
+    /// Any non-control character (`\PC`).
+    NonControl,
+}
+
+impl Atom {
+    fn generate(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Lit(c) => *c,
+            Atom::Class(ranges) => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                    .sum();
+                let mut pick = (rng.next_u64() % u64::from(total)) as u32;
+                for (lo, hi) in ranges {
+                    let width = *hi as u32 - *lo as u32 + 1;
+                    if pick < width {
+                        return char::from_u32(*lo as u32 + pick).unwrap_or(*lo);
+                    }
+                    pick -= width;
+                }
+                unreachable!("class pick out of bounds")
+            }
+            Atom::NonControl => {
+                // Mostly printable ASCII, sometimes Latin-1/Greek/CJK so
+                // multi-byte UTF-8 gets exercised; never a control char.
+                match rng.below(8) {
+                    0 => {
+                        let extra = [
+                            ('\u{00A1}', '\u{024F}'),
+                            ('\u{0391}', '\u{03C9}'),
+                            ('\u{4E00}', '\u{4E4F}'),
+                        ];
+                        let (lo, hi) = extra[rng.below(extra.len())];
+                        char::from_u32(
+                            lo as u32
+                                + (rng.next_u64() % u64::from(hi as u32 - lo as u32 + 1)) as u32,
+                        )
+                        .unwrap_or('x')
+                    }
+                    _ => char::from_u32(0x20 + (rng.next_u64() % (0x7F - 0x20)) as u32).unwrap(),
+                }
+            }
+        }
+    }
+}
+
+/// A parsed pattern: a sequence of quantified atoms.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    terms: Vec<(Atom, usize, usize)>,
+}
+
+impl Pattern {
+    /// Parses `pat`, panicking on syntax outside the supported subset.
+    pub fn compile(pat: &str) -> Self {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut i = 0;
+        let mut terms: Vec<(Atom, usize, usize)> = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '\\' => {
+                    i += 1;
+                    let (a, used) = parse_escape(&chars[i..], pat);
+                    i += used;
+                    a
+                }
+                '[' => {
+                    let (a, used) = parse_class(&chars[i..], pat);
+                    i += used;
+                    a
+                }
+                c @ ('*' | '+' | '?') => {
+                    panic!("pattern {pat:?}: dangling quantifier `{c}`")
+                }
+                c @ ('(' | ')' | '|' | '^' | '$') => {
+                    panic!("pattern {pat:?}: `{c}` is not supported by the proptest shim")
+                }
+                c => {
+                    i += 1;
+                    Atom::Lit(c)
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '*' => {
+                        i += 1;
+                        (0, UNBOUNDED_MAX)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, UNBOUNDED_MAX)
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .unwrap_or_else(|| panic!("pattern {pat:?}: unclosed {{"));
+                        let body: String = chars[i + 1..i + close].iter().collect();
+                        i += close + 1;
+                        match body.split_once(',') {
+                            Some((m, n)) => (
+                                m.trim()
+                                    .parse()
+                                    .unwrap_or_else(|_| panic!("pattern {pat:?}: bad bound {m:?}")),
+                                n.trim()
+                                    .parse()
+                                    .unwrap_or_else(|_| panic!("pattern {pat:?}: bad bound {n:?}")),
+                            ),
+                            None => {
+                                let m = body.trim().parse().unwrap_or_else(|_| {
+                                    panic!("pattern {pat:?}: bad bound {body:?}")
+                                });
+                                (m, m)
+                            }
+                        }
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(min <= max, "pattern {pat:?}: empty repetition {min}..{max}");
+            terms.push((atom, min, max));
+        }
+        Pattern { terms }
+    }
+
+    /// Generates one string.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, min, max) in &self.terms {
+            let n = if min == max {
+                *min
+            } else {
+                rng.in_range(*min, max + 1)
+            };
+            for _ in 0..n {
+                out.push(atom.generate(rng));
+            }
+        }
+        out
+    }
+}
+
+/// Parses one escape starting just after the backslash. Returns the atom
+/// and how many characters were consumed.
+fn parse_escape(rest: &[char], pat: &str) -> (Atom, usize) {
+    match rest.first() {
+        Some('P') => match rest.get(1) {
+            Some('C') => (Atom::NonControl, 2),
+            other => panic!("pattern {pat:?}: unsupported category \\P{other:?}"),
+        },
+        Some('n') => (Atom::Lit('\n'), 1),
+        Some('t') => (Atom::Lit('\t'), 1),
+        Some('r') => (Atom::Lit('\r'), 1),
+        Some(&c) => (Atom::Lit(c), 1),
+        None => panic!("pattern {pat:?}: trailing backslash"),
+    }
+}
+
+/// Parses a `[...]` class starting at the `[`. Returns the atom and how
+/// many characters were consumed (including both brackets).
+fn parse_class(rest: &[char], pat: &str) -> (Atom, usize) {
+    debug_assert_eq!(rest[0], '[');
+    if rest.get(1) == Some(&'^') {
+        panic!("pattern {pat:?}: negated classes are not supported by the proptest shim");
+    }
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    let mut i = 1;
+    loop {
+        let c = *rest
+            .get(i)
+            .unwrap_or_else(|| panic!("pattern {pat:?}: unclosed ["));
+        if c == ']' {
+            i += 1;
+            break;
+        }
+        // One class member (possibly escaped)…
+        let lo = if c == '\\' {
+            i += 1;
+            match parse_escape(&rest[i..], pat) {
+                (Atom::Lit(l), used) => {
+                    i += used;
+                    l
+                }
+                (Atom::NonControl, used) => {
+                    // `\PC` inside a class: fold in printable ASCII.
+                    i += used;
+                    ranges.push((' ', '~'));
+                    continue;
+                }
+                _ => unreachable!(),
+            }
+        } else {
+            i += 1;
+            c
+        };
+        // …optionally the high end of a range.
+        if rest.get(i) == Some(&'-') && rest.get(i + 1).is_some_and(|&c| c != ']') {
+            i += 1;
+            let hc = rest[i];
+            let hi = if hc == '\\' {
+                i += 1;
+                match parse_escape(&rest[i..], pat) {
+                    (Atom::Lit(h), used) => {
+                        i += used;
+                        h
+                    }
+                    _ => panic!("pattern {pat:?}: bad range end"),
+                }
+            } else {
+                i += 1;
+                hc
+            };
+            assert!(lo <= hi, "pattern {pat:?}: inverted range {lo}-{hi}");
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    assert!(!ranges.is_empty(), "pattern {pat:?}: empty class");
+    (Atom::Class(ranges), i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(pat: &str, seed: u64) -> String {
+        Pattern::compile(pat).generate(&mut TestRng::new(seed))
+    }
+
+    #[test]
+    fn literal_passthrough() {
+        assert_eq!(sample("abc", 1), "abc");
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        for seed in 1..50 {
+            let s = sample("[a-z]{2,4}", seed);
+            assert!((2..=4).contains(&s.len()), "{s}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn star_can_be_empty_and_capped() {
+        let mut saw_empty = false;
+        for seed in 1..200 {
+            let s = sample("[0-9]*", seed);
+            assert!(s.len() <= UNBOUNDED_MAX);
+            saw_empty |= s.is_empty();
+        }
+        assert!(saw_empty, "`*` never produced the empty string");
+    }
+
+    #[test]
+    fn class_with_escapes_and_punct() {
+        for seed in 1..100 {
+            let s = sample("[a-zA-Z0-9_{}();:<>,&*+=\\-\\. \n]*", seed);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_alphanumeric() || "_{}();:<>,&*+=-. \n".contains(c),
+                    "unexpected {c:?} in {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_control_category() {
+        for seed in 1..100 {
+            let s = sample("\\PC*", seed);
+            assert!(!s.chars().any(char::is_control), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_count() {
+        assert_eq!(sample("x{5}", 3), "xxxxx");
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn groups_are_rejected() {
+        Pattern::compile("(ab)+");
+    }
+}

@@ -1,0 +1,7 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::collection;
+pub use crate::prop;
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};

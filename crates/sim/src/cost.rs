@@ -218,10 +218,7 @@ mod tests {
         assert!((with_pch.backend_ms() - default.backend_ms()).abs() < 1e-9);
         // Paper: PCH ≈ 2.7–3.6× for PyKokkos subjects.
         let speedup = default.total_ms() / with_pch.total_ms();
-        assert!(
-            (1.5..8.0).contains(&speedup),
-            "PCH speedup = {speedup:.2}x"
-        );
+        assert!((1.5..8.0).contains(&speedup), "PCH speedup = {speedup:.2}x");
         // And YALLA still beats PCH.
         let yalla = p.compile(&paper_02_yalla());
         assert!(yalla.total_ms() < with_pch.total_ms());

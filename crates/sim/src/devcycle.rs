@@ -105,6 +105,7 @@ impl DevCycleSim {
         initial_extra_ms: f64,
     ) -> CycleReport {
         let lto = config == BuildConfig::YallaLto;
+        yalla_obs::count(yalla_obs::metrics::names::SIM_ITERATIONS, 1);
         CycleReport {
             config,
             compile_ms: compile.total_ms(),

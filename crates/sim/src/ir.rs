@@ -388,8 +388,7 @@ impl Machine {
     /// Installs the native-method dispatcher.
     pub fn set_method_dispatcher(
         &mut self,
-        d: impl Fn(&mut Machine, &Value, &str, Vec<Value>) -> Option<Result<Value, ExecError>>
-            + 'static,
+        d: impl Fn(&mut Machine, &Value, &str, Vec<Value>) -> Option<Result<Value, ExecError>> + 'static,
     ) {
         self.dispatcher = Some(Rc::new(d));
     }
@@ -455,9 +454,7 @@ impl Machine {
         }
         // Constructor-style call: `T(args)` for a known class or native
         // constructor.
-        if self.natives.contains_key(&format!("ctor::{base}"))
-            || self.classes.contains_key(base)
-        {
+        if self.natives.contains_key(&format!("ctor::{base}")) || self.classes.contains_key(base) {
             self.tick(4)?;
             return self.construct(base, args, caller_tu);
         }
@@ -499,12 +496,9 @@ impl Machine {
             }
             Value::Obj { class, fields } => {
                 // Functor: find operator() in the class.
-                let entry = self
-                    .classes
-                    .get(class)
-                    .ok_or_else(|| ExecError {
-                        message: format!("unknown class `{class}`"),
-                    })?;
+                let entry = self.classes.get(class).ok_or_else(|| ExecError {
+                    message: format!("unknown class `{class}`"),
+                })?;
                 let (decl, tu) = (entry.decl.clone(), entry.tu);
                 let method = decl
                     .methods()
@@ -517,9 +511,7 @@ impl Machine {
                         let key = format!("{class}::operator()");
                         match self.methods.get(&key) {
                             Some(e) => (*e.decl).clone(),
-                            None => {
-                                return err(format!("class `{class}` has no operator()"))
-                            }
+                            None => return err(format!("class `{class}` has no operator()")),
                         }
                     }
                 };
@@ -812,9 +804,7 @@ impl Machine {
                 // Named call: local callable first, then function.
                 if let Some(n) = callee.as_name() {
                     let key = n.key();
-                    let local = env
-                        .get(&key)
-                        .or_else(|| env.get(n.base_ident()));
+                    let local = env.get(&key).or_else(|| env.get(n.base_ident()));
                     if let Some(v) = local {
                         return self.call_value(&v, argv, tu);
                     }
@@ -848,7 +838,9 @@ impl Machine {
                 match b {
                     Value::Array(a) => {
                         self.tick(1)?;
-                        Ok(Value::Float(a.borrow().get(i as usize).copied().unwrap_or(0.0)))
+                        Ok(Value::Float(
+                            a.borrow().get(i as usize).copied().unwrap_or(0.0),
+                        ))
                     }
                     other => err(format!("cannot index {other:?}")),
                 }
@@ -1144,9 +1136,7 @@ impl Machine {
                 }
                 self.assign(e, value, env, tu)
             }
-            ExprKind::Paren(e) | ExprKind::Unary { expr: e, .. } => {
-                self.assign(e, value, env, tu)
-            }
+            ExprKind::Paren(e) | ExprKind::Unary { expr: e, .. } => self.assign(e, value, env, tu),
             ExprKind::Member { base, member, .. } => {
                 let recv = self.eval(base, env, tu)?;
                 match recv {
@@ -1258,10 +1248,7 @@ impl Machine {
     ) -> Result<Option<(Rc<RefCell<Vec<f64>>>, usize)>, ExecError> {
         match recv {
             Value::Array2 { data, cols } => {
-                let i = self
-                    .eval(&idx_args[0], env, tu)?
-                    .as_i64()
-                    .unwrap_or(0) as usize;
+                let i = self.eval(&idx_args[0], env, tu)?.as_i64().unwrap_or(0) as usize;
                 let j = if idx_args.len() > 1 {
                     self.eval(&idx_args[1], env, tu)?.as_i64().unwrap_or(0) as usize
                 } else {
@@ -1271,10 +1258,7 @@ impl Machine {
                 Ok(Some((data.clone(), i * cols + j)))
             }
             Value::Array(a) => {
-                let i = self
-                    .eval(&idx_args[0], env, tu)?
-                    .as_i64()
-                    .unwrap_or(0) as usize;
+                let i = self.eval(&idx_args[0], env, tu)?.as_i64().unwrap_or(0) as usize;
                 self.tick(1)?;
                 Ok(Some((a.clone(), i)))
             }
@@ -1397,15 +1381,12 @@ impl Machine {
                     }
                 };
                 let base = name.rsplit("::").next().unwrap_or(&name).to_string();
-                let entry = self
-                    .functions
-                    .get(&name)
-                    .or_else(|| {
-                        self.functions
-                            .iter()
-                            .find(|(k, _)| k.rsplit("::").next() == Some(base.as_str()))
-                            .map(|(_, e)| e)
-                    });
+                let entry = self.functions.get(&name).or_else(|| {
+                    self.functions
+                        .iter()
+                        .find(|(k, _)| k.rsplit("::").next() == Some(base.as_str()))
+                        .map(|(_, e)| e)
+                });
                 match entry {
                     Some(e) if e.tu == home_tu || self.config.lto => {
                         // Inlined: splice the body.
@@ -1419,11 +1400,7 @@ impl Machine {
                     None => {
                         // Native/array access: direct memory traffic, the
                         // "inlined" shape of Figure 9b.
-                        Self::emit(
-                            out,
-                            addr,
-                            &format!("mov ({base},%rsi,8), %rax"),
-                        );
+                        Self::emit(out, addr, &format!("mov ({base},%rsi,8), %rax"));
                     }
                 }
             }
@@ -1434,9 +1411,7 @@ impl Machine {
                     BinaryOp::Mul | BinaryOp::MulAssign => "imul %rbx, %rax",
                     BinaryOp::Add | BinaryOp::AddAssign => "add %rbx, %rax",
                     BinaryOp::Sub | BinaryOp::SubAssign => "sub %rbx, %rax",
-                    BinaryOp::Lt | BinaryOp::Gt | BinaryOp::Le | BinaryOp::Ge => {
-                        "cmp %rbx, %rax"
-                    }
+                    BinaryOp::Lt | BinaryOp::Gt | BinaryOp::Le | BinaryOp::Ge => "cmp %rbx, %rax",
                     _ => "op %rbx, %rax",
                 };
                 Self::emit(out, addr, instr);
@@ -1561,8 +1536,14 @@ mod tests {
 
         // Split the two functions across TUs.
         let mut cross = Machine::new(ExecConfig::default());
-        cross.load_tu(&parse_str("int helper(int x) { return x + 1; }").unwrap(), 1);
-        cross.load_tu(&parse_str("int top(int x) { return helper(x); }").unwrap(), 0);
+        cross.load_tu(
+            &parse_str("int helper(int x) { return x + 1; }").unwrap(),
+            1,
+        );
+        cross.load_tu(
+            &parse_str("int top(int x) { return helper(x); }").unwrap(),
+            0,
+        );
         cross.call("top", vec![Value::Int(1)], 0).unwrap();
         assert_eq!(
             cross.cycles,
@@ -1576,8 +1557,14 @@ mod tests {
             lto: true,
             ..ExecConfig::default()
         });
-        cross.load_tu(&parse_str("int helper(int x) { return x + 1; }").unwrap(), 1);
-        cross.load_tu(&parse_str("int top(int x) { return helper(x); }").unwrap(), 0);
+        cross.load_tu(
+            &parse_str("int helper(int x) { return x + 1; }").unwrap(),
+            1,
+        );
+        cross.load_tu(
+            &parse_str("int top(int x) { return helper(x); }").unwrap(),
+            0,
+        );
         let mut same = machine_with(
             "int helper(int x) { return x + 1; }\nint top(int x) { return helper(x); }",
             0,
@@ -1599,10 +1586,7 @@ mod tests {
     #[test]
     fn natives_are_callable() {
         let mut m = Machine::new(ExecConfig::default());
-        m.load_tu(
-            &parse_str("int go() { return twice(21); }").unwrap(),
-            0,
-        );
+        m.load_tu(&parse_str("int go() { return twice(21); }").unwrap(), 0);
         m.register_native("twice", |_m, args| {
             Ok(Value::Int(args[0].as_i64().unwrap_or(0) * 2))
         });
@@ -1656,7 +1640,10 @@ struct add_k {
             max_ops: 10_000,
             ..ExecConfig::default()
         });
-        m.load_tu(&parse_str("int spin() { while (true) { } return 0; }").unwrap(), 0);
+        m.load_tu(
+            &parse_str("int spin() { while (true) { } return 0; }").unwrap(),
+            0,
+        );
         assert!(m.call("spin", vec![], 0).is_err());
     }
 

@@ -33,8 +33,7 @@ impl PchFile {
         build.codegen_ms = 0.0;
         // Serialization: proportional to AST size, comparable to the load
         // cost.
-        build.parse_sema_ms +=
-            header_work.lines as f64 * profile.pch_load_per_line_us / 1000.0;
+        build.parse_sema_ms += header_work.lines as f64 * profile.pch_load_per_line_us / 1000.0;
         PchFile {
             work: header_work,
             build,

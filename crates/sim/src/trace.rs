@@ -1,46 +1,89 @@
 //! Chrome-trace output (`chrome://tracing`), matching the artifact's
 //! `results/traces/*.json` files (paper appendix A.6).
+//!
+//! The simulator's virtual-time events use the same [`Event`] model and
+//! writer as the tool's *real* self-profile (`yalla-obs`), so both kinds
+//! of trace share one escaping-correct serializer, and traces from
+//! several configurations can be merged side by side as separate `pid`
+//! tracks with `M` (metadata) process-name events labelling each track.
 
-use std::fmt::Write as _;
+pub use yalla_obs::{ArgValue, Event, Phase};
 
 use crate::phases::PhaseBreakdown;
 
-/// One complete ("X") trace event.
-#[derive(Debug, Clone, PartialEq)]
-pub struct TraceEvent {
-    /// Event name (e.g. "Frontend").
-    pub name: String,
-    /// Category (e.g. "compile").
-    pub category: String,
-    /// Start, in virtual microseconds.
-    pub start_us: f64,
-    /// Duration, in virtual microseconds.
-    pub duration_us: f64,
+/// A virtual-time trace under construction.
+///
+/// Events are laid out sequentially from a cursor: each [`Trace::push`]
+/// starts where the previous event ended, which is how the simulated
+/// serial build timeline looks in the viewer.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: Vec<Event>,
+    cursor_us: f64,
+    pid: u32,
+    tid: u64,
 }
 
-/// A trace under construction.
-#[derive(Debug, Clone, Default)]
-pub struct Trace {
-    events: Vec<TraceEvent>,
-    cursor_us: f64,
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new()
+    }
 }
 
 impl Trace {
-    /// An empty trace.
+    /// An empty trace on the default track (`pid` 1).
     pub fn new() -> Self {
-        Trace::default()
+        Trace {
+            events: Vec::new(),
+            cursor_us: 0.0,
+            pid: 1,
+            tid: 1,
+        }
+    }
+
+    /// An empty trace on its own `pid` track, opened with a metadata
+    /// event naming the track (e.g. `config=yalla`). Merging such traces
+    /// shows the configurations side by side in the viewer.
+    pub fn for_process(pid: u32, label: &str) -> Self {
+        let mut t = Trace {
+            events: Vec::new(),
+            cursor_us: 0.0,
+            pid,
+            tid: 1,
+        };
+        t.events.push(Event::process_name(pid, label));
+        t
+    }
+
+    /// The pid track this trace writes to.
+    pub fn pid(&self) -> u32 {
+        self.pid
     }
 
     /// Appends an event of `duration_us` at the current cursor and
     /// advances the cursor.
     pub fn push(&mut self, name: &str, category: &str, duration_us: f64) {
-        self.events.push(TraceEvent {
-            name: name.into(),
-            category: category.into(),
-            start_us: self.cursor_us,
+        self.events.push(Event::complete(
+            name,
+            category,
+            self.cursor_us,
             duration_us,
-        });
+            self.pid,
+            self.tid,
+        ));
         self.cursor_us += duration_us;
+    }
+
+    /// Appends an instant marker (`ph: "i"`) at the current cursor — used
+    /// for zero-width moments like "edit" in the dev-cycle timeline.
+    pub fn push_instant(&mut self, name: &str, category: &str) {
+        self.events.push(Event::instant(
+            name,
+            category,
+            self.cursor_us,
+            self.pid,
+            self.tid,
+        ));
     }
 
     /// Appends the standard frontend/backend events for one TU compile
@@ -59,46 +102,38 @@ impl Trace {
     }
 
     /// The recorded events.
-    pub fn events(&self) -> &[TraceEvent] {
+    pub fn events(&self) -> &[Event] {
         &self.events
     }
 
     /// Serializes to Chrome trace JSON (array-of-events form).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("[\n");
-        for (i, e) in self.events.iter().enumerate() {
-            if i > 0 {
-                out.push_str(",\n");
-            }
-            let _ = write!(
-                out,
-                "  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {:.1}, \"dur\": {:.1}, \"pid\": 1, \"tid\": 1}}",
-                escape(&e.name),
-                escape(&e.category),
-                e.start_us,
-                e.duration_us
-            );
-        }
-        out.push_str("\n]\n");
-        out
+        yalla_obs::chrome::to_json(&self.events)
     }
-}
 
-fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    /// Merges several traces (typically one per configuration, each on
+    /// its own pid) into one combined Chrome-trace JSON document.
+    pub fn merged_json(traces: &[Trace]) -> String {
+        let events: Vec<Event> = traces
+            .iter()
+            .flat_map(|t| t.events.iter().cloned())
+            .collect();
+        yalla_obs::chrome::to_json(&events)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use yalla_obs::json::{self, JsonValue};
 
     #[test]
     fn events_are_sequential() {
         let mut t = Trace::new();
         t.push("a", "compile", 10.0);
         t.push("b", "compile", 5.0);
-        assert_eq!(t.events()[0].start_us, 0.0);
-        assert_eq!(t.events()[1].start_us, 10.0);
+        assert_eq!(t.events()[0].ts_us, 0.0);
+        assert_eq!(t.events()[1].ts_us, 10.0);
     }
 
     #[test]
@@ -121,9 +156,54 @@ mod tests {
     }
 
     #[test]
-    fn names_are_escaped() {
+    fn names_with_quotes_and_controls_stay_valid_json() {
         let mut t = Trace::new();
-        t.push("quo\"te", "c", 1.0);
-        assert!(t.to_json().contains("quo\\\"te"));
+        t.push("quo\"te\\with\nnewline\u{01}", "c", 1.0);
+        let text = t.to_json();
+        let parsed = json::parse(&text).expect("valid JSON");
+        let name = parsed.as_array().unwrap()[0]
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .to_string();
+        assert_eq!(name, "quo\"te\\with\nnewline\u{01}");
+    }
+
+    #[test]
+    fn process_tracks_carry_metadata_events() {
+        let mut a = Trace::for_process(1, "config=default");
+        a.push("compile", "compile", 500.0);
+        let mut b = Trace::for_process(2, "config=yalla");
+        b.push("compile", "compile", 20.0);
+        let combined = Trace::merged_json(&[a, b]);
+        let parsed = json::parse(&combined).expect("valid JSON");
+        let arr = parsed.as_array().unwrap();
+        assert_eq!(arr.len(), 4);
+        let meta: Vec<&str> = arr
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("M"))
+            .map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(JsonValue::as_str)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(meta, ["config=default", "config=yalla"]);
+        assert_eq!(
+            arr.last().unwrap().get("pid").and_then(JsonValue::as_f64),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn instant_markers() {
+        let mut t = Trace::new();
+        t.push("compile", "compile", 10.0);
+        t.push_instant("edit", "cycle");
+        let parsed = json::parse(&t.to_json()).unwrap();
+        let e = &parsed.as_array().unwrap()[1];
+        assert_eq!(e.get("ph").and_then(JsonValue::as_str), Some("i"));
+        assert_eq!(e.get("ts").and_then(JsonValue::as_f64), Some(10.0));
     }
 }

@@ -102,8 +102,11 @@ impl Visitor for Counter {
         // Explicit instantiations count directly.
         match &decl.kind {
             DeclKind::Class(c) if c.is_explicit_instantiation => {
-                self.instantiation_keys
-                    .insert(format!("{}{}", c.name, c.spec_args.as_deref().unwrap_or("")));
+                self.instantiation_keys.insert(format!(
+                    "{}{}",
+                    c.name,
+                    c.spec_args.as_deref().unwrap_or("")
+                ));
             }
             DeclKind::Function(f) if f.specs.is_explicit_instantiation => {
                 self.instantiation_keys.insert(f.name.spelling());

@@ -41,7 +41,9 @@ mod yalla_bench_helpers {
             sources: subject.sources.clone(),
             ..Options::default()
         };
-        let result = Engine::new(options.clone()).run(&subject.vfs).expect("engine");
+        let result = Engine::new(options.clone())
+            .run(&subject.vfs)
+            .expect("engine");
         assert!(result.report.verification.passed());
         let mut sub_vfs = subject.vfs.clone();
         result.install_into(&mut sub_vfs, &options);
@@ -93,7 +95,10 @@ fn main() {
         let run_cycles = (30.0 * yalla::sim::devcycle::CYCLES_PER_MS) as u64;
         let report = sim.cycle(config, &phases, &objects, run_cycles, extra);
         println!("== {} ==", config.label());
-        println!("  first build: {:>8.0} ms (includes one-off {extra:.0} ms)", report.initial_ms());
+        println!(
+            "  first build: {:>8.0} ms (includes one-off {extra:.0} ms)",
+            report.initial_ms()
+        );
         let mut total = report.initial_ms();
         for i in 1..=5 {
             total += report.iteration_ms();

@@ -21,7 +21,11 @@ fn main() {
             subject.header,
             work.lines,
             work.headers,
-            if subject.kernel.is_some() { "yes" } else { "no" }
+            if subject.kernel.is_some() {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
 }

@@ -1,0 +1,9 @@
+#pragma once
+#include <Kokkos_Core.hpp>
+using sp_t = Kokkos::OpenMP;
+using member_t = Kokkos::TeamPolicy<sp_t>::member_type;
+struct add_y {
+  int y;
+  Kokkos::View<int**, Kokkos::LayoutRight> x;
+  void operator()(member_t &m);
+};

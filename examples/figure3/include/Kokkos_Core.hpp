@@ -1,0 +1,17 @@
+#pragma once
+#include <Kokkos_Impl.hpp>
+namespace Kokkos {
+  class OpenMP;
+  class LayoutRight {};
+  template<class D, class L> class View {
+  public:
+    View();
+    int& operator()(int i, int j);
+  };
+  template<class S> class TeamPolicy {
+  public:
+    using member_type = Impl::HostThreadTeamMember<S>;
+  };
+  template<class M> Impl::TeamThreadRangeBoundariesStruct TeamThreadRange(M& m, int n);
+  template<class R, class F> void parallel_for(R range, F functor);
+}

@@ -30,7 +30,10 @@ fn main() -> Result<(), yalla::YallaError> {
         result.timings.generate,
         result.timings.verify
     );
-    println!("==== lightweight header (Figure 4a) ====\n{}", result.lightweight_header);
+    println!(
+        "==== lightweight header (Figure 4a) ====\n{}",
+        result.lightweight_header
+    );
     println!(
         "==== rewritten functor.hpp (Figure 4b top) ====\n{}",
         result.rewritten_sources["functor.hpp"]

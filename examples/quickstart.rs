@@ -46,8 +46,14 @@ int summarize(geo::Shape& shape) {
     .run(&vfs)?;
 
     println!("==== report ====\n{}", result.report);
-    println!("==== yalla_lightweight.hpp ====\n{}", result.lightweight_header);
+    println!(
+        "==== yalla_lightweight.hpp ====\n{}",
+        result.lightweight_header
+    );
     println!("==== yalla_wrappers.cpp ====\n{}", result.wrappers_file);
-    println!("==== rewritten app.cpp ====\n{}", result.rewritten_sources["app.cpp"]);
+    println!(
+        "==== rewritten app.cpp ====\n{}",
+        result.rewritten_sources["app.cpp"]
+    );
     Ok(())
 }

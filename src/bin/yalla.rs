@@ -6,7 +6,7 @@
 //! ```text
 //! yalla --header <NAME> [--include-dir <DIR>]... [--out-dir <DIR>]
 //!       [--define NAME=VALUE]... [--keep <SYMBOL>]... [--no-verify]
-//!       <SOURCES>...
+//!       [--self-profile <OUT.json>] [--metrics] <SOURCES>...
 //! ```
 //!
 //! Sources and every file reachable through `--include-dir` are loaded
@@ -28,10 +28,13 @@ struct Cli {
     defines: Vec<(String, String)>,
     keep: Vec<String>,
     verify: bool,
+    self_profile: Option<PathBuf>,
+    metrics: bool,
 }
 
 const USAGE: &str = "usage: yalla --header <NAME> [--include-dir <DIR>]... \
-[--out-dir <DIR>] [--define NAME=VALUE]... [--keep <SYMBOL>]... [--no-verify] <SOURCES>...";
+[--out-dir <DIR>] [--define NAME=VALUE]... [--keep <SYMBOL>]... [--no-verify] \
+[--self-profile <OUT.json>] [--metrics] <SOURCES>...";
 
 fn parse_args() -> Result<Cli, String> {
     let mut args = std::env::args().skip(1);
@@ -43,6 +46,8 @@ fn parse_args() -> Result<Cli, String> {
         defines: Vec::new(),
         keep: Vec::new(),
         verify: true,
+        self_profile: None,
+        metrics: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -50,8 +55,9 @@ fn parse_args() -> Result<Cli, String> {
                 cli.header = args.next().ok_or("--header needs a value")?;
             }
             "--include-dir" | "-I" => {
-                cli.include_dirs
-                    .push(PathBuf::from(args.next().ok_or("--include-dir needs a value")?));
+                cli.include_dirs.push(PathBuf::from(
+                    args.next().ok_or("--include-dir needs a value")?,
+                ));
             }
             "--out-dir" | "-o" => {
                 cli.out_dir = PathBuf::from(args.next().ok_or("--out-dir needs a value")?);
@@ -67,6 +73,12 @@ fn parse_args() -> Result<Cli, String> {
                 cli.keep.push(args.next().ok_or("--keep needs a symbol")?);
             }
             "--no-verify" => cli.verify = false,
+            "--self-profile" => {
+                cli.self_profile = Some(PathBuf::from(
+                    args.next().ok_or("--self-profile needs a path")?,
+                ));
+            }
+            "--metrics" => cli.metrics = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -121,6 +133,10 @@ fn load_dir(vfs: &mut Vfs, dir: &Path) -> std::io::Result<usize> {
 
 fn run() -> Result<(), String> {
     let cli = parse_args()?;
+    if cli.self_profile.is_some() || cli.metrics {
+        yalla::obs::enable();
+        yalla::obs::global().set_process(1, "yalla");
+    }
     let mut vfs = Vfs::new();
     for dir in &cli.include_dirs {
         let n = load_dir(&mut vfs, dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
@@ -129,8 +145,7 @@ fn run() -> Result<(), String> {
     }
     let mut source_names = Vec::new();
     for src in &cli.sources {
-        let text =
-            std::fs::read_to_string(src).map_err(|e| format!("reading {src}: {e}"))?;
+        let text = std::fs::read_to_string(src).map_err(|e| format!("reading {src}: {e}"))?;
         let name = Path::new(src)
             .file_name()
             .map(|n| n.to_string_lossy().to_string())
@@ -177,6 +192,15 @@ fn run() -> Result<(), String> {
     write(&options.wrappers_name, &result.wrappers_file)?;
     for (name, text) in &result.rewritten_sources {
         write(name, text)?;
+    }
+
+    if let Some(path) = &cli.self_profile {
+        let trace = yalla::obs::global().chrome_trace();
+        std::fs::write(path, trace).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    if cli.metrics {
+        print!("{}", yalla::obs::global().summary());
     }
     Ok(())
 }

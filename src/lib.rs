@@ -19,6 +19,8 @@
 //!   contribution),
 //! * [`sim`] — the compilation-pipeline and development-cycle simulator
 //!   that stands in for the paper's Clang/GCC testbed,
+//! * [`obs`] — the self-profiling layer: hierarchical spans, counters,
+//!   and Chrome-trace output (`yalla --self-profile`),
 //! * [`corpus`] — synthetic stand-ins for Kokkos, RapidJSON, OpenCV and
 //!   Boost.Asio, plus the paper's 18 evaluation subjects.
 //!
@@ -53,9 +55,13 @@ pub use yalla_analysis as analysis;
 pub use yalla_core as core;
 pub use yalla_corpus as corpus;
 pub use yalla_cpp as cpp;
+pub use yalla_obs as obs;
 pub use yalla_sim as sim;
 
-pub use yalla_core::{substitute_headers, Engine, MultiSubstitutionResult, Options, Report, SubstitutionResult, YallaError};
+pub use yalla_core::{
+    substitute_headers, Engine, MultiSubstitutionResult, Options, Report, SubstitutionResult,
+    YallaError,
+};
 pub use yalla_cpp::vfs::Vfs;
 pub use yalla_cpp::Frontend;
 pub use yalla_sim::{CompilerProfile, PhaseBreakdown};

@@ -60,6 +60,131 @@ fn cli_substitutes_a_header_on_disk() {
 }
 
 #[test]
+fn cli_self_profile_emits_nested_chrome_trace() {
+    use yalla::obs::json::{self, JsonValue};
+
+    let dir = scratch("profile");
+    std::fs::write(
+        dir.join("include/widgets.hpp"),
+        "#pragma once\nnamespace w {\nclass Widget {\npublic:\n  int id() const;\n};\n}\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("app.cpp"),
+        "#include <widgets.hpp>\nint describe(w::Widget& widget) { return widget.id(); }\n",
+    )
+    .unwrap();
+
+    let out = Command::new(bin())
+        .current_dir(&dir)
+        .args([
+            "--header",
+            "widgets.hpp",
+            "--include-dir",
+            "include",
+            "--out-dir",
+            "out",
+            "--self-profile",
+            "prof.json",
+            "--metrics",
+            "app.cpp",
+        ])
+        .output()
+        .expect("cli runs");
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The trace parses as JSON and holds the whole engine pipeline.
+    let text = std::fs::read_to_string(dir.join("prof.json")).unwrap();
+    let parsed = json::parse(&text).expect("self-profile is valid JSON");
+    let events = parsed.as_array().expect("array of events");
+    let span_names: Vec<(&str, f64, f64)> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+        .map(|e| {
+            (
+                e.get("name").and_then(JsonValue::as_str).unwrap(),
+                e.get("ts").and_then(JsonValue::as_f64).unwrap(),
+                e.get("dur").and_then(JsonValue::as_f64).unwrap(),
+            )
+        })
+        .collect();
+    for phase in [
+        "preprocess",
+        "parse",
+        "analyze",
+        "plan",
+        "generate",
+        "verify",
+    ] {
+        assert!(
+            span_names.iter().any(|(n, _, _)| *n == phase),
+            "missing span `{phase}` in {span_names:?}"
+        );
+    }
+    // Nesting: every phase span lies inside the enclosing `substitute` span.
+    let (_, sub_ts, sub_dur) = *span_names
+        .iter()
+        .find(|(n, _, _)| *n == "substitute")
+        .expect("run span present");
+    for phase in ["parse", "analyze", "plan", "generate"] {
+        let (_, ts, dur) = *span_names.iter().find(|(n, _, _)| *n == phase).unwrap();
+        assert!(
+            sub_ts <= ts && ts + dur <= sub_ts + sub_dur,
+            "`{phase}` not nested in `substitute`"
+        );
+    }
+    // Counter events made it too.
+    assert!(
+        events.iter().any(|e| {
+            e.get("ph").and_then(JsonValue::as_str) == Some("C")
+                && e.get("name").and_then(JsonValue::as_str) == Some("pp.files_preprocessed")
+        }),
+        "no pp.files_preprocessed counter event"
+    );
+
+    // --metrics prints the summary tables on stdout.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("metrics:"), "{stdout}");
+    assert!(stdout.contains("pp.files_preprocessed"), "{stdout}");
+    assert!(stdout.contains("engine.runs"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_without_profile_flag_writes_no_trace() {
+    let dir = scratch("noprofile");
+    std::fs::write(dir.join("include/lib.hpp"), "#pragma once\nclass A;\n").unwrap();
+    std::fs::write(dir.join("app.cpp"), "#include <lib.hpp>\nint x;\n").unwrap();
+    let out = Command::new(bin())
+        .current_dir(&dir)
+        .args([
+            "--header",
+            "lib.hpp",
+            "--include-dir",
+            "include",
+            "--out-dir",
+            "out",
+            "app.cpp",
+        ])
+        .output()
+        .expect("cli runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!dir.join("prof.json").exists());
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("metrics:"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn cli_rejects_missing_header_flag() {
     let out = Command::new(bin())
         .args(["app.cpp"])
@@ -110,7 +235,11 @@ fn cli_keep_predeclares_symbols() {
         ])
         .output()
         .expect("cli runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let lw = std::fs::read_to_string(dir.join("out/yalla_lightweight.hpp")).unwrap();
     assert!(lw.contains("class Spare;"), "{lw}");
     let _ = std::fs::remove_dir_all(&dir);

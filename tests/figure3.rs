@@ -142,7 +142,11 @@ fn wrappers_file_has_definitions_and_instantiations() {
 #[test]
 fn verification_passes_and_stats_shrink() {
     let result = run();
-    assert!(result.report.verification.passed(), "{:?}", result.report.verification);
+    assert!(
+        result.report.verification.passed(),
+        "{:?}",
+        result.report.verification
+    );
     assert!(result.report.before.loc > result.report.after.loc);
     assert!(result.report.before.headers > result.report.after.headers);
     assert_eq!(result.report.functors, 1);

@@ -46,13 +46,10 @@ fn decl() -> impl Strategy<Value = String> {
             "template <typename T>\nT tfn_{f}(T {p}) {{ return {p}; }}"
         )),
         // enum
-        (ident(), ident(), ident()).prop_map(|(e, a, b)| format!(
-            "enum class En_{e} {{ A_{a} = 1, B_{b} = 4, }};"
-        )),
+        (ident(), ident(), ident())
+            .prop_map(|(e, a, b)| format!("enum class En_{e} {{ A_{a} = 1, B_{b} = 4, }};")),
         // namespace wrapping a class
-        (ident(), ident()).prop_map(|(n, c)| format!(
-            "namespace ns_{n} {{ class Cls_{c}; }}"
-        )),
+        (ident(), ident()).prop_map(|(n, c)| format!("namespace ns_{n} {{ class Cls_{c}; }}")),
     ]
 }
 

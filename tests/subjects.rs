@@ -29,7 +29,11 @@ fn kokkos_subject_02_shapes() {
     // Table 2 shape: YALLA order-of-tens speedup, PCH single-digit,
     // YALLA beats PCH.
     assert!(eval.yalla_speedup() > 20.0, "{}", eval.yalla_speedup());
-    assert!((1.5..10.0).contains(&eval.pch_speedup()), "{}", eval.pch_speedup());
+    assert!(
+        (1.5..10.0).contains(&eval.pch_speedup()),
+        "{}",
+        eval.pch_speedup()
+    );
     assert!(eval.yalla.phases.total_ms() < eval.pch.phases.total_ms());
 
     // Figure 7 shape: PCH leaves the backend untouched; YALLA shrinks it.
@@ -59,7 +63,14 @@ fn kernels_compute_identical_results_after_substitution() {
     // The "runs correctly" guarantee, checked end to end: original and
     // substituted programs produce the same answer on the abstract
     // machine.
-    for name in ["02", "nstream", "KinE", "condense", "drawing", "chat_server"] {
+    for name in [
+        "02",
+        "nstream",
+        "KinE",
+        "condense",
+        "drawing",
+        "chat_server",
+    ] {
         let subject = subject_by_name(name).expect("subject exists");
         let spec = subject.kernel.clone().expect("subject has a kernel");
         let options = options_for(&subject);

@@ -1,22 +1,22 @@
 //! The engine: the paper's Figure 5 `SubstituteHeader(sources, header)`
 //! driver, plus the workflow integration of Figure 6.
+//!
+//! [`Engine::run`] is the one-shot entry point; it is a thin wrapper over
+//! a single cold [`crate::Session`] run, so the one-shot and incremental
+//! paths can never drift apart.
 
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 use std::time::Duration;
 
-use yalla_analysis::symbols::SymbolTable;
-use yalla_analysis::usage::UsageReport;
-use yalla_cpp::frontend::Frontend;
 use yalla_cpp::loc::FileId;
 use yalla_cpp::vfs::Vfs;
 use yalla_cpp::CppError;
 
-use crate::emit::{self, LIGHTWEIGHT_HEADER_NAME, WRAPPERS_FILE_NAME};
-use crate::plan::{Diagnostic, DiagnosticKind, Plan};
-use crate::report::{Report, TuStats};
-use crate::rewrite::{rewrite_file, Transformer};
-use crate::verify::verify;
+use crate::emit::{LIGHTWEIGHT_HEADER_NAME, WRAPPERS_FILE_NAME};
+use crate::plan::Plan;
+use crate::report::Report;
+use crate::session::Session;
 
 /// Errors the engine can return.
 #[derive(Debug)]
@@ -27,6 +27,10 @@ pub enum YallaError {
     HeaderNotIncluded(String),
     /// A source path was not found in the virtual file system.
     SourceNotFound(String),
+    /// One or more source paths were not found in the virtual file system.
+    /// Every missing path is reported at once, so a typo in source three
+    /// does not hide a typo in source five.
+    SourcesNotFound(Vec<String>),
 }
 
 impl fmt::Display for YallaError {
@@ -37,6 +41,9 @@ impl fmt::Display for YallaError {
                 write!(f, "header `{h}` is not included by the sources")
             }
             YallaError::SourceNotFound(s) => write!(f, "source file not found: {s}"),
+            YallaError::SourcesNotFound(paths) => {
+                write!(f, "source files not found: {}", paths.join(", "))
+            }
         }
     }
 }
@@ -98,9 +105,11 @@ impl Default for Options {
 
 /// Wall-clock timings of the engine phases (the paper's Figure 10 "tool
 /// time" breakdown). Each field is the measured duration of the matching
-/// `engine/*` span — [`Engine::run`] closes a [`yalla_obs::Span`] per phase
+/// `engine/*` span — the pipeline closes a [`yalla_obs::Span`] per phase
 /// and stores what it returns, so the Report and the Chrome trace can never
-/// disagree.
+/// disagree. A phase served from a session's artifact cache reports
+/// [`Duration::ZERO`] (never a stale measurement from an earlier run); the
+/// trace marks it with an `<phase> (cached)` instant event instead.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Timings {
     /// Preprocess + parse of the original TU.
@@ -172,183 +181,27 @@ impl Engine {
 
     /// Runs Header Substitution (Figure 5) against `vfs`.
     ///
+    /// This is a single cold run of the staged pipeline — equivalent to
+    /// `Session::new(options, vfs.clone()).rerun()` with the caches thrown
+    /// away afterwards. Callers that re-run after edits should hold a
+    /// [`Session`] instead.
+    ///
     /// # Errors
     ///
     /// Fails when the sources do not parse, a source path is missing, or
     /// the header is never included. Unsupported constructs (nested
     /// classes, failed deductions) do *not* fail the run; they surface as
-    /// [`Diagnostic`]s in the report and the affected symbol keeps its
-    /// original form.
+    /// [`crate::plan::Diagnostic`]s in the report and the affected symbol
+    /// keeps its original form.
     pub fn run(&self, vfs: &Vfs) -> Result<SubstitutionResult, YallaError> {
-        let opts = &self.options;
-        let mut timings = Timings::default();
-        let _run_span = yalla_obs::span("engine", "substitute");
-        yalla_obs::count(yalla_obs::metrics::names::ENGINE_RUNS, 1);
-
-        // ---- parse the original TU (analysis input) ---------------------
-        let parse_span = yalla_obs::span("engine", "parse");
-        let main_source = opts
-            .sources
-            .first()
-            .ok_or_else(|| YallaError::SourceNotFound("<no sources given>".into()))?;
-        let mut fe = Frontend::new(vfs.clone());
-        for (k, v) in &opts.defines {
-            fe.define(k, v);
-        }
-        let parsed = fe.parse_translation_unit(main_source)?;
-        timings.parse = parse_span.finish();
-
-        // ---- identify target files (header + its transitive includes) ---
-        let header_file = vfs
-            .resolve_include(&opts.header, None, false)
-            .map_err(|_| YallaError::HeaderNotIncluded(opts.header.clone()))?;
-        let target_files = reachable_from(header_file, &parsed.stats.include_edges);
-        if !parsed.stats.headers.contains(&header_file) {
-            return Err(YallaError::HeaderNotIncluded(opts.header.clone()));
-        }
-        let mut source_files: HashSet<FileId> = HashSet::new();
-        for s in &opts.sources {
-            let id = vfs
-                .lookup(s)
-                .ok_or_else(|| YallaError::SourceNotFound(s.clone()))?;
-            source_files.insert(id);
-        }
-
-        // ---- analysis (Fig. 5 lines 2–10) --------------------------------
-        let analyze_span = yalla_obs::span("engine", "analyze");
-        let table = SymbolTable::build(&parsed.ast);
-        let mut usage = UsageReport::collect(&parsed.ast, &table, &target_files, &source_files);
-        // Pre-declared symbols (paper §6): force-listed classes/functions
-        // enter the plan as if used, so the lightweight header covers them
-        // before the sources grow into them.
-        let mut predeclare_diags = Vec::new();
-        for key in &opts.extra_symbols {
-            match table.resolve(key) {
-                Some(sym) if target_files.contains(&sym.file) => match &sym.kind {
-                    yalla_analysis::symbols::SymbolKind::Class(_) => {
-                        usage.classes.entry(sym.key.clone()).or_default();
-                    }
-                    yalla_analysis::symbols::SymbolKind::Function(f) => {
-                        usage.functions.entry(sym.key.clone()).or_insert_with(|| {
-                            yalla_analysis::usage::UsedFunction {
-                                key: sym.key.clone(),
-                                decl: (**f).clone(),
-                                calls: Vec::new(),
-                            }
-                        });
-                    }
-                    other => predeclare_diags.push(format!(
-                        "pre-declared symbol `{key}` is a {}, which needs no declaration",
-                        other.tag()
-                    )),
-                },
-                Some(_) => predeclare_diags.push(format!(
-                    "pre-declared symbol `{key}` is not defined by `{}`",
-                    opts.header
-                )),
-                None => predeclare_diags.push(format!("pre-declared symbol `{key}` not found")),
-            }
-        }
-        timings.analyze = analyze_span.finish();
-
-        // ---- plan (Fig. 5 lines 11–25) ------------------------------------
-        let plan_span = yalla_obs::span("engine", "plan");
-        let mut plan = Plan::build(&usage, &table);
-        for message in predeclare_diags {
-            plan.diagnostics.push(Diagnostic {
-                kind: DiagnosticKind::UnknownSymbol,
-                message,
-                span: None,
-            });
-        }
-        if usage.is_empty() {
-            plan.diagnostics.push(Diagnostic {
-                kind: DiagnosticKind::Note,
-                message: format!(
-                    "sources use nothing from `{}`; the include is simply dropped",
-                    opts.header
-                ),
-                span: None,
-            });
-        }
-        timings.plan = plan_span.finish();
-        yalla_obs::count(
-            yalla_obs::metrics::names::WRAPPERS_GENERATED,
-            (plan.fn_wrappers.len() + plan.method_wrappers.len()) as i64,
-        );
-
-        // ---- emit + rewrite (Fig. 5 lines 26–27) ---------------------------
-        let generate_span = yalla_obs::span("engine", "generate");
-        let lightweight = emit::lightweight_header(&plan, &opts.header);
-        let wrappers = emit::wrappers_file(&plan, &opts.header, &opts.lightweight_name);
-        let mut rewritten = BTreeMap::new();
-        {
-            let mut tr = Transformer::new(&plan, &table);
-            let all_decls: Vec<&yalla_cpp::ast::Decl> = parsed.ast.decls.iter().collect();
-            for s in &opts.sources {
-                let id = vfs.lookup(s).expect("checked above");
-                let text = vfs.text(id);
-                let new_text = rewrite_file(
-                    id,
-                    text,
-                    &opts.header,
-                    &opts.lightweight_name,
-                    &all_decls,
-                    &mut tr,
-                );
-                rewritten.insert(s.clone(), new_text);
-            }
-        }
-        timings.generate = generate_span.finish();
-
-        // ---- report + verification -----------------------------------------
-        let mut report = Report::from_plan(&plan);
-        report.before = TuStats {
-            loc: parsed.stats.lines_compiled,
-            headers: parsed.stats.header_count(),
-        };
-        let verify_span = yalla_obs::span("engine", "verify");
-        if opts.verify {
-            report.verification = verify(
-                vfs,
-                &rewritten,
-                &opts.lightweight_name,
-                &lightweight,
-                &opts.wrappers_name,
-                &wrappers,
-                main_source,
-            );
-        }
-        // After-stats: preprocess the substituted TU.
-        {
-            let mut after_vfs = vfs.clone();
-            for (path, text) in &rewritten {
-                after_vfs.add_file(path, text.clone());
-            }
-            after_vfs.add_file(&opts.lightweight_name, lightweight.clone());
-            let fe = Frontend::new(after_vfs);
-            if let Ok(after) = fe.parse_translation_unit(main_source) {
-                report.after = TuStats {
-                    loc: after.stats.lines_compiled,
-                    headers: after.stats.header_count(),
-                };
-            }
-        }
-        timings.verify = verify_span.finish();
-
-        Ok(SubstitutionResult {
-            lightweight_header: lightweight,
-            wrappers_file: wrappers,
-            rewritten_sources: rewritten,
-            plan,
-            report,
-            timings,
-        })
+        Session::new(self.options.clone(), vfs.clone())
+            .rerun()
+            .map(|run| run.result)
     }
 }
 
 /// Files reachable from `root` in the include graph (including `root`).
-fn reachable_from(root: FileId, edges: &[(FileId, FileId)]) -> HashSet<FileId> {
+pub(crate) fn reachable_from(root: FileId, edges: &[(FileId, FileId)]) -> HashSet<FileId> {
     let mut reach: HashSet<FileId> = HashSet::new();
     let mut stack = vec![root];
     while let Some(f) = stack.pop() {
@@ -574,10 +427,53 @@ void add_y::operator()(member_t &m) {
         })
         .run(&kokkos_vfs())
         .unwrap_err();
-        assert!(matches!(
-            err,
-            YallaError::Cpp(_) | YallaError::SourceNotFound(_)
-        ));
+        assert!(matches!(err, YallaError::SourcesNotFound(ref p) if p == &["nope.cpp"]));
+    }
+
+    #[test]
+    fn all_missing_sources_reported_together() {
+        let err = Engine::new(Options {
+            header: "Kokkos_Core.hpp".into(),
+            sources: vec![
+                "kernel.cpp".into(),
+                "nope.cpp".into(),
+                "functor.hpp".into(),
+                "also_nope.cpp".into(),
+            ],
+            ..Options::default()
+        })
+        .run(&kokkos_vfs())
+        .unwrap_err();
+        match err {
+            YallaError::SourcesNotFound(paths) => {
+                assert_eq!(paths, vec!["nope.cpp", "also_nope.cpp"]);
+            }
+            other => panic!("expected SourcesNotFound, got {other}"),
+        }
+        // The Display form names every missing path.
+        let err = Engine::new(Options {
+            header: "Kokkos_Core.hpp".into(),
+            sources: vec!["nope.cpp".into(), "also_nope.cpp".into()],
+            ..Options::default()
+        })
+        .run(&kokkos_vfs())
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("nope.cpp") && msg.contains("also_nope.cpp"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn empty_sources_is_an_error() {
+        let err = Engine::new(Options {
+            header: "Kokkos_Core.hpp".into(),
+            ..Options::default()
+        })
+        .run(&kokkos_vfs())
+        .unwrap_err();
+        assert!(matches!(err, YallaError::SourceNotFound(_)));
     }
 
     #[test]
@@ -759,6 +655,7 @@ pub fn substitute_headers(
 #[cfg(test)]
 mod multi_tests {
     use super::*;
+    use yalla_cpp::frontend::Frontend;
 
     fn two_lib_vfs() -> Vfs {
         let mut vfs = Vfs::new();

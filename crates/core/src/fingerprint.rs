@@ -1,0 +1,178 @@
+//! Content fingerprints for the plan/emit stages of the incremental
+//! pipeline.
+//!
+//! The paper's §6 observation is that the tool only *needs* to re-run
+//! when the set of symbols the sources use from the expensive header
+//! grows — pure body edits leave the lightweight header and wrappers file
+//! untouched. The session layer reproduces that by keying the plan and
+//! emit stages on a **usage fingerprint**: a hash over everything the
+//! plan actually depends on, and nothing it does not.
+//!
+//! What goes in:
+//!
+//! * the substituted header and the artifact file names,
+//! * every used class key plus the header-side shape of its declaration
+//!   (template head, members) — header edits must invalidate,
+//! * every used function key plus its header-side declaration,
+//! * used method/field keys,
+//! * used enums with their declarations (constant values are inlined into
+//!   the rewritten sources),
+//! * lambdas passed to wrapped calls, *including their spans* — the plan
+//!   stores functor spans that the rewriter matches against, so a lambda
+//!   that moved must rebuild the plan.
+//!
+//! What stays out — deliberately: call-site spans and receiver-type
+//! details of already-used symbols. Adding another call to an
+//! already-wrapped function, or any edit downstream of the last lambda,
+//! changes neither the lightweight header nor the wrappers file, and the
+//! fingerprint is unchanged — the plan and emit stages are skipped,
+//! reproducing the paper's "no re-run needed" steady state. Pre-declared
+//! symbols ([`crate::Options::extra_symbols`]) are merged into the usage
+//! report *before* fingerprinting, so growing into a pre-declared symbol
+//! also keeps the fingerprint stable (§6).
+
+use yalla_analysis::symbols::SymbolTable;
+use yalla_analysis::usage::UsageReport;
+use yalla_cpp::hash::Fnv64;
+
+use crate::engine::Options;
+
+/// Fingerprint of every plan-relevant input: the used-symbol set, the
+/// header-side declarations behind it, and the lambda set with spans.
+pub fn usage_fingerprint(usage: &UsageReport, table: &SymbolTable, options: &Options) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str(&options.header);
+    h.write_str(&options.lightweight_name);
+    h.write_str(&options.wrappers_name);
+
+    // Classes referenced anywhere (directly, via methods, via fields),
+    // with their header-side declaration shape. BTreeMap keys iterate
+    // sorted, so the fingerprint is deterministic.
+    let mut class_keys: Vec<&str> = usage.classes.keys().map(String::as_str).collect();
+    for (class, _) in usage.methods.keys() {
+        class_keys.push(class);
+    }
+    for (class, _) in usage.fields.keys() {
+        class_keys.push(class);
+    }
+    class_keys.sort_unstable();
+    class_keys.dedup();
+    for key in class_keys {
+        h.write_str("class");
+        h.write_str(key);
+        if let Some(sym) = table.resolve(key) {
+            h.write_u64(u64::from(sym.nested_in_class));
+            h.write_str(&format!("{:?}", sym.kind));
+        }
+    }
+
+    for (key, f) in &usage.functions {
+        h.write_str("fn");
+        h.write_str(key);
+        // The declaration lives in the header: its debug form (including
+        // spans) only changes when the header itself changes, which must
+        // invalidate the plan anyway.
+        h.write_str(&format!("{:?}", f.decl));
+    }
+    for (class, method) in usage.methods.keys() {
+        h.write_str("method");
+        h.write_str(class);
+        h.write_str(method);
+    }
+    for (class, field) in usage.fields.keys() {
+        h.write_str("field");
+        h.write_str(class);
+        h.write_str(field);
+    }
+    for (key, e) in &usage.enums {
+        h.write_str("enum");
+        h.write_str(key);
+        h.write_str(&format!("{:?}", e.decl));
+    }
+    for lambda in &usage.lambdas {
+        h.write_str("lambda");
+        // Span-sensitive by design: plan functors carry the lambda span
+        // the rewriter splices at.
+        h.write_str(&format!("{lambda:?}"));
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yalla_cpp::vfs::Vfs;
+    use yalla_cpp::Frontend;
+
+    fn analyzed(source: &str) -> (UsageReport, SymbolTable) {
+        let mut vfs = Vfs::new();
+        vfs.add_file(
+            "lib.hpp",
+            "#pragma once\nnamespace L {\nclass Used { public: int id() const; };\nclass Other { public: int go(); };\n}\n",
+        );
+        vfs.add_file("main.cpp", source);
+        let fe = Frontend::new(vfs.clone());
+        let tu = fe.parse_translation_unit("main.cpp").unwrap();
+        let table = SymbolTable::build(&tu.ast);
+        let header = vfs.lookup("lib.hpp").unwrap();
+        let main = vfs.lookup("main.cpp").unwrap();
+        let usage = UsageReport::collect(
+            &tu.ast,
+            &table,
+            &std::iter::once(header).collect(),
+            &std::iter::once(main).collect(),
+        );
+        (usage, table)
+    }
+
+    fn fp(source: &str) -> u64 {
+        let (usage, table) = analyzed(source);
+        usage_fingerprint(
+            &usage,
+            &table,
+            &Options {
+                header: "lib.hpp".into(),
+                sources: vec!["main.cpp".into()],
+                ..Options::default()
+            },
+        )
+    }
+
+    #[test]
+    fn body_edits_keep_the_fingerprint() {
+        let a = fp("#include \"lib.hpp\"\nint f(L::Used& u) { return u.id(); }\n");
+        let b = fp("#include \"lib.hpp\"\nint f(L::Used& u) { return u.id() + 41; }\n");
+        // Another call to an already-used method is also invisible.
+        let c = fp("#include \"lib.hpp\"\nint f(L::Used& u) { return u.id() + u.id(); }\n");
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn growing_the_used_set_changes_the_fingerprint() {
+        let a = fp("#include \"lib.hpp\"\nint f(L::Used& u) { return u.id(); }\n");
+        let b = fp(
+            "#include \"lib.hpp\"\nint f(L::Used& u, L::Other& o) { return u.id() + o.go(); }\n",
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn options_participate() {
+        let (usage, table) =
+            analyzed("#include \"lib.hpp\"\nint f(L::Used& u) { return u.id(); }\n");
+        let base = Options {
+            header: "lib.hpp".into(),
+            sources: vec!["main.cpp".into()],
+            ..Options::default()
+        };
+        let renamed = Options {
+            lightweight_name: "other_lw.hpp".into(),
+            ..base.clone()
+        };
+        assert_ne!(
+            usage_fingerprint(&usage, &table, &base),
+            usage_fingerprint(&usage, &table, &renamed)
+        );
+    }
+}

@@ -47,11 +47,13 @@
 
 pub mod emit;
 pub mod engine;
+pub mod fingerprint;
 pub mod lambda;
 pub mod plan;
 pub mod report;
 pub mod rewrite;
 pub mod rules;
+pub mod session;
 pub mod verify;
 pub mod wrappers;
 
@@ -62,3 +64,4 @@ pub use engine::{
 pub use plan::{Diagnostic, DiagnosticKind, Plan};
 pub use report::Report;
 pub use rules::{transformation_for, SymbolCategory, Transformation};
+pub use session::{CacheLookup, Session, SessionRun, Stage, StageOutcome};

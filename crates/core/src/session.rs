@@ -1,0 +1,789 @@
+//! Persistent, incremental Header Substitution sessions.
+//!
+//! [`crate::Engine::run`] is one-shot: every invocation re-preprocesses,
+//! re-parses and re-analyzes everything. A [`Session`] keeps the pipeline's
+//! intermediate artifacts alive across runs and recomputes only the stages
+//! whose *input keys* changed, turning the tool itself into the steady-state
+//! loop the paper measures (Figure 6: after the initial build, only the
+//! cheap step ④ re-runs).
+//!
+//! The pipeline is an explicit stage DAG, each stage memoized behind a
+//! content-addressed key:
+//!
+//! ```text
+//! parse ──► analyze ──► plan ──► emit ────────┐
+//!   │          │          └────► rewrite ─────┼──► verify
+//!   └──────────┴───(per-source, parallel)─────┘
+//! ```
+//!
+//! | stage   | key                                                        |
+//! |---------|------------------------------------------------------------|
+//! | parse   | `(main path, defines)` validated against the include closure's content hashes ([`yalla_cpp::cache::ParseCache`]) |
+//! | analyze | closure hash + header + sources + `extra_symbols`          |
+//! | plan    | usage fingerprint ([`crate::fingerprint`]) + pre-declare diagnostics |
+//! | emit    | plan key                                                   |
+//! | rewrite | per source: file hash + reachable source hashes + plan key |
+//! | verify  | closure hash + emitted artifacts + rewritten source hashes |
+//!
+//! An edit that does not grow the used-symbol set leaves the usage
+//! fingerprint unchanged, so plan and emit are skipped entirely — the
+//! paper's §6 "no re-run needed" claim, which `extra_symbols` extends to
+//! future symbols. Independent per-source rewrites run in parallel via
+//! `std::thread::scope`. Every stage reports hits/misses/invalidations to
+//! [`yalla_obs`] under `cache.<stage>.*`.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::time::Duration;
+
+use yalla_analysis::symbols::SymbolTable;
+use yalla_analysis::usage::UsageReport;
+use yalla_cpp::cache::ParseCache;
+use yalla_cpp::hash::{self, Fnv64};
+use yalla_cpp::loc::FileId;
+use yalla_cpp::vfs::Vfs;
+use yalla_cpp::ParsedTu;
+
+pub use yalla_cpp::cache::CacheLookup;
+
+use crate::emit;
+use crate::engine::{Options, SubstitutionResult, Timings, YallaError};
+use crate::fingerprint::usage_fingerprint;
+use crate::plan::{Diagnostic, DiagnosticKind, Plan};
+use crate::report::{Report, TuStats, Verification};
+use crate::rewrite::{rewrite_file, Transformer};
+use crate::verify::verify;
+
+/// The engine's pipeline stages, in dependency order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Preprocess + parse the translation unit.
+    Parse,
+    /// Symbol table, usage analysis, pre-declared symbols.
+    Analyze,
+    /// Plan construction (wrappers, functors, forward declarations).
+    Plan,
+    /// Lightweight header + wrappers file emission.
+    Emit,
+    /// Per-source rewriting.
+    Rewrite,
+    /// Verification + after-statistics.
+    Verify,
+}
+
+impl Stage {
+    /// Stable lowercase label (used in metric names and CLI output).
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Analyze => "analyze",
+            Stage::Plan => "plan",
+            Stage::Emit => "emit",
+            Stage::Rewrite => "rewrite",
+            Stage::Verify => "verify",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What happened to one stage during a rerun.
+#[derive(Debug, Clone, Copy)]
+pub struct StageOutcome {
+    /// Which stage.
+    pub stage: Stage,
+    /// Cache hit, miss, or invalidation. For the rewrite stage this is the
+    /// aggregate over all sources (a hit only when *every* source was
+    /// served from cache).
+    pub lookup: CacheLookup,
+    /// Wall-clock time spent recomputing; [`Duration::ZERO`] on a hit (the
+    /// cached artifact was reused, so no stale duration is reported).
+    pub duration: Duration,
+}
+
+/// Everything one [`Session::rerun`] produced.
+#[derive(Debug)]
+pub struct SessionRun {
+    /// The substitution result, identical in shape to what
+    /// [`crate::Engine::run`] returns. Timings of cached stages are zero.
+    pub result: SubstitutionResult,
+    /// Per-stage cache outcomes, in pipeline order.
+    pub stages: Vec<StageOutcome>,
+    /// Translation units re-parsed during this rerun (0 on a warm no-op
+    /// rerun, 1 when any file in the TU's include closure changed).
+    pub files_reparsed: usize,
+    /// Source rewrites recomputed during this rerun.
+    pub rewrites_recomputed: usize,
+    /// Source rewrites served from cache.
+    pub rewrites_cached: usize,
+}
+
+impl SessionRun {
+    /// True when every stage was served from cache (a no-op rerun).
+    pub fn fully_cached(&self) -> bool {
+        self.stages.iter().all(|s| s.lookup.is_hit())
+    }
+
+    /// The outcome recorded for `stage`.
+    pub fn outcome(&self, stage: Stage) -> CacheLookup {
+        self.stages
+            .iter()
+            .find(|s| s.stage == stage)
+            .map(|s| s.lookup)
+            .expect("all stages recorded")
+    }
+
+    /// One-line summary (`parse=hit analyze=hit ... [2 reparsed]`), used
+    /// by `yalla --iterate`.
+    pub fn summary_line(&self) -> String {
+        let mut out = String::new();
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&format!("{}={}", s.stage, s.lookup.label()));
+        }
+        out.push_str(&format!(
+            "  ({} reparsed, {} rewritten, {:.1} ms)",
+            self.files_reparsed,
+            self.rewrites_recomputed,
+            self.result.timings.total().as_secs_f64() * 1e3,
+        ));
+        out
+    }
+}
+
+/// The analyze stage's artifact: everything derived from the parsed TU
+/// that the plan and rewrite stages consume.
+#[derive(Debug)]
+pub struct AnalysisArtifact {
+    /// Symbol table of the whole TU.
+    pub table: SymbolTable,
+    /// Usage of the target header by the sources, with pre-declared
+    /// symbols already merged in.
+    pub usage: UsageReport,
+    /// Diagnostics produced while resolving `extra_symbols`.
+    pub predeclare_diags: Vec<String>,
+    /// Files belonging to the substituted header (itself + transitive
+    /// includes).
+    pub target_files: HashSet<FileId>,
+    /// The user source files.
+    pub source_files: HashSet<FileId>,
+    /// Fingerprint of the plan-relevant inputs
+    /// ([`crate::fingerprint::usage_fingerprint`]).
+    pub usage_fingerprint: u64,
+}
+
+#[derive(Debug, Clone)]
+struct EmitArtifact {
+    lightweight: String,
+    wrappers: String,
+}
+
+#[derive(Debug, Clone)]
+struct VerifyArtifact {
+    verification: Verification,
+    after: Option<TuStats>,
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    key: u64,
+    artifact: T,
+}
+
+/// Refreshes a memoized stage slot: reuse when the key matches, otherwise
+/// recompute and replace.
+fn refresh<T>(
+    slot: &mut Option<Slot<T>>,
+    key: u64,
+    compute: impl FnOnce() -> Result<T, YallaError>,
+) -> Result<CacheLookup, YallaError> {
+    if let Some(s) = slot {
+        if s.key == key {
+            return Ok(CacheLookup::Hit);
+        }
+    }
+    let stale = slot.is_some();
+    let artifact = compute()?;
+    *slot = Some(Slot { key, artifact });
+    Ok(if stale {
+        CacheLookup::Invalidated
+    } else {
+        CacheLookup::Miss
+    })
+}
+
+/// Bumps `cache.<stage>.<outcome>` (and, when `totals`, the global
+/// `cache.hits`/`cache.misses`/`cache.invalidations` the parse cache
+/// already maintains for itself).
+fn note(stage: Stage, lookup: CacheLookup, totals: bool) {
+    use yalla_obs::metrics::names;
+    let outcome = match lookup {
+        CacheLookup::Hit => "hits",
+        CacheLookup::Miss | CacheLookup::Invalidated => "misses",
+    };
+    yalla_obs::count(&names::stage_cache(stage.label(), outcome), 1);
+    if lookup == CacheLookup::Invalidated {
+        yalla_obs::count(&names::stage_cache(stage.label(), "invalidations"), 1);
+    }
+    if totals {
+        match lookup {
+            CacheLookup::Hit => yalla_obs::count(names::CACHE_HITS, 1),
+            CacheLookup::Miss => yalla_obs::count(names::CACHE_MISSES, 1),
+            CacheLookup::Invalidated => {
+                yalla_obs::count(names::CACHE_MISSES, 1);
+                yalla_obs::count(names::CACHE_INVALIDATIONS, 1);
+            }
+        }
+    }
+}
+
+/// A persistent Header Substitution session: the engine pipeline plus a
+/// memoizing artifact cache and an editable file tree.
+///
+/// # Example
+///
+/// ```
+/// use yalla_core::{Options, Session};
+/// use yalla_cpp::vfs::Vfs;
+///
+/// let mut vfs = Vfs::new();
+/// vfs.add_file("lib.hpp", "namespace K { class W { public: int id() const; }; }\n");
+/// vfs.add_file("main.cpp", "#include \"lib.hpp\"\nint f(K::W& w) { return w.id(); }\n");
+/// let mut session = Session::new(
+///     Options {
+///         header: "lib.hpp".into(),
+///         sources: vec!["main.cpp".into()],
+///         ..Options::default()
+///     },
+///     vfs,
+/// );
+/// let cold = session.rerun().unwrap();
+/// assert!(!cold.fully_cached());
+/// let warm = session.rerun().unwrap();
+/// assert!(warm.fully_cached());
+/// assert_eq!(warm.files_reparsed, 0);
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    options: Options,
+    vfs: Vfs,
+    parse_cache: ParseCache,
+    analysis: Option<Slot<AnalysisArtifact>>,
+    plan: Option<Slot<Plan>>,
+    emit: Option<Slot<EmitArtifact>>,
+    rewrites: HashMap<String, Slot<String>>,
+    verify: Option<Slot<VerifyArtifact>>,
+    reruns: u64,
+}
+
+impl Session {
+    /// Creates a session over `vfs` with empty caches.
+    pub fn new(options: Options, vfs: Vfs) -> Self {
+        Session {
+            options,
+            vfs,
+            parse_cache: ParseCache::new(),
+            analysis: None,
+            plan: None,
+            emit: None,
+            rewrites: HashMap::new(),
+            verify: None,
+            reruns: 0,
+        }
+    }
+
+    /// The session's options.
+    pub fn options(&self) -> &Options {
+        &self.options
+    }
+
+    /// The session's file tree.
+    pub fn vfs(&self) -> &Vfs {
+        &self.vfs
+    }
+
+    /// Number of completed reruns.
+    pub fn reruns(&self) -> u64 {
+        self.reruns
+    }
+
+    /// Applies an edit to the session's file tree (Figure 6 step ① of the
+    /// next iteration). The file must already exist.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `path` is not registered in the file tree.
+    pub fn apply_edit(
+        &mut self,
+        path: &str,
+        new_text: impl Into<String>,
+    ) -> Result<FileId, YallaError> {
+        self.vfs.apply_edit(path, new_text).map_err(YallaError::Cpp)
+    }
+
+    /// Runs the pipeline, recomputing only stages whose input keys
+    /// changed. The first call is a cold run (every stage misses).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`crate::Engine::run`]; missing sources are
+    /// all reported together in [`YallaError::SourcesNotFound`].
+    pub fn rerun(&mut self) -> Result<SessionRun, YallaError> {
+        let _run_span = yalla_obs::span("engine", "substitute");
+        yalla_obs::count(yalla_obs::metrics::names::ENGINE_RUNS, 1);
+        yalla_obs::count(yalla_obs::metrics::names::SESSION_RERUNS, 1);
+        self.reruns += 1;
+        let opts = self.options.clone();
+        let mut timings = Timings::default();
+        let mut stages = Vec::with_capacity(6);
+
+        // ---- validate sources up front: report *all* missing paths -----
+        let main_source = opts
+            .sources
+            .first()
+            .ok_or_else(|| YallaError::SourceNotFound("<no sources given>".into()))?
+            .clone();
+        let missing: Vec<String> = opts
+            .sources
+            .iter()
+            .filter(|s| self.vfs.lookup(s).is_none())
+            .cloned()
+            .collect();
+        if !missing.is_empty() {
+            return Err(YallaError::SourcesNotFound(missing));
+        }
+
+        // ---- parse ------------------------------------------------------
+        let parse_span = yalla_obs::span("engine", "parse");
+        let parsed = self
+            .parse_cache
+            .parse(&self.vfs, &opts.defines, &main_source)?;
+        let parse_dur = parse_span.finish();
+        note(Stage::Parse, parsed.lookup, false);
+        if parsed.lookup.is_hit() {
+            yalla_obs::global().instant("engine", "parse (cached)");
+        } else {
+            yalla_obs::count(yalla_obs::metrics::names::SESSION_TUS_REPARSED, 1);
+            timings.parse = parse_dur;
+        }
+        let files_reparsed = usize::from(!parsed.lookup.is_hit());
+        stages.push(StageOutcome {
+            stage: Stage::Parse,
+            lookup: parsed.lookup,
+            duration: timings.parse,
+        });
+
+        // ---- analyze ----------------------------------------------------
+        let analyze_key = {
+            let mut h = Fnv64::new();
+            h.write_u64(parsed.closure_hash);
+            h.write_str(&opts.header);
+            for s in &opts.sources {
+                h.write_str(s);
+            }
+            for e in &opts.extra_symbols {
+                h.write_str(e);
+            }
+            h.finish()
+        };
+        let analyze_span = yalla_obs::span("engine", "analyze");
+        let vfs = &self.vfs;
+        let lookup = refresh(&mut self.analysis, analyze_key, || {
+            stage_analyze(&parsed.tu, vfs, &opts)
+        })?;
+        let analyze_dur = analyze_span.finish();
+        note(Stage::Analyze, lookup, true);
+        if lookup.is_hit() {
+            yalla_obs::global().instant("engine", "analyze (cached)");
+        } else {
+            timings.analyze = analyze_dur;
+        }
+        let analysis = &self.analysis.as_ref().expect("refreshed").artifact;
+        stages.push(StageOutcome {
+            stage: Stage::Analyze,
+            lookup,
+            duration: timings.analyze,
+        });
+
+        // ---- plan -------------------------------------------------------
+        let plan_key = {
+            let mut h = Fnv64::new();
+            h.write_u64(analysis.usage_fingerprint);
+            for d in &analysis.predeclare_diags {
+                h.write_str(d);
+            }
+            h.finish()
+        };
+        let plan_span = yalla_obs::span("engine", "plan");
+        let lookup = refresh(&mut self.plan, plan_key, || Ok(stage_plan(analysis, &opts)))?;
+        let plan_dur = plan_span.finish();
+        note(Stage::Plan, lookup, true);
+        if lookup.is_hit() {
+            yalla_obs::global().instant("engine", "plan (cached)");
+        } else {
+            timings.plan = plan_dur;
+        }
+        let plan = &self.plan.as_ref().expect("refreshed").artifact;
+        stages.push(StageOutcome {
+            stage: Stage::Plan,
+            lookup,
+            duration: timings.plan,
+        });
+
+        // ---- emit + rewrite (the paper's "generate") --------------------
+        let generate_span = yalla_obs::span("engine", "generate");
+        let emit_dur;
+        {
+            let emit_span = yalla_obs::span("engine", "emit");
+            let lookup = refresh(&mut self.emit, plan_key, || {
+                Ok(EmitArtifact {
+                    lightweight: emit::lightweight_header(plan, &opts.header),
+                    wrappers: emit::wrappers_file(plan, &opts.header, &opts.lightweight_name),
+                })
+            })?;
+            let dur = emit_span.finish();
+            note(Stage::Emit, lookup, true);
+            emit_dur = if lookup.is_hit() { Duration::ZERO } else { dur };
+            stages.push(StageOutcome {
+                stage: Stage::Emit,
+                lookup,
+                duration: emit_dur,
+            });
+        }
+
+        // Per-source rewrites: a source's artifact depends on its own text,
+        // the text of every *source* file it transitively includes (type
+        // information flows along user includes), and the plan.
+        let rewrite_span = yalla_obs::span("engine", "rewrite");
+        let mut rewrite_keys: Vec<(String, u64)> = Vec::with_capacity(opts.sources.len());
+        for s in &opts.sources {
+            let id = self.vfs.lookup(s).expect("validated above");
+            let mut h = Fnv64::new();
+            h.write_u64(plan_key);
+            let mut reach: Vec<FileId> =
+                crate::engine::reachable_from(id, &parsed.tu.stats.include_edges)
+                    .into_iter()
+                    .filter(|f| analysis.source_files.contains(f))
+                    .collect();
+            reach.sort_by_key(|f| f.0);
+            if !reach.contains(&id) {
+                reach.push(id); // sources absent from the TU still rewrite
+            }
+            for f in reach {
+                h.write_str(self.vfs.path(f));
+                h.write_u64(self.vfs.file_hash(f));
+            }
+            rewrite_keys.push((s.clone(), h.finish()));
+        }
+        let mut to_compute: Vec<&str> = Vec::new();
+        let mut rewrites_cached = 0usize;
+        let mut any_invalidated = false;
+        for (s, key) in &rewrite_keys {
+            match self.rewrites.get(s) {
+                Some(slot) if slot.key == *key => {
+                    rewrites_cached += 1;
+                    note(Stage::Rewrite, CacheLookup::Hit, true);
+                }
+                existing => {
+                    let lookup = if existing.is_some() {
+                        any_invalidated = true;
+                        CacheLookup::Invalidated
+                    } else {
+                        CacheLookup::Miss
+                    };
+                    note(Stage::Rewrite, lookup, true);
+                    to_compute.push(s.as_str());
+                }
+            }
+        }
+        let rewrites_recomputed = to_compute.len();
+        if !to_compute.is_empty() {
+            // Independent per-source rewrites run in parallel; each worker
+            // gets its own Transformer over the shared plan + table.
+            let vfs = &self.vfs;
+            let tu = &parsed.tu;
+            let table = &analysis.table;
+            let opts_ref = &opts;
+            let computed: Vec<(String, String)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = to_compute
+                    .iter()
+                    .map(|s| {
+                        scope.spawn(move || {
+                            (
+                                s.to_string(),
+                                stage_rewrite_one(vfs, tu, plan, table, opts_ref, s),
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("rewrite worker panicked"))
+                    .collect()
+            });
+            let keys: HashMap<&str, u64> =
+                rewrite_keys.iter().map(|(s, k)| (s.as_str(), *k)).collect();
+            for (s, text) in computed {
+                let key = keys[s.as_str()];
+                self.rewrites.insert(
+                    s,
+                    Slot {
+                        key,
+                        artifact: text,
+                    },
+                );
+            }
+        }
+        let rewrite_lookup = if rewrites_recomputed == 0 {
+            CacheLookup::Hit
+        } else if any_invalidated {
+            CacheLookup::Invalidated
+        } else {
+            CacheLookup::Miss
+        };
+        let dur = rewrite_span.finish();
+        let rewrite_dur = if rewrites_recomputed == 0 {
+            yalla_obs::global().instant("engine", "rewrite (cached)");
+            Duration::ZERO
+        } else {
+            dur
+        };
+        stages.push(StageOutcome {
+            stage: Stage::Rewrite,
+            lookup: rewrite_lookup,
+            duration: rewrite_dur,
+        });
+        timings.generate = emit_dur + rewrite_dur;
+        drop(generate_span);
+
+        let emit_art = &self.emit.as_ref().expect("refreshed").artifact;
+        let mut rewritten: BTreeMap<String, String> = BTreeMap::new();
+        for s in &opts.sources {
+            rewritten.insert(s.clone(), self.rewrites[s].artifact.clone());
+        }
+
+        // ---- verify + after-stats ---------------------------------------
+        let verify_key = {
+            let mut h = Fnv64::new();
+            h.write_u64(parsed.closure_hash);
+            h.write_u64(plan_key);
+            h.write_str(&opts.lightweight_name);
+            h.write_str(&opts.wrappers_name);
+            h.write_u64(hash::hash_str(&emit_art.lightweight));
+            h.write_u64(hash::hash_str(&emit_art.wrappers));
+            for (path, text) in &rewritten {
+                h.write_str(path);
+                h.write_u64(hash::hash_str(text));
+            }
+            h.write_u64(u64::from(opts.verify));
+            h.finish()
+        };
+        let verify_span = yalla_obs::span("engine", "verify");
+        let vfs = &self.vfs;
+        let lookup = refresh(&mut self.verify, verify_key, || {
+            Ok(stage_verify(vfs, &rewritten, emit_art, &opts, &main_source))
+        })?;
+        let verify_dur = verify_span.finish();
+        note(Stage::Verify, lookup, true);
+        if lookup.is_hit() {
+            yalla_obs::global().instant("engine", "verify (cached)");
+        } else {
+            timings.verify = verify_dur;
+        }
+        let verify_art = &self.verify.as_ref().expect("refreshed").artifact;
+        stages.push(StageOutcome {
+            stage: Stage::Verify,
+            lookup,
+            duration: timings.verify,
+        });
+
+        // ---- assemble the result ----------------------------------------
+        let mut report = Report::from_plan(plan);
+        report.before = TuStats {
+            loc: parsed.tu.stats.lines_compiled,
+            headers: parsed.tu.stats.header_count(),
+        };
+        report.verification = verify_art.verification.clone();
+        if let Some(after) = verify_art.after {
+            report.after = after;
+        }
+
+        Ok(SessionRun {
+            result: SubstitutionResult {
+                lightweight_header: emit_art.lightweight.clone(),
+                wrappers_file: emit_art.wrappers.clone(),
+                rewritten_sources: rewritten,
+                plan: plan.clone(),
+                report,
+                timings,
+            },
+            stages,
+            files_reparsed,
+            rewrites_recomputed,
+            rewrites_cached,
+        })
+    }
+}
+
+// ---- stage implementations (shared by Session and Engine::run) -----------
+
+/// The analyze stage: symbol table + usage collection + pre-declared
+/// symbols (paper §6, Fig. 5 lines 2–10).
+fn stage_analyze(
+    parsed: &ParsedTu,
+    vfs: &Vfs,
+    opts: &Options,
+) -> Result<AnalysisArtifact, YallaError> {
+    let header_file = vfs
+        .resolve_include(&opts.header, None, false)
+        .map_err(|_| YallaError::HeaderNotIncluded(opts.header.clone()))?;
+    if !parsed.stats.headers.contains(&header_file) {
+        return Err(YallaError::HeaderNotIncluded(opts.header.clone()));
+    }
+    let target_files = crate::engine::reachable_from(header_file, &parsed.stats.include_edges);
+    let mut source_files: HashSet<FileId> = HashSet::new();
+    for s in &opts.sources {
+        source_files.insert(vfs.lookup(s).expect("sources validated"));
+    }
+
+    let table = SymbolTable::build(&parsed.ast);
+    let mut usage = UsageReport::collect(&parsed.ast, &table, &target_files, &source_files);
+    // Pre-declared symbols (paper §6): force-listed classes/functions
+    // enter the plan as if used, so the lightweight header covers them
+    // before the sources grow into them.
+    let mut predeclare_diags = Vec::new();
+    for key in &opts.extra_symbols {
+        match table.resolve(key) {
+            Some(sym) if target_files.contains(&sym.file) => match &sym.kind {
+                yalla_analysis::symbols::SymbolKind::Class(_) => {
+                    usage.classes.entry(sym.key.clone()).or_default();
+                }
+                yalla_analysis::symbols::SymbolKind::Function(f) => {
+                    usage.functions.entry(sym.key.clone()).or_insert_with(|| {
+                        yalla_analysis::usage::UsedFunction {
+                            key: sym.key.clone(),
+                            decl: (**f).clone(),
+                            calls: Vec::new(),
+                        }
+                    });
+                }
+                other => predeclare_diags.push(format!(
+                    "pre-declared symbol `{key}` is a {}, which needs no declaration",
+                    other.tag()
+                )),
+            },
+            Some(_) => predeclare_diags.push(format!(
+                "pre-declared symbol `{key}` is not defined by `{}`",
+                opts.header
+            )),
+            None => predeclare_diags.push(format!("pre-declared symbol `{key}` not found")),
+        }
+    }
+    let fingerprint = usage_fingerprint(&usage, &table, opts);
+    Ok(AnalysisArtifact {
+        table,
+        usage,
+        predeclare_diags,
+        target_files,
+        source_files,
+        usage_fingerprint: fingerprint,
+    })
+}
+
+/// The plan stage (Fig. 5 lines 11–25) plus diagnostic attachment.
+fn stage_plan(analysis: &AnalysisArtifact, opts: &Options) -> Plan {
+    let mut plan = Plan::build(&analysis.usage, &analysis.table);
+    for message in &analysis.predeclare_diags {
+        plan.diagnostics.push(Diagnostic {
+            kind: DiagnosticKind::UnknownSymbol,
+            message: message.clone(),
+            span: None,
+        });
+    }
+    if analysis.usage.is_empty() {
+        plan.diagnostics.push(Diagnostic {
+            kind: DiagnosticKind::Note,
+            message: format!(
+                "sources use nothing from `{}`; the include is simply dropped",
+                opts.header
+            ),
+            span: None,
+        });
+    }
+    yalla_obs::count(
+        yalla_obs::metrics::names::WRAPPERS_GENERATED,
+        (plan.fn_wrappers.len() + plan.method_wrappers.len()) as i64,
+    );
+    plan
+}
+
+/// Rewrites one source file (Fig. 5 lines 26–27, per-source half).
+fn stage_rewrite_one(
+    vfs: &Vfs,
+    parsed: &ParsedTu,
+    plan: &Plan,
+    table: &SymbolTable,
+    opts: &Options,
+    source: &str,
+) -> String {
+    let id = vfs.lookup(source).expect("sources validated");
+    let text = vfs.text(id);
+    let all_decls: Vec<&yalla_cpp::ast::Decl> = parsed.ast.decls.iter().collect();
+    let mut tr = Transformer::new(plan, table);
+    rewrite_file(
+        id,
+        text,
+        &opts.header,
+        &opts.lightweight_name,
+        &all_decls,
+        &mut tr,
+    )
+}
+
+/// The verify stage: parses the substituted program, checks the
+/// incomplete-type rules, and gathers the after-substitution TU stats.
+fn stage_verify(
+    vfs: &Vfs,
+    rewritten: &BTreeMap<String, String>,
+    emit_art: &EmitArtifact,
+    opts: &Options,
+    main_source: &str,
+) -> VerifyArtifact {
+    let verification = if opts.verify {
+        verify(
+            vfs,
+            rewritten,
+            &opts.lightweight_name,
+            &emit_art.lightweight,
+            &opts.wrappers_name,
+            &emit_art.wrappers,
+            main_source,
+        )
+    } else {
+        Verification::default()
+    };
+    // After-stats: preprocess the substituted TU.
+    let mut after_vfs = vfs.clone();
+    for (path, text) in rewritten {
+        after_vfs.add_file(path, text.clone());
+    }
+    after_vfs.add_file(&opts.lightweight_name, emit_art.lightweight.clone());
+    let fe = yalla_cpp::Frontend::new(after_vfs);
+    let after = fe
+        .parse_translation_unit(main_source)
+        .ok()
+        .map(|after| TuStats {
+            loc: after.stats.lines_compiled,
+            headers: after.stats.header_count(),
+        });
+    VerifyArtifact {
+        verification,
+        after,
+    }
+}

@@ -1,0 +1,292 @@
+//! A content-addressed, dependency-validated parse cache.
+//!
+//! A real compiler discovers a translation unit's include closure only
+//! *while* preprocessing it, so — exactly like `make` depfiles or ccache's
+//! direct mode — the cache records the closure observed on the previous
+//! parse and validates it against current file hashes on lookup:
+//!
+//! * **key**: `(main path, defines hash)` selects the entry;
+//! * **validation**: the entry is a hit iff every file that entered the
+//!   previous parse (the main file and all transitively included headers)
+//!   still has the same content hash;
+//! * **artifact**: the parsed TU behind an [`Arc`], so hits are O(closure)
+//!   hash comparisons and one pointer clone — no preprocessing, no lexing,
+//!   no parsing.
+//!
+//! Every entry also carries a `closure_hash` content-addressing the whole
+//! input set (main path + defines + every dependency's hash). Downstream
+//! stages key *their* artifacts on it: if the closure hash is unchanged,
+//! the parse — and anything derived only from it — cannot have changed.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::frontend::{Frontend, ParsedTu};
+use crate::hash::{self, Fnv64};
+use crate::vfs::Vfs;
+
+/// How a cache lookup resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLookup {
+    /// Valid entry found; the cached artifact was reused.
+    Hit,
+    /// No entry existed for the key; the artifact was computed.
+    Miss,
+    /// An entry existed but its inputs changed; the stale artifact was
+    /// recomputed and replaced.
+    Invalidated,
+}
+
+impl CacheLookup {
+    /// True for [`CacheLookup::Hit`].
+    pub fn is_hit(self) -> bool {
+        matches!(self, CacheLookup::Hit)
+    }
+
+    /// Display label (`hit`, `miss`, `inval`).
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheLookup::Hit => "hit",
+            CacheLookup::Miss => "miss",
+            CacheLookup::Invalidated => "inval",
+        }
+    }
+}
+
+/// A successfully validated (or freshly computed) cached parse.
+#[derive(Debug, Clone)]
+pub struct CachedParse {
+    /// The parsed TU (shared; cloning is a pointer bump).
+    pub tu: Arc<ParsedTu>,
+    /// Content address of the parse's entire input set.
+    pub closure_hash: u64,
+    /// How the lookup resolved.
+    pub lookup: CacheLookup,
+}
+
+#[derive(Debug)]
+struct Entry {
+    /// `(path, content hash)` of every file that entered the parse, main
+    /// file first.
+    deps: Vec<(String, u64)>,
+    closure_hash: u64,
+    tu: Arc<ParsedTu>,
+}
+
+/// A per-TU parse cache keyed by `(main path, defines)` and validated
+/// against file content hashes.
+///
+/// # Example
+///
+/// ```
+/// use yalla_cpp::cache::{CacheLookup, ParseCache};
+/// use yalla_cpp::vfs::Vfs;
+///
+/// let mut vfs = Vfs::new();
+/// vfs.add_file("a.hpp", "int x;");
+/// vfs.add_file("m.cpp", "#include \"a.hpp\"\nint y;");
+/// let mut cache = ParseCache::new();
+/// let first = cache.parse(&vfs, &[], "m.cpp").unwrap();
+/// assert_eq!(first.lookup, CacheLookup::Miss);
+/// let second = cache.parse(&vfs, &[], "m.cpp").unwrap();
+/// assert_eq!(second.lookup, CacheLookup::Hit);
+/// assert_eq!(first.closure_hash, second.closure_hash);
+/// ```
+#[derive(Debug, Default)]
+pub struct ParseCache {
+    entries: HashMap<(String, u64), Entry>,
+}
+
+impl ParseCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ParseCache::default()
+    }
+
+    /// Number of cached TUs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Parses `path` against `vfs` with `defines`, reusing the cached TU
+    /// when the whole include closure is byte-identical to the previous
+    /// parse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend errors (which are never cached).
+    pub fn parse(
+        &mut self,
+        vfs: &Vfs,
+        defines: &[(String, String)],
+        path: &str,
+    ) -> Result<CachedParse> {
+        let key = (path.to_string(), hash::hash_defines(defines));
+        if let Some(entry) = self.entries.get(&key) {
+            let valid = entry
+                .deps
+                .iter()
+                .all(|(dep, h)| vfs.hash_of(dep) == Some(*h));
+            if valid {
+                yalla_obs::count(yalla_obs::metrics::names::CACHE_HITS, 1);
+                return Ok(CachedParse {
+                    tu: Arc::clone(&entry.tu),
+                    closure_hash: entry.closure_hash,
+                    lookup: CacheLookup::Hit,
+                });
+            }
+        }
+        let stale = self.entries.contains_key(&key);
+        yalla_obs::count(yalla_obs::metrics::names::CACHE_MISSES, 1);
+        if stale {
+            yalla_obs::count(yalla_obs::metrics::names::CACHE_INVALIDATIONS, 1);
+        }
+
+        let mut fe = Frontend::new(vfs.clone());
+        for (k, v) in defines {
+            fe.define(k, v);
+        }
+        let tu = Arc::new(fe.parse_translation_unit(path)?);
+
+        let mut deps = Vec::with_capacity(tu.stats.files_entered.len());
+        let mut closure = Fnv64::new();
+        closure.write_str(path);
+        closure.write_u64(key.1);
+        for &file in &tu.stats.files_entered {
+            let dep_path = vfs.path(file).to_string();
+            let dep_hash = vfs.file_hash(file);
+            closure.write_str(&dep_path);
+            closure.write_u64(dep_hash);
+            deps.push((dep_path, dep_hash));
+        }
+        let closure_hash = closure.finish();
+        self.entries.insert(
+            key,
+            Entry {
+                deps,
+                closure_hash,
+                tu: Arc::clone(&tu),
+            },
+        );
+        Ok(CachedParse {
+            tu,
+            closure_hash,
+            lookup: if stale {
+                CacheLookup::Invalidated
+            } else {
+                CacheLookup::Miss
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vfs() -> Vfs {
+        let mut vfs = Vfs::new();
+        vfs.add_file("lib.hpp", "#pragma once\nnamespace l { class C; }\n");
+        vfs.add_file("other.hpp", "#pragma once\nint unrelated;\n");
+        vfs.add_file("main.cpp", "#include \"lib.hpp\"\nint y;\n");
+        vfs
+    }
+
+    #[test]
+    fn second_parse_is_a_hit_sharing_the_ast() {
+        let v = vfs();
+        let mut cache = ParseCache::new();
+        let a = cache.parse(&v, &[], "main.cpp").unwrap();
+        let b = cache.parse(&v, &[], "main.cpp").unwrap();
+        assert_eq!(a.lookup, CacheLookup::Miss);
+        assert_eq!(b.lookup, CacheLookup::Hit);
+        assert!(Arc::ptr_eq(&a.tu, &b.tu));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn editing_a_dependency_invalidates() {
+        let mut v = vfs();
+        let mut cache = ParseCache::new();
+        let a = cache.parse(&v, &[], "main.cpp").unwrap();
+        v.apply_edit(
+            "lib.hpp",
+            "#pragma once\nnamespace l { class C; class D; }\n",
+        )
+        .unwrap();
+        let b = cache.parse(&v, &[], "main.cpp").unwrap();
+        assert_eq!(b.lookup, CacheLookup::Invalidated);
+        assert_ne!(a.closure_hash, b.closure_hash);
+        // Reverting restores the original closure hash and hits again.
+        v.apply_edit("lib.hpp", "#pragma once\nnamespace l { class C; }\n")
+            .unwrap();
+        let c = cache.parse(&v, &[], "main.cpp").unwrap();
+        assert_eq!(c.lookup, CacheLookup::Invalidated);
+        assert_eq!(a.closure_hash, c.closure_hash);
+        let d = cache.parse(&v, &[], "main.cpp").unwrap();
+        assert_eq!(d.lookup, CacheLookup::Hit);
+    }
+
+    #[test]
+    fn editing_an_unreached_file_keeps_the_hit() {
+        let mut v = vfs();
+        let mut cache = ParseCache::new();
+        cache.parse(&v, &[], "main.cpp").unwrap();
+        v.apply_edit("other.hpp", "#pragma once\nint changed;\n")
+            .unwrap();
+        let b = cache.parse(&v, &[], "main.cpp").unwrap();
+        assert_eq!(b.lookup, CacheLookup::Hit);
+    }
+
+    #[test]
+    fn defines_partition_the_cache() {
+        let v = vfs();
+        let mut cache = ParseCache::new();
+        cache.parse(&v, &[], "main.cpp").unwrap();
+        let defined = vec![("MODE".to_string(), "2".to_string())];
+        let b = cache.parse(&v, &defined, "main.cpp").unwrap();
+        assert_eq!(b.lookup, CacheLookup::Miss);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn distinct_tus_cache_independently() {
+        let mut v = vfs();
+        v.add_file("second.cpp", "#include \"other.hpp\"\nint z;\n");
+        let mut cache = ParseCache::new();
+        cache.parse(&v, &[], "main.cpp").unwrap();
+        cache.parse(&v, &[], "second.cpp").unwrap();
+        // Editing other.hpp touches only second.cpp's closure.
+        v.apply_edit("other.hpp", "#pragma once\nint changed;\n")
+            .unwrap();
+        assert!(cache.parse(&v, &[], "main.cpp").unwrap().lookup.is_hit());
+        assert_eq!(
+            cache.parse(&v, &[], "second.cpp").unwrap().lookup,
+            CacheLookup::Invalidated
+        );
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let mut v = Vfs::new();
+        v.add_file("bad.cpp", "#include \"missing.hpp\"\n");
+        let mut cache = ParseCache::new();
+        assert!(cache.parse(&v, &[], "bad.cpp").is_err());
+        assert!(cache.is_empty());
+        // Adding the header makes it parse (a miss, not a stale error).
+        v.add_file("missing.hpp", "int ok;\n");
+        let ok = cache.parse(&v, &[], "bad.cpp").unwrap();
+        assert_eq!(ok.lookup, CacheLookup::Miss);
+    }
+}

@@ -38,8 +38,10 @@
 #![forbid(unsafe_code)]
 
 pub mod ast;
+pub mod cache;
 pub mod error;
 pub mod frontend;
+pub mod hash;
 pub mod lex;
 pub mod loc;
 pub mod parse;
@@ -47,6 +49,7 @@ pub mod pp;
 pub mod pretty;
 pub mod vfs;
 
+pub use cache::{CacheLookup, ParseCache};
 pub use error::{CppError, Result};
 pub use frontend::{Frontend, ParsedTu};
 

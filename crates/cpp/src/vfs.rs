@@ -8,6 +8,7 @@
 use std::collections::HashMap;
 
 use crate::error::{CppError, Result};
+use crate::hash;
 use crate::loc::{FileId, LineMap};
 
 /// A single registered file.
@@ -19,6 +20,10 @@ pub struct VfsFile {
     pub text: String,
     /// Number of physical lines (used for the paper's LOC statistics).
     pub lines: usize,
+    /// FNV-1a hash of `text` — the file's content address. Every cache in
+    /// the incremental pipeline keys on this, so two files (or two
+    /// generations of one file) with identical text share artifacts.
+    pub hash: u64,
 }
 
 /// An in-memory file system with `#include` search-path resolution.
@@ -70,11 +75,13 @@ impl Vfs {
         let norm = normalize(path);
         let text = text.into();
         let lines = LineMap::new(&text).line_count();
+        let hash = hash::hash_str(&text);
         if let Some(&id) = self.by_path.get(&norm) {
             self.files[id.0 as usize] = VfsFile {
                 path: norm,
                 text,
                 lines,
+                hash,
             };
             return id;
         }
@@ -83,9 +90,28 @@ impl Vfs {
             path: norm.clone(),
             text,
             lines,
+            hash,
         });
         self.by_path.insert(norm, id);
         id
+    }
+
+    /// Replaces the contents of an *existing* file — the edit step of the
+    /// paper's Figure 6 loop. Unlike [`Vfs::add_file`] this refuses to
+    /// create new files, so a session replaying an edit script cannot
+    /// silently fork its file tree on a typo'd path. The file keeps its
+    /// [`FileId`]; only its text, line count and content hash change.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CppError::FileNotFound`] when `path` is not registered.
+    pub fn apply_edit(&mut self, path: &str, new_text: impl Into<String>) -> Result<FileId> {
+        let norm = normalize(path);
+        if self.by_path.contains_key(&norm) {
+            Ok(self.add_file(&norm, new_text))
+        } else {
+            Err(CppError::FileNotFound { path: norm })
+        }
     }
 
     /// Adds a directory to the `<angled>` include search path.
@@ -120,6 +146,16 @@ impl Vfs {
     /// Path of the file registered under `id`.
     pub fn path(&self, id: FileId) -> &str {
         &self.file(id).path
+    }
+
+    /// Content hash of the file registered under `id`.
+    pub fn file_hash(&self, id: FileId) -> u64 {
+        self.file(id).hash
+    }
+
+    /// Content hash of the file at `path`, if registered.
+    pub fn hash_of(&self, path: &str) -> Option<u64> {
+        self.lookup(path).map(|id| self.file_hash(id))
     }
 
     /// Number of registered files.
@@ -248,6 +284,40 @@ mod tests {
         let vfs = Vfs::new();
         let err = vfs.resolve_include("nope.hpp", None, false).unwrap_err();
         assert!(matches!(err, CppError::FileNotFound { .. }));
+    }
+
+    #[test]
+    fn content_hash_tracks_text() {
+        let mut vfs = Vfs::new();
+        let a = vfs.add_file("a.hpp", "int x;");
+        let b = vfs.add_file("b.hpp", "int x;");
+        let c = vfs.add_file("c.hpp", "int y;");
+        assert_eq!(vfs.file_hash(a), vfs.file_hash(b));
+        assert_ne!(vfs.file_hash(a), vfs.file_hash(c));
+        assert_eq!(vfs.hash_of("a.hpp"), Some(vfs.file_hash(a)));
+        assert_eq!(vfs.hash_of("missing.hpp"), None);
+    }
+
+    #[test]
+    fn apply_edit_replaces_in_place() {
+        let mut vfs = Vfs::new();
+        let id = vfs.add_file("a.hpp", "old");
+        let before = vfs.file_hash(id);
+        let edited = vfs.apply_edit("a.hpp", "new text").unwrap();
+        assert_eq!(edited, id);
+        assert_eq!(vfs.text(id), "new text");
+        assert_ne!(vfs.file_hash(id), before);
+        // Reverting the edit restores the original content address.
+        vfs.apply_edit("a.hpp", "old").unwrap();
+        assert_eq!(vfs.file_hash(id), before);
+    }
+
+    #[test]
+    fn apply_edit_refuses_unknown_paths() {
+        let mut vfs = Vfs::new();
+        let err = vfs.apply_edit("nope.cpp", "x").unwrap_err();
+        assert!(matches!(err, CppError::FileNotFound { .. }));
+        assert!(vfs.is_empty(), "failed edit must not create files");
     }
 
     #[test]

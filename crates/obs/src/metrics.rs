@@ -35,12 +35,26 @@ pub mod names {
     pub const REWRITES_APPLIED: &str = "engine.rewrites_applied";
     /// Engine runs completed.
     pub const ENGINE_RUNS: &str = "engine.runs";
-    /// Cache hits (reserved for future caching layers).
+    /// Cache hits, summed across every stage cache.
     pub const CACHE_HITS: &str = "cache.hits";
-    /// Cache misses (reserved for future caching layers).
+    /// Cache misses, summed across every stage cache.
     pub const CACHE_MISSES: &str = "cache.misses";
+    /// Cached artifacts recomputed because their input keys changed.
+    pub const CACHE_INVALIDATIONS: &str = "cache.invalidations";
+    /// Session reruns executed (`Session::rerun`).
+    pub const SESSION_RERUNS: &str = "session.reruns";
+    /// Translation units actually re-parsed by session reruns (parse-stage
+    /// cache misses; 0 on a fully warm rerun).
+    pub const SESSION_TUS_REPARSED: &str = "session.tus_reparsed";
     /// Simulated dev-cycle iterations assembled.
     pub const SIM_ITERATIONS: &str = "sim.iterations";
+
+    /// Name of the per-stage cache counter `cache.<stage>.<outcome>`
+    /// (outcome is `hits`, `misses` or `invalidations`) — the names behind
+    /// the session layer's per-stage hit/miss/invalidation accounting.
+    pub fn stage_cache(stage: &str, outcome: &str) -> String {
+        format!("cache.{stage}.{outcome}")
+    }
 }
 
 /// What a metric slot is.

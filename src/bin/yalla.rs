@@ -6,7 +6,8 @@
 //! ```text
 //! yalla --header <NAME> [--include-dir <DIR>]... [--out-dir <DIR>]
 //!       [--define NAME=VALUE]... [--keep <SYMBOL>]... [--no-verify]
-//!       [--self-profile <OUT.json>] [--metrics] <SOURCES>...
+//!       [--iterate <SCRIPT>] [--self-profile <OUT.json>] [--metrics]
+//!       <SOURCES>...
 //! ```
 //!
 //! Sources and every file reachable through `--include-dir` are loaded
@@ -14,11 +15,23 @@
 //! (lightweight header, wrappers file, rewritten sources) are written to
 //! `--out-dir` (default `yalla-out/`). Exit status is non-zero when the
 //! engine fails or verification does not pass.
+//!
+//! With `--iterate <SCRIPT>` the tool holds one incremental
+//! [`yalla::Session`] and replays an edit script through it, printing the
+//! per-stage cache outcome of every rerun. Script lines (blank lines and
+//! `#` comments are skipped):
+//!
+//! ```text
+//! edit <vfs-path> <disk-path>   # replace a file's text with a file on disk
+//! append <vfs-path> <text...>   # append a line of text to a file
+//! touch <vfs-path>              # rewrite a file with identical content
+//! rerun                         # rerun the pipeline incrementally
+//! ```
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use yalla::{Engine, Options, Vfs};
+use yalla::{Engine, Options, Session, SubstitutionResult, Vfs};
 
 struct Cli {
     header: String,
@@ -28,13 +41,14 @@ struct Cli {
     defines: Vec<(String, String)>,
     keep: Vec<String>,
     verify: bool,
+    iterate: Option<PathBuf>,
     self_profile: Option<PathBuf>,
     metrics: bool,
 }
 
 const USAGE: &str = "usage: yalla --header <NAME> [--include-dir <DIR>]... \
 [--out-dir <DIR>] [--define NAME=VALUE]... [--keep <SYMBOL>]... [--no-verify] \
-[--self-profile <OUT.json>] [--metrics] <SOURCES>...";
+[--iterate <SCRIPT>] [--self-profile <OUT.json>] [--metrics] <SOURCES>...";
 
 fn parse_args() -> Result<Cli, String> {
     let mut args = std::env::args().skip(1);
@@ -46,6 +60,7 @@ fn parse_args() -> Result<Cli, String> {
         defines: Vec::new(),
         keep: Vec::new(),
         verify: true,
+        iterate: None,
         self_profile: None,
         metrics: false,
     };
@@ -73,6 +88,11 @@ fn parse_args() -> Result<Cli, String> {
                 cli.keep.push(args.next().ok_or("--keep needs a symbol")?);
             }
             "--no-verify" => cli.verify = false,
+            "--iterate" => {
+                cli.iterate = Some(PathBuf::from(
+                    args.next().ok_or("--iterate needs a script path")?,
+                ));
+            }
             "--self-profile" => {
                 cli.self_profile = Some(PathBuf::from(
                     args.next().ok_or("--self-profile needs a path")?,
@@ -131,6 +151,74 @@ fn load_dir(vfs: &mut Vfs, dir: &Path) -> std::io::Result<usize> {
     Ok(loaded)
 }
 
+/// Replays an edit script through one incremental [`Session`], printing
+/// each rerun's per-stage cache outcome. Returns the last rerun's result.
+fn iterate(options: Options, vfs: Vfs, script: &Path) -> Result<SubstitutionResult, String> {
+    let text = std::fs::read_to_string(script)
+        .map_err(|e| format!("reading {}: {e}", script.display()))?;
+    let mut session = Session::new(options, vfs);
+    let run = session.rerun().map_err(|e| e.to_string())?;
+    println!("iteration 0 (cold): {}", run.summary_line());
+    let mut result = run.result;
+    let mut iteration = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |msg: String| format!("{}:{}: {msg}", script.display(), lineno + 1);
+        let (cmd, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        match cmd {
+            "edit" => {
+                let (path, from) = rest
+                    .trim()
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| err("edit needs <vfs-path> <disk-path>".into()))?;
+                let new_text = std::fs::read_to_string(from.trim())
+                    .map_err(|e| err(format!("reading {}: {e}", from.trim())))?;
+                session
+                    .apply_edit(path, new_text)
+                    .map_err(|e| err(e.to_string()))?;
+            }
+            "append" => {
+                let (path, extra) = rest
+                    .trim()
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| err("append needs <vfs-path> <text>".into()))?;
+                let id = session
+                    .vfs()
+                    .lookup(path)
+                    .ok_or_else(|| err(format!("no such file `{path}`")))?;
+                let mut new_text = session.vfs().text(id).to_string();
+                new_text.push_str(extra);
+                new_text.push('\n');
+                session
+                    .apply_edit(path, new_text)
+                    .map_err(|e| err(e.to_string()))?;
+            }
+            "touch" => {
+                let path = rest.trim();
+                let id = session
+                    .vfs()
+                    .lookup(path)
+                    .ok_or_else(|| err(format!("no such file `{path}`")))?;
+                let same = session.vfs().text(id).to_string();
+                session
+                    .apply_edit(path, same)
+                    .map_err(|e| err(e.to_string()))?;
+            }
+            "rerun" => {
+                iteration += 1;
+                let run = session.rerun().map_err(|e| e.to_string())?;
+                println!("iteration {iteration}: {}", run.summary_line());
+                result = run.result;
+            }
+            other => return Err(err(format!("unknown command `{other}`"))),
+        }
+    }
+    Ok(result)
+}
+
 fn run() -> Result<(), String> {
     let cli = parse_args()?;
     if cli.self_profile.is_some() || cli.metrics {
@@ -162,9 +250,12 @@ fn run() -> Result<(), String> {
         verify: cli.verify,
         ..Options::default()
     };
-    let result = Engine::new(options.clone())
-        .run(&vfs)
-        .map_err(|e| e.to_string())?;
+    let result = match &cli.iterate {
+        Some(script) => iterate(options.clone(), vfs, script)?,
+        None => Engine::new(options.clone())
+            .run(&vfs)
+            .map_err(|e| e.to_string())?,
+    };
 
     print!("{}", result.report);
     for d in &result.plan.diagnostics {

@@ -59,8 +59,8 @@ pub use yalla_obs as obs;
 pub use yalla_sim as sim;
 
 pub use yalla_core::{
-    substitute_headers, Engine, MultiSubstitutionResult, Options, Report, SubstitutionResult,
-    YallaError,
+    substitute_headers, Engine, MultiSubstitutionResult, Options, Report, Session, SessionRun,
+    SubstitutionResult, YallaError,
 };
 pub use yalla_cpp::vfs::Vfs;
 pub use yalla_cpp::Frontend;

@@ -208,6 +208,76 @@ fn cli_fails_cleanly_on_missing_source() {
 }
 
 #[test]
+fn cli_iterate_replays_edits_through_one_session() {
+    let dir = scratch("iterate");
+    std::fs::write(
+        dir.join("include/widgets.hpp"),
+        "#pragma once\nnamespace w {\nclass Widget {\npublic:\n  int id() const;\n};\n}\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("app.cpp"),
+        "#include <widgets.hpp>\nint describe(w::Widget& widget) { return widget.id(); }\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("app_v2.cpp"),
+        "#include <widgets.hpp>\nint describe(w::Widget& widget) { return widget.id() + 1; }\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("edits.txt"),
+        "# warm no-op rerun\nrerun\n\
+         # body edit from disk, then rerun\nedit app.cpp app_v2.cpp\nrerun\n\
+         # append a trailing comment, then rerun\nappend app.cpp // done\nrerun\n\
+         touch app.cpp\nrerun\n",
+    )
+    .unwrap();
+
+    let out = Command::new(bin())
+        .current_dir(&dir)
+        .args([
+            "--header",
+            "widgets.hpp",
+            "--include-dir",
+            "include",
+            "--out-dir",
+            "out",
+            "--iterate",
+            "edits.txt",
+            "--metrics",
+            "app.cpp",
+        ])
+        .output()
+        .expect("cli runs");
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The cold run misses; the immediate rerun and the touch rerun hit.
+    assert!(
+        stdout.contains("iteration 0 (cold): parse=miss"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("iteration 1: parse=hit"), "{stdout}");
+    assert!(stdout.contains("iteration 2: parse=inval"), "{stdout}");
+    assert!(stdout.contains("iteration 4: parse=hit"), "{stdout}");
+    // Body edits never rebuild the plan (§6 steady state).
+    assert!(!stdout.contains("plan=inval"), "{stdout}");
+    // --metrics surfaces the per-stage cache counters.
+    assert!(stdout.contains("cache.parse.hits"), "{stdout}");
+    assert!(stdout.contains("session.reruns"), "{stdout}");
+    // The artifacts on disk come from the *last* rerun.
+    let app = std::fs::read_to_string(dir.join("out/app.cpp")).unwrap();
+    assert!(app.contains("id(widget) + 1"), "{app}");
+    assert!(app.contains("// done"), "{app}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn cli_keep_predeclares_symbols() {
     let dir = scratch("keep");
     std::fs::write(

@@ -74,8 +74,16 @@ struct Entry {
     tu: Arc<ParsedTu>,
 }
 
+/// Parse versions retained per `(path, defines)` key. A small history
+/// makes edit-then-revert (comment out, rebuild, undo, rebuild — the
+/// A/B pattern of an interactive session) a cache *hit* instead of a
+/// recompute, at the cost of a few retained ASTs per TU.
+const VERSIONS_PER_KEY: usize = 4;
+
 /// A per-TU parse cache keyed by `(main path, defines)` and validated
-/// against file content hashes.
+/// against file content hashes. Each key retains up to
+/// [`VERSIONS_PER_KEY`] recent parses, so reverting an edit re-hits the
+/// version cached before the edit.
 ///
 /// # Example
 ///
@@ -95,7 +103,7 @@ struct Entry {
 /// ```
 #[derive(Debug, Default)]
 pub struct ParseCache {
-    entries: HashMap<(String, u64), Entry>,
+    entries: HashMap<(String, u64), Vec<Entry>>,
 }
 
 impl ParseCache {
@@ -133,18 +141,25 @@ impl ParseCache {
         path: &str,
     ) -> Result<CachedParse> {
         let key = (path.to_string(), hash::hash_defines(defines));
-        if let Some(entry) = self.entries.get(&key) {
-            let valid = entry
-                .deps
-                .iter()
-                .all(|(dep, h)| vfs.hash_of(dep) == Some(*h));
-            if valid {
-                yalla_obs::count(yalla_obs::metrics::names::CACHE_HITS, 1);
-                return Ok(CachedParse {
+        if let Some(versions) = self.entries.get_mut(&key) {
+            let valid = versions.iter().position(|entry| {
+                entry
+                    .deps
+                    .iter()
+                    .all(|(dep, h)| vfs.hash_of(dep) == Some(*h))
+            });
+            if let Some(i) = valid {
+                // Most-recently-used first, so the history evicts the
+                // version least likely to come back.
+                let entry = versions.remove(i);
+                let cached = CachedParse {
                     tu: Arc::clone(&entry.tu),
                     closure_hash: entry.closure_hash,
                     lookup: CacheLookup::Hit,
-                });
+                };
+                versions.insert(0, entry);
+                yalla_obs::count(yalla_obs::metrics::names::CACHE_HITS, 1);
+                return Ok(cached);
             }
         }
         let stale = self.entries.contains_key(&key);
@@ -171,14 +186,17 @@ impl ParseCache {
             deps.push((dep_path, dep_hash));
         }
         let closure_hash = closure.finish();
-        self.entries.insert(
-            key,
+        let versions = self.entries.entry(key).or_default();
+        versions.retain(|e| e.closure_hash != closure_hash);
+        versions.insert(
+            0,
             Entry {
                 deps,
                 closure_hash,
                 tu: Arc::clone(&tu),
             },
         );
+        versions.truncate(VERSIONS_PER_KEY);
         Ok(CachedParse {
             tu,
             closure_hash,
@@ -228,14 +246,35 @@ mod tests {
         let b = cache.parse(&v, &[], "main.cpp").unwrap();
         assert_eq!(b.lookup, CacheLookup::Invalidated);
         assert_ne!(a.closure_hash, b.closure_hash);
-        // Reverting restores the original closure hash and hits again.
+        // Reverting restores the original closure hash and re-hits the
+        // version cached before the edit — no reparse.
         v.apply_edit("lib.hpp", "#pragma once\nnamespace l { class C; }\n")
             .unwrap();
         let c = cache.parse(&v, &[], "main.cpp").unwrap();
-        assert_eq!(c.lookup, CacheLookup::Invalidated);
+        assert_eq!(c.lookup, CacheLookup::Hit);
         assert_eq!(a.closure_hash, c.closure_hash);
-        let d = cache.parse(&v, &[], "main.cpp").unwrap();
-        assert_eq!(d.lookup, CacheLookup::Hit);
+        assert!(Arc::ptr_eq(&a.tu, &c.tu));
+    }
+
+    #[test]
+    fn version_history_is_bounded() {
+        let mut v = vfs();
+        let mut cache = ParseCache::new();
+        for i in 0..10 {
+            v.apply_edit("lib.hpp", format!("#pragma once\nint v{i};\n"))
+                .unwrap();
+            cache.parse(&v, &[], "main.cpp").unwrap();
+        }
+        assert_eq!(cache.len(), 1);
+        let versions = &cache.entries[&("main.cpp".to_string(), hash::hash_defines(&[]))];
+        assert_eq!(versions.len(), VERSIONS_PER_KEY);
+        // The most recent content is still a hit...
+        assert!(cache.parse(&v, &[], "main.cpp").unwrap().lookup.is_hit());
+        // ...and re-caching identical content does not duplicate it.
+        assert_eq!(
+            cache.entries[&("main.cpp".to_string(), hash::hash_defines(&[]))].len(),
+            VERSIONS_PER_KEY
+        );
     }
 
     #[test]

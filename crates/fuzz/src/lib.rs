@@ -1,0 +1,200 @@
+//! **yalla-fuzz** — differential semantic-preservation fuzzing for the
+//! Header Substitution engine.
+//!
+//! The paper's core guarantee (§3, §4.4) is that substitution preserves
+//! behavior, not just compilability. This crate machine-checks that
+//! claim end to end:
+//!
+//! * [`grammar`] draws whole random projects — an expensive header
+//!   exercising every Table-1 symbol kind plus user sources with
+//!   executable entry bodies — from a deterministic RNG;
+//! * [`oracle`] runs each project twice on the simulator's abstract
+//!   machine (original vs. post-substitution, wrappers TU included) and
+//!   compares the observable traces and the `verify` outcome;
+//! * [`shrink`] greedily deletes model elements on divergence until a
+//!   minimal repro remains;
+//! * [`repro`] serializes minimal repros as ready-to-run fixtures under
+//!   `tests/repros/`;
+//! * [`session_fuzz`] fuzzes *edit streams* through a warm
+//!   [`yalla_core::Session`], asserting warm reruns match cold runs
+//!   byte for byte.
+//!
+//! The `yalla fuzz` CLI subcommand drives a whole campaign.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod grammar;
+pub mod oracle;
+pub mod repro;
+pub mod session_fuzz;
+pub mod shrink;
+
+pub use grammar::ProjectModel;
+pub use oracle::{CaseOutcome, Divergence, ExecTrace, Sabotage};
+pub use repro::{parse_fixture, render_fixture, Repro};
+pub use session_fuzz::{run_session_case, SessionCaseReport};
+pub use shrink::{shrink, Shrunk};
+
+use yalla_obs::metrics::names;
+
+/// Campaign configuration (`yalla fuzz` flags).
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Master seed; case seeds are derived from it deterministically.
+    pub seed: u64,
+    /// Number of differential cases to run.
+    pub iters: u64,
+    /// Shrink diverging cases to minimal repros.
+    pub shrink: bool,
+    /// Known-bad rewrite injection (testing hook; `None` in CI).
+    pub sabotage: Sabotage,
+    /// Also run the session edit-stream mode every this many cases
+    /// (0 disables it).
+    pub session_every: u64,
+    /// Entry arguments handed to `fuzz_entry`.
+    pub entry_args: (i64, i64),
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 42,
+            iters: 200,
+            shrink: false,
+            sabotage: Sabotage::None,
+            session_every: 25,
+            entry_args: (3, 5),
+        }
+    }
+}
+
+/// One diverging case, with its optional minimized repro.
+#[derive(Debug)]
+pub struct DivergenceCase {
+    /// Case seed (regenerate with [`ProjectModel::generate`]).
+    pub case_seed: u64,
+    /// What diverged.
+    pub divergence: Divergence,
+    /// Minimized repro fixture text, when shrinking was on.
+    pub fixture: Option<String>,
+    /// Non-blank line count of the minimized project, when shrunk.
+    pub shrunk_lines: Option<usize>,
+    /// Shrinker deletions performed.
+    pub shrink_steps: usize,
+}
+
+/// Campaign results.
+#[derive(Debug, Default)]
+pub struct CampaignReport {
+    /// Differential cases executed.
+    pub cases: u64,
+    /// Session-fuzz cases executed.
+    pub session_cases: u64,
+    /// Warm-vs-cold mismatches across all session cases.
+    pub session_mismatches: usize,
+    /// Diverging cases.
+    pub divergences: Vec<DivergenceCase>,
+}
+
+impl CampaignReport {
+    /// True when no case diverged and no session mismatch appeared.
+    pub fn clean(&self) -> bool {
+        self.divergences.is_empty() && self.session_mismatches == 0
+    }
+}
+
+/// Runs a whole fuzzing campaign.
+///
+/// # Errors
+///
+/// Returns a diagnostic when the session-fuzz mode hits an engine error
+/// (differential-case engine errors are recorded as divergences, not
+/// returned).
+pub fn run_campaign(config: &FuzzConfig) -> Result<CampaignReport, String> {
+    let mut master = yalla_corpus::gen::DetRng::new(config.seed);
+    let mut report = CampaignReport::default();
+
+    for i in 0..config.iters {
+        let case_seed = master.next_u64();
+        let model = ProjectModel::generate(case_seed);
+        let outcome = oracle::run_case(&model, config.sabotage, config.entry_args);
+        report.cases += 1;
+        yalla_obs::count(names::FUZZ_CASES, 1);
+        if let CaseOutcome::Diverged(divergence) = outcome {
+            yalla_obs::count(names::FUZZ_DIVERGENCES, 1);
+            let mut case = DivergenceCase {
+                case_seed,
+                divergence: *divergence,
+                fixture: None,
+                shrunk_lines: None,
+                shrink_steps: 0,
+            };
+            if config.shrink {
+                if let Some(s) = shrink::shrink(&model, config.sabotage, config.entry_args) {
+                    case.shrunk_lines = Some(s.model.line_count());
+                    case.shrink_steps = s.steps;
+                    case.divergence = s.divergence;
+                    case.fixture = Some(repro::render_fixture(
+                        &s.model,
+                        config.sabotage,
+                        config.entry_args,
+                        &format!("{}", case.divergence),
+                    ));
+                }
+            }
+            report.divergences.push(case);
+        }
+
+        if config.session_every > 0 && (i + 1) % config.session_every == 0 {
+            let session = session_fuzz::run_session_case(case_seed ^ 0xa5a5, 6)?;
+            report.session_cases += 1;
+            report.session_mismatches += session.mismatches.len();
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_is_divergence_free() {
+        let report = run_campaign(&FuzzConfig {
+            seed: 42,
+            iters: 10,
+            session_every: 5,
+            ..FuzzConfig::default()
+        })
+        .unwrap();
+        assert_eq!(report.cases, 10);
+        if let Some(d) = report.divergences.first() {
+            panic!("seed {} diverged: {}", d.case_seed, d.divergence);
+        }
+        assert_eq!(report.session_mismatches, 0);
+    }
+
+    #[test]
+    fn sabotage_is_caught_and_shrinks_small() {
+        let report = run_campaign(&FuzzConfig {
+            seed: 7,
+            iters: 3,
+            shrink: true,
+            sabotage: Sabotage::ProbeOffset,
+            session_every: 0,
+            ..FuzzConfig::default()
+        })
+        .unwrap();
+        assert!(
+            !report.divergences.is_empty(),
+            "known-bad rewrite must be detected"
+        );
+        for d in &report.divergences {
+            let lines = d.shrunk_lines.expect("shrunk");
+            assert!(d.shrink_steps > 0, "shrinker made no progress");
+            assert!(lines <= 25, "repro too large: {lines} lines");
+            assert!(d.fixture.is_some());
+        }
+    }
+}

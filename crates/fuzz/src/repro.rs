@@ -1,0 +1,156 @@
+//! Ready-to-run repro fixtures.
+//!
+//! A minimal diverging project is serialized to a single text file under
+//! `tests/repros/` so it replays as a plain regression test: the loader
+//! reconstructs the VFS and options, and the replay asserts the oracle
+//! now agrees (fixtures document cases the engine must handle forever).
+
+use std::fmt::Write as _;
+
+use yalla_core::Options;
+use yalla_cpp::vfs::Vfs;
+
+use crate::grammar::{ProjectModel, LIB_HEADER, MAIN_SOURCE};
+use crate::oracle::Sabotage;
+
+/// A parsed repro fixture.
+#[derive(Debug, Clone)]
+pub struct Repro {
+    /// Seed recorded when the repro was minimized (informational).
+    pub seed: u64,
+    /// Sabotage active when the divergence was found (informational —
+    /// replays run without it).
+    pub sabotage: String,
+    /// Entry arguments for the machine run.
+    pub entry_args: (i64, i64),
+    /// Project files: `(path, text)`.
+    pub files: Vec<(String, String)>,
+}
+
+impl Repro {
+    /// Reconstructs the VFS and engine options for replay.
+    pub fn project(&self) -> (Vfs, Options) {
+        let mut vfs = Vfs::new();
+        for (path, text) in &self.files {
+            vfs.add_file(path, text.clone());
+        }
+        let options = Options {
+            header: LIB_HEADER.to_string(),
+            sources: vec![MAIN_SOURCE.to_string()],
+            ..Options::default()
+        };
+        (vfs, options)
+    }
+
+    /// Non-blank line count over all project files.
+    pub fn line_count(&self) -> usize {
+        self.files
+            .iter()
+            .flat_map(|(_, t)| t.lines())
+            .filter(|l| !l.trim().is_empty())
+            .count()
+    }
+}
+
+/// Serializes a minimal model into fixture text.
+pub fn render_fixture(
+    model: &ProjectModel,
+    sabotage: Sabotage,
+    entry_args: (i64, i64),
+    note: &str,
+) -> String {
+    let (vfs, _) = model.render();
+    let mut out = String::new();
+    let _ = writeln!(out, "# yalla-fuzz repro");
+    let _ = writeln!(out, "# seed: {}", model.seed);
+    let _ = writeln!(out, "# sabotage: {sabotage:?}");
+    let _ = writeln!(out, "# entry-args: {} {}", entry_args.0, entry_args.1);
+    for line in note.lines() {
+        let _ = writeln!(out, "# note: {line}");
+    }
+    for (_, file) in vfs.iter() {
+        let _ = writeln!(out, "--- file: {}", file.path);
+        out.push_str(&file.text);
+        if !file.text.ends_with('\n') {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parses fixture text back into a [`Repro`].
+///
+/// # Errors
+///
+/// Returns a diagnostic when the fixture is malformed (no files, bad
+/// metadata).
+pub fn parse_fixture(text: &str) -> Result<Repro, String> {
+    let mut repro = Repro {
+        seed: 0,
+        sabotage: "None".to_string(),
+        entry_args: (3, 5),
+        files: Vec::new(),
+    };
+    let mut current: Option<(String, String)> = None;
+    for line in text.lines() {
+        if let Some(path) = line.strip_prefix("--- file: ") {
+            if let Some(done) = current.take() {
+                repro.files.push(done);
+            }
+            current = Some((path.trim().to_string(), String::new()));
+            continue;
+        }
+        if let Some((_, body)) = &mut current {
+            body.push_str(line);
+            body.push('\n');
+            continue;
+        }
+        let Some(meta) = line.strip_prefix('#') else {
+            continue;
+        };
+        let meta = meta.trim();
+        if let Some(v) = meta.strip_prefix("seed:") {
+            repro.seed = v.trim().parse().map_err(|e| format!("bad seed: {e}"))?;
+        } else if let Some(v) = meta.strip_prefix("sabotage:") {
+            repro.sabotage = v.trim().to_string();
+        } else if let Some(v) = meta.strip_prefix("entry-args:") {
+            let mut it = v.split_whitespace();
+            let a = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or("bad entry-args")?;
+            let b = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or("bad entry-args")?;
+            repro.entry_args = (a, b);
+        }
+    }
+    if let Some(done) = current.take() {
+        repro.files.push(done);
+    }
+    if repro.files.is_empty() {
+        return Err("fixture contains no files".to_string());
+    }
+    Ok(repro)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_round_trips() {
+        let model = ProjectModel::generate(11);
+        let text = render_fixture(&model, Sabotage::None, (3, 5), "round trip");
+        let repro = parse_fixture(&text).unwrap();
+        assert_eq!(repro.seed, 11);
+        assert_eq!(repro.entry_args, (3, 5));
+        let (vfs, _) = repro.project();
+        let (orig_vfs, _) = model.render();
+        for (_, f) in orig_vfs.iter() {
+            let id = vfs.lookup(&f.path).expect("file survives round trip");
+            assert_eq!(vfs.text(id), f.text, "{} changed", f.path);
+        }
+    }
+}

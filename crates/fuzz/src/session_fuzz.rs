@@ -1,0 +1,186 @@
+//! Session-backed edit-stream fuzzing.
+//!
+//! This mode stresses the incremental layer's cache keys: it holds one
+//! warm [`Session`] over a generated project, applies a random stream of
+//! syntactically valid edits (new user statements, new library
+//! functions, identical-content touches, driver edits outside the
+//! engine's input set), and after every edit asserts that the warm
+//! rerun's artifacts are byte-identical to a cold engine run over the
+//! same file state. Any difference means a cache key failed to capture
+//! an input.
+
+use yalla_core::{Engine, Session};
+use yalla_corpus::gen::DetRng;
+
+use crate::grammar::{ProjectModel, UserStmt, DRIVER_SOURCE, LIB_HEADER, MAIN_SOURCE};
+
+/// One warm-vs-cold mismatch.
+#[derive(Debug, Clone)]
+pub struct SessionMismatch {
+    /// Edit number (1-based) after which the mismatch appeared.
+    pub step: usize,
+    /// What the edit was.
+    pub edit: String,
+    /// Which artifact differed.
+    pub artifact: String,
+}
+
+/// Outcome of one session-fuzz case.
+#[derive(Debug)]
+pub struct SessionCaseReport {
+    /// Edits applied.
+    pub edits: usize,
+    /// Mismatches found (empty on success).
+    pub mismatches: Vec<SessionMismatch>,
+    /// Identical-content touches that still re-ran a stage (cache
+    /// over-invalidation; informational, not a failure).
+    pub touch_recomputes: usize,
+}
+
+/// The random edits the stream draws from.
+#[derive(Debug, Clone, Copy)]
+enum EditKind {
+    AppendUserStmt,
+    AppendLibFn,
+    TouchMain,
+    TouchDriver,
+    TweakDriver,
+}
+
+/// Runs one session-fuzz case: `edits` random edits against the project
+/// generated from `seed`, checking warm-vs-cold equivalence after each.
+///
+/// # Errors
+///
+/// Returns a diagnostic when the engine itself fails (which the
+/// generator is expected to avoid).
+pub fn run_session_case(seed: u64, edits: usize) -> Result<SessionCaseReport, String> {
+    let mut model = ProjectModel::generate(seed);
+    let (vfs, options) = model.render();
+    let mut session = Session::new(options.clone(), vfs);
+    session.rerun().map_err(|e| format!("cold run: {e}"))?;
+
+    let mut rng = DetRng::new(seed ^ 0x5e55_10f5);
+    let mut report = SessionCaseReport {
+        edits: 0,
+        mismatches: Vec::new(),
+        touch_recomputes: 0,
+    };
+    let mut extra_lib_fns = 0usize;
+
+    for step in 1..=edits {
+        let kind = match rng.next(5) {
+            0 => EditKind::AppendUserStmt,
+            1 => EditKind::AppendLibFn,
+            2 => EditKind::TouchMain,
+            3 => EditKind::TouchDriver,
+            _ => EditKind::TweakDriver,
+        };
+        let description = apply_edit(&mut session, &mut model, kind, &mut rng, &mut extra_lib_fns)?;
+        report.edits += 1;
+
+        let warm = session.rerun().map_err(|e| format!("warm rerun: {e}"))?;
+        if matches!(kind, EditKind::TouchMain | EditKind::TouchDriver) && !warm.fully_cached() {
+            report.touch_recomputes += 1;
+        }
+        let cold = Engine::new(options.clone())
+            .run(session.vfs())
+            .map_err(|e| format!("cold comparison run: {e}"))?;
+
+        let warm_r = &warm.result;
+        if warm_r.lightweight_header != cold.lightweight_header {
+            report.mismatches.push(SessionMismatch {
+                step,
+                edit: description.clone(),
+                artifact: "lightweight_header".to_string(),
+            });
+        }
+        if warm_r.wrappers_file != cold.wrappers_file {
+            report.mismatches.push(SessionMismatch {
+                step,
+                edit: description.clone(),
+                artifact: "wrappers_file".to_string(),
+            });
+        }
+        if warm_r.rewritten_sources != cold.rewritten_sources {
+            report.mismatches.push(SessionMismatch {
+                step,
+                edit: description,
+                artifact: "rewritten_sources".to_string(),
+            });
+        }
+    }
+    Ok(report)
+}
+
+fn apply_edit(
+    session: &mut Session,
+    model: &mut ProjectModel,
+    kind: EditKind,
+    rng: &mut DetRng,
+    extra_lib_fns: &mut usize,
+) -> Result<String, String> {
+    let text_of = |session: &Session, path: &str| -> Result<String, String> {
+        let id = session
+            .vfs()
+            .lookup(path)
+            .ok_or_else(|| format!("no `{path}` in session"))?;
+        Ok(session.vfs().text(id).to_string())
+    };
+    match kind {
+        EditKind::AppendUserStmt => {
+            let f = rng.next(model.user_fns.len().max(1));
+            let stmt = match rng.next(3) {
+                0 => UserStmt::Probe(6_000 + rng.next(400) as i64),
+                1 => UserStmt::Update {
+                    n: 0,
+                    op: '+',
+                    expr: format!("{}", 1 + rng.next(30)),
+                },
+                _ => UserStmt::ProbeLocal(0),
+            };
+            // Keep the trailing probe/return shape: insert before the end.
+            let fun = &mut model.user_fns[f];
+            let at = fun.stmts.len().saturating_sub(1);
+            fun.stmts.insert(at, stmt);
+            let index = fun.index;
+            session
+                .apply_edit(MAIN_SOURCE, model.render_main())
+                .map_err(|e| e.to_string())?;
+            Ok(format!("append statement to u{index}"))
+        }
+        EditKind::AppendLibFn => {
+            *extra_lib_fns += 1;
+            model.free_fns.push(crate::grammar::FreeFnModel {
+                name: format!("ffx{extra_lib_fns}"),
+                k: 1 + rng.next(9) as i64,
+            });
+            session
+                .apply_edit(LIB_HEADER, model.render_lib())
+                .map_err(|e| e.to_string())?;
+            Ok(format!("add library function ffx{extra_lib_fns}"))
+        }
+        EditKind::TouchMain => {
+            let same = text_of(session, MAIN_SOURCE)?;
+            session
+                .apply_edit(MAIN_SOURCE, same)
+                .map_err(|e| e.to_string())?;
+            Ok("touch main.cpp".to_string())
+        }
+        EditKind::TouchDriver => {
+            let same = text_of(session, DRIVER_SOURCE)?;
+            session
+                .apply_edit(DRIVER_SOURCE, same)
+                .map_err(|e| e.to_string())?;
+            Ok("touch driver.cpp".to_string())
+        }
+        EditKind::TweakDriver => {
+            let mut text = text_of(session, DRIVER_SOURCE)?;
+            text.push_str(&format!("// pad {}\n", rng.next(1_000_000)));
+            session
+                .apply_edit(DRIVER_SOURCE, text)
+                .map_err(|e| e.to_string())?;
+            Ok("append comment to driver.cpp".to_string())
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Greedy model-level shrinking.
+//!
+//! On divergence, the shrinker deletes one model element at a time —
+//! driver calls, user functions, statements, library classes/methods,
+//! enums, aliases, free functions — re-rendering and re-running the
+//! oracle after each deletion. A deletion is kept only when the case
+//! still diverges *with the same failure kind*; everything else is
+//! rolled back. Passes repeat until a whole pass removes nothing, so
+//! the result is locally minimal.
+
+use std::mem::discriminant;
+
+use crate::grammar::ProjectModel;
+use crate::oracle::{run_case, CaseOutcome, Divergence, Sabotage};
+
+/// True when two divergences count as "the same failure" for shrinking:
+/// same variant, and for trace mismatches the same error-shape on each
+/// side (so shrinking never trades a value mismatch in a clean run for
+/// an unbound-name error it introduced itself).
+fn same_failure(a: &Divergence, b: &Divergence) -> bool {
+    if discriminant(a) != discriminant(b) {
+        return false;
+    }
+    match (a, b) {
+        (
+            Divergence::TraceMismatch {
+                original: ao,
+                substituted: as_,
+            },
+            Divergence::TraceMismatch {
+                original: bo,
+                substituted: bs,
+            },
+        ) => ao.error.is_some() == bo.error.is_some() && as_.error.is_some() == bs.error.is_some(),
+        _ => true,
+    }
+}
+
+/// Result of shrinking one diverging case.
+#[derive(Debug)]
+pub struct Shrunk {
+    /// The minimal still-diverging model.
+    pub model: ProjectModel,
+    /// Successful deletions performed.
+    pub steps: usize,
+    /// The minimal model's divergence.
+    pub divergence: Divergence,
+}
+
+fn divergence_of(outcome: &CaseOutcome) -> Option<&Divergence> {
+    match outcome {
+        CaseOutcome::Diverged(d) => Some(d),
+        CaseOutcome::Agree(_) => None,
+    }
+}
+
+/// Shrinks `model`, which must currently diverge under `sabotage`.
+/// Returns `None` when the starting case does not diverge.
+pub fn shrink(model: &ProjectModel, sabotage: Sabotage, entry_args: (i64, i64)) -> Option<Shrunk> {
+    let start = run_case(model, sabotage, entry_args);
+    let mut current = model.clone();
+    let mut divergence = divergence_of(&start)?.clone();
+    let reference = divergence.clone();
+    let mut steps = 0usize;
+
+    loop {
+        let mut changed = false;
+        for make in candidates(&current) {
+            let Some(next) = make(&current) else { continue };
+            let outcome = run_case(&next, sabotage, entry_args);
+            if let Some(d) = divergence_of(&outcome) {
+                if same_failure(d, &reference) {
+                    divergence = d.clone();
+                    current = next;
+                    steps += 1;
+                    yalla_obs::count(yalla_obs::metrics::names::FUZZ_SHRINK_STEPS, 1);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    Some(Shrunk {
+        model: current,
+        steps,
+        divergence,
+    })
+}
+
+/// Enumerates one whole pass of deletion candidates for `model`. Indices
+/// are captured eagerly, so each candidate applies to whatever the model
+/// looks like when it runs (out-of-range indices become inapplicable).
+#[allow(clippy::type_complexity)]
+fn candidates(model: &ProjectModel) -> Vec<Box<dyn Fn(&ProjectModel) -> Option<ProjectModel>>> {
+    let mut out: Vec<Box<dyn Fn(&ProjectModel) -> Option<ProjectModel>>> = Vec::new();
+
+    // Driver calls (always keep at least one so the entry still runs user
+    // code).
+    for i in (0..model.driver_calls.len()).rev() {
+        out.push(Box::new(move |m| {
+            if m.driver_calls.len() <= 1 || i >= m.driver_calls.len() {
+                return None;
+            }
+            let mut n = m.clone();
+            n.driver_calls.remove(i);
+            Some(n)
+        }));
+    }
+
+    // User functions no driver call references anymore.
+    for i in (0..model.user_fns.len()).rev() {
+        out.push(Box::new(move |m| {
+            if i >= m.user_fns.len() {
+                return None;
+            }
+            let idx = m.user_fns[i].index;
+            if m.driver_calls.iter().any(|c| c.user_fn == idx) {
+                return None;
+            }
+            let mut n = m.clone();
+            n.user_fns.remove(i);
+            Some(n)
+        }));
+    }
+
+    // Statements inside every user function.
+    for f in 0..model.user_fns.len() {
+        for s in (0..model.user_fns[f].stmts.len()).rev() {
+            out.push(Box::new(move |m| {
+                if f >= m.user_fns.len() || s >= m.user_fns[f].stmts.len() {
+                    return None;
+                }
+                let mut n = m.clone();
+                n.user_fns[f].stmts.remove(s);
+                Some(n)
+            }));
+        }
+    }
+
+    // Library surface: methods, then whole classes, enums, aliases, free
+    // functions, and the templated `apply`.
+    for c in 0..model.classes.len() {
+        for mth in (0..model.classes[c].methods.len()).rev() {
+            out.push(Box::new(move |m| {
+                if c >= m.classes.len() || mth >= m.classes[c].methods.len() {
+                    return None;
+                }
+                let mut n = m.clone();
+                n.classes[c].methods.remove(mth);
+                Some(n)
+            }));
+        }
+        out.push(Box::new(move |m| {
+            if c >= m.classes.len() || !m.classes[c].call_operator {
+                return None;
+            }
+            let mut n = m.clone();
+            n.classes[c].call_operator = false;
+            Some(n)
+        }));
+        out.push(Box::new(move |m| {
+            if c >= m.classes.len() || m.classes[c].fields <= 1 {
+                return None;
+            }
+            let mut n = m.clone();
+            n.classes[c].fields -= 1;
+            for call in &mut n.driver_calls {
+                if call.class == n.classes[c].name {
+                    call.ctor_args.truncate(n.classes[c].fields);
+                }
+            }
+            Some(n)
+        }));
+    }
+    for c in (0..model.classes.len()).rev() {
+        out.push(Box::new(move |m| {
+            if c >= m.classes.len() {
+                return None;
+            }
+            let name = m.classes[c].name.clone();
+            let mut n = m.clone();
+            n.classes.remove(c);
+            n.aliases.retain(|(_, target)| *target != name);
+            Some(n)
+        }));
+    }
+    for e in (0..model.enums.len()).rev() {
+        out.push(Box::new(move |m| {
+            if e >= m.enums.len() {
+                return None;
+            }
+            let mut n = m.clone();
+            n.enums.remove(e);
+            Some(n)
+        }));
+    }
+    for a in (0..model.aliases.len()).rev() {
+        out.push(Box::new(move |m| {
+            if a >= m.aliases.len() {
+                return None;
+            }
+            let mut n = m.clone();
+            n.aliases.remove(a);
+            Some(n)
+        }));
+    }
+    for f in (0..model.free_fns.len()).rev() {
+        out.push(Box::new(move |m| {
+            if f >= m.free_fns.len() {
+                return None;
+            }
+            let mut n = m.clone();
+            n.free_fns.remove(f);
+            Some(n)
+        }));
+    }
+    out.push(Box::new(|m| {
+        if !m.has_apply {
+            return None;
+        }
+        let mut n = m.clone();
+        n.has_apply = false;
+        Some(n)
+    }));
+
+    out
+}

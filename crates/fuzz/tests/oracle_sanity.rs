@@ -1,0 +1,45 @@
+#[test]
+fn oracle_sanity_probe() {
+    use yalla_fuzz::grammar::ProjectModel;
+    use yalla_fuzz::oracle::{run_case, substitution_for, CaseOutcome, Sabotage};
+    let mut nonempty_probes = 0;
+    let mut rewritten_differs = 0;
+    let mut total = 0;
+    for seed in 1..=40u64 {
+        let model = ProjectModel::generate(seed);
+        total += 1;
+        let sub = substitution_for(&model).expect("engine ok");
+        let (vfs, _) = model.render();
+        let orig_main = {
+            let id = vfs.lookup("main.cpp").unwrap();
+            vfs.text(id).to_string()
+        };
+        if sub
+            .rewritten_sources
+            .get("main.cpp")
+            .map(|t| t != &orig_main)
+            .unwrap_or(false)
+        {
+            rewritten_differs += 1;
+        }
+        match run_case(&model, Sabotage::None, (3, 5)) {
+            CaseOutcome::Agree(t) => {
+                if !t.probes.is_empty() {
+                    nonempty_probes += 1;
+                }
+            }
+            CaseOutcome::Diverged(d) => panic!("seed {seed} diverged: {d}"),
+        }
+    }
+    eprintln!(
+        "total={total} nonempty_probes={nonempty_probes} rewritten_differs={rewritten_differs}"
+    );
+    assert!(
+        nonempty_probes >= total * 9 / 10,
+        "probes mostly empty: {nonempty_probes}/{total}"
+    );
+    assert!(
+        rewritten_differs >= total / 2,
+        "rewrites rarely change main: {rewritten_differs}/{total}"
+    );
+}

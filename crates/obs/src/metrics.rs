@@ -48,6 +48,12 @@ pub mod names {
     pub const SESSION_TUS_REPARSED: &str = "session.tus_reparsed";
     /// Simulated dev-cycle iterations assembled.
     pub const SIM_ITERATIONS: &str = "sim.iterations";
+    /// Differential-fuzzer cases executed (`yalla fuzz`).
+    pub const FUZZ_CASES: &str = "fuzz.cases";
+    /// Differential-fuzzer divergences detected.
+    pub const FUZZ_DIVERGENCES: &str = "fuzz.divergences";
+    /// Successful shrinker deletions while minimizing a divergence.
+    pub const FUZZ_SHRINK_STEPS: &str = "fuzz.shrink_steps";
 
     /// Name of the per-stage cache counter `cache.<stage>.<outcome>`
     /// (outcome is `hits`, `misses` or `invalidations`) — the names behind

@@ -89,6 +89,12 @@ macro_rules! prop_assert_eq {
     ($($tt:tt)*) => { assert_eq!($($tt)*) };
 }
 
+/// Asserts inequality inside a property test (shim: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
 /// Picks uniformly among several strategies producing the same value type.
 #[macro_export]
 macro_rules! prop_oneof {

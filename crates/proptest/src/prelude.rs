@@ -4,4 +4,4 @@ pub use crate::collection;
 pub use crate::prop;
 pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
 pub use crate::test_runner::ProptestConfig;
-pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};

@@ -23,7 +23,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use yalla_cpp::ast::{
-    BinaryOp, Block, ClassDecl, Decl, DeclKind, Expr, ExprKind, ForInit, FunctionDecl,
+    BinaryOp, Block, ClassDecl, Decl, DeclKind, EnumDecl, Expr, ExprKind, ForInit, FunctionDecl,
     FunctionName, Stmt, StmtKind, TranslationUnit, UnaryOp,
 };
 
@@ -275,6 +275,10 @@ pub struct Machine {
     /// Out-of-line method bodies: `Class::method`.
     methods: HashMap<String, FnEntry>,
     classes: HashMap<String, ClassEntry>,
+    /// Enumerator values from loaded `enum` declarations, keyed by every
+    /// qualification a use site can spell (`ns::E::A`, `E::A`, and for
+    /// unscoped enums also `ns::A`/`A`).
+    enum_constants: HashMap<String, i64>,
     natives: HashMap<String, NativeFn>,
     dispatcher: Option<MethodDispatcher>,
     config: ExecConfig,
@@ -309,6 +313,7 @@ impl Machine {
             functions: HashMap::new(),
             methods: HashMap::new(),
             classes: HashMap::new(),
+            enum_constants: HashMap::new(),
             natives: HashMap::new(),
             dispatcher: None,
             config,
@@ -367,9 +372,52 @@ impl Machine {
                         tu,
                     });
                 }
+                DeclKind::Enum(e) => self.load_enum(e, path),
                 _ => {}
             }
         }
+    }
+
+    /// Registers the enumerators of `en` under every spelling a use site
+    /// can reach them by. Values follow the C++ rule the planner also
+    /// implements: an explicit integer initializer sets the counter, every
+    /// other enumerator takes previous + 1 starting from zero.
+    fn load_enum(&mut self, en: &EnumDecl, path: &[String]) {
+        let ns = path
+            .iter()
+            .filter(|s| !s.is_empty())
+            .cloned()
+            .collect::<Vec<_>>()
+            .join("::");
+        let mut next = 0i64;
+        for e in &en.enumerators {
+            let value = match &e.value {
+                Some(text) => text.trim().parse::<i64>().unwrap_or(next),
+                None => next,
+            };
+            next = value + 1;
+            let mut keys = Vec::new();
+            if !en.name.is_empty() {
+                keys.push(format!("{}::{}", en.name, e.name));
+                if !ns.is_empty() {
+                    keys.push(format!("{ns}::{}::{}", en.name, e.name));
+                }
+            }
+            if !en.scoped {
+                keys.push(e.name.clone());
+                if !ns.is_empty() {
+                    keys.push(format!("{ns}::{}", e.name));
+                }
+            }
+            for k in keys {
+                self.enum_constants.entry(k).or_insert(value);
+            }
+        }
+    }
+
+    /// Looks up a loaded enumerator value by qualified spelling.
+    pub fn enum_constant(&self, key: &str) -> Option<i64> {
+        self.enum_constants.get(key).copied()
     }
 
     /// Registers a native function under `name` (and its base name).
@@ -769,10 +817,16 @@ impl Machine {
                         return Ok(v);
                     }
                 }
-                // Qualified names that resolve to nothing are library
-                // constants (enum values, flags) whose definitions live in
-                // stubbed headers; their exact value does not affect the
-                // cycle counts we measure.
+                // Enumerators of loaded `enum` declarations evaluate to
+                // their declared value, matching what the rewriter folds
+                // them to in substituted sources.
+                if let Some(v) = self.enum_constants.get(&base) {
+                    return Ok(Value::Int(*v));
+                }
+                // Other qualified names that resolve to nothing are library
+                // constants (flags) whose definitions live in stubbed
+                // headers; their exact value does not affect the cycle
+                // counts we measure.
                 if n.segs.len() > 1 {
                     return Ok(Value::Int(0));
                 }
@@ -1669,6 +1723,60 @@ struct add_k {
         cross.load_tu(&parse_str(user).unwrap(), 0);
         let asm_cross = cross.disassemble("top", 0).unwrap();
         assert!(asm_cross.contains("callq <helper>"), "{asm_cross}");
+    }
+
+    #[test]
+    fn scoped_enum_constants_evaluate_to_declared_values() {
+        let src = r#"
+namespace fz {
+enum class Mode { Fast, Slow = 7, Exact };
+int pick(int which) {
+  if (which == 0) return fz::Mode::Fast;
+  if (which == 1) return fz::Mode::Slow;
+  return fz::Mode::Exact;
+}
+}
+"#;
+        let mut m = machine_with(src, 0);
+        assert_eq!(
+            m.call("fz::pick", vec![Value::Int(0)], 0).unwrap().as_i64(),
+            Some(0)
+        );
+        assert_eq!(
+            m.call("fz::pick", vec![Value::Int(1)], 0).unwrap().as_i64(),
+            Some(7)
+        );
+        assert_eq!(
+            m.call("fz::pick", vec![Value::Int(2)], 0).unwrap().as_i64(),
+            Some(8)
+        );
+        assert_eq!(m.enum_constant("fz::Mode::Slow"), Some(7));
+        assert_eq!(m.enum_constant("Mode::Exact"), Some(8));
+        // Scoped enums do not leak unqualified names.
+        assert_eq!(m.enum_constant("Fast"), None);
+    }
+
+    #[test]
+    fn unscoped_enum_constants_are_reachable_unqualified() {
+        let src = r#"
+namespace lib {
+enum Flags { None, ReadOnly = 4, Hidden };
+int f() { return ReadOnly + lib::Hidden; }
+}
+"#;
+        let mut m = machine_with(src, 0);
+        assert_eq!(m.call("lib::f", vec![], 0).unwrap().as_i64(), Some(9));
+        assert_eq!(m.enum_constant("lib::Flags::Hidden"), Some(5));
+    }
+
+    #[test]
+    fn locals_shadow_enum_constants() {
+        let src = r#"
+enum Picks { Alpha = 3 };
+int f() { int Alpha = 10; return Alpha; }
+"#;
+        let mut m = machine_with(src, 0);
+        assert_eq!(m.call("f", vec![], 0).unwrap().as_i64(), Some(10));
     }
 
     #[test]

@@ -16,6 +16,23 @@
 //! `--out-dir` (default `yalla-out/`). Exit status is non-zero when the
 //! engine fails or verification does not pass.
 //!
+//! The `fuzz` subcommand runs the differential semantic-preservation
+//! fuzzer instead:
+//!
+//! ```text
+//! yalla fuzz [--seed N] [--iters K] [--shrink] [--sabotage KIND]
+//!            [--session-every N] [--repro-dir <DIR>] [--metrics]
+//! yalla fuzz --replay <FIXTURE>...
+//! ```
+//!
+//! Each iteration generates a random project, substitutes its expensive
+//! header, executes original and substituted variants on the simulator's
+//! abstract machine, and reports any observable-behavior divergence.
+//! `--shrink` minimizes diverging cases and writes ready-to-run fixtures
+//! into `--repro-dir` (default `tests/repros`); `--replay` re-checks
+//! checked-in fixtures. `--sabotage probe-offset|zero-return` injects a
+//! known-bad rewrite to demonstrate the oracle end to end.
+//!
 //! With `--iterate <SCRIPT>` the tool holds one incremental
 //! [`yalla::Session`] and replays an edit script through it, printing the
 //! per-stage cache outcome of every rerun. Script lines (blank lines and
@@ -296,8 +313,132 @@ fn run() -> Result<(), String> {
     Ok(())
 }
 
+const FUZZ_USAGE: &str = "usage: yalla fuzz [--seed N] [--iters K] [--shrink] \
+[--sabotage none|probe-offset|zero-return] [--session-every N] \
+[--repro-dir <DIR>] [--metrics] | yalla fuzz --replay <FIXTURE>...";
+
+/// Replays checked-in repro fixtures: each must run divergence-free.
+fn replay_fixtures(paths: &[String]) -> Result<(), String> {
+    let mut failures = 0usize;
+    for path in paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let repro = yalla::fuzz::parse_fixture(&text).map_err(|e| format!("{path}: {e}"))?;
+        let (vfs, options) = repro.project();
+        let outcome = yalla::fuzz::oracle::run_case_on(
+            &vfs,
+            &options,
+            yalla::fuzz::Sabotage::None,
+            repro.entry_args,
+        );
+        match outcome {
+            yalla::fuzz::CaseOutcome::Agree(trace) => {
+                println!("replay {path}: ok ({} probes)", trace.probes.len());
+            }
+            yalla::fuzz::CaseOutcome::Diverged(d) => {
+                eprintln!("replay {path}: DIVERGED\n{d}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} fixture(s) diverged"));
+    }
+    Ok(())
+}
+
+fn run_fuzz(args: &[String]) -> Result<(), String> {
+    let mut config = yalla::fuzz::FuzzConfig::default();
+    let mut repro_dir = PathBuf::from("tests/repros");
+    let mut metrics = false;
+    let mut replay: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => {
+                config.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--iters" => {
+                config.iters = value("--iters")?
+                    .parse()
+                    .map_err(|e| format!("bad --iters: {e}"))?;
+            }
+            "--shrink" => config.shrink = true,
+            "--sabotage" => {
+                let s = value("--sabotage")?;
+                config.sabotage = yalla::fuzz::Sabotage::parse(&s)
+                    .ok_or(format!("unknown sabotage kind `{s}`\n{FUZZ_USAGE}"))?;
+            }
+            "--session-every" => {
+                config.session_every = value("--session-every")?
+                    .parse()
+                    .map_err(|e| format!("bad --session-every: {e}"))?;
+            }
+            "--repro-dir" => repro_dir = PathBuf::from(value("--repro-dir")?),
+            "--metrics" => metrics = true,
+            "--replay" => { /* the remaining positionals are fixtures */ }
+            "--help" | "-h" => {
+                println!("{FUZZ_USAGE}");
+                return Ok(());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n{FUZZ_USAGE}"));
+            }
+            fixture => replay.push(fixture.to_string()),
+        }
+    }
+    if metrics {
+        yalla::obs::enable();
+    }
+    if !replay.is_empty() {
+        return replay_fixtures(&replay);
+    }
+
+    let report = yalla::fuzz::run_campaign(&config)?;
+    println!(
+        "fuzz: {} cases ({} session cases), {} divergence(s), {} session mismatch(es)",
+        report.cases,
+        report.session_cases,
+        report.divergences.len(),
+        report.session_mismatches
+    );
+    for case in &report.divergences {
+        eprintln!("case seed {:#x}: {}", case.case_seed, case.divergence);
+        if let Some(fixture) = &case.fixture {
+            std::fs::create_dir_all(&repro_dir)
+                .map_err(|e| format!("creating {}: {e}", repro_dir.display()))?;
+            let path = repro_dir.join(format!("repro_{:016x}.txt", case.case_seed));
+            std::fs::write(&path, fixture)
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            eprintln!(
+                "  minimized to {} line(s) in {} step(s); fixture: {}",
+                case.shrunk_lines.unwrap_or(0),
+                case.shrink_steps,
+                path.display()
+            );
+        }
+    }
+    if metrics {
+        print!("{}", yalla::obs::global().summary());
+    }
+    if report.clean() {
+        Ok(())
+    } else {
+        Err("divergences found".to_string())
+    }
+}
+
 fn main() -> ExitCode {
-    match run() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = match argv.first().map(String::as_str) {
+        Some("fuzz") => run_fuzz(&argv[1..]),
+        _ => run(),
+    };
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("yalla: {e}");

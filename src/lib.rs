@@ -22,7 +22,11 @@
 //! * [`obs`] — the self-profiling layer: hierarchical spans, counters,
 //!   and Chrome-trace output (`yalla --self-profile`),
 //! * [`corpus`] — synthetic stand-ins for Kokkos, RapidJSON, OpenCV and
-//!   Boost.Asio, plus the paper's 18 evaluation subjects.
+//!   Boost.Asio, plus the paper's 18 evaluation subjects,
+//! * [`fuzz`] — the differential semantic-preservation fuzzer: random
+//!   project generation, an execution oracle comparing original vs.
+//!   substituted behavior on the simulator's machine, and a shrinker
+//!   producing minimal repro fixtures (`yalla fuzz`).
 //!
 //! # Quick start
 //!
@@ -55,6 +59,7 @@ pub use yalla_analysis as analysis;
 pub use yalla_core as core;
 pub use yalla_corpus as corpus;
 pub use yalla_cpp as cpp;
+pub use yalla_fuzz as fuzz;
 pub use yalla_obs as obs;
 pub use yalla_sim as sim;
 

@@ -1,0 +1,83 @@
+//! Golden-snapshot tests for the generated artifacts.
+//!
+//! For every corpus subject, the exact text of the generated lightweight
+//! header and wrappers file is pinned under `tests/goldens/`. Any engine
+//! change that alters generated code — intentionally or not — shows up as
+//! a readable diff here instead of as a silent behavior change.
+//!
+//! To accept intentional changes, regenerate the snapshots:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test goldens
+//! ```
+
+use std::path::PathBuf;
+
+use yalla::corpus::all_subjects;
+use yalla::{Engine, Options};
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("goldens")
+}
+
+fn check(name: &str, kind: &str, actual: &str) -> Result<(), String> {
+    let path = goldens_dir().join(format!("{name}.{kind}.expected"));
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(goldens_dir()).map_err(|e| e.to_string())?;
+        std::fs::write(&path, actual).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        return Ok(());
+    }
+    let expected = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "missing golden {} ({e}); run UPDATE_GOLDENS=1 cargo test --test goldens",
+            path.display()
+        )
+    })?;
+    if expected == actual {
+        return Ok(());
+    }
+    // Point at the first differing line so the failure reads like a diff.
+    let line = expected
+        .lines()
+        .zip(actual.lines())
+        .position(|(e, a)| e != a)
+        .map(|i| i + 1)
+        .unwrap_or_else(|| expected.lines().count().min(actual.lines().count()) + 1);
+    Err(format!(
+        "{name}: generated {kind} differs from {} at line {line}\n\
+         expected: {:?}\n\
+         actual:   {:?}\n\
+         (UPDATE_GOLDENS=1 cargo test --test goldens to accept)",
+        path.display(),
+        expected.lines().nth(line - 1).unwrap_or("<eof>"),
+        actual.lines().nth(line - 1).unwrap_or("<eof>"),
+    ))
+}
+
+#[test]
+fn generated_artifacts_match_goldens() {
+    let subjects = all_subjects();
+    assert_eq!(subjects.len(), 18, "the paper evaluates 18 subjects");
+    let mut failures = Vec::new();
+    for subject in subjects {
+        let options = Options {
+            header: subject.header.clone(),
+            sources: subject.sources.clone(),
+            ..Options::default()
+        };
+        let result = Engine::new(options)
+            .run(&subject.vfs)
+            .unwrap_or_else(|e| panic!("{}: engine: {e}", subject.name));
+        for (kind, text) in [
+            ("lightweight", &result.lightweight_header),
+            ("wrappers", &result.wrappers_file),
+        ] {
+            if let Err(e) = check(subject.name, kind, text) {
+                failures.push(e);
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}

@@ -143,4 +143,59 @@ proptest! {
         let large = TuWork { lines: lines + extra, tokens: (lines + extra) * 6, ..TuWork::default() };
         prop_assert!(profile.compile(&large).total_ms() > profile.compile(&small).total_ms());
     }
+
+    /// Content hashing changes iff the content changes: equal strings hash
+    /// equal, and distinct strings hash distinct (FNV-1a collisions are
+    /// astronomically unlikely over these generators — a failure here
+    /// means the hasher lost input bytes).
+    #[test]
+    fn hash_changes_iff_content_changes(a in "[ -~\n]{0,64}", b in "[ -~\n]{0,64}") {
+        use yalla::cpp::hash::hash_str;
+        prop_assert_eq!(hash_str(&a) == hash_str(&b), a == b);
+        // Appending anything changes the hash.
+        prop_assert_ne!(hash_str(&format!("{a}x")), hash_str(&a));
+    }
+
+    /// A no-op `apply_edit` (identical text) preserves `hash_of`, and a
+    /// real edit changes it.
+    #[test]
+    fn noop_edit_preserves_hash(text in "[ -~\n]{0,80}", extra in "[a-z]{1,8}") {
+        let mut vfs = Vfs::new();
+        vfs.add_file("f.hpp", text.clone());
+        let before = vfs.hash_of("f.hpp").unwrap();
+        vfs.apply_edit("f.hpp", text.clone()).unwrap();
+        prop_assert_eq!(vfs.hash_of("f.hpp").unwrap(), before);
+        vfs.apply_edit("f.hpp", format!("{text}{extra}")).unwrap();
+        prop_assert_ne!(vfs.hash_of("f.hpp").unwrap(), before);
+        // Reverting restores the original hash exactly.
+        vfs.apply_edit("f.hpp", text).unwrap();
+        prop_assert_eq!(vfs.hash_of("f.hpp").unwrap(), before);
+    }
+
+    /// Edit-then-revert restores the original content hash and re-hits
+    /// the `ParseCache` — reverting an edit must not cost a reparse.
+    #[test]
+    fn edit_then_revert_rehits_parse_cache(marker in "[a-z]{1,8}") {
+        use yalla::cpp::cache::{CacheLookup, ParseCache};
+        let original = "#include \"lib.hpp\"\nint keep;\n".to_string();
+        let mut vfs = Vfs::new();
+        vfs.add_file("lib.hpp", "#pragma once\nnamespace l { class C; }\n");
+        vfs.add_file("main.cpp", original.clone());
+        let mut cache = ParseCache::new();
+
+        let cold = cache.parse(&vfs, &[], "main.cpp").unwrap();
+        prop_assert_eq!(cold.lookup, CacheLookup::Miss);
+        let hash_before = vfs.hash_of("main.cpp").unwrap();
+
+        vfs.apply_edit("main.cpp", format!("{original}int ed_{marker};\n")).unwrap();
+        let edited = cache.parse(&vfs, &[], "main.cpp").unwrap();
+        prop_assert_eq!(edited.lookup, CacheLookup::Invalidated);
+        prop_assert_ne!(vfs.hash_of("main.cpp").unwrap(), hash_before);
+
+        vfs.apply_edit("main.cpp", original).unwrap();
+        prop_assert_eq!(vfs.hash_of("main.cpp").unwrap(), hash_before);
+        let reverted = cache.parse(&vfs, &[], "main.cpp").unwrap();
+        prop_assert_eq!(reverted.lookup, CacheLookup::Hit);
+        prop_assert_eq!(reverted.closure_hash, cold.closure_hash);
+    }
 }

@@ -1,0 +1,42 @@
+//! Regression runner for fuzzer-minimized repro fixtures.
+//!
+//! Every fixture under `tests/repros/` was once a diverging case found by
+//! `yalla fuzz` (most were minimized under an injected known-bad rewrite,
+//! recorded in the fixture header). Replaying runs the *real* engine —
+//! no sabotage — so each fixture pins a project shape the substitution
+//! must handle divergence-free forever.
+
+use yalla::fuzz::oracle::run_case_on;
+use yalla::fuzz::{parse_fixture, CaseOutcome, Sabotage};
+
+#[test]
+fn checked_in_repros_stay_divergence_free() {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("repros");
+    let mut replayed = 0usize;
+    for entry in std::fs::read_dir(&dir).expect("tests/repros exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("txt") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("fixture reads");
+        let repro = parse_fixture(&text)
+            .unwrap_or_else(|e| panic!("{}: malformed fixture: {e}", path.display()));
+        let (vfs, options) = repro.project();
+        match run_case_on(&vfs, &options, Sabotage::None, repro.entry_args) {
+            CaseOutcome::Agree(trace) => {
+                assert!(
+                    !trace.probes.is_empty(),
+                    "{}: trace is empty — fixture no longer exercises anything",
+                    path.display()
+                );
+            }
+            CaseOutcome::Diverged(d) => {
+                panic!("{}: replay diverged:\n{d}", path.display());
+            }
+        }
+        replayed += 1;
+    }
+    assert!(replayed > 0, "no fixtures found under {}", dir.display());
+}

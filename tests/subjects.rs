@@ -110,3 +110,59 @@ fn every_subject_passes_verification() {
         );
     }
 }
+
+/// Negative coverage for the verification pass on a real subject: a
+/// *stale* lightweight header (the user edited a source to hold a
+/// forward-declared class by value, but the generated artifacts were not
+/// regenerated) and a *wrong* wrapper body must each be reported — the
+/// engine's own artifacts must be the only ones that pass.
+#[test]
+fn verification_reports_stale_lightweight_and_broken_wrappers() {
+    let subject = subject_by_name("02").expect("02 exists");
+    let options = options_for(&subject);
+    let result = Engine::new(options.clone())
+        .run(&subject.vfs)
+        .expect("engine runs");
+    assert!(result.report.verification.passed(), "baseline must pass");
+
+    // The user's "new feature": hold one of the classes the lightweight
+    // header only forward-declares by value, without regenerating.
+    let incomplete = &result
+        .plan
+        .classes
+        .first()
+        .expect("subject forward-declares classes")
+        .key;
+    let main = &options.sources[0];
+    let mut stale_rewritten = result.rewritten_sources.clone();
+    stale_rewritten
+        .get_mut(main)
+        .expect("main source was rewritten")
+        .push_str(&format!("struct StaleHolder {{ {incomplete} held; }};\n"));
+
+    // A wrapper whose body no longer parses (a half-applied merge).
+    let broken_wrappers = format!(
+        "{}\nint broken_wrapper(int a {{ return a; }}\n",
+        result.wrappers_file
+    );
+
+    let v = yalla::core::verify::verify(
+        &subject.vfs,
+        &stale_rewritten,
+        &options.lightweight_name,
+        &result.lightweight_header,
+        &options.wrappers_name,
+        &broken_wrappers,
+        main,
+    );
+    assert!(!v.passed());
+    assert!(
+        !v.violations.is_empty(),
+        "stale lightweight: by-value use of {incomplete} must be flagged"
+    );
+    assert!(!v.wrappers_parse, "broken wrapper body must be flagged");
+    assert!(
+        v.sources_parse,
+        "the stale source still parses; the incomplete-type rules catch it"
+    );
+}

@@ -1,0 +1,334 @@
+//! Daemon throughput under concurrent clients (`yalla serve`).
+//!
+//! Drives one `yalla serve` daemon over its real Unix socket with K
+//! synthetic clients, each iterating the paper's development cycle over
+//! its share of the 18 corpus subjects: open the project, one cold
+//! rerun (the full pipeline), then steady-state edit→rerun iterations —
+//! edits that leave the substitution inputs unchanged, the paper's §6
+//! common case, so the warm session revalidates in milliseconds. Every
+//! rerun carries the subject's *modeled build latency* — the simulator's
+//! default-configuration compile time for that TU, injected as a real
+//! sleep inside the rerun task — so an iteration costs what it costs the
+//! developer: the tool run plus the client-blocking compile.
+//!
+//! Two configurations run back to back, cold each time (fresh daemon,
+//! fresh shards, same request scripts, same injected latencies):
+//!
+//! * **sequential** — 1 client, 1 executor worker: every build serializes,
+//!   the classic one-developer-at-a-time baseline;
+//! * **parallel8** — 8 clients, 8 executor workers: reruns overlap, the
+//!   executor schedules them across workers.
+//!
+//! The report compares measured wall-clock against the list-scheduling
+//! model ([`yalla_sim::concurrent_makespan`]) over the per-subject
+//! modeled costs. Writes `results/BENCH_throughput.json`.
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("the throughput bench drives a Unix-socket daemon; unix only");
+}
+
+#[cfg(unix)]
+fn main() {
+    imp::main();
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::os::unix::net::UnixStream;
+    use std::path::{Path, PathBuf};
+    use std::time::Instant;
+
+    use yalla_bench::results::{write_records, RunRecord};
+    use yalla_core::serve::{client_request, Server};
+    use yalla_corpus::{all_subjects, Subject};
+    use yalla_exec::Executor;
+    use yalla_obs::chrome::escape_json;
+    use yalla_obs::json::JsonValue;
+    use yalla_sim::build::compile_default;
+    use yalla_sim::{concurrent_makespan, CompilerProfile};
+
+    /// Edit→rerun iterations per subject (the first is the cold one).
+    /// High enough that the steady-state iterations — whose cost is the
+    /// modeled compile, not the tool — dominate the one-time cold run,
+    /// as they do across a development session (§6).
+    const ITERATIONS: usize = 10;
+    /// Clients (and workers) in the parallel configuration.
+    const FLEET: usize = 8;
+
+    struct Workload {
+        subject: &'static str,
+        open: String,
+        rerun: String,
+        /// The edited main-source text of each iteration.
+        edits: Vec<String>,
+        /// Injected per-rerun build latency (µs).
+        latency_us: f64,
+    }
+
+    fn workload(subject: &Subject, latency_ms: f64) -> Workload {
+        let latency_us = latency_ms * 1_000.0;
+        let mut files = Vec::new();
+        for (id, _) in subject.vfs.iter() {
+            files.push(format!(
+                "\"{}\": \"{}\"",
+                escape_json(subject.vfs.path(id)),
+                escape_json(subject.vfs.text(id))
+            ));
+        }
+        let sources: Vec<String> = subject.sources.iter().map(|s| format!("\"{s}\"")).collect();
+        let open = format!(
+            "{{\"op\": \"open\", \"project\": \"{}\", \"header\": \"{}\", \
+             \"sources\": [{}], \"files\": {{{}}}, \"build_latency_us\": {latency_us}}}",
+            subject.name,
+            escape_json(&subject.header),
+            sources.join(", "),
+            files.join(", ")
+        );
+        let main_id = subject
+            .vfs
+            .lookup(&subject.main_source)
+            .unwrap_or_else(|| panic!("{}: no main source", subject.name));
+        // Steady-state edits: the file is rewritten with unchanged
+        // content (the stand-in for an edit that does not alter the
+        // substitution inputs — §6's common case), so the warm rerun
+        // revalidates its caches instead of recomputing, and the
+        // injected compile latency dominates the iteration exactly as
+        // the real compile dominates the developer's.
+        let main_text = subject.vfs.text(main_id).to_string();
+        let edits = (1..=ITERATIONS)
+            .map(|_| {
+                format!(
+                    "{{\"op\": \"edit\", \"project\": \"{}\", \"path\": \"{}\", \"text\": \"{}\"}}",
+                    subject.name,
+                    escape_json(&subject.main_source),
+                    escape_json(&main_text)
+                )
+            })
+            .collect();
+        Workload {
+            subject: subject.name,
+            open,
+            rerun: format!("{{\"op\": \"rerun\", \"project\": \"{}\"}}", subject.name),
+            edits,
+            latency_us,
+        }
+    }
+
+    /// Runs one client's script over its share of the corpus; returns
+    /// each subject's wall-clock (open + all iterations), in µs, plus
+    /// how many of its reruns recomputed a stage (all but the cold one
+    /// should be fully cached — the steady-state premise).
+    fn run_client(socket: &Path, group: &[Workload]) -> Vec<(String, f64, usize)> {
+        let verbose = std::env::var("THROUGHPUT_TRACE").is_ok();
+        let mut stream = connect(socket);
+        let mut walls = Vec::with_capacity(group.len());
+        for w in group {
+            let start = Instant::now();
+            let mut recomputed = 0usize;
+            for request in std::iter::once(&w.open)
+                .chain((0..ITERATIONS).flat_map(|i| [&w.edits[i], &w.rerun]))
+            {
+                let req_start = Instant::now();
+                let r = client_request(&mut stream, request)
+                    .unwrap_or_else(|e| panic!("{}: {e}", w.subject));
+                if verbose {
+                    let op = &request[9..request[9..].find('"').map_or(6, |i| i + 9)];
+                    println!(
+                        "    {} {op}: {:.1} ms",
+                        w.subject,
+                        req_start.elapsed().as_secs_f64() * 1e3
+                    );
+                }
+                assert!(
+                    r.get("ok") == Some(&JsonValue::Bool(true)),
+                    "{}: rejected: {r:?}",
+                    w.subject
+                );
+                if r.get("fully_cached") == Some(&JsonValue::Bool(false)) {
+                    recomputed += 1;
+                }
+            }
+            walls.push((
+                w.subject.to_string(),
+                start.elapsed().as_secs_f64() * 1e6,
+                recomputed,
+            ));
+        }
+        walls
+    }
+
+    /// (utime, stime) of this process in seconds, from `/proc/self/stat`
+    /// (0.0 on platforms without procfs) — separates real compute from
+    /// kernel-side scheduling overhead in the pass reports.
+    fn cpu_times() -> (f64, f64) {
+        let Ok(stat) = std::fs::read_to_string("/proc/self/stat") else {
+            return (0.0, 0.0);
+        };
+        // Fields 14/15 (1-based), counted after the parenthesized comm.
+        let Some(rest) = stat.rsplit(") ").next() else {
+            return (0.0, 0.0);
+        };
+        let fields: Vec<&str> = rest.split_whitespace().collect();
+        let tick = 100.0; // USER_HZ on every Linux this runs on
+        let get = |i: usize| {
+            fields
+                .get(i)
+                .and_then(|f| f.parse::<f64>().ok())
+                .unwrap_or(0.0)
+        };
+        (get(11) / tick, get(12) / tick)
+    }
+
+    fn connect(path: &Path) -> UnixStream {
+        for _ in 0..200 {
+            if let Ok(s) = UnixStream::connect(path) {
+                return s;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        panic!("could not connect to {}", path.display());
+    }
+
+    /// One full cold corpus pass: fresh daemon, `workers` executor
+    /// workers, one client thread per group. Returns (total wall µs,
+    /// per-subject µs sorted by name).
+    fn run_config(
+        tag: &str,
+        workers: usize,
+        groups: Vec<Vec<Workload>>,
+    ) -> (f64, Vec<(String, f64, usize)>) {
+        let socket = std::env::temp_dir().join(format!(
+            "yalla-throughput-{tag}-{}.sock",
+            std::process::id()
+        ));
+        let server = Server::start(&socket, Executor::new(workers)).expect("start daemon");
+        let (user0, sys0) = cpu_times();
+        let start = Instant::now();
+        let mut handles = Vec::new();
+        for group in groups {
+            let socket = socket.clone();
+            handles.push(std::thread::spawn(move || run_client(&socket, &group)));
+        }
+        let mut walls = Vec::new();
+        for handle in handles {
+            walls.extend(handle.join().expect("client thread"));
+        }
+        let total_us = start.elapsed().as_secs_f64() * 1e6;
+        let (user1, sys1) = cpu_times();
+        let recomputed: usize = walls.iter().map(|w| w.2).sum();
+        println!(
+            "  {tag}: wall {:.2} s, user {:.2} s, sys {:.2} s, {recomputed} rerun(s) recomputed a stage",
+            total_us / 1e6,
+            user1 - user0,
+            sys1 - sys0
+        );
+        let mut stream = connect(&socket);
+        let _ = client_request(&mut stream, "{\"op\": \"shutdown\"}");
+        server.join();
+        walls.sort_by(|a, b| a.0.cmp(&b.0));
+        (total_us, walls)
+    }
+
+    fn build_workloads() -> Vec<Workload> {
+        let profile = CompilerProfile::clang();
+        let mut loads: Vec<Workload> = all_subjects()
+            .iter()
+            .map(|s| {
+                let compiled = compile_default(&s.vfs, &s.main_source, &profile, &[])
+                    .unwrap_or_else(|e| panic!("{}: sim compile: {e}", s.name));
+                workload(s, compiled.phases.total_ms())
+            })
+            .collect();
+        // Heaviest first, so the greedy group assignment below balances.
+        loads.sort_by(|a, b| b.latency_us.total_cmp(&a.latency_us));
+        loads
+    }
+
+    /// Greedy balance into `n` groups by modeled chain cost.
+    fn split(loads: Vec<Workload>, n: usize) -> Vec<Vec<Workload>> {
+        let mut groups: Vec<(f64, Vec<Workload>)> = (0..n).map(|_| (0.0, Vec::new())).collect();
+        for load in loads {
+            let lightest = groups
+                .iter_mut()
+                .min_by(|a, b| a.0.total_cmp(&b.0))
+                .expect("n > 0");
+            lightest.0 += load.latency_us * ITERATIONS as f64;
+            lightest.1.push(load);
+        }
+        groups.into_iter().map(|(_, g)| g).collect()
+    }
+
+    pub(super) fn main() {
+        let loads = build_workloads();
+        let modeled: Vec<f64> = loads
+            .iter()
+            .map(|w| w.latency_us * ITERATIONS as f64 / 1e3)
+            .collect();
+
+        println!("sequential pass (1 client, 1 worker)...");
+        let (seq_total, seq_walls) = run_config("seq", 1, vec![build_workloads()]);
+        println!("parallel pass ({FLEET} clients, {FLEET} workers)...");
+        let (par_total, par_walls) = run_config("par", FLEET, split(loads, FLEET));
+
+        let speedup = seq_total / par_total;
+        let modeled_speedup = modeled.iter().sum::<f64>() / concurrent_makespan(&modeled, FLEET);
+        println!(
+            "modeled sleep total {:.2} s (chains of {} iterations)",
+            modeled.iter().sum::<f64>() / 1e3,
+            ITERATIONS
+        );
+        println!(
+            "\n{:<24} {:>14} {:>14} {:>10}",
+            "subject", "seq (ms)", "par8 (ms)", "recomputed"
+        );
+        let mut records = Vec::new();
+        for ((name, seq_us, seq_rec), (par_name, par_us, par_rec)) in
+            seq_walls.iter().zip(&par_walls)
+        {
+            assert_eq!(name, par_name);
+            println!(
+                "{name:<24} {:>14.1} {:>14.1} {:>6}/{:<3}",
+                seq_us / 1e3,
+                par_us / 1e3,
+                seq_rec,
+                par_rec
+            );
+            for (config, us) in [("sequential", seq_us), ("parallel8", par_us)] {
+                records.push(RunRecord {
+                    subject: name.clone(),
+                    config: config.to_string(),
+                    phase_us: vec![("wall".to_string(), *us)],
+                });
+            }
+        }
+        println!(
+            "\ncorpus total: sequential {:.2} s, parallel8 {:.2} s — speedup {speedup:.2}x \
+             (sleep-only list-scheduling model: {modeled_speedup:.2}x)",
+            seq_total / 1e6,
+            par_total / 1e6
+        );
+        records.push(RunRecord {
+            subject: "corpus".to_string(),
+            config: "sequential".to_string(),
+            phase_us: vec![("wall".to_string(), seq_total)],
+        });
+        records.push(RunRecord {
+            subject: "corpus".to_string(),
+            config: "parallel8".to_string(),
+            phase_us: vec![
+                ("wall".to_string(), par_total),
+                ("speedup_x1000".to_string(), speedup * 1e3),
+                ("modeled_speedup_x1000".to_string(), modeled_speedup * 1e3),
+            ],
+        });
+
+        let out = write_records(&PathBuf::from("results"), "throughput", &records)
+            .expect("write results");
+        println!("wrote {}", out.display());
+        assert!(
+            speedup >= 3.0,
+            "parallel daemon must beat the sequential baseline by >= 3x, got {speedup:.2}x"
+        );
+    }
+}

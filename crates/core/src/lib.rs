@@ -53,6 +53,7 @@ pub mod plan;
 pub mod report;
 pub mod rewrite;
 pub mod rules;
+pub mod serve;
 pub mod session;
 pub mod verify;
 pub mod wrappers;

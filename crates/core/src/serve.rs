@@ -1,0 +1,787 @@
+//! The `yalla serve` daemon: a long-lived pool of warm [`Session`]s
+//! behind a line-delimited JSON protocol.
+//!
+//! The paper's workflow keeps the substitution tool resident so the
+//! developer loop (edit → rerun → read artifacts) never pays process
+//! startup or cold caches. This module implements that as a daemon:
+//!
+//! * **Shards.** Each project gets a [`ProjectShard`] holding one warm
+//!   [`Session`]. Shards are keyed by the *root hash* — a content hash of
+//!   the opened file tree plus the substitution options — so re-opening
+//!   an identical project (even under another name) lands on the same
+//!   warm shard instead of rebuilding caches. A mutex around the shard
+//!   state serializes concurrent `edit`/`rerun` on the same project:
+//!   requests interleave at request granularity, never mid-pipeline.
+//! * **Batching.** `edit` requests are queued on the shard and applied
+//!   in arrival order by the next `rerun` — N edits between reruns cost
+//!   one pipeline pass, exactly like saving N files before rebuilding.
+//! * **Execution.** A rerun runs on its handler thread, admitted by a
+//!   counting semaphore sized to the [`yalla_exec::Executor`]'s worker
+//!   count — one worker makes the daemon a strictly serial build agent,
+//!   N workers overlap up to N project builds. Only the session's short
+//!   stage-DAG tasks enter the pool itself, so a worker can never get
+//!   stuck executing another project's entire build mid-wait. An
+//!   optional per-shard *build latency* is slept under the semaphore,
+//!   modeling the client-blocking compile the paper's Figure 6
+//!   attributes to each iteration; the throughput bench uses it to
+//!   measure scheduling overlap.
+//! * **Wire protocol.** One JSON object per line, over a Unix socket
+//!   (`ok`/`error` responses, one per request, in order). See
+//!   [`ServeState::handle_line`] for the operation set.
+//!
+//! Every request is wrapped in a `serve` span and counted under
+//! `serve.*` metrics through [`yalla_obs`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use yalla_cpp::hash::{self, Fnv64};
+use yalla_cpp::vfs::Vfs;
+use yalla_exec::Executor;
+use yalla_obs::chrome::escape_json;
+use yalla_obs::json::JsonValue;
+use yalla_obs::metrics::names;
+
+use crate::engine::{Options, SubstitutionResult};
+use crate::session::Session;
+
+/// One project's warm state: a session plus the edit queue.
+#[derive(Debug)]
+struct ShardState {
+    session: Session,
+    pending_edits: Vec<(String, String)>,
+    /// Reruns completed on this shard.
+    reruns: u64,
+    /// The most recent successful run's artifacts.
+    last: Option<SubstitutionResult>,
+    /// The most recent run's one-line stage summary.
+    last_summary: String,
+}
+
+/// A warm project shard. The state mutex is the serialization point for
+/// concurrent `edit`/`rerun`/`get` on one project.
+#[derive(Debug)]
+pub struct ProjectShard {
+    /// Client-facing project name (first name that opened this tree).
+    name: String,
+    /// Content hash of the opened file tree + options (the shard key).
+    root_hash: u64,
+    /// Modeled client-blocking build time slept inside each rerun task.
+    build_latency: Duration,
+    state: Mutex<ShardState>,
+}
+
+/// A counting semaphore bounding how many builds run at once. Sized to
+/// the executor's worker count: one worker makes the daemon a strictly
+/// serial build agent, N workers overlap up to N project builds.
+#[derive(Debug)]
+struct BuildGate {
+    slots: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl BuildGate {
+    fn new(slots: usize) -> Self {
+        BuildGate {
+            slots: Mutex::new(slots.max(1)),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut slots = self.slots.lock().expect("gate lock");
+        while *slots == 0 {
+            slots = self.freed.wait(slots).expect("gate lock");
+        }
+        *slots -= 1;
+    }
+
+    fn release(&self) {
+        *self.slots.lock().expect("gate lock") += 1;
+        self.freed.notify_one();
+    }
+}
+
+/// A response line plus the shutdown signal.
+#[derive(Debug)]
+pub struct Response {
+    /// The JSON response line (no trailing newline).
+    pub text: String,
+    /// True when this request asked the daemon to stop.
+    pub shutdown: bool,
+}
+
+impl Response {
+    fn ok(body: String) -> Self {
+        Response {
+            text: body,
+            shutdown: false,
+        }
+    }
+
+    fn error(message: impl AsRef<str>) -> Self {
+        yalla_obs::count(names::SERVE_REJECTED, 1);
+        Response {
+            text: format!(
+                "{{\"ok\": false, \"error\": \"{}\"}}",
+                escape_json(message.as_ref())
+            ),
+            shutdown: false,
+        }
+    }
+}
+
+/// The daemon's shared state: the shard pool and the executor that runs
+/// every rerun. Transport-independent — the Unix-socket [`Server`] and
+/// in-process tests both drive it through [`ServeState::handle_line`].
+#[derive(Debug)]
+pub struct ServeState {
+    exec: Executor,
+    /// Bounds concurrent builds to the worker count.
+    gate: BuildGate,
+    /// root hash → shard. The warm pool.
+    shards: Mutex<HashMap<u64, Arc<ProjectShard>>>,
+    /// project name → root hash (names are aliases into the pool).
+    names: Mutex<HashMap<String, u64>>,
+    requests: AtomicU64,
+}
+
+fn hash_request_tree(
+    header: &str,
+    sources: &[String],
+    files: &std::collections::BTreeMap<String, JsonValue>,
+) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str(header);
+    for s in sources {
+        h.write_str(s);
+    }
+    for (path, text) in files {
+        h.write_str(path);
+        h.write_u64(hash::hash_str(text.as_str().unwrap_or_default()));
+    }
+    h.finish()
+}
+
+fn str_field<'a>(req: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    req.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("missing string field `{key}`"))
+}
+
+impl ServeState {
+    /// A daemon state whose reruns execute on `exec`.
+    pub fn new(exec: Executor) -> Self {
+        let gate = BuildGate::new(exec.workers());
+        ServeState {
+            exec,
+            gate,
+            shards: Mutex::new(HashMap::new()),
+            names: Mutex::new(HashMap::new()),
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// The executor reruns are scheduled on.
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// Total requests handled so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    fn shard(&self, project: &str) -> Result<Arc<ProjectShard>, String> {
+        let root = *self
+            .names
+            .lock()
+            .expect("names lock")
+            .get(project)
+            .ok_or_else(|| format!("unknown project `{project}` (open it first)"))?;
+        Ok(Arc::clone(
+            self.shards
+                .lock()
+                .expect("shards lock")
+                .get(&root)
+                .expect("named shard exists"),
+        ))
+    }
+
+    /// Handles one request line and produces one response line.
+    ///
+    /// Operations (`op` field):
+    ///
+    /// | op         | fields                                   | effect |
+    /// |------------|------------------------------------------|--------|
+    /// | `open`     | `project`, `header`, `sources`, `files`, optional `build_latency_us` | create or re-attach a warm shard |
+    /// | `edit`     | `project`, `path`, `text`                | queue an edit (batched) |
+    /// | `rerun`    | `project`                                | apply queued edits, run the pipeline once |
+    /// | `get`      | `project`, `artifact` (`lightweight`, `wrappers`, `report`, `source:<path>`) | read an artifact |
+    /// | `status`   | —                                        | shard inventory |
+    /// | `shutdown` | —                                        | stop the daemon |
+    pub fn handle_line(&self, line: &str) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        yalla_obs::count(names::SERVE_REQUESTS, 1);
+        let req = match yalla_obs::json::parse(line) {
+            Ok(v) => v,
+            Err(e) => return Response::error(format!("bad request JSON: {e}")),
+        };
+        let op = match str_field(&req, "op") {
+            Ok(op) => op.to_string(),
+            Err(e) => return Response::error(e),
+        };
+        let _span = yalla_obs::span("serve", &op);
+        match op.as_str() {
+            "open" => self.handle_open(&req),
+            "edit" => self.handle_edit(&req),
+            "rerun" => self.handle_rerun(&req),
+            "get" => self.handle_get(&req),
+            "status" => self.handle_status(),
+            "shutdown" => Response {
+                text: "{\"ok\": true, \"op\": \"shutdown\"}".to_string(),
+                shutdown: true,
+            },
+            other => Response::error(format!("unknown op `{other}`")),
+        }
+    }
+
+    fn handle_open(&self, req: &JsonValue) -> Response {
+        let project = match str_field(req, "project") {
+            Ok(p) => p.to_string(),
+            Err(e) => return Response::error(e),
+        };
+        let header = match str_field(req, "header") {
+            Ok(h) => h.to_string(),
+            Err(e) => return Response::error(e),
+        };
+        let sources: Vec<String> = match req.get("sources").and_then(JsonValue::as_array) {
+            Some(items) => items
+                .iter()
+                .filter_map(|v| v.as_str().map(str::to_string))
+                .collect(),
+            None => return Response::error("missing array field `sources`"),
+        };
+        let files = match req.get("files").and_then(JsonValue::entries) {
+            Some(map) => map,
+            None => return Response::error("missing object field `files`"),
+        };
+        let build_latency = Duration::from_micros(
+            req.get("build_latency_us")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0)
+                .max(0.0) as u64,
+        );
+
+        let root_hash = hash_request_tree(&header, &sources, files);
+        let mut shards = self.shards.lock().expect("shards lock");
+        let created = !shards.contains_key(&root_hash);
+        if created {
+            let mut vfs = Vfs::new();
+            for (path, text) in files {
+                vfs.add_file(path, text.as_str().unwrap_or_default());
+            }
+            let options = Options {
+                header,
+                sources,
+                ..Options::default()
+            };
+            shards.insert(
+                root_hash,
+                Arc::new(ProjectShard {
+                    name: project.clone(),
+                    root_hash,
+                    build_latency,
+                    state: Mutex::new(ShardState {
+                        session: Session::new(options, vfs),
+                        pending_edits: Vec::new(),
+                        reruns: 0,
+                        last: None,
+                        last_summary: String::new(),
+                    }),
+                }),
+            );
+            yalla_obs::gauge(names::SERVE_SHARDS, shards.len() as i64);
+        }
+        drop(shards);
+        self.names
+            .lock()
+            .expect("names lock")
+            .insert(project.clone(), root_hash);
+        Response::ok(format!(
+            "{{\"ok\": true, \"op\": \"open\", \"project\": \"{}\", \"shard\": \"{root_hash:016x}\", \"created\": {created}}}",
+            escape_json(&project)
+        ))
+    }
+
+    fn handle_edit(&self, req: &JsonValue) -> Response {
+        let project = match str_field(req, "project") {
+            Ok(p) => p,
+            Err(e) => return Response::error(e),
+        };
+        let path = match str_field(req, "path") {
+            Ok(p) => p.to_string(),
+            Err(e) => return Response::error(e),
+        };
+        let text = match str_field(req, "text") {
+            Ok(t) => t.to_string(),
+            Err(e) => return Response::error(e),
+        };
+        let shard = match self.shard(project) {
+            Ok(s) => s,
+            Err(e) => return Response::error(e),
+        };
+        let mut state = shard.state.lock().expect("shard lock");
+        if state.session.vfs().lookup(&path).is_none() {
+            return Response::error(format!("unknown file `{path}` in project `{project}`"));
+        }
+        state.pending_edits.push((path, text));
+        let pending = state.pending_edits.len();
+        drop(state);
+        yalla_obs::count(names::SERVE_EDITS_BATCHED, 1);
+        Response::ok(format!(
+            "{{\"ok\": true, \"op\": \"edit\", \"pending\": {pending}}}"
+        ))
+    }
+
+    fn handle_rerun(&self, req: &JsonValue) -> Response {
+        let project = match str_field(req, "project") {
+            Ok(p) => p,
+            Err(e) => return Response::error(e),
+        };
+        let shard = match self.shard(project) {
+            Ok(s) => s,
+            Err(e) => return Response::error(e),
+        };
+        // The shard lock (held through the whole build) serializes
+        // concurrent edit/rerun/get on one project; the build gate bounds
+        // cross-project build concurrency to the worker count. The
+        // modeled build latency and the pipeline run stay on this handler
+        // thread — only the session's short stage tasks ever enter the
+        // pool, so a worker mid-wait can never pick up another project's
+        // multi-second build and stall its own.
+        let mut state = shard.state.lock().expect("shard lock");
+        let edits = std::mem::take(&mut state.pending_edits);
+        let edits_applied = edits.len();
+        for (path, text) in edits {
+            if let Err(e) = state.session.apply_edit(&path, text) {
+                return Response::error(e.to_string());
+            }
+        }
+        self.gate.acquire();
+        if !shard.build_latency.is_zero() {
+            // The modeled client-blocking compile (Figure 6), slept
+            // under the gate so a one-slot daemon genuinely serializes
+            // builds.
+            std::thread::sleep(shard.build_latency);
+        }
+        let run = state.session.rerun_on(&self.exec);
+        self.gate.release();
+        match run {
+            Ok(run) => {
+                yalla_obs::count(names::SERVE_RERUNS, 1);
+                state.reruns += 1;
+                let summary = run.summary_line();
+                let fully_cached = run.fully_cached();
+                state.last_summary = summary.clone();
+                state.last = Some(run.result);
+                Response::ok(format!(
+                    "{{\"ok\": true, \"op\": \"rerun\", \"reruns\": {}, \"edits_applied\": {edits_applied}, \"fully_cached\": {fully_cached}, \"summary\": \"{}\"}}",
+                    state.reruns,
+                    escape_json(&summary)
+                ))
+            }
+            Err(e) => Response::error(e.to_string()),
+        }
+    }
+
+    fn handle_get(&self, req: &JsonValue) -> Response {
+        let project = match str_field(req, "project") {
+            Ok(p) => p,
+            Err(e) => return Response::error(e),
+        };
+        let artifact = match str_field(req, "artifact") {
+            Ok(a) => a.to_string(),
+            Err(e) => return Response::error(e),
+        };
+        let shard = match self.shard(project) {
+            Ok(s) => s,
+            Err(e) => return Response::error(e),
+        };
+        let state = shard.state.lock().expect("shard lock");
+        let Some(last) = &state.last else {
+            return Response::error(format!("project `{project}` has no completed run"));
+        };
+        let text = match artifact.as_str() {
+            "lightweight" => last.lightweight_header.clone(),
+            "wrappers" => last.wrappers_file.clone(),
+            "report" => format!("{:?}", last.report.verification),
+            other => match other.strip_prefix("source:") {
+                Some(path) => match last.rewritten_sources.get(path) {
+                    Some(text) => text.clone(),
+                    None => return Response::error(format!("no rewritten source `{path}`")),
+                },
+                None => return Response::error(format!("unknown artifact `{other}`")),
+            },
+        };
+        Response::ok(format!(
+            "{{\"ok\": true, \"op\": \"get\", \"artifact\": \"{}\", \"text\": \"{}\"}}",
+            escape_json(&artifact),
+            escape_json(&text)
+        ))
+    }
+
+    fn handle_status(&self) -> Response {
+        let shards = self.shards.lock().expect("shards lock");
+        let mut rows: Vec<String> = Vec::with_capacity(shards.len());
+        let mut sorted: Vec<&Arc<ProjectShard>> = shards.values().collect();
+        sorted.sort_by(|a, b| a.name.cmp(&b.name));
+        for shard in sorted {
+            let state = shard.state.lock().expect("shard lock");
+            rows.push(format!(
+                "{{\"project\": \"{}\", \"shard\": \"{:016x}\", \"reruns\": {}, \"pending_edits\": {}, \"last_summary\": \"{}\"}}",
+                escape_json(&shard.name),
+                shard.root_hash,
+                state.reruns,
+                state.pending_edits.len(),
+                escape_json(&state.last_summary)
+            ));
+        }
+        drop(shards);
+        Response::ok(format!(
+            "{{\"ok\": true, \"op\": \"status\", \"workers\": {}, \"requests\": {}, \"shards\": [{}]}}",
+            self.exec.workers(),
+            self.requests(),
+            rows.join(", ")
+        ))
+    }
+
+    /// Number of warm shards (`n` distinct project trees).
+    pub fn shard_count(&self) -> usize {
+        self.shards.lock().expect("shards lock").len()
+    }
+}
+
+#[cfg(unix)]
+pub use unix_server::{client_request, Server};
+
+#[cfg(unix)]
+mod unix_server {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::path::{Path, PathBuf};
+    use std::thread::JoinHandle;
+
+    /// A running `yalla serve` daemon on a Unix socket.
+    ///
+    /// One thread accepts connections; each connection gets a handler
+    /// thread reading request lines and writing response lines in order.
+    /// A `shutdown` request (from any client) stops the accept loop and
+    /// joins every handler.
+    #[derive(Debug)]
+    pub struct Server {
+        state: Arc<ServeState>,
+        socket: PathBuf,
+        stop: Arc<AtomicBool>,
+        accept_thread: Option<JoinHandle<()>>,
+    }
+
+    impl Server {
+        /// Binds `socket` (removing any stale file) and starts serving.
+        /// Reruns execute on `exec`.
+        ///
+        /// # Errors
+        ///
+        /// Propagates socket bind failures.
+        pub fn start(socket: &Path, exec: Executor) -> std::io::Result<Server> {
+            let _ = std::fs::remove_file(socket);
+            let listener = UnixListener::bind(socket)?;
+            listener.set_nonblocking(true)?;
+            let state = Arc::new(ServeState::new(exec));
+            let stop = Arc::new(AtomicBool::new(false));
+            let accept_thread = {
+                let state = Arc::clone(&state);
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name("yalla-serve-accept".into())
+                    .spawn(move || accept_loop(listener, state, stop))
+                    .expect("spawn accept thread")
+            };
+            Ok(Server {
+                state,
+                socket: socket.to_path_buf(),
+                stop,
+                accept_thread: Some(accept_thread),
+            })
+        }
+
+        /// The daemon's shared state (for in-process inspection).
+        pub fn state(&self) -> &Arc<ServeState> {
+            &self.state
+        }
+
+        /// The socket path this server listens on.
+        pub fn socket(&self) -> &Path {
+            &self.socket
+        }
+
+        /// True once a `shutdown` request was handled.
+        pub fn is_stopped(&self) -> bool {
+            self.stop.load(Ordering::Acquire)
+        }
+
+        /// Requests shutdown (as if a client had sent `shutdown`).
+        pub fn shutdown(&self) {
+            self.stop.store(true, Ordering::Release);
+        }
+
+        /// Blocks until the accept loop and every connection handler have
+        /// exited. Call after [`Server::shutdown`] (or after a client sent
+        /// `shutdown`) for a clean stop.
+        pub fn join(mut self) {
+            if let Some(handle) = self.accept_thread.take() {
+                let _ = handle.join();
+            }
+            let _ = std::fs::remove_file(&self.socket);
+        }
+    }
+
+    impl Drop for Server {
+        fn drop(&mut self) {
+            self.stop.store(true, Ordering::Release);
+            if let Some(handle) = self.accept_thread.take() {
+                let _ = handle.join();
+            }
+            let _ = std::fs::remove_file(&self.socket);
+        }
+    }
+
+    fn accept_loop(listener: UnixListener, state: Arc<ServeState>, stop: Arc<AtomicBool>) {
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        while !stop.load(Ordering::Acquire) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let state = Arc::clone(&state);
+                    let stop = Arc::clone(&stop);
+                    handlers.push(
+                        std::thread::Builder::new()
+                            .name("yalla-serve-conn".into())
+                            .spawn(move || handle_connection(stream, state, stop))
+                            .expect("spawn connection handler"),
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+        }
+        stop.store(true, Ordering::Release);
+        for handle in handlers {
+            let _ = handle.join();
+        }
+    }
+
+    fn handle_connection(stream: UnixStream, state: Arc<ServeState>, stop: Arc<AtomicBool>) {
+        stream
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .ok();
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => break, // client hung up
+                Ok(_) => {
+                    let trimmed = line.trim();
+                    if !trimmed.is_empty() {
+                        let response = state.handle_line(trimmed);
+                        if writer
+                            .write_all(response.text.as_bytes())
+                            .and_then(|()| writer.write_all(b"\n"))
+                            .and_then(|()| writer.flush())
+                            .is_err()
+                        {
+                            break;
+                        }
+                        if response.shutdown {
+                            stop.store(true, Ordering::Release);
+                            break;
+                        }
+                    }
+                    line.clear();
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // Partial line (if any) stays buffered in `line`.
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Client helper: sends one request line on `stream` and reads one
+    /// response line, parsed as JSON. Used by tests and the throughput
+    /// bench.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O failures and response-parse failures as strings.
+    pub fn client_request(stream: &mut UnixStream, request: &str) -> Result<JsonValue, String> {
+        stream
+            .write_all(request.as_bytes())
+            .and_then(|()| stream.write_all(b"\n"))
+            .map_err(|e| format!("send: {e}"))?;
+        let mut reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+        let mut line = String::new();
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => return Err("server closed the connection".into()),
+                Ok(_) => break,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(e) => return Err(format!("recv: {e}")),
+            }
+        }
+        yalla_obs::json::parse(line.trim()).map_err(|e| format!("bad response JSON: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open_req(project: &str) -> String {
+        format!(
+            "{{\"op\": \"open\", \"project\": \"{project}\", \"header\": \"lib.hpp\", \
+             \"sources\": [\"main.cpp\"], \"files\": {{\
+             \"lib.hpp\": \"namespace K {{ class W {{ public: int id() const; }}; }}\\n\", \
+             \"main.cpp\": \"#include \\\"lib.hpp\\\"\\nint f(K::W& w) {{ return w.id(); }}\\n\"}}}}"
+        )
+    }
+
+    fn state() -> ServeState {
+        ServeState::new(Executor::new(2))
+    }
+
+    #[test]
+    fn open_rerun_get_roundtrip() {
+        let state = state();
+        let r = state.handle_line(&open_req("p1"));
+        assert!(r.text.contains("\"created\": true"), "{}", r.text);
+        let r = state.handle_line("{\"op\": \"rerun\", \"project\": \"p1\"}");
+        assert!(r.text.contains("\"ok\": true"), "{}", r.text);
+        assert!(r.text.contains("\"fully_cached\": false"), "{}", r.text);
+        let r = state
+            .handle_line("{\"op\": \"get\", \"project\": \"p1\", \"artifact\": \"lightweight\"}");
+        assert!(r.text.contains("class W;"), "{}", r.text);
+        // A second rerun with no edits is fully cached.
+        let r = state.handle_line("{\"op\": \"rerun\", \"project\": \"p1\"}");
+        assert!(r.text.contains("\"fully_cached\": true"), "{}", r.text);
+    }
+
+    #[test]
+    fn edits_batch_until_the_next_rerun() {
+        let state = state();
+        state.handle_line(&open_req("p1"));
+        state.handle_line("{\"op\": \"rerun\", \"project\": \"p1\"}");
+        let r = state.handle_line(
+            "{\"op\": \"edit\", \"project\": \"p1\", \"path\": \"main.cpp\", \
+             \"text\": \"#include \\\"lib.hpp\\\"\\nint g(K::W& w) { return w.id() + 1; }\\n\"}",
+        );
+        assert!(r.text.contains("\"pending\": 1"), "{}", r.text);
+        let r = state.handle_line("{\"op\": \"rerun\", \"project\": \"p1\"}");
+        assert!(r.text.contains("\"edits_applied\": 1"), "{}", r.text);
+        let r = state.handle_line(
+            "{\"op\": \"get\", \"project\": \"p1\", \"artifact\": \"source:main.cpp\"}",
+        );
+        assert!(r.text.contains("int g("), "{}", r.text);
+    }
+
+    #[test]
+    fn identical_trees_share_a_shard() {
+        let state = state();
+        let a = state.handle_line(&open_req("alpha"));
+        let b = state.handle_line(&open_req("beta"));
+        assert!(a.text.contains("\"created\": true"));
+        assert!(b.text.contains("\"created\": false"), "{}", b.text);
+        assert_eq!(state.shard_count(), 1);
+        // Warm state carries across names: a rerun under `alpha` makes the
+        // first `beta` rerun fully cached.
+        state.handle_line("{\"op\": \"rerun\", \"project\": \"alpha\"}");
+        let r = state.handle_line("{\"op\": \"rerun\", \"project\": \"beta\"}");
+        assert!(r.text.contains("\"fully_cached\": true"), "{}", r.text);
+    }
+
+    #[test]
+    fn unknown_project_and_bad_json_are_rejected() {
+        let state = state();
+        let r = state.handle_line("{\"op\": \"rerun\", \"project\": \"nope\"}");
+        assert!(r.text.contains("\"ok\": false"));
+        let r = state.handle_line("this is not json");
+        assert!(r.text.contains("\"ok\": false"));
+        let r = state.handle_line("{\"op\": \"frobnicate\"}");
+        assert!(r.text.contains("unknown op"));
+    }
+
+    #[test]
+    fn edits_to_unknown_files_are_rejected_cleanly() {
+        let state = state();
+        state.handle_line(&open_req("p1"));
+        let r = state.handle_line(
+            "{\"op\": \"edit\", \"project\": \"p1\", \"path\": \"ghost.cpp\", \"text\": \"x\"}",
+        );
+        assert!(r.text.contains("\"ok\": false"), "{}", r.text);
+        assert!(r.text.contains("ghost.cpp"), "{}", r.text);
+    }
+
+    #[test]
+    fn status_lists_shards_sorted_by_name() {
+        let state = state();
+        state.handle_line(&open_req("zz"));
+        let r = state.handle_line("{\"op\": \"status\"}");
+        assert!(r.text.contains("\"workers\": 2"), "{}", r.text);
+        assert!(r.text.contains("\"project\": \"zz\""), "{}", r.text);
+        let parsed = yalla_obs::json::parse(&r.text).expect("status is valid JSON");
+        assert_eq!(
+            parsed
+                .get("shards")
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::len),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn responses_are_valid_json() {
+        let state = state();
+        for line in [
+            open_req("p1").as_str(),
+            "{\"op\": \"rerun\", \"project\": \"p1\"}",
+            "{\"op\": \"get\", \"project\": \"p1\", \"artifact\": \"wrappers\"}",
+            "{\"op\": \"get\", \"project\": \"p1\", \"artifact\": \"report\"}",
+            "{\"op\": \"status\"}",
+            "not json",
+            "{\"op\": \"shutdown\"}",
+        ] {
+            let r = state.handle_line(line);
+            yalla_obs::json::parse(&r.text)
+                .unwrap_or_else(|e| panic!("invalid response for {line}: {e}\n{}", r.text));
+        }
+    }
+}

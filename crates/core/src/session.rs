@@ -7,8 +7,10 @@
 //! loop the paper measures (Figure 6: after the initial build, only the
 //! cheap step ④ re-runs).
 //!
-//! The pipeline is an explicit stage DAG, each stage memoized behind a
-//! content-addressed key:
+//! The pipeline is an explicit stage DAG, scheduled on a
+//! [`yalla_exec::Executor`] ([`Session::rerun_on`]); [`Session::rerun`]
+//! uses the process-wide pool sized by `YALLA_WORKERS`. Each stage is
+//! memoized behind a content-addressed key:
 //!
 //! ```text
 //! parse ──► analyze ──► plan ──► emit ────────┐
@@ -25,24 +27,40 @@
 //! | rewrite | per source: file hash + reachable source hashes + plan key |
 //! | verify  | closure hash + emitted artifacts + rewritten source hashes |
 //!
-//! An edit that does not grow the used-symbol set leaves the usage
-//! fingerprint unchanged, so plan and emit are skipped entirely — the
-//! paper's §6 "no re-run needed" claim, which `extra_symbols` extends to
-//! future symbols. Independent per-source rewrites run in parallel via
-//! `std::thread::scope`. Every stage reports hits/misses/invalidations to
+//! Before building the DAG, a *warm pre-pass* walks the key chain with
+//! cheap hashing only ([`yalla_cpp::cache::ParseCache::probe`], then slot
+//! key comparisons): every stage proven warm becomes a
+//! [`yalla_exec::Dag::cached`] node that completes inline without ever
+//! occupying a worker, so a fully warm rerun schedules nothing at all.
+//! Stages whose keys cannot be proven (a predecessor must recompute
+//! first) become live nodes that compute their key from their
+//! predecessors' outputs and refresh their slot, so cache hits *behind*
+//! an edited stage are still honored at run time. An edit that does not
+//! grow the used-symbol set leaves the usage fingerprint unchanged, so
+//! plan and emit are skipped entirely — the paper's §6 "no re-run
+//! needed" claim, which `extra_symbols` extends to future symbols.
+//! Independent per-source rewrites are separate DAG nodes and fan out
+//! across the pool. Every stage reports hits/misses/invalidations to
 //! [`yalla_obs`] under `cache.<stage>.*`.
+//!
+//! Artifacts are byte-identical at every worker count: stage closures
+//! are pure functions of their memoized inputs, per-source rewrites are
+//! independent, and the result map is assembled in source order — the
+//! executor only changes *when* a node runs, never what it computes.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 use yalla_analysis::symbols::SymbolTable;
 use yalla_analysis::usage::UsageReport;
-use yalla_cpp::cache::ParseCache;
+use yalla_cpp::cache::{CachedParse, ParseCache};
 use yalla_cpp::hash::{self, Fnv64};
 use yalla_cpp::loc::FileId;
 use yalla_cpp::vfs::Vfs;
 use yalla_cpp::ParsedTu;
+use yalla_exec::{Dag, Executor};
 
 pub use yalla_cpp::cache::CacheLookup;
 
@@ -100,8 +118,10 @@ pub struct StageOutcome {
     /// aggregate over all sources (a hit only when *every* source was
     /// served from cache).
     pub lookup: CacheLookup,
-    /// Wall-clock time spent recomputing; [`Duration::ZERO`] on a hit (the
-    /// cached artifact was reused, so no stale duration is reported).
+    /// Time spent recomputing ([`Duration::ZERO`] on a hit — the cached
+    /// artifact was reused, so no stale duration is reported). For the
+    /// rewrite stage this is the *sum* over recomputed sources, i.e. work
+    /// time, not wall time — the sources rewrite concurrently.
     pub duration: Duration,
 }
 
@@ -196,26 +216,45 @@ struct Slot<T> {
     artifact: T,
 }
 
+/// A memoized stage slot shared with DAG node closures. The mutex is
+/// never held across a stage computation — only for the key comparison
+/// and the artifact swap — and distinct stages own distinct slots, so
+/// nodes never contend.
+type SharedSlot<T> = Mutex<Option<Slot<Arc<T>>>>;
+
+/// The cached artifact, if `key` matches the slot's current key.
+fn slot_hit<T>(slot: &SharedSlot<T>, key: u64) -> Option<Arc<T>> {
+    slot.lock()
+        .expect("stage slot lock")
+        .as_ref()
+        .filter(|s| s.key == key)
+        .map(|s| Arc::clone(&s.artifact))
+}
+
 /// Refreshes a memoized stage slot: reuse when the key matches, otherwise
-/// recompute and replace.
+/// recompute (without holding the lock) and replace.
 fn refresh<T>(
-    slot: &mut Option<Slot<T>>,
+    slot: &SharedSlot<T>,
     key: u64,
     compute: impl FnOnce() -> Result<T, YallaError>,
-) -> Result<CacheLookup, YallaError> {
-    if let Some(s) = slot {
-        if s.key == key {
-            return Ok(CacheLookup::Hit);
-        }
+) -> Result<(Arc<T>, CacheLookup), YallaError> {
+    if let Some(artifact) = slot_hit(slot, key) {
+        return Ok((artifact, CacheLookup::Hit));
     }
-    let stale = slot.is_some();
-    let artifact = compute()?;
-    *slot = Some(Slot { key, artifact });
-    Ok(if stale {
-        CacheLookup::Invalidated
-    } else {
-        CacheLookup::Miss
-    })
+    let stale = slot.lock().expect("stage slot lock").is_some();
+    let artifact = Arc::new(compute()?);
+    *slot.lock().expect("stage slot lock") = Some(Slot {
+        key,
+        artifact: Arc::clone(&artifact),
+    });
+    Ok((
+        artifact,
+        if stale {
+            CacheLookup::Invalidated
+        } else {
+            CacheLookup::Miss
+        },
+    ))
 }
 
 /// Bumps `cache.<stage>.<outcome>` (and, when `totals`, the global
@@ -241,6 +280,95 @@ fn note(stage: Stage, lookup: CacheLookup, totals: bool) {
             }
         }
     }
+}
+
+// ---- stage keys (pure hashing; shared by the warm pre-pass and nodes) ----
+
+fn analyze_key_of(closure_hash: u64, opts: &Options) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(closure_hash);
+    h.write_str(&opts.header);
+    for s in &opts.sources {
+        h.write_str(s);
+    }
+    for e in &opts.extra_symbols {
+        h.write_str(e);
+    }
+    h.finish()
+}
+
+fn plan_key_of(analysis: &AnalysisArtifact) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(analysis.usage_fingerprint);
+    for d in &analysis.predeclare_diags {
+        h.write_str(d);
+    }
+    h.finish()
+}
+
+/// A source's rewrite depends on its own text, the text of every *source*
+/// file it transitively includes (type information flows along user
+/// includes), and the plan.
+fn rewrite_key_of(
+    vfs: &Vfs,
+    parsed: &ParsedTu,
+    analysis: &AnalysisArtifact,
+    plan_key: u64,
+    source: &str,
+) -> u64 {
+    let id = vfs.lookup(source).expect("sources validated");
+    let mut h = Fnv64::new();
+    h.write_u64(plan_key);
+    let mut reach: Vec<FileId> = crate::engine::reachable_from(id, &parsed.stats.include_edges)
+        .into_iter()
+        .filter(|f| analysis.source_files.contains(f))
+        .collect();
+    reach.sort_by_key(|f| f.0);
+    if !reach.contains(&id) {
+        reach.push(id); // sources absent from the TU still rewrite
+    }
+    for f in reach {
+        h.write_str(vfs.path(f));
+        h.write_u64(vfs.file_hash(f));
+    }
+    h.finish()
+}
+
+fn verify_key_of(
+    closure_hash: u64,
+    plan_key: u64,
+    opts: &Options,
+    emit_art: &EmitArtifact,
+    rewritten: &BTreeMap<String, Arc<String>>,
+) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(closure_hash);
+    h.write_u64(plan_key);
+    h.write_str(&opts.lightweight_name);
+    h.write_str(&opts.wrappers_name);
+    h.write_u64(hash::hash_str(&emit_art.lightweight));
+    h.write_u64(hash::hash_str(&emit_art.wrappers));
+    for (path, text) in rewritten {
+        h.write_str(path);
+        h.write_u64(hash::hash_str(text));
+    }
+    h.write_u64(u64::from(opts.verify));
+    h.finish()
+}
+
+/// Per-stage bookkeeping the DAG nodes write and the assembly reads.
+#[derive(Debug, Default, Clone)]
+struct RunLog {
+    parse: Option<(CacheLookup, Duration)>,
+    analyze: Option<(CacheLookup, Duration)>,
+    plan: Option<(CacheLookup, Duration)>,
+    emit: Option<(CacheLookup, Duration)>,
+    verify: Option<(CacheLookup, Duration)>,
+    files_reparsed: usize,
+    rewrites_recomputed: usize,
+    rewrites_cached: usize,
+    rewrite_invalidated: bool,
+    rewrite_dur: Duration,
 }
 
 /// A persistent Header Substitution session: the engine pipeline plus a
@@ -272,13 +400,13 @@ fn note(stage: Stage, lookup: CacheLookup, totals: bool) {
 #[derive(Debug)]
 pub struct Session {
     options: Options,
-    vfs: Vfs,
-    parse_cache: ParseCache,
-    analysis: Option<Slot<AnalysisArtifact>>,
-    plan: Option<Slot<Plan>>,
-    emit: Option<Slot<EmitArtifact>>,
-    rewrites: HashMap<String, Slot<String>>,
-    verify: Option<Slot<VerifyArtifact>>,
+    vfs: Arc<Vfs>,
+    parse_cache: Arc<ParseCache>,
+    analysis: Arc<SharedSlot<AnalysisArtifact>>,
+    plan: Arc<SharedSlot<Plan>>,
+    emit: Arc<SharedSlot<EmitArtifact>>,
+    rewrites: Arc<Mutex<HashMap<String, Slot<Arc<String>>>>>,
+    verify: Arc<SharedSlot<VerifyArtifact>>,
     reruns: u64,
 }
 
@@ -287,13 +415,13 @@ impl Session {
     pub fn new(options: Options, vfs: Vfs) -> Self {
         Session {
             options,
-            vfs,
-            parse_cache: ParseCache::new(),
-            analysis: None,
-            plan: None,
-            emit: None,
-            rewrites: HashMap::new(),
-            verify: None,
+            vfs: Arc::new(vfs),
+            parse_cache: Arc::new(ParseCache::new()),
+            analysis: Arc::new(Mutex::new(None)),
+            plan: Arc::new(Mutex::new(None)),
+            emit: Arc::new(Mutex::new(None)),
+            rewrites: Arc::new(Mutex::new(HashMap::new())),
+            verify: Arc::new(Mutex::new(None)),
             reruns: 0,
         }
     }
@@ -324,24 +452,38 @@ impl Session {
         path: &str,
         new_text: impl Into<String>,
     ) -> Result<FileId, YallaError> {
-        self.vfs.apply_edit(path, new_text).map_err(YallaError::Cpp)
+        // In-flight DAG nodes of a previous rerun hold their own Arc<Vfs>
+        // snapshot; make_mut copies-on-write only if one is still alive.
+        Arc::make_mut(&mut self.vfs)
+            .apply_edit(path, new_text)
+            .map_err(YallaError::Cpp)
     }
 
-    /// Runs the pipeline, recomputing only stages whose input keys
-    /// changed. The first call is a cold run (every stage misses).
+    /// Runs the pipeline on the process-wide executor, recomputing only
+    /// stages whose input keys changed. The first call is a cold run
+    /// (every stage misses).
     ///
     /// # Errors
     ///
     /// Same failure modes as [`crate::Engine::run`]; missing sources are
     /// all reported together in [`YallaError::SourcesNotFound`].
     pub fn rerun(&mut self) -> Result<SessionRun, YallaError> {
+        self.rerun_on(Executor::global())
+    }
+
+    /// Runs the pipeline as a stage DAG on `exec`. Artifacts are
+    /// byte-identical for every worker count; only scheduling changes.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Session::rerun`].
+    pub fn rerun_on(&mut self, exec: &Executor) -> Result<SessionRun, YallaError> {
         let _run_span = yalla_obs::span("engine", "substitute");
         yalla_obs::count(yalla_obs::metrics::names::ENGINE_RUNS, 1);
         yalla_obs::count(yalla_obs::metrics::names::SESSION_RERUNS, 1);
         self.reruns += 1;
-        let opts = self.options.clone();
-        let mut timings = Timings::default();
-        let mut stages = Vec::with_capacity(6);
+        let opts = Arc::new(self.options.clone());
+        let vfs = Arc::clone(&self.vfs);
 
         // ---- validate sources up front: report *all* missing paths -----
         let main_source = opts
@@ -352,258 +494,409 @@ impl Session {
         let missing: Vec<String> = opts
             .sources
             .iter()
-            .filter(|s| self.vfs.lookup(s).is_none())
+            .filter(|s| vfs.lookup(s).is_none())
             .cloned()
             .collect();
         if !missing.is_empty() {
             return Err(YallaError::SourcesNotFound(missing));
         }
 
-        // ---- parse ------------------------------------------------------
-        let parse_span = yalla_obs::span("engine", "parse");
-        let parsed = self
-            .parse_cache
-            .parse(&self.vfs, &opts.defines, &main_source)?;
-        let parse_dur = parse_span.finish();
-        note(Stage::Parse, parsed.lookup, false);
-        if parsed.lookup.is_hit() {
-            yalla_obs::global().instant("engine", "parse (cached)");
-        } else {
-            yalla_obs::count(yalla_obs::metrics::names::SESSION_TUS_REPARSED, 1);
-            timings.parse = parse_dur;
-        }
-        let files_reparsed = usize::from(!parsed.lookup.is_hit());
-        stages.push(StageOutcome {
-            stage: Stage::Parse,
-            lookup: parsed.lookup,
-            duration: timings.parse,
+        // Cells carrying each stage's output to its dependents.
+        let parse_cell: Arc<OnceLock<CachedParse>> = Arc::new(OnceLock::new());
+        let analysis_cell: Arc<OnceLock<Arc<AnalysisArtifact>>> = Arc::new(OnceLock::new());
+        let plan_cell: Arc<OnceLock<(Arc<Plan>, u64)>> = Arc::new(OnceLock::new());
+        let emit_cell: Arc<OnceLock<Arc<EmitArtifact>>> = Arc::new(OnceLock::new());
+        let verify_cell: Arc<OnceLock<Arc<VerifyArtifact>>> = Arc::new(OnceLock::new());
+        let log = Arc::new(Mutex::new(RunLog::default()));
+
+        // ---- warm pre-pass ---------------------------------------------
+        // Walk the key chain with cheap hashing only; every stage proven
+        // warm becomes a `cached` DAG node and never occupies a worker.
+        // The chain stops at the first stage whose key needs a recomputed
+        // predecessor — later stages become live nodes and re-check their
+        // slots at run time.
+        let warm_parse = self.parse_cache.probe(&vfs, &opts.defines, &main_source);
+        let warm_analysis = warm_parse
+            .as_ref()
+            .and_then(|p| slot_hit(&self.analysis, analyze_key_of(p.closure_hash, &opts)));
+        let warm_plan = warm_analysis.as_ref().and_then(|a| {
+            let key = plan_key_of(a);
+            slot_hit(&self.plan, key).map(|p| (p, key))
         });
-
-        // ---- analyze ----------------------------------------------------
-        let analyze_key = {
-            let mut h = Fnv64::new();
-            h.write_u64(parsed.closure_hash);
-            h.write_str(&opts.header);
-            for s in &opts.sources {
-                h.write_str(s);
-            }
-            for e in &opts.extra_symbols {
-                h.write_str(e);
-            }
-            h.finish()
-        };
-        let analyze_span = yalla_obs::span("engine", "analyze");
-        let vfs = &self.vfs;
-        let lookup = refresh(&mut self.analysis, analyze_key, || {
-            stage_analyze(&parsed.tu, vfs, &opts)
-        })?;
-        let analyze_dur = analyze_span.finish();
-        note(Stage::Analyze, lookup, true);
-        if lookup.is_hit() {
-            yalla_obs::global().instant("engine", "analyze (cached)");
-        } else {
-            timings.analyze = analyze_dur;
-        }
-        let analysis = &self.analysis.as_ref().expect("refreshed").artifact;
-        stages.push(StageOutcome {
-            stage: Stage::Analyze,
-            lookup,
-            duration: timings.analyze,
-        });
-
-        // ---- plan -------------------------------------------------------
-        let plan_key = {
-            let mut h = Fnv64::new();
-            h.write_u64(analysis.usage_fingerprint);
-            for d in &analysis.predeclare_diags {
-                h.write_str(d);
-            }
-            h.finish()
-        };
-        let plan_span = yalla_obs::span("engine", "plan");
-        let lookup = refresh(&mut self.plan, plan_key, || Ok(stage_plan(analysis, &opts)))?;
-        let plan_dur = plan_span.finish();
-        note(Stage::Plan, lookup, true);
-        if lookup.is_hit() {
-            yalla_obs::global().instant("engine", "plan (cached)");
-        } else {
-            timings.plan = plan_dur;
-        }
-        let plan = &self.plan.as_ref().expect("refreshed").artifact;
-        stages.push(StageOutcome {
-            stage: Stage::Plan,
-            lookup,
-            duration: timings.plan,
-        });
-
-        // ---- emit + rewrite (the paper's "generate") --------------------
-        let generate_span = yalla_obs::span("engine", "generate");
-        let emit_dur;
-        {
-            let emit_span = yalla_obs::span("engine", "emit");
-            let lookup = refresh(&mut self.emit, plan_key, || {
-                Ok(EmitArtifact {
-                    lightweight: emit::lightweight_header(plan, &opts.header),
-                    wrappers: emit::wrappers_file(plan, &opts.header, &opts.lightweight_name),
-                })
-            })?;
-            let dur = emit_span.finish();
-            note(Stage::Emit, lookup, true);
-            emit_dur = if lookup.is_hit() { Duration::ZERO } else { dur };
-            stages.push(StageOutcome {
-                stage: Stage::Emit,
-                lookup,
-                duration: emit_dur,
-            });
-        }
-
-        // Per-source rewrites: a source's artifact depends on its own text,
-        // the text of every *source* file it transitively includes (type
-        // information flows along user includes), and the plan.
-        let rewrite_span = yalla_obs::span("engine", "rewrite");
-        let mut rewrite_keys: Vec<(String, u64)> = Vec::with_capacity(opts.sources.len());
-        for s in &opts.sources {
-            let id = self.vfs.lookup(s).expect("validated above");
-            let mut h = Fnv64::new();
-            h.write_u64(plan_key);
-            let mut reach: Vec<FileId> =
-                crate::engine::reachable_from(id, &parsed.tu.stats.include_edges)
-                    .into_iter()
-                    .filter(|f| analysis.source_files.contains(f))
-                    .collect();
-            reach.sort_by_key(|f| f.0);
-            if !reach.contains(&id) {
-                reach.push(id); // sources absent from the TU still rewrite
-            }
-            for f in reach {
-                h.write_str(self.vfs.path(f));
-                h.write_u64(self.vfs.file_hash(f));
-            }
-            rewrite_keys.push((s.clone(), h.finish()));
-        }
-        let mut to_compute: Vec<&str> = Vec::new();
-        let mut rewrites_cached = 0usize;
-        let mut any_invalidated = false;
-        for (s, key) in &rewrite_keys {
-            match self.rewrites.get(s) {
-                Some(slot) if slot.key == *key => {
-                    rewrites_cached += 1;
-                    note(Stage::Rewrite, CacheLookup::Hit, true);
-                }
-                existing => {
-                    let lookup = if existing.is_some() {
-                        any_invalidated = true;
-                        CacheLookup::Invalidated
-                    } else {
-                        CacheLookup::Miss
-                    };
-                    note(Stage::Rewrite, lookup, true);
-                    to_compute.push(s.as_str());
-                }
-            }
-        }
-        let rewrites_recomputed = to_compute.len();
-        if !to_compute.is_empty() {
-            // Independent per-source rewrites run in parallel; each worker
-            // gets its own Transformer over the shared plan + table.
-            let vfs = &self.vfs;
-            let tu = &parsed.tu;
-            let table = &analysis.table;
-            let opts_ref = &opts;
-            let computed: Vec<(String, String)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = to_compute
+        let warm_emit = warm_plan
+            .as_ref()
+            .and_then(|(_, key)| slot_hit(&self.emit, *key));
+        let rewrite_warm: Vec<bool> = match (&warm_parse, &warm_analysis, &warm_plan) {
+            (Some(p), Some(a), Some((_, plan_key))) => {
+                let map = self.rewrites.lock().expect("rewrites lock");
+                opts.sources
                     .iter()
                     .map(|s| {
-                        scope.spawn(move || {
-                            (
-                                s.to_string(),
-                                stage_rewrite_one(vfs, tu, plan, table, opts_ref, s),
-                            )
-                        })
+                        let key = rewrite_key_of(&vfs, &p.tu, a, *plan_key, s);
+                        map.get(s).is_some_and(|slot| slot.key == key)
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("rewrite worker panicked"))
                     .collect()
-            });
-            let keys: HashMap<&str, u64> =
-                rewrite_keys.iter().map(|(s, k)| (s.as_str(), *k)).collect();
-            for (s, text) in computed {
-                let key = keys[s.as_str()];
-                self.rewrites.insert(
-                    s,
+            }
+            _ => vec![false; opts.sources.len()],
+        };
+        let all_rewrites_warm = rewrite_warm.iter().all(|w| *w);
+        let warm_verify = match (&warm_parse, &warm_plan, &warm_emit) {
+            (Some(p), Some((_, plan_key)), Some(e)) if all_rewrites_warm => {
+                let map = self.rewrites.lock().expect("rewrites lock");
+                let rewritten: BTreeMap<String, Arc<String>> = opts
+                    .sources
+                    .iter()
+                    .map(|s| (s.clone(), Arc::clone(&map[s].artifact)))
+                    .collect();
+                let key = verify_key_of(p.closure_hash, *plan_key, &opts, e, &rewritten);
+                slot_hit(&self.verify, key)
+            }
+            _ => None,
+        };
+
+        // ---- build the stage DAG ---------------------------------------
+        let mut dag: Dag<YallaError> = Dag::new();
+
+        let parse_id = match &warm_parse {
+            Some(p) => {
+                parse_cell.set(p.clone()).expect("fresh cell");
+                note(Stage::Parse, CacheLookup::Hit, false);
+                yalla_obs::global().instant("engine", "parse (cached)");
+                log.lock().expect("run log").parse = Some((CacheLookup::Hit, Duration::ZERO));
+                dag.cached("parse", &[])
+            }
+            None => {
+                let (cache, vfs, opts, main, cell, log) = (
+                    Arc::clone(&self.parse_cache),
+                    Arc::clone(&vfs),
+                    Arc::clone(&opts),
+                    main_source.clone(),
+                    Arc::clone(&parse_cell),
+                    Arc::clone(&log),
+                );
+                dag.node("parse", &[], move || {
+                    let span = yalla_obs::span("engine", "parse");
+                    let parsed = cache.parse(&vfs, &opts.defines, &main)?;
+                    let dur = span.finish();
+                    note(Stage::Parse, parsed.lookup, false);
+                    let dur = if parsed.lookup.is_hit() {
+                        yalla_obs::global().instant("engine", "parse (cached)");
+                        Duration::ZERO
+                    } else {
+                        yalla_obs::count(yalla_obs::metrics::names::SESSION_TUS_REPARSED, 1);
+                        dur
+                    };
+                    let mut log = log.lock().expect("run log");
+                    log.files_reparsed = usize::from(!parsed.lookup.is_hit());
+                    log.parse = Some((parsed.lookup, dur));
+                    cell.set(parsed).expect("parse node runs once");
+                    Ok(())
+                })
+            }
+        };
+
+        let analyze_id = match &warm_analysis {
+            Some(a) => {
+                analysis_cell.set(Arc::clone(a)).expect("fresh cell");
+                note(Stage::Analyze, CacheLookup::Hit, true);
+                yalla_obs::global().instant("engine", "analyze (cached)");
+                log.lock().expect("run log").analyze = Some((CacheLookup::Hit, Duration::ZERO));
+                dag.cached("analyze", &[parse_id])
+            }
+            None => {
+                let (slot, vfs, opts, parse_cell, cell, log) = (
+                    Arc::clone(&self.analysis),
+                    Arc::clone(&vfs),
+                    Arc::clone(&opts),
+                    Arc::clone(&parse_cell),
+                    Arc::clone(&analysis_cell),
+                    Arc::clone(&log),
+                );
+                dag.node("analyze", &[parse_id], move || {
+                    let parsed = parse_cell.get().expect("parse completed");
+                    let key = analyze_key_of(parsed.closure_hash, &opts);
+                    let span = yalla_obs::span("engine", "analyze");
+                    let (artifact, lookup) =
+                        refresh(&slot, key, || stage_analyze(&parsed.tu, &vfs, &opts))?;
+                    let dur = span.finish();
+                    note(Stage::Analyze, lookup, true);
+                    let dur = if lookup.is_hit() {
+                        yalla_obs::global().instant("engine", "analyze (cached)");
+                        Duration::ZERO
+                    } else {
+                        dur
+                    };
+                    log.lock().expect("run log").analyze = Some((lookup, dur));
+                    cell.set(artifact).expect("analyze node runs once");
+                    Ok(())
+                })
+            }
+        };
+
+        let plan_id = match &warm_plan {
+            Some((p, key)) => {
+                plan_cell.set((Arc::clone(p), *key)).expect("fresh cell");
+                note(Stage::Plan, CacheLookup::Hit, true);
+                yalla_obs::global().instant("engine", "plan (cached)");
+                log.lock().expect("run log").plan = Some((CacheLookup::Hit, Duration::ZERO));
+                dag.cached("plan", &[analyze_id])
+            }
+            None => {
+                let (slot, opts, analysis_cell, cell, log) = (
+                    Arc::clone(&self.plan),
+                    Arc::clone(&opts),
+                    Arc::clone(&analysis_cell),
+                    Arc::clone(&plan_cell),
+                    Arc::clone(&log),
+                );
+                dag.node("plan", &[analyze_id], move || {
+                    let analysis = analysis_cell.get().expect("analyze completed");
+                    let key = plan_key_of(analysis);
+                    let span = yalla_obs::span("engine", "plan");
+                    let (artifact, lookup) =
+                        refresh(&slot, key, || Ok(stage_plan(analysis, &opts)))?;
+                    let dur = span.finish();
+                    note(Stage::Plan, lookup, true);
+                    let dur = if lookup.is_hit() {
+                        yalla_obs::global().instant("engine", "plan (cached)");
+                        Duration::ZERO
+                    } else {
+                        dur
+                    };
+                    log.lock().expect("run log").plan = Some((lookup, dur));
+                    cell.set((artifact, key)).expect("plan node runs once");
+                    Ok(())
+                })
+            }
+        };
+
+        let emit_id = match &warm_emit {
+            Some(e) => {
+                emit_cell.set(Arc::clone(e)).expect("fresh cell");
+                note(Stage::Emit, CacheLookup::Hit, true);
+                log.lock().expect("run log").emit = Some((CacheLookup::Hit, Duration::ZERO));
+                dag.cached("emit", &[plan_id])
+            }
+            None => {
+                let (slot, opts, plan_cell, cell, log) = (
+                    Arc::clone(&self.emit),
+                    Arc::clone(&opts),
+                    Arc::clone(&plan_cell),
+                    Arc::clone(&emit_cell),
+                    Arc::clone(&log),
+                );
+                dag.node("emit", &[plan_id], move || {
+                    let (plan, plan_key) = plan_cell.get().expect("plan completed");
+                    let span = yalla_obs::span("engine", "emit");
+                    let (artifact, lookup) = refresh(&slot, *plan_key, || {
+                        Ok(EmitArtifact {
+                            lightweight: emit::lightweight_header(plan, &opts.header),
+                            wrappers: emit::wrappers_file(
+                                plan,
+                                &opts.header,
+                                &opts.lightweight_name,
+                            ),
+                        })
+                    })?;
+                    let dur = span.finish();
+                    note(Stage::Emit, lookup, true);
+                    let dur = if lookup.is_hit() { Duration::ZERO } else { dur };
+                    log.lock().expect("run log").emit = Some((lookup, dur));
+                    cell.set(artifact).expect("emit node runs once");
+                    Ok(())
+                })
+            }
+        };
+
+        let mut rewrite_ids = Vec::with_capacity(opts.sources.len());
+        for (i, source) in opts.sources.iter().enumerate() {
+            if rewrite_warm[i] {
+                note(Stage::Rewrite, CacheLookup::Hit, true);
+                log.lock().expect("run log").rewrites_cached += 1;
+                rewrite_ids.push(dag.cached(format!("rewrite {source}"), &[plan_id]));
+                continue;
+            }
+            let (map, vfs, opts, source, parse_cell, analysis_cell, plan_cell, log) = (
+                Arc::clone(&self.rewrites),
+                Arc::clone(&vfs),
+                Arc::clone(&opts),
+                source.clone(),
+                Arc::clone(&parse_cell),
+                Arc::clone(&analysis_cell),
+                Arc::clone(&plan_cell),
+                Arc::clone(&log),
+            );
+            rewrite_ids.push(dag.node(format!("rewrite {source}"), &[plan_id], move || {
+                let parsed = parse_cell.get().expect("parse completed");
+                let analysis = analysis_cell.get().expect("analyze completed");
+                let (plan, plan_key) = plan_cell.get().expect("plan completed");
+                let key = rewrite_key_of(&vfs, &parsed.tu, analysis, *plan_key, &source);
+                let stale = {
+                    let map = map.lock().expect("rewrites lock");
+                    match map.get(&source) {
+                        Some(slot) if slot.key == key => {
+                            drop(map);
+                            note(Stage::Rewrite, CacheLookup::Hit, true);
+                            log.lock().expect("run log").rewrites_cached += 1;
+                            return Ok(());
+                        }
+                        existing => existing.is_some(),
+                    }
+                };
+                let lookup = if stale {
+                    CacheLookup::Invalidated
+                } else {
+                    CacheLookup::Miss
+                };
+                note(Stage::Rewrite, lookup, true);
+                let span = yalla_obs::span("engine", "rewrite");
+                let text =
+                    stage_rewrite_one(&vfs, &parsed.tu, plan, &analysis.table, &opts, &source);
+                let dur = span.finish();
+                map.lock().expect("rewrites lock").insert(
+                    source,
                     Slot {
                         key,
-                        artifact: text,
+                        artifact: Arc::new(text),
                     },
                 );
+                let mut log = log.lock().expect("run log");
+                log.rewrites_recomputed += 1;
+                log.rewrite_invalidated |= stale;
+                log.rewrite_dur += dur;
+                Ok(())
+            }));
+        }
+
+        let mut verify_deps = vec![emit_id];
+        verify_deps.extend(rewrite_ids.iter().copied());
+        match &warm_verify {
+            Some(v) => {
+                verify_cell.set(Arc::clone(v)).expect("fresh cell");
+                note(Stage::Verify, CacheLookup::Hit, true);
+                yalla_obs::global().instant("engine", "verify (cached)");
+                log.lock().expect("run log").verify = Some((CacheLookup::Hit, Duration::ZERO));
+                dag.cached("verify", &verify_deps);
+            }
+            None => {
+                let (slot, map, vfs, opts, main, parse_cell, plan_cell, emit_cell, cell, log) = (
+                    Arc::clone(&self.verify),
+                    Arc::clone(&self.rewrites),
+                    Arc::clone(&vfs),
+                    Arc::clone(&opts),
+                    main_source.clone(),
+                    Arc::clone(&parse_cell),
+                    Arc::clone(&plan_cell),
+                    Arc::clone(&emit_cell),
+                    Arc::clone(&verify_cell),
+                    Arc::clone(&log),
+                );
+                dag.node("verify", &verify_deps, move || {
+                    let parsed = parse_cell.get().expect("parse completed");
+                    let (_, plan_key) = plan_cell.get().expect("plan completed");
+                    let emit_art = emit_cell.get().expect("emit completed");
+                    let rewritten: BTreeMap<String, Arc<String>> = {
+                        let map = map.lock().expect("rewrites lock");
+                        opts.sources
+                            .iter()
+                            .map(|s| (s.clone(), Arc::clone(&map[s].artifact)))
+                            .collect()
+                    };
+                    let key =
+                        verify_key_of(parsed.closure_hash, *plan_key, &opts, emit_art, &rewritten);
+                    let span = yalla_obs::span("engine", "verify");
+                    let (artifact, lookup) = refresh(&slot, key, || {
+                        Ok(stage_verify(&vfs, &rewritten, emit_art, &opts, &main))
+                    })?;
+                    let dur = span.finish();
+                    note(Stage::Verify, lookup, true);
+                    let dur = if lookup.is_hit() {
+                        yalla_obs::global().instant("engine", "verify (cached)");
+                        Duration::ZERO
+                    } else {
+                        dur
+                    };
+                    log.lock().expect("run log").verify = Some((lookup, dur));
+                    cell.set(artifact).expect("verify node runs once");
+                    Ok(())
+                });
             }
         }
-        let rewrite_lookup = if rewrites_recomputed == 0 {
+
+        // ---- run --------------------------------------------------------
+        let run = dag.run(exec);
+        if let Some(err) = run.error {
+            return Err(err);
+        }
+
+        // ---- assemble the result ----------------------------------------
+        let log = log.lock().expect("run log").clone();
+        let parsed = parse_cell.get().expect("parse completed");
+        let (plan, _) = plan_cell.get().expect("plan completed");
+        let emit_art = emit_cell.get().expect("emit completed");
+        let verify_art = verify_cell.get().expect("verify completed");
+
+        let rewrite_lookup = if log.rewrites_recomputed == 0 {
+            yalla_obs::global().instant("engine", "rewrite (cached)");
             CacheLookup::Hit
-        } else if any_invalidated {
+        } else if log.rewrite_invalidated {
             CacheLookup::Invalidated
         } else {
             CacheLookup::Miss
         };
-        let dur = rewrite_span.finish();
-        let rewrite_dur = if rewrites_recomputed == 0 {
-            yalla_obs::global().instant("engine", "rewrite (cached)");
-            Duration::ZERO
-        } else {
-            dur
+        let (parse_lookup, parse_dur) = log.parse.expect("parse recorded");
+        let (analyze_lookup, analyze_dur) = log.analyze.expect("analyze recorded");
+        let (plan_lookup, plan_dur) = log.plan.expect("plan recorded");
+        let (emit_lookup, emit_dur) = log.emit.expect("emit recorded");
+        let (verify_lookup, verify_dur) = log.verify.expect("verify recorded");
+        let stages = vec![
+            StageOutcome {
+                stage: Stage::Parse,
+                lookup: parse_lookup,
+                duration: parse_dur,
+            },
+            StageOutcome {
+                stage: Stage::Analyze,
+                lookup: analyze_lookup,
+                duration: analyze_dur,
+            },
+            StageOutcome {
+                stage: Stage::Plan,
+                lookup: plan_lookup,
+                duration: plan_dur,
+            },
+            StageOutcome {
+                stage: Stage::Emit,
+                lookup: emit_lookup,
+                duration: emit_dur,
+            },
+            StageOutcome {
+                stage: Stage::Rewrite,
+                lookup: rewrite_lookup,
+                duration: log.rewrite_dur,
+            },
+            StageOutcome {
+                stage: Stage::Verify,
+                lookup: verify_lookup,
+                duration: verify_dur,
+            },
+        ];
+        let timings = Timings {
+            parse: parse_dur,
+            analyze: analyze_dur,
+            plan: plan_dur,
+            generate: emit_dur + log.rewrite_dur,
+            verify: verify_dur,
         };
-        stages.push(StageOutcome {
-            stage: Stage::Rewrite,
-            lookup: rewrite_lookup,
-            duration: rewrite_dur,
-        });
-        timings.generate = emit_dur + rewrite_dur;
-        drop(generate_span);
 
-        let emit_art = &self.emit.as_ref().expect("refreshed").artifact;
-        let mut rewritten: BTreeMap<String, String> = BTreeMap::new();
-        for s in &opts.sources {
-            rewritten.insert(s.clone(), self.rewrites[s].artifact.clone());
-        }
-
-        // ---- verify + after-stats ---------------------------------------
-        let verify_key = {
-            let mut h = Fnv64::new();
-            h.write_u64(parsed.closure_hash);
-            h.write_u64(plan_key);
-            h.write_str(&opts.lightweight_name);
-            h.write_str(&opts.wrappers_name);
-            h.write_u64(hash::hash_str(&emit_art.lightweight));
-            h.write_u64(hash::hash_str(&emit_art.wrappers));
-            for (path, text) in &rewritten {
-                h.write_str(path);
-                h.write_u64(hash::hash_str(text));
-            }
-            h.write_u64(u64::from(opts.verify));
-            h.finish()
+        let rewritten: BTreeMap<String, String> = {
+            let map = self.rewrites.lock().expect("rewrites lock");
+            opts.sources
+                .iter()
+                .map(|s| (s.clone(), (*map[s].artifact).clone()))
+                .collect()
         };
-        let verify_span = yalla_obs::span("engine", "verify");
-        let vfs = &self.vfs;
-        let lookup = refresh(&mut self.verify, verify_key, || {
-            Ok(stage_verify(vfs, &rewritten, emit_art, &opts, &main_source))
-        })?;
-        let verify_dur = verify_span.finish();
-        note(Stage::Verify, lookup, true);
-        if lookup.is_hit() {
-            yalla_obs::global().instant("engine", "verify (cached)");
-        } else {
-            timings.verify = verify_dur;
-        }
-        let verify_art = &self.verify.as_ref().expect("refreshed").artifact;
-        stages.push(StageOutcome {
-            stage: Stage::Verify,
-            lookup,
-            duration: timings.verify,
-        });
 
-        // ---- assemble the result ----------------------------------------
         let mut report = Report::from_plan(plan);
         report.before = TuStats {
             loc: parsed.tu.stats.lines_compiled,
@@ -619,19 +912,19 @@ impl Session {
                 lightweight_header: emit_art.lightweight.clone(),
                 wrappers_file: emit_art.wrappers.clone(),
                 rewritten_sources: rewritten,
-                plan: plan.clone(),
+                plan: (**plan).clone(),
                 report,
                 timings,
             },
             stages,
-            files_reparsed,
-            rewrites_recomputed,
-            rewrites_cached,
+            files_reparsed: log.files_reparsed,
+            rewrites_recomputed: log.rewrites_recomputed,
+            rewrites_cached: log.rewrites_cached,
         })
     }
 }
 
-// ---- stage implementations (shared by Session and Engine::run) -----------
+// ---- stage implementations ------------------------------------------------
 
 /// The analyze stage: symbol table + usage collection + pre-declared
 /// symbols (paper §6, Fig. 5 lines 2–10).
@@ -750,15 +1043,19 @@ fn stage_rewrite_one(
 /// incomplete-type rules, and gathers the after-substitution TU stats.
 fn stage_verify(
     vfs: &Vfs,
-    rewritten: &BTreeMap<String, String>,
+    rewritten: &BTreeMap<String, Arc<String>>,
     emit_art: &EmitArtifact,
     opts: &Options,
     main_source: &str,
 ) -> VerifyArtifact {
+    let owned: BTreeMap<String, String> = rewritten
+        .iter()
+        .map(|(path, text)| (path.clone(), (**text).clone()))
+        .collect();
     let verification = if opts.verify {
         verify(
             vfs,
-            rewritten,
+            &owned,
             &opts.lightweight_name,
             &emit_art.lightweight,
             &opts.wrappers_name,
@@ -770,7 +1067,7 @@ fn stage_verify(
     };
     // After-stats: preprocess the substituted TU.
     let mut after_vfs = vfs.clone();
-    for (path, text) in rewritten {
+    for (path, text) in &owned {
         after_vfs.add_file(path, text.clone());
     }
     after_vfs.add_file(&opts.lightweight_name, emit_art.lightweight.clone());

@@ -19,7 +19,7 @@
 //! the parse — and anything derived only from it — cannot have changed.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crate::error::Result;
 use crate::frontend::{Frontend, ParsedTu};
@@ -85,6 +85,15 @@ const VERSIONS_PER_KEY: usize = 4;
 /// [`VERSIONS_PER_KEY`] recent parses, so reverting an edit re-hits the
 /// version cached before the edit.
 ///
+/// The cache is internally synchronized: [`ParseCache::parse`] takes
+/// `&self`, so one cache (behind an `Arc`) serves concurrent per-TU
+/// parse tasks. The map lock is held only for lookup and insertion —
+/// never across an actual parse — so misses on different TUs
+/// preprocess and parse in parallel. Two threads missing the *same*
+/// key may both parse; the loser's insert deduplicates by closure
+/// hash, so the history stays consistent (the work is wasted, never
+/// wrong).
+///
 /// # Example
 ///
 /// ```
@@ -94,7 +103,7 @@ const VERSIONS_PER_KEY: usize = 4;
 /// let mut vfs = Vfs::new();
 /// vfs.add_file("a.hpp", "int x;");
 /// vfs.add_file("m.cpp", "#include \"a.hpp\"\nint y;");
-/// let mut cache = ParseCache::new();
+/// let cache = ParseCache::new();
 /// let first = cache.parse(&vfs, &[], "m.cpp").unwrap();
 /// assert_eq!(first.lookup, CacheLookup::Miss);
 /// let second = cache.parse(&vfs, &[], "m.cpp").unwrap();
@@ -103,7 +112,7 @@ const VERSIONS_PER_KEY: usize = 4;
 /// ```
 #[derive(Debug, Default)]
 pub struct ParseCache {
-    entries: HashMap<(String, u64), Vec<Entry>>,
+    entries: Mutex<HashMap<(String, u64), Vec<Entry>>>,
 }
 
 impl ParseCache {
@@ -114,17 +123,60 @@ impl ParseCache {
 
     /// Number of cached TUs.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.lock().expect("parse cache lock").len()
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.lock().expect("parse cache lock").is_empty()
     }
 
     /// Drops every entry.
-    pub fn clear(&mut self) {
-        self.entries.clear();
+    pub fn clear(&self) {
+        self.entries.lock().expect("parse cache lock").clear();
+    }
+
+    /// Looks up `path` without parsing: returns the validated cached TU
+    /// on a hit (counting it exactly as [`ParseCache::parse`] would), or
+    /// `None` — with no metric side effects — when a parse would be
+    /// needed. The session layer probes before building its stage DAG so
+    /// a warm parse short-circuits scheduling entirely.
+    pub fn probe(
+        &self,
+        vfs: &Vfs,
+        defines: &[(String, String)],
+        path: &str,
+    ) -> Option<CachedParse> {
+        let key = (path.to_string(), hash::hash_defines(defines));
+        let mut entries = self.entries.lock().expect("parse cache lock");
+        Self::lookup_valid(&mut entries, &key, vfs)
+    }
+
+    /// The shared hit path: finds a validated version for `key`, promotes
+    /// it to most-recently-used, and counts the hit.
+    fn lookup_valid(
+        entries: &mut HashMap<(String, u64), Vec<Entry>>,
+        key: &(String, u64),
+        vfs: &Vfs,
+    ) -> Option<CachedParse> {
+        let versions = entries.get_mut(key)?;
+        let valid = versions.iter().position(|entry| {
+            entry
+                .deps
+                .iter()
+                .all(|(dep, h)| vfs.hash_of(dep) == Some(*h))
+        })?;
+        // Most-recently-used first, so the history evicts the version
+        // least likely to come back.
+        let entry = versions.remove(valid);
+        let cached = CachedParse {
+            tu: Arc::clone(&entry.tu),
+            closure_hash: entry.closure_hash,
+            lookup: CacheLookup::Hit,
+        };
+        versions.insert(0, entry);
+        yalla_obs::count(yalla_obs::metrics::names::CACHE_HITS, 1);
+        Some(cached)
     }
 
     /// Parses `path` against `vfs` with `defines`, reusing the cached TU
@@ -135,34 +187,21 @@ impl ParseCache {
     ///
     /// Propagates frontend errors (which are never cached).
     pub fn parse(
-        &mut self,
+        &self,
         vfs: &Vfs,
         defines: &[(String, String)],
         path: &str,
     ) -> Result<CachedParse> {
         let key = (path.to_string(), hash::hash_defines(defines));
-        if let Some(versions) = self.entries.get_mut(&key) {
-            let valid = versions.iter().position(|entry| {
-                entry
-                    .deps
-                    .iter()
-                    .all(|(dep, h)| vfs.hash_of(dep) == Some(*h))
-            });
-            if let Some(i) = valid {
-                // Most-recently-used first, so the history evicts the
-                // version least likely to come back.
-                let entry = versions.remove(i);
-                let cached = CachedParse {
-                    tu: Arc::clone(&entry.tu),
-                    closure_hash: entry.closure_hash,
-                    lookup: CacheLookup::Hit,
-                };
-                versions.insert(0, entry);
-                yalla_obs::count(yalla_obs::metrics::names::CACHE_HITS, 1);
+        let stale = {
+            let mut entries = self.entries.lock().expect("parse cache lock");
+            if let Some(cached) = Self::lookup_valid(&mut entries, &key, vfs) {
                 return Ok(cached);
             }
-        }
-        let stale = self.entries.contains_key(&key);
+            entries.contains_key(&key)
+        };
+        // Lock released: the parse itself runs unsynchronized, so cache
+        // misses on different TUs overlap on the executor.
         yalla_obs::count(yalla_obs::metrics::names::CACHE_MISSES, 1);
         if stale {
             yalla_obs::count(yalla_obs::metrics::names::CACHE_INVALIDATIONS, 1);
@@ -186,7 +225,8 @@ impl ParseCache {
             deps.push((dep_path, dep_hash));
         }
         let closure_hash = closure.finish();
-        let versions = self.entries.entry(key).or_default();
+        let mut entries = self.entries.lock().expect("parse cache lock");
+        let versions = entries.entry(key).or_default();
         versions.retain(|e| e.closure_hash != closure_hash);
         versions.insert(
             0,
@@ -224,7 +264,7 @@ mod tests {
     #[test]
     fn second_parse_is_a_hit_sharing_the_ast() {
         let v = vfs();
-        let mut cache = ParseCache::new();
+        let cache = ParseCache::new();
         let a = cache.parse(&v, &[], "main.cpp").unwrap();
         let b = cache.parse(&v, &[], "main.cpp").unwrap();
         assert_eq!(a.lookup, CacheLookup::Miss);
@@ -236,7 +276,7 @@ mod tests {
     #[test]
     fn editing_a_dependency_invalidates() {
         let mut v = vfs();
-        let mut cache = ParseCache::new();
+        let cache = ParseCache::new();
         let a = cache.parse(&v, &[], "main.cpp").unwrap();
         v.apply_edit(
             "lib.hpp",
@@ -259,20 +299,22 @@ mod tests {
     #[test]
     fn version_history_is_bounded() {
         let mut v = vfs();
-        let mut cache = ParseCache::new();
+        let cache = ParseCache::new();
         for i in 0..10 {
             v.apply_edit("lib.hpp", format!("#pragma once\nint v{i};\n"))
                 .unwrap();
             cache.parse(&v, &[], "main.cpp").unwrap();
         }
         assert_eq!(cache.len(), 1);
-        let versions = &cache.entries[&("main.cpp".to_string(), hash::hash_defines(&[]))];
-        assert_eq!(versions.len(), VERSIONS_PER_KEY);
+        assert_eq!(
+            cache.entries.lock().unwrap()[&("main.cpp".to_string(), hash::hash_defines(&[]))].len(),
+            VERSIONS_PER_KEY
+        );
         // The most recent content is still a hit...
         assert!(cache.parse(&v, &[], "main.cpp").unwrap().lookup.is_hit());
         // ...and re-caching identical content does not duplicate it.
         assert_eq!(
-            cache.entries[&("main.cpp".to_string(), hash::hash_defines(&[]))].len(),
+            cache.entries.lock().unwrap()[&("main.cpp".to_string(), hash::hash_defines(&[]))].len(),
             VERSIONS_PER_KEY
         );
     }
@@ -280,7 +322,7 @@ mod tests {
     #[test]
     fn editing_an_unreached_file_keeps_the_hit() {
         let mut v = vfs();
-        let mut cache = ParseCache::new();
+        let cache = ParseCache::new();
         cache.parse(&v, &[], "main.cpp").unwrap();
         v.apply_edit("other.hpp", "#pragma once\nint changed;\n")
             .unwrap();
@@ -291,7 +333,7 @@ mod tests {
     #[test]
     fn defines_partition_the_cache() {
         let v = vfs();
-        let mut cache = ParseCache::new();
+        let cache = ParseCache::new();
         cache.parse(&v, &[], "main.cpp").unwrap();
         let defined = vec![("MODE".to_string(), "2".to_string())];
         let b = cache.parse(&v, &defined, "main.cpp").unwrap();
@@ -303,7 +345,7 @@ mod tests {
     fn distinct_tus_cache_independently() {
         let mut v = vfs();
         v.add_file("second.cpp", "#include \"other.hpp\"\nint z;\n");
-        let mut cache = ParseCache::new();
+        let cache = ParseCache::new();
         cache.parse(&v, &[], "main.cpp").unwrap();
         cache.parse(&v, &[], "second.cpp").unwrap();
         // Editing other.hpp touches only second.cpp's closure.
@@ -317,10 +359,34 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_parses_share_one_cache() {
+        // 8 threads × 2 TUs through one &self cache: every thread gets a
+        // correct TU, and at the end each TU re-hits.
+        let mut v = vfs();
+        v.add_file("second.cpp", "#include \"other.hpp\"\nint z;\n");
+        let cache = ParseCache::new();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let cache = &cache;
+                let v = &v;
+                scope.spawn(move || {
+                    let path = if t % 2 == 0 { "main.cpp" } else { "second.cpp" };
+                    for _ in 0..4 {
+                        cache.parse(v, &[], path).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 2);
+        assert!(cache.parse(&v, &[], "main.cpp").unwrap().lookup.is_hit());
+        assert!(cache.parse(&v, &[], "second.cpp").unwrap().lookup.is_hit());
+    }
+
+    #[test]
     fn errors_are_not_cached() {
         let mut v = Vfs::new();
         v.add_file("bad.cpp", "#include \"missing.hpp\"\n");
-        let mut cache = ParseCache::new();
+        let cache = ParseCache::new();
         assert!(cache.parse(&v, &[], "bad.cpp").is_err());
         assert!(cache.is_empty());
         // Adding the header makes it parse (a miss, not a stale error).

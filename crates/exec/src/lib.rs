@@ -1,0 +1,39 @@
+//! **yalla-exec** — a work-stealing task executor and dependency-DAG
+//! scheduler for the YALLA pipeline.
+//!
+//! The engine's stage pipeline (parse → analyze → plan → emit → rewrite →
+//! verify) and the `yalla serve` daemon both need the same thing: run many
+//! independent pieces of work on a bounded pool of worker threads, respect
+//! dependency edges, and never deadlock when a task has to wait for other
+//! tasks. This crate provides:
+//!
+//! * [`Executor`] — a work-stealing thread pool. Every worker owns a deque;
+//!   tasks spawned *from* a worker go to that worker's deque (LIFO, cache
+//!   warm), idle workers steal from the injector and from each other
+//!   (FIFO, oldest first). Sized explicitly or from `YALLA_WORKERS`
+//!   (`max`/`0` = all hardware threads).
+//! * [`Latch`] — a countdown latch whose [`Executor::wait`] *helps*: a
+//!   worker blocked on a latch keeps executing pool tasks instead of
+//!   parking, so nested waits (a daemon request that schedules a stage DAG
+//!   that fans out per-source rewrites) cannot starve a small pool — even a
+//!   one-worker executor runs arbitrarily nested task graphs to
+//!   completion, it just runs them sequentially.
+//! * [`Dag`] — a dependency-DAG scheduler over the executor. Nodes are
+//!   fallible closures; a node runs when all of its dependencies
+//!   succeeded, errors cancel all transitively dependent nodes, and nodes
+//!   marked *cached* complete inline without ever being scheduled (the
+//!   session layer's warm cache hits short-circuit scheduling).
+//!
+//! Worker threads buffer their own `exec.*` counters in a
+//! [`yalla_obs::metrics::LocalCounters`] and merge them into the shared
+//! registry when they park and when they exit, so hot task loops never
+//! contend on the registry lock.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dag;
+pub mod executor;
+
+pub use dag::{Dag, DagOutcome, NodeId, NodeOutcome, NodeStatus};
+pub use executor::{Executor, Latch};

@@ -17,7 +17,10 @@
 //!   `tests/repros/`;
 //! * [`session_fuzz`] fuzzes *edit streams* through a warm
 //!   [`yalla_core::Session`], asserting warm reruns match cold runs
-//!   byte for byte.
+//!   byte for byte;
+//! * [`race`] fuzzes *request schedules* against one `yalla serve`
+//!   shard from several real threads, asserting concurrent edit/rerun
+//!   serialize (or reject) cleanly with no torn cache fingerprints.
 //!
 //! The `yalla fuzz` CLI subcommand drives a whole campaign.
 
@@ -26,12 +29,14 @@
 
 pub mod grammar;
 pub mod oracle;
+pub mod race;
 pub mod repro;
 pub mod session_fuzz;
 pub mod shrink;
 
 pub use grammar::ProjectModel;
 pub use oracle::{CaseOutcome, Divergence, ExecTrace, Sabotage};
+pub use race::{run_race_case, RaceCaseReport, RaceMismatch};
 pub use repro::{parse_fixture, render_fixture, Repro};
 pub use session_fuzz::{run_session_case, SessionCaseReport};
 pub use shrink::{shrink, Shrunk};
@@ -52,6 +57,9 @@ pub struct FuzzConfig {
     /// Also run the session edit-stream mode every this many cases
     /// (0 disables it).
     pub session_every: u64,
+    /// Also run the daemon shard-race mode every this many cases
+    /// (0 disables it).
+    pub race_every: u64,
     /// Entry arguments handed to `fuzz_entry`.
     pub entry_args: (i64, i64),
 }
@@ -64,6 +72,7 @@ impl Default for FuzzConfig {
             shrink: false,
             sabotage: Sabotage::None,
             session_every: 25,
+            race_every: 50,
             entry_args: (3, 5),
         }
     }
@@ -93,14 +102,19 @@ pub struct CampaignReport {
     pub session_cases: u64,
     /// Warm-vs-cold mismatches across all session cases.
     pub session_mismatches: usize,
+    /// Shard-race cases executed.
+    pub race_cases: u64,
+    /// Race-contract violations across all race cases.
+    pub race_mismatches: usize,
     /// Diverging cases.
     pub divergences: Vec<DivergenceCase>,
 }
 
 impl CampaignReport {
-    /// True when no case diverged and no session mismatch appeared.
+    /// True when no case diverged and no session or race mismatch
+    /// appeared.
     pub fn clean(&self) -> bool {
-        self.divergences.is_empty() && self.session_mismatches == 0
+        self.divergences.is_empty() && self.session_mismatches == 0 && self.race_mismatches == 0
     }
 }
 
@@ -150,6 +164,12 @@ pub fn run_campaign(config: &FuzzConfig) -> Result<CampaignReport, String> {
             let session = session_fuzz::run_session_case(case_seed ^ 0xa5a5, 6)?;
             report.session_cases += 1;
             report.session_mismatches += session.mismatches.len();
+        }
+
+        if config.race_every > 0 && (i + 1) % config.race_every == 0 {
+            let race = race::run_race_case(case_seed ^ 0x5a5a, 4, 8)?;
+            report.race_cases += 1;
+            report.race_mismatches += race.mismatches.len();
         }
     }
     Ok(report)

@@ -1,0 +1,306 @@
+//! Shard-race fuzzing for the `yalla serve` daemon.
+//!
+//! The daemon serializes concurrent `edit`/`rerun`/`get` on one project
+//! behind the shard mutex; a request is either applied atomically at
+//! request granularity or cleanly rejected. This mode hammers that
+//! contract: several real threads fire randomized interleaved request
+//! schedules at *one* shard, then the final state is checked against two
+//! independent oracles:
+//!
+//! * **Sequential equivalence** — each thread edits its own source file,
+//!   so whatever the interleaving, the final file state is determined by
+//!   per-thread program order alone. After all threads join, a draining
+//!   rerun's artifacts must be byte-identical to a cold
+//!   [`yalla_core::Engine`] run over the expected final file texts. Any
+//!   difference means an edit tore, was dropped, or leaked mid-rerun.
+//! * **No torn fingerprints** — a second rerun immediately after the
+//!   drain must report every stage cached (`fully_cached`). If racing
+//!   requests had recorded a stage result under a key not matching its
+//!   inputs, this revalidation would recompute (or worse, return stale
+//!   artifacts caught by the first oracle).
+//!
+//! Every response must parse as JSON with `"ok": true` here — the
+//! schedule only sends valid requests, so a rejection is itself a
+//! finding. `yalla fuzz --race-every N` runs one case every N
+//! differential cases with a schedule seed derived from the campaign
+//! seed.
+
+use std::sync::Arc;
+
+use yalla_core::serve::ServeState;
+use yalla_core::{Engine, Options};
+use yalla_corpus::gen::DetRng;
+use yalla_cpp::vfs::Vfs;
+use yalla_exec::Executor;
+use yalla_obs::chrome::escape_json;
+
+/// One contract violation observed by a race case.
+#[derive(Debug, Clone)]
+pub struct RaceMismatch {
+    /// Which oracle failed.
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl std::fmt::Display for RaceMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind, self.detail)
+    }
+}
+
+/// Outcome of one race case.
+#[derive(Debug)]
+pub struct RaceCaseReport {
+    /// Total requests sent across all client threads.
+    pub requests: usize,
+    /// Requests the daemon rejected (must be 0 — the schedule is valid).
+    pub rejected: usize,
+    /// Reruns that actually executed (drain + per-thread).
+    pub reruns: usize,
+    /// Contract violations (empty on success).
+    pub mismatches: Vec<RaceMismatch>,
+}
+
+impl RaceCaseReport {
+    /// True when every oracle held.
+    pub fn clean(&self) -> bool {
+        self.rejected == 0 && self.mismatches.is_empty()
+    }
+}
+
+const RACE_HEADER: &str = "\
+namespace rc {
+class Widget {
+ public:
+  int id() const;
+  int scale(int k) const;
+};
+}  // namespace rc
+";
+
+fn source_name(thread: usize) -> String {
+    format!("s{thread}.cpp")
+}
+
+/// The text of thread `t`'s source at revision `rev`. Revision 0 is the
+/// opening state; each edit bumps the revision, so the final text is a
+/// pure function of how many edits the thread submitted.
+fn source_text(thread: usize, rev: usize) -> String {
+    format!(
+        "#include \"rc.hpp\"\nint use{thread}(rc::Widget& w) {{ return w.id() + w.scale({rev}); }}\n"
+    )
+}
+
+fn open_request(threads: usize) -> String {
+    let mut files = vec![format!("\"rc.hpp\": \"{}\"", escape_json(RACE_HEADER))];
+    let mut sources = Vec::with_capacity(threads);
+    for t in 0..threads {
+        files.push(format!(
+            "\"{}\": \"{}\"",
+            source_name(t),
+            escape_json(&source_text(t, 0))
+        ));
+        sources.push(format!("\"{}\"", source_name(t)));
+    }
+    format!(
+        "{{\"op\": \"open\", \"project\": \"race\", \"header\": \"rc.hpp\", \
+         \"sources\": [{}], \"files\": {{{}}}}}",
+        sources.join(", "),
+        files.join(", ")
+    )
+}
+
+/// The cold-oracle result over the expected final file state.
+fn cold_final(
+    threads: usize,
+    final_revs: &[usize],
+) -> Result<yalla_core::SubstitutionResult, String> {
+    let mut vfs = Vfs::new();
+    vfs.add_file("rc.hpp", RACE_HEADER);
+    let mut sources = Vec::with_capacity(threads);
+    for (t, &rev) in final_revs.iter().enumerate() {
+        vfs.add_file(&source_name(t), source_text(t, rev));
+        sources.push(source_name(t));
+    }
+    Engine::new(Options {
+        header: "rc.hpp".to_string(),
+        sources,
+        ..Options::default()
+    })
+    .run(&vfs)
+    .map_err(|e| format!("cold oracle: {e}"))
+}
+
+/// Runs one race case: `threads` client threads each fire
+/// `requests_per_thread` randomized edit/rerun/get/status requests at one
+/// warm shard, then the final state is checked against the sequential
+/// oracle and the torn-fingerprint oracle.
+///
+/// # Errors
+///
+/// Returns a diagnostic when the harness itself fails (thread panic,
+/// unparseable response); contract violations are reported as
+/// [`RaceMismatch`]es instead.
+///
+/// # Panics
+///
+/// Panics only on poisoned harness-internal locks.
+pub fn run_race_case(
+    seed: u64,
+    threads: usize,
+    requests_per_thread: usize,
+) -> Result<RaceCaseReport, String> {
+    let threads = threads.max(2);
+    // Vary the contention profile with the seed: 1 worker makes every
+    // rerun strictly serial, more workers interleave them with edits.
+    let workers = 1 + (seed % 4) as usize;
+    let state = Arc::new(ServeState::new(Executor::new(workers)));
+
+    let r = state.handle_line(&open_request(threads));
+    if !r.text.contains("\"ok\": true") {
+        return Err(format!("open failed: {}", r.text));
+    }
+    // One cold rerun before the clients start, so every racing `get` has
+    // a completed run to read — a rejection after this is a real finding.
+    let r = state.handle_line("{\"op\": \"rerun\", \"project\": \"race\"}");
+    if !r.text.contains("\"ok\": true") {
+        return Err(format!("cold rerun failed: {}", r.text));
+    }
+
+    let mut handles = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let state = Arc::clone(&state);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = DetRng::new(seed ^ (0xace0_0000 + t as u64));
+            let mut rev = 0usize;
+            let mut sent = 0usize;
+            let mut rejected = 0usize;
+            for _ in 0..requests_per_thread {
+                let request = match rng.next(6) {
+                    0 | 1 => {
+                        rev += 1;
+                        format!(
+                            "{{\"op\": \"edit\", \"project\": \"race\", \"path\": \"{}\", \"text\": \"{}\"}}",
+                            source_name(t),
+                            escape_json(&source_text(t, rev))
+                        )
+                    }
+                    2 | 3 => "{\"op\": \"rerun\", \"project\": \"race\"}".to_string(),
+                    4 => format!(
+                        "{{\"op\": \"get\", \"project\": \"race\", \"artifact\": \"source:{}\"}}",
+                        source_name(t)
+                    ),
+                    _ => "{\"op\": \"status\"}".to_string(),
+                };
+                let response = state.handle_line(&request);
+                sent += 1;
+                if !response.text.contains("\"ok\": true") {
+                    rejected += 1;
+                }
+            }
+            (rev, sent, rejected)
+        }));
+    }
+
+    let mut final_revs = vec![0usize; threads];
+    let mut report = RaceCaseReport {
+        requests: 2, // the open + the cold rerun
+        rejected: 0,
+        reruns: 1,
+        mismatches: Vec::new(),
+    };
+    for (t, handle) in handles.into_iter().enumerate() {
+        let (rev, sent, rejected) = handle
+            .join()
+            .map_err(|_| format!("client thread {t} panicked"))?;
+        final_revs[t] = rev;
+        report.requests += sent;
+        report.rejected += rejected;
+    }
+    if report.rejected > 0 {
+        report.mismatches.push(RaceMismatch {
+            kind: "rejected-valid-request".to_string(),
+            detail: format!("{} valid request(s) rejected", report.rejected),
+        });
+    }
+
+    // Drain any still-pending edits, then check the torn-fingerprint
+    // oracle: an immediate second rerun must be fully cached.
+    let drain = state.handle_line("{\"op\": \"rerun\", \"project\": \"race\"}");
+    let warm = state.handle_line("{\"op\": \"rerun\", \"project\": \"race\"}");
+    report.requests += 2;
+    report.reruns += 2;
+    if !drain.text.contains("\"ok\": true") {
+        report.mismatches.push(RaceMismatch {
+            kind: "drain-failed".to_string(),
+            detail: drain.text.clone(),
+        });
+    }
+    if !warm.text.contains("\"fully_cached\": true") {
+        report.mismatches.push(RaceMismatch {
+            kind: "torn-fingerprint".to_string(),
+            detail: format!(
+                "post-drain rerun recomputed a stage — a cache key did not \
+                 match its inputs: {}",
+                warm.text
+            ),
+        });
+    }
+
+    // Sequential-equivalence oracle: artifacts must equal a cold run over
+    // the deterministic final file state.
+    let cold = cold_final(threads, &final_revs)?;
+    let mut check = |artifact: &str, expected: &str| {
+        let request =
+            format!("{{\"op\": \"get\", \"project\": \"race\", \"artifact\": \"{artifact}\"}}");
+        let response = state.handle_line(&request);
+        report.requests += 1;
+        let got = yalla_obs::json::parse(&response.text)
+            .ok()
+            .and_then(|v| v.get("text").and_then(|t| t.as_str().map(str::to_string)));
+        if got.as_deref() != Some(expected) {
+            report.mismatches.push(RaceMismatch {
+                kind: "artifact-divergence".to_string(),
+                detail: format!(
+                    "`{artifact}` differs from the cold run over the final file state \
+                     (got {} bytes, want {} bytes)",
+                    got.map_or(0, |g| g.len()),
+                    expected.len()
+                ),
+            });
+        }
+    };
+    check("lightweight", &cold.lightweight_header);
+    check("wrappers", &cold.wrappers_file);
+    for (t, _) in final_revs.iter().enumerate() {
+        let name = source_name(t);
+        check(&format!("source:{name}"), &cold.rewritten_sources[&name]);
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn race_case_is_clean_across_seeds() {
+        for seed in [1u64, 2, 3] {
+            let report = run_race_case(seed, 4, 8).unwrap();
+            assert!(report.clean(), "seed {seed}: {:?}", report.mismatches);
+            assert!(report.requests > 4 * 8, "all requests counted");
+        }
+    }
+
+    #[test]
+    fn final_state_is_a_pure_function_of_revisions() {
+        // The oracle itself must be deterministic: two cold runs over the
+        // same revisions agree byte for byte.
+        let a = cold_final(3, &[2, 0, 5]).unwrap();
+        let b = cold_final(3, &[2, 0, 5]).unwrap();
+        assert_eq!(a.lightweight_header, b.lightweight_header);
+        assert_eq!(a.rewritten_sources, b.rewritten_sources);
+    }
+}

@@ -56,6 +56,14 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// The object's members (key-sorted), if this is an object.
+    pub fn entries(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(map) => Some(map),
+            _ => None,
+        }
+    }
 }
 
 /// Parses a complete JSON document (surrounding whitespace allowed).

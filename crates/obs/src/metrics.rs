@@ -7,7 +7,7 @@
 //! from any thread without re-locking the registry, and concurrent adds
 //! aggregate correctly.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -48,6 +48,24 @@ pub mod names {
     pub const SESSION_TUS_REPARSED: &str = "session.tus_reparsed";
     /// Simulated dev-cycle iterations assembled.
     pub const SIM_ITERATIONS: &str = "sim.iterations";
+    /// Tasks executed by yalla-exec worker threads.
+    pub const EXEC_TASKS_EXECUTED: &str = "exec.tasks_executed";
+    /// Tasks a worker stole from a sibling's deque.
+    pub const EXEC_TASKS_STOLEN: &str = "exec.tasks_stolen";
+    /// Times a worker parked with no work available.
+    pub const EXEC_PARKS: &str = "exec.parks";
+    /// Worker threads in the global executor (gauge).
+    pub const EXEC_WORKERS: &str = "exec.workers";
+    /// Requests handled by the `yalla serve` daemon.
+    pub const SERVE_REQUESTS: &str = "serve.requests";
+    /// Requests the daemon rejected (bad JSON, unknown project, busy).
+    pub const SERVE_REJECTED: &str = "serve.rejected";
+    /// Edits the daemon batched (queued without an immediate rerun).
+    pub const SERVE_EDITS_BATCHED: &str = "serve.edits_batched";
+    /// Reruns the daemon executed on behalf of clients.
+    pub const SERVE_RERUNS: &str = "serve.reruns";
+    /// Project shards the daemon currently holds warm (gauge).
+    pub const SERVE_SHARDS: &str = "serve.shards";
     /// Differential-fuzzer cases executed (`yalla fuzz`).
     pub const FUZZ_CASES: &str = "fuzz.cases";
     /// Differential-fuzzer divergences detected.
@@ -172,6 +190,64 @@ impl MetricsRegistry {
     }
 }
 
+/// A per-thread counter buffer for hot loops.
+///
+/// [`Counter`] handles are already thread-safe, but obtaining one takes
+/// the registry lock, and a tight task loop bumping many names would
+/// either hold handles for every name or re-lock per bump. A
+/// `LocalCounters` accumulates deltas in a plain (unsynchronized, owned)
+/// map and merges them into a shared [`MetricsRegistry`] in one pass at
+/// quiescent points — the yalla-exec workers flush when they park and
+/// when they exit. Dropping an unflushed buffer is a bug in the owner,
+/// so `Drop` asserts emptiness in debug builds; prefer an explicit
+/// [`flush_into`](LocalCounters::flush_into).
+///
+/// The aggregate across threads is exact: every delta is added to the
+/// buffer exactly once and every buffer is flushed into atomic cells, so
+/// no update can be lost or double-counted regardless of interleaving.
+#[derive(Debug, Default)]
+pub struct LocalCounters {
+    pending: HashMap<&'static str, i64>,
+}
+
+impl LocalCounters {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        LocalCounters::default()
+    }
+
+    /// Buffers `delta` against `name` (no lock taken).
+    pub fn add(&mut self, name: &'static str, delta: i64) {
+        *self.pending.entry(name).or_insert(0) += delta;
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Merges every buffered delta into `registry` and empties the
+    /// buffer. Zero-sum entries are dropped without touching the
+    /// registry.
+    pub fn flush_into(&mut self, registry: &MetricsRegistry) {
+        for (name, delta) in self.pending.drain() {
+            if delta != 0 {
+                registry.counter(name).add(delta);
+            }
+        }
+    }
+}
+
+impl Drop for LocalCounters {
+    fn drop(&mut self) {
+        debug_assert!(
+            self.pending.is_empty(),
+            "LocalCounters dropped with unflushed deltas: {:?}",
+            self.pending
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +297,45 @@ mod tests {
             }
         });
         assert_eq!(reg.counter("shared").get(), 8000);
+    }
+
+    #[test]
+    fn local_buffers_merge_exactly_from_eight_threads() {
+        // Satellite requirement: hammer one counter from 8 threads
+        // through per-thread buffers and check the exact total. Each
+        // thread buffers 10_000 increments, flushing every 64 to
+        // interleave flushes with other threads' flushes.
+        let reg = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let mut local = LocalCounters::new();
+                    for i in 0..10_000 {
+                        local.add("hammered", 1);
+                        if i % 64 == 63 {
+                            local.flush_into(&reg);
+                        }
+                    }
+                    local.flush_into(&reg);
+                });
+            }
+        });
+        assert_eq!(reg.counter("hammered").get(), 80_000);
+    }
+
+    #[test]
+    fn local_buffer_coalesces_and_skips_zero_sums() {
+        let reg = MetricsRegistry::new();
+        let mut local = LocalCounters::new();
+        local.add("up", 5);
+        local.add("up", 2);
+        local.add("wash", 3);
+        local.add("wash", -3);
+        local.flush_into(&reg);
+        assert!(local.is_empty());
+        assert_eq!(reg.counter("up").get(), 7);
+        // The zero-sum name never created a registry slot.
+        assert_eq!(reg.snapshot().len(), 1);
     }
 
     #[test]

@@ -111,6 +111,43 @@ impl CycleReport {
     }
 }
 
+/// Predicted wall-clock of running `costs` (one entry per independent
+/// tool rerun / build, in ms) on `workers` concurrent agents, under
+/// greedy list scheduling in submission order: each task goes to the
+/// earliest-free worker.
+///
+/// This is the daemon's tool-rerun accounting under concurrency: with a
+/// single worker the makespan is the plain sum (the batch cycle's serial
+/// cost); with more workers it approaches `max(longest task, sum /
+/// workers)`. The throughput bench compares this model against the
+/// measured wall-clock of `yalla serve` under load.
+pub fn concurrent_makespan(costs: &[f64], workers: usize) -> f64 {
+    let workers = workers.max(1);
+    let mut free_at = vec![0.0f64; workers];
+    for &cost in costs {
+        let earliest = free_at
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite cost"))
+            .map(|(i, _)| i)
+            .expect("at least one worker");
+        free_at[earliest] += cost.max(0.0);
+    }
+    free_at.into_iter().fold(0.0, f64::max)
+}
+
+/// The modeled speedup of `workers` concurrent agents over a single one
+/// for the given rerun costs (≥ 1, ≤ `workers`).
+pub fn concurrent_speedup(costs: &[f64], workers: usize) -> f64 {
+    let serial: f64 = costs.iter().map(|c| c.max(0.0)).sum();
+    let parallel = concurrent_makespan(costs, workers);
+    if parallel <= 0.0 {
+        1.0
+    } else {
+        serial / parallel
+    }
+}
+
 /// Builds [`CycleReport`]s from per-configuration measurements.
 #[derive(Debug, Clone, Copy)]
 pub struct DevCycleSim {
@@ -213,6 +250,35 @@ mod tests {
         assert_eq!(BuildConfig::YallaLto.label(), "yalla+lto");
         assert_eq!(ToolMode::Batch.label(), "batch");
         assert_eq!(ToolMode::Incremental.label(), "incremental");
+    }
+
+    #[test]
+    fn makespan_with_one_worker_is_the_serial_sum() {
+        let costs = [3.0, 1.0, 4.0, 1.0, 5.0];
+        assert!((concurrent_makespan(&costs, 1) - 14.0).abs() < 1e-9);
+        assert!((concurrent_speedup(&costs, 1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn makespan_overlaps_across_workers() {
+        // Greedy in order on 2 workers: w0=[3,1,5], w1=[1,4] → makespan 9.
+        let costs = [3.0, 1.0, 4.0, 1.0, 5.0];
+        assert!((concurrent_makespan(&costs, 2) - 9.0).abs() < 1e-9);
+        // Never better than the longest single task, never better than
+        // an even split.
+        assert!(concurrent_makespan(&costs, 100) >= 5.0);
+        let s = concurrent_speedup(&costs, 2);
+        assert!(s > 1.0 && s <= 2.0, "{s}");
+    }
+
+    #[test]
+    fn makespan_degenerate_inputs() {
+        assert_eq!(concurrent_makespan(&[], 4), 0.0);
+        assert!((concurrent_speedup(&[], 4) - 1.0).abs() < 1e-9);
+        // workers = 0 clamps to 1.
+        assert!((concurrent_makespan(&[2.0, 2.0], 0) - 4.0).abs() < 1e-9);
+        // Negative costs clamp to zero rather than making time run backward.
+        assert!((concurrent_makespan(&[-1.0, 3.0], 1) - 3.0).abs() < 1e-9);
     }
 
     #[test]

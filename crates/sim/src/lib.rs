@@ -39,6 +39,8 @@ pub mod trace;
 pub mod tu;
 
 pub use cost::{CompilerKind, CompilerProfile};
-pub use devcycle::{BuildConfig, CycleReport, DevCycleSim, ToolMode};
+pub use devcycle::{
+    concurrent_makespan, concurrent_speedup, BuildConfig, CycleReport, DevCycleSim, ToolMode,
+};
 pub use phases::PhaseBreakdown;
 pub use tu::{measure_tu, TuWork};

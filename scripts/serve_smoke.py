@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the `yalla serve` daemon.
+
+Starts the daemon on a Unix socket, drives one full client cycle
+(open -> cold rerun -> warm rerun -> artifact read -> shutdown) with the
+line-delimited JSON protocol, and checks the daemon exits cleanly. Run
+under a hard timeout (CI uses `timeout 60`); any hang is a failure.
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+
+SOCKET = os.environ.get("YALLA_SMOKE_SOCKET", "/tmp/yalla-smoke.sock")
+BINARY = os.environ.get("YALLA_BINARY", "./target/release/yalla")
+
+HEADER = (
+    "namespace ci {\n"
+    "class Probe {\n"
+    " public:\n"
+    "  int id() const;\n"
+    "};\n"
+    "}  // namespace ci\n"
+)
+SOURCE = '#include "ci.hpp"\nint f(ci::Probe& p) { return p.id(); }\n'
+
+
+def main():
+    daemon = subprocess.Popen([BINARY, "serve", "--socket", SOCKET, "--workers", "2"])
+    try:
+        s = socket.socket(socket.AF_UNIX)
+        for _ in range(100):
+            try:
+                s.connect(SOCKET)
+                break
+            except OSError:
+                time.sleep(0.1)
+        else:
+            raise SystemExit("could not connect to the daemon")
+        f = s.makefile("rw")
+
+        def req(obj):
+            f.write(json.dumps(obj) + "\n")
+            f.flush()
+            return json.loads(f.readline())
+
+        r = req(
+            {
+                "op": "open",
+                "project": "ci",
+                "header": "ci.hpp",
+                "sources": ["main.cpp"],
+                "files": {"ci.hpp": HEADER, "main.cpp": SOURCE},
+            }
+        )
+        assert r["ok"], r
+        r = req({"op": "rerun", "project": "ci"})
+        assert r["ok"] and not r["fully_cached"], r
+        r = req({"op": "rerun", "project": "ci"})
+        assert r["ok"] and r["fully_cached"], r
+        r = req({"op": "get", "project": "ci", "artifact": "lightweight"})
+        assert r["ok"] and "class Probe;" in r["text"], r
+        r = req({"op": "shutdown"})
+        assert r["ok"], r
+        assert daemon.wait(timeout=30) == 0, "daemon did not exit cleanly"
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+    print("serve smoke OK")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

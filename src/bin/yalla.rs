@@ -16,6 +16,19 @@
 //! `--out-dir` (default `yalla-out/`). Exit status is non-zero when the
 //! engine fails or verification does not pass.
 //!
+//! The `serve` subcommand starts the long-lived daemon: a pool of warm
+//! incremental sessions (one shard per project tree) behind a
+//! line-delimited JSON protocol on a Unix socket:
+//!
+//! ```text
+//! yalla serve --socket <PATH> [--workers N|max] [--metrics]
+//! ```
+//!
+//! Clients send one JSON object per line (`open`, `edit`, `rerun`,
+//! `get`, `status`, `shutdown`) and read one response line per request;
+//! edits batch on the shard until the next rerun. The daemon exits when
+//! any client sends `shutdown`.
+//!
 //! The `fuzz` subcommand runs the differential semantic-preservation
 //! fuzzer instead:
 //!
@@ -314,7 +327,7 @@ fn run() -> Result<(), String> {
 }
 
 const FUZZ_USAGE: &str = "usage: yalla fuzz [--seed N] [--iters K] [--shrink] \
-[--sabotage none|probe-offset|zero-return] [--session-every N] \
+[--sabotage none|probe-offset|zero-return] [--session-every N] [--race-every N] \
 [--repro-dir <DIR>] [--metrics] | yalla fuzz --replay <FIXTURE>...";
 
 /// Replays checked-in repro fixtures: each must run divergence-free.
@@ -378,6 +391,11 @@ fn run_fuzz(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("bad --session-every: {e}"))?;
             }
+            "--race-every" => {
+                config.race_every = value("--race-every")?
+                    .parse()
+                    .map_err(|e| format!("bad --race-every: {e}"))?;
+            }
             "--repro-dir" => repro_dir = PathBuf::from(value("--repro-dir")?),
             "--metrics" => metrics = true,
             "--replay" => { /* the remaining positionals are fixtures */ }
@@ -400,11 +418,14 @@ fn run_fuzz(args: &[String]) -> Result<(), String> {
 
     let report = yalla::fuzz::run_campaign(&config)?;
     println!(
-        "fuzz: {} cases ({} session cases), {} divergence(s), {} session mismatch(es)",
+        "fuzz: {} cases ({} session, {} race), {} divergence(s), {} session mismatch(es), \
+         {} race mismatch(es)",
         report.cases,
         report.session_cases,
+        report.race_cases,
         report.divergences.len(),
-        report.session_mismatches
+        report.session_mismatches,
+        report.race_mismatches
     );
     for case in &report.divergences {
         eprintln!("case seed {:#x}: {}", case.case_seed, case.divergence);
@@ -432,10 +453,73 @@ fn run_fuzz(args: &[String]) -> Result<(), String> {
     }
 }
 
+const SERVE_USAGE: &str = "usage: yalla serve --socket <PATH> [--workers N|max] [--metrics]";
+
+#[cfg(unix)]
+fn run_serve(args: &[String]) -> Result<(), String> {
+    let mut socket: Option<PathBuf> = None;
+    let mut workers: Option<usize> = None;
+    let mut metrics = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--socket" => socket = Some(PathBuf::from(value("--socket")?)),
+            "--workers" => {
+                let v = value("--workers")?;
+                workers = Some(if v == "max" {
+                    0 // Executor::new(0) sizes to hardware threads.
+                } else {
+                    v.parse().map_err(|e| format!("bad --workers: {e}"))?
+                });
+            }
+            "--metrics" => metrics = true,
+            "--help" | "-h" => {
+                println!("{SERVE_USAGE}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument `{other}`\n{SERVE_USAGE}")),
+        }
+    }
+    let socket = socket.ok_or(format!("missing --socket\n{SERVE_USAGE}"))?;
+    if metrics {
+        yalla::obs::enable();
+    }
+    let exec = match workers {
+        Some(n) => yalla::exec::Executor::new(n),
+        None => yalla::exec::Executor::global().clone(),
+    };
+    let workers = exec.workers();
+    let server = yalla::core::serve::Server::start(&socket, exec)
+        .map_err(|e| format!("binding {}: {e}", socket.display()))?;
+    println!(
+        "yalla serve: listening on {} ({workers} workers)",
+        socket.display()
+    );
+    while !server.is_stopped() {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let requests = server.state().requests();
+    server.join();
+    println!("yalla serve: shutdown after {requests} request(s)");
+    if metrics {
+        print!("{}", yalla::obs::global().summary());
+    }
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn run_serve(_args: &[String]) -> Result<(), String> {
+    Err("yalla serve requires a platform with Unix sockets".to_string())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let outcome = match argv.first().map(String::as_str) {
         Some("fuzz") => run_fuzz(&argv[1..]),
+        Some("serve") => run_serve(&argv[1..]),
         _ => run(),
     };
     match outcome {

@@ -19,6 +19,8 @@
 //!   contribution),
 //! * [`sim`] — the compilation-pipeline and development-cycle simulator
 //!   that stands in for the paper's Clang/GCC testbed,
+//! * [`exec`] — the work-stealing task executor and dependency-DAG
+//!   scheduler the engine's pipeline stages run on (`YALLA_WORKERS`),
 //! * [`obs`] — the self-profiling layer: hierarchical spans, counters,
 //!   and Chrome-trace output (`yalla --self-profile`),
 //! * [`corpus`] — synthetic stand-ins for Kokkos, RapidJSON, OpenCV and
@@ -59,6 +61,7 @@ pub use yalla_analysis as analysis;
 pub use yalla_core as core;
 pub use yalla_corpus as corpus;
 pub use yalla_cpp as cpp;
+pub use yalla_exec as exec;
 pub use yalla_fuzz as fuzz;
 pub use yalla_obs as obs;
 pub use yalla_sim as sim;

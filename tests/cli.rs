@@ -118,7 +118,8 @@ fn cli_self_profile_emits_nested_chrome_trace() {
         "parse",
         "analyze",
         "plan",
-        "generate",
+        "emit",
+        "rewrite",
         "verify",
     ] {
         assert!(
@@ -131,7 +132,7 @@ fn cli_self_profile_emits_nested_chrome_trace() {
         .iter()
         .find(|(n, _, _)| *n == "substitute")
         .expect("run span present");
-    for phase in ["parse", "analyze", "plan", "generate"] {
+    for phase in ["parse", "analyze", "plan", "emit", "rewrite"] {
         let (_, ts, dur) = *span_names.iter().find(|(n, _, _)| *n == phase).unwrap();
         assert!(
             sub_ts <= ts && ts + dur <= sub_ts + sub_dur,

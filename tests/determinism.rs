@@ -1,0 +1,134 @@
+//! Parallel-determinism suite (the executor's core guarantee).
+//!
+//! The engine's pipeline stages run as a dependency DAG on a
+//! work-stealing executor, so stage *scheduling* varies with the worker
+//! count and with steal timing — but the *artifacts* must not. For every
+//! corpus subject, a cold run on 1, 2, and 8 workers must produce
+//! byte-identical lightweight headers, wrappers files, rewritten sources,
+//! and verification outcomes; the 1-worker run must also match the pinned
+//! goldens under `tests/goldens/`, tying the parallel runs back to the
+//! sequential baseline the goldens were recorded from.
+
+use std::path::PathBuf;
+
+use yalla::corpus::all_subjects;
+use yalla::exec::Executor;
+use yalla::{Options, Session};
+
+/// One subject's complete observable output for a given worker count.
+#[derive(Debug, PartialEq)]
+struct Artifacts {
+    lightweight: String,
+    wrappers: String,
+    rewritten: std::collections::BTreeMap<String, String>,
+    verification: String,
+    summary: String,
+}
+
+/// The summary line minus its trailing wall-clock figure: the cache
+/// outcomes and work counts must be deterministic, the milliseconds are
+/// not.
+fn normalized(summary: &str) -> String {
+    match summary.rsplit_once(", ") {
+        Some((head, tail)) if tail.ends_with("ms)") => format!("{head})"),
+        _ => summary.to_string(),
+    }
+}
+
+fn run_cold(subject: &yalla::corpus::Subject, workers: usize) -> Artifacts {
+    let options = Options {
+        header: subject.header.clone(),
+        sources: subject.sources.clone(),
+        ..Options::default()
+    };
+    let exec = Executor::new(workers);
+    let mut session = Session::new(options, subject.vfs.clone());
+    let run = session
+        .rerun_on(&exec)
+        .unwrap_or_else(|e| panic!("{} on {workers} workers: {e}", subject.name));
+    Artifacts {
+        lightweight: run.result.lightweight_header.clone(),
+        wrappers: run.result.wrappers_file.clone(),
+        rewritten: run.result.rewritten_sources.clone(),
+        verification: format!("{:?}", run.result.report.verification),
+        summary: normalized(&run.summary_line()),
+    }
+}
+
+fn golden(name: &str, kind: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("goldens")
+        .join(format!("{name}.{kind}.expected"));
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()))
+}
+
+#[test]
+fn artifacts_are_byte_identical_across_worker_counts() {
+    let subjects = all_subjects();
+    assert_eq!(subjects.len(), 18, "the paper evaluates 18 subjects");
+    let mut failures = Vec::new();
+    for subject in &subjects {
+        let baseline = run_cold(subject, 1);
+        // The sequential run must match the pinned goldens, so the
+        // cross-worker comparison below is anchored to the recorded
+        // sequential baseline, not just to itself.
+        if baseline.lightweight != golden(subject.name, "lightweight") {
+            failures.push(format!("{}: 1-worker lightweight != golden", subject.name));
+        }
+        if baseline.wrappers != golden(subject.name, "wrappers") {
+            failures.push(format!("{}: 1-worker wrappers != golden", subject.name));
+        }
+        for workers in [2usize, 8] {
+            let parallel = run_cold(subject, workers);
+            if parallel != baseline {
+                let what = if parallel.lightweight != baseline.lightweight {
+                    "lightweight header"
+                } else if parallel.wrappers != baseline.wrappers {
+                    "wrappers file"
+                } else if parallel.rewritten != baseline.rewritten {
+                    "rewritten sources"
+                } else if parallel.verification != baseline.verification {
+                    "verification outcome"
+                } else {
+                    "stage summary"
+                };
+                failures.push(format!(
+                    "{}: {what} differs between 1 and {workers} workers\n  1: {}\n  {workers}: {}",
+                    subject.name, baseline.summary, parallel.summary
+                ));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn warm_rerun_is_fully_cached_on_every_worker_count() {
+    // Scheduling must not poison the stage caches: a second rerun on the
+    // same session — whatever the worker count — must hit every stage.
+    for subject in all_subjects().iter().take(4) {
+        let options = Options {
+            header: subject.header.clone(),
+            sources: subject.sources.clone(),
+            ..Options::default()
+        };
+        for workers in [1usize, 2, 8] {
+            let exec = Executor::new(workers);
+            let mut session = Session::new(options.clone(), subject.vfs.clone());
+            session
+                .rerun_on(&exec)
+                .unwrap_or_else(|e| panic!("{}: {e}", subject.name));
+            let warm = session
+                .rerun_on(&exec)
+                .unwrap_or_else(|e| panic!("{}: {e}", subject.name));
+            assert!(
+                warm.fully_cached(),
+                "{} on {workers} workers: warm rerun recomputed: {}",
+                subject.name,
+                warm.summary_line()
+            );
+        }
+    }
+}

@@ -181,7 +181,7 @@ proptest! {
         let mut vfs = Vfs::new();
         vfs.add_file("lib.hpp", "#pragma once\nnamespace l { class C; }\n");
         vfs.add_file("main.cpp", original.clone());
-        let mut cache = ParseCache::new();
+        let cache = ParseCache::new();
 
         let cold = cache.parse(&vfs, &[], "main.cpp").unwrap();
         prop_assert_eq!(cold.lookup, CacheLookup::Miss);

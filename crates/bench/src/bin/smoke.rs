@@ -1,13 +1,19 @@
 //! Quick end-to-end smoke run over a few subjects (development aid).
 
 use yalla_bench::harness::evaluate_subject;
-use yalla_corpus::subject_by_name;
+use yalla_corpus::try_subject_by_name;
 use yalla_sim::CompilerProfile;
 
 fn main() {
     let profile = CompilerProfile::clang();
     for name in std::env::args().skip(1) {
-        let subject = subject_by_name(&name).expect("unknown subject");
+        let subject = match try_subject_by_name(&name) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("smoke: {e}");
+                std::process::exit(2);
+            }
+        };
         match evaluate_subject(&subject, &profile) {
             Ok(eval) => {
                 println!(

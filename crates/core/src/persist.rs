@@ -1,0 +1,393 @@
+//! On-disk persistence of session artifacts (DESIGN.md §11).
+//!
+//! The in-memory stage caches hold ASTs and symbol tables — structures
+//! that are impractical to serialize and cheap to avoid serializing:
+//! what a *restarted* process actually needs is not the intermediate
+//! state but the ability to prove "nothing changed" and hand back the
+//! previous answer. So the disk tier persists exactly three payloads:
+//!
+//! 1. **Parse manifests** (`parse` namespace, written by
+//!    [`yalla_cpp::cache::ParseCache`]): the dependency closure with
+//!    content hashes. Validating one recovers the closure hash without
+//!    preprocessing anything.
+//! 2. **Run bundles** (`run` namespace, this module): every final
+//!    artifact of one pipeline run — lightweight header, wrappers file,
+//!    rewritten sources, and the report's counts/diagnostics/stats —
+//!    keyed by the closure hash plus options plus every source's content
+//!    hash. A validated manifest + a bundle hit is a *whole-run* disk
+//!    hit: all six stages report `hit`, nothing is recomputed.
+//! 3. **Project records** (`serve` namespace, this module): what `yalla
+//!    serve` needs to rebuild a warm shard after a crash — name, options,
+//!    and the current file tree.
+//!
+//! The tradeoff is deliberate: a fully-warm restart costs zero
+//! recomputation, while a restart followed by an edit recomputes the
+//! whole pipeline once (there is no partially-warm disk state to resume
+//! from) and is then warm again, both in memory and on disk.
+//!
+//! Bundles whose verification found incomplete-type violations are never
+//! persisted — violations carry source spans that do not survive
+//! serialization, and a failing run is not worth resuming into anyway.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use yalla_cpp::hash::Fnv64;
+use yalla_cpp::vfs::Vfs;
+use yalla_store::codec::{ByteReader, ByteWriter};
+
+use crate::engine::{Options, SubstitutionResult, Timings};
+use crate::plan::{Diagnostic, DiagnosticKind, Plan};
+use crate::report::{Report, TuStats, Verification};
+
+/// Bundle payload format version; bump on any layout change so old
+/// bundles degrade to misses (the record decoder treats a short or
+/// reshaped payload as corrupt, but an explicit version keeps additive
+/// changes honest too).
+const BUNDLE_VERSION: u8 = 1;
+
+/// Key of the whole-run artifact bundle: the parse closure (which covers
+/// the header, the main source, and everything transitively included)
+/// plus every option that shapes the output plus every source file's
+/// content hash (sources outside the main TU's closure still get
+/// rewritten, so their text is an input too).
+pub(crate) fn run_key_of(closure_hash: u64, opts: &Options, vfs: &Vfs) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(closure_hash);
+    h.write_str(&opts.header);
+    h.write_str(&opts.lightweight_name);
+    h.write_str(&opts.wrappers_name);
+    for (k, v) in &opts.defines {
+        h.write_str(k);
+        h.write_str(v);
+    }
+    for e in &opts.extra_symbols {
+        h.write_str(e);
+    }
+    h.write_u64(u64::from(opts.verify));
+    for s in &opts.sources {
+        h.write_str(s);
+        h.write_u64(vfs.hash_of(s).unwrap_or(0));
+    }
+    h.finish()
+}
+
+fn diag_tag(kind: DiagnosticKind) -> u8 {
+    match kind {
+        DiagnosticKind::NestedClassUnsupported => 0,
+        DiagnosticKind::DeductionFailed => 1,
+        DiagnosticKind::UnknownSymbol => 2,
+        DiagnosticKind::Note => 3,
+    }
+}
+
+fn diag_kind(tag: u8) -> Option<DiagnosticKind> {
+    Some(match tag {
+        0 => DiagnosticKind::NestedClassUnsupported,
+        1 => DiagnosticKind::DeductionFailed,
+        2 => DiagnosticKind::UnknownSymbol,
+        3 => DiagnosticKind::Note,
+        _ => return None,
+    })
+}
+
+/// Encodes a run's final artifacts as a bundle payload, or `None` when
+/// the run is not persistable (verification violations carry spans).
+pub(crate) fn encode_run(result: &SubstitutionResult) -> Option<Vec<u8>> {
+    if !result.report.verification.violations.is_empty() {
+        return None;
+    }
+    let r = &result.report;
+    let mut w = ByteWriter::new();
+    w.put_u8(BUNDLE_VERSION);
+    w.put_str(&result.lightweight_header);
+    w.put_str(&result.wrappers_file);
+    w.put_u32(result.rewritten_sources.len() as u32);
+    for (path, text) in &result.rewritten_sources {
+        w.put_str(path);
+        w.put_str(text);
+    }
+    for count in [
+        r.classes_forward_declared,
+        r.functions_forward_declared,
+        r.function_wrappers,
+        r.method_wrappers,
+        r.functors,
+        r.enums_replaced,
+        r.explicit_instantiations,
+    ] {
+        w.put_u64(count as u64);
+    }
+    w.put_u32(r.diagnostics.len() as u32);
+    for d in &r.diagnostics {
+        w.put_u8(diag_tag(d.kind));
+        w.put_str(&d.message);
+    }
+    for stat in [r.before, r.after] {
+        w.put_u64(stat.loc as u64);
+        w.put_u64(stat.headers as u64);
+    }
+    w.put_u8(u8::from(r.verification.sources_parse));
+    w.put_u8(u8::from(r.verification.wrappers_parse));
+    Some(w.into_bytes())
+}
+
+/// Decodes a bundle payload back into a [`SubstitutionResult`]. Timings
+/// are zero (nothing ran) and diagnostic spans are gone (not persisted);
+/// everything else is byte-identical to the run that was stored.
+pub(crate) fn decode_run(bytes: &[u8]) -> Option<SubstitutionResult> {
+    let mut r = ByteReader::new(bytes);
+    if r.get_u8().ok()? != BUNDLE_VERSION {
+        return None;
+    }
+    let lightweight_header = r.get_str().ok()?.to_string();
+    let wrappers_file = r.get_str().ok()?.to_string();
+    let n_sources = r.get_u32().ok()?;
+    let mut rewritten_sources = BTreeMap::new();
+    for _ in 0..n_sources {
+        let path = r.get_str().ok()?.to_string();
+        let text = r.get_str().ok()?.to_string();
+        rewritten_sources.insert(path, text);
+    }
+    let mut counts = [0u64; 7];
+    for slot in &mut counts {
+        *slot = r.get_u64().ok()?;
+    }
+    let n_diags = r.get_u32().ok()?;
+    let mut diagnostics = Vec::with_capacity(n_diags as usize);
+    for _ in 0..n_diags {
+        let kind = diag_kind(r.get_u8().ok()?)?;
+        let message = r.get_str().ok()?.to_string();
+        diagnostics.push(Diagnostic {
+            kind,
+            message,
+            span: None,
+        });
+    }
+    let mut stats = [TuStats::default(); 2];
+    for stat in &mut stats {
+        stat.loc = r.get_u64().ok()? as usize;
+        stat.headers = r.get_u64().ok()? as usize;
+    }
+    let sources_parse = r.get_u8().ok()? != 0;
+    let wrappers_parse = r.get_u8().ok()? != 0;
+    if !r.is_exhausted() {
+        return None;
+    }
+    let report = Report {
+        classes_forward_declared: counts[0] as usize,
+        functions_forward_declared: counts[1] as usize,
+        function_wrappers: counts[2] as usize,
+        method_wrappers: counts[3] as usize,
+        functors: counts[4] as usize,
+        enums_replaced: counts[5] as usize,
+        explicit_instantiations: counts[6] as usize,
+        diagnostics: diagnostics.clone(),
+        before: stats[0],
+        after: stats[1],
+        verification: Verification {
+            sources_parse,
+            wrappers_parse,
+            violations: Vec::new(),
+        },
+    };
+    Some(SubstitutionResult {
+        lightweight_header,
+        wrappers_file,
+        rewritten_sources,
+        plan: Plan {
+            diagnostics,
+            ..Plan::default()
+        },
+        report,
+        timings: Timings::default(),
+    })
+}
+
+/// What `yalla serve` persists per shard so a restarted daemon can
+/// rebuild its warm pool: the project's identity, options, and the
+/// *current* file tree (edits included — the shard key stays the opened
+/// tree's hash while the contents evolve, matching the daemon's
+/// reattach-by-open-hash semantics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ProjectRecord {
+    pub name: String,
+    pub header: String,
+    pub sources: Vec<String>,
+    pub build_latency: Duration,
+    pub files: Vec<(String, String)>,
+}
+
+impl ProjectRecord {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u8(BUNDLE_VERSION);
+        w.put_str(&self.name);
+        w.put_str(&self.header);
+        w.put_u32(self.sources.len() as u32);
+        for s in &self.sources {
+            w.put_str(s);
+        }
+        w.put_u64(self.build_latency.as_micros() as u64);
+        w.put_u32(self.files.len() as u32);
+        for (path, text) in &self.files {
+            w.put_str(path);
+            w.put_str(text);
+        }
+        w.into_bytes()
+    }
+
+    pub(crate) fn decode(bytes: &[u8]) -> Option<ProjectRecord> {
+        let mut r = ByteReader::new(bytes);
+        if r.get_u8().ok()? != BUNDLE_VERSION {
+            return None;
+        }
+        let name = r.get_str().ok()?.to_string();
+        let header = r.get_str().ok()?.to_string();
+        let n_sources = r.get_u32().ok()?;
+        let mut sources = Vec::with_capacity(n_sources as usize);
+        for _ in 0..n_sources {
+            sources.push(r.get_str().ok()?.to_string());
+        }
+        let build_latency = Duration::from_micros(r.get_u64().ok()?);
+        let n_files = r.get_u32().ok()?;
+        let mut files = Vec::with_capacity(n_files as usize);
+        for _ in 0..n_files {
+            let path = r.get_str().ok()?.to_string();
+            let text = r.get_str().ok()?.to_string();
+            files.push((path, text));
+        }
+        r.is_exhausted().then_some(ProjectRecord {
+            name,
+            header,
+            sources,
+            build_latency,
+            files,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result() -> SubstitutionResult {
+        let mut rewritten = BTreeMap::new();
+        rewritten.insert("main.cpp".to_string(), "int main() {}\n".to_string());
+        rewritten.insert("b.cpp".to_string(), "int b;\n".to_string());
+        SubstitutionResult {
+            lightweight_header: "class W;\n".into(),
+            wrappers_file: "#include \"lib.hpp\"\n".into(),
+            rewritten_sources: rewritten,
+            plan: Plan::default(),
+            report: Report {
+                classes_forward_declared: 3,
+                function_wrappers: 2,
+                diagnostics: vec![Diagnostic {
+                    kind: DiagnosticKind::Note,
+                    message: "nothing used".into(),
+                    span: None,
+                }],
+                before: TuStats {
+                    loc: 1000,
+                    headers: 12,
+                },
+                after: TuStats { loc: 9, headers: 1 },
+                verification: Verification {
+                    sources_parse: true,
+                    wrappers_parse: true,
+                    violations: Vec::new(),
+                },
+                ..Report::default()
+            },
+            timings: Timings::default(),
+        }
+    }
+
+    #[test]
+    fn run_bundle_roundtrips() {
+        let result = sample_result();
+        let bytes = encode_run(&result).expect("persistable");
+        let back = decode_run(&bytes).expect("decodes");
+        assert_eq!(back.lightweight_header, result.lightweight_header);
+        assert_eq!(back.wrappers_file, result.wrappers_file);
+        assert_eq!(back.rewritten_sources, result.rewritten_sources);
+        let (a, b) = (&back.report, &result.report);
+        assert_eq!(a.classes_forward_declared, b.classes_forward_declared);
+        assert_eq!(a.function_wrappers, b.function_wrappers);
+        assert_eq!(a.before, b.before);
+        assert_eq!(a.after, b.after);
+        assert_eq!(a.diagnostics.len(), 1);
+        assert_eq!(a.diagnostics[0].kind, DiagnosticKind::Note);
+        assert_eq!(
+            format!("{:?}", a.verification),
+            format!("{:?}", b.verification)
+        );
+    }
+
+    #[test]
+    fn runs_with_violations_are_not_persisted() {
+        let mut result = sample_result();
+        result.report.verification.violations.push(
+            yalla_analysis::incomplete::IncompleteViolation {
+                class: "K::W".into(),
+                reason: "by-value use".into(),
+                span: yalla_cpp::loc::Span {
+                    file: yalla_cpp::loc::FileId(0),
+                    start: 0,
+                    end: 1,
+                },
+            },
+        );
+        assert!(encode_run(&result).is_none());
+    }
+
+    #[test]
+    fn truncated_bundles_decode_to_none() {
+        let bytes = encode_run(&sample_result()).expect("persistable");
+        for cut in [0, 1, 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_run(&bytes[..cut]).is_none(), "cut at {cut}");
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_run(&long).is_none(), "trailing garbage");
+    }
+
+    #[test]
+    fn project_record_roundtrips() {
+        let record = ProjectRecord {
+            name: "alpha".into(),
+            header: "lib.hpp".into(),
+            sources: vec!["main.cpp".into(), "b.cpp".into()],
+            build_latency: Duration::from_micros(1500),
+            files: vec![
+                ("lib.hpp".into(), "class W;".into()),
+                ("main.cpp".into(), "int main() {}".into()),
+            ],
+        };
+        let back = ProjectRecord::decode(&record.encode()).expect("decodes");
+        assert_eq!(back, record);
+        assert!(ProjectRecord::decode(&record.encode()[..7]).is_none());
+    }
+
+    #[test]
+    fn run_key_tracks_every_input() {
+        let mut vfs = Vfs::new();
+        vfs.add_file("main.cpp", "int a;\n");
+        vfs.add_file("b.cpp", "int b;\n");
+        let opts = Options {
+            header: "lib.hpp".into(),
+            sources: vec!["main.cpp".into(), "b.cpp".into()],
+            ..Options::default()
+        };
+        let base = run_key_of(7, &opts, &vfs);
+        assert_eq!(run_key_of(7, &opts, &vfs), base, "deterministic");
+        assert_ne!(run_key_of(8, &opts, &vfs), base, "closure hash");
+        let mut other_opts = opts.clone();
+        other_opts.verify = false;
+        assert_ne!(run_key_of(7, &other_opts, &vfs), base, "options");
+        let mut edited = vfs.clone();
+        edited.apply_edit("b.cpp", "int b2;\n").unwrap();
+        assert_ne!(run_key_of(7, &opts, &edited), base, "source content");
+    }
+}

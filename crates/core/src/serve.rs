@@ -43,8 +43,10 @@ use yalla_exec::Executor;
 use yalla_obs::chrome::escape_json;
 use yalla_obs::json::JsonValue;
 use yalla_obs::metrics::names;
+use yalla_store::{Store, NS_SERVE};
 
 use crate::engine::{Options, SubstitutionResult};
+use crate::persist::ProjectRecord;
 use crate::session::Session;
 
 /// One project's warm state: a session plus the edit queue.
@@ -145,6 +147,9 @@ pub struct ServeState {
     shards: Mutex<HashMap<u64, Arc<ProjectShard>>>,
     /// project name → root hash (names are aliases into the pool).
     names: Mutex<HashMap<String, u64>>,
+    /// On-disk store shared with every shard session. Project records
+    /// persisted here let a restarted daemon rebuild its warm pool.
+    store: Option<Arc<Store>>,
     requests: AtomicU64,
 }
 
@@ -172,16 +177,93 @@ fn str_field<'a>(req: &'a JsonValue, key: &str) -> Result<&'a str, String> {
 }
 
 impl ServeState {
-    /// A daemon state whose reruns execute on `exec`.
+    /// A daemon state whose reruns execute on `exec`, persisting to the
+    /// process-global store (if `YALLA_CACHE_DIR` is set).
     pub fn new(exec: Executor) -> Self {
+        ServeState::with_store(exec, Store::global())
+    }
+
+    /// A daemon state backed by an explicit on-disk store. Project
+    /// records found in the store rebuild the warm shard pool, so a
+    /// daemon restarted on the same cache dir — even after a crash —
+    /// serves its first rerun per project disk-warm.
+    pub fn with_store(exec: Executor, store: Option<Arc<Store>>) -> Self {
         let gate = BuildGate::new(exec.workers());
-        ServeState {
+        let state = ServeState {
             exec,
             gate,
             shards: Mutex::new(HashMap::new()),
             names: Mutex::new(HashMap::new()),
+            store,
             requests: AtomicU64::new(0),
+        };
+        state.rebuild_pool();
+        state
+    }
+
+    /// Rebuilds the shard pool from project records persisted in the
+    /// store. Undecodable records (torn writes, format bumps) are
+    /// skipped — the project is simply cold until reopened.
+    fn rebuild_pool(&self) {
+        let Some(store) = &self.store else { return };
+        let mut shards = self.shards.lock().expect("shards lock");
+        let mut name_map = self.names.lock().expect("names lock");
+        for key in store.keys(NS_SERVE) {
+            let Some(record) = store
+                .get(NS_SERVE, key)
+                .and_then(|bytes| ProjectRecord::decode(&bytes))
+            else {
+                continue;
+            };
+            let mut vfs = Vfs::new();
+            for (path, text) in &record.files {
+                vfs.add_file(path, text.clone());
+            }
+            let options = Options {
+                header: record.header,
+                sources: record.sources,
+                ..Options::default()
+            };
+            name_map.insert(record.name.clone(), key);
+            shards.entry(key).or_insert_with(|| {
+                Arc::new(ProjectShard {
+                    name: record.name,
+                    root_hash: key,
+                    build_latency: record.build_latency,
+                    state: Mutex::new(ShardState {
+                        session: Session::with_store(options, vfs, Some(Arc::clone(store))),
+                        pending_edits: Vec::new(),
+                        reruns: 0,
+                        last: None,
+                        last_summary: String::new(),
+                    }),
+                })
+            });
         }
+        if !shards.is_empty() {
+            yalla_obs::gauge(names::SERVE_SHARDS, shards.len() as i64);
+        }
+    }
+
+    /// Persists a shard's project record (name, options, current file
+    /// tree) so a restarted daemon can rebuild this shard. Best-effort:
+    /// a full or read-only store just means a cold restart.
+    fn persist_project(&self, shard: &ProjectShard, state: &ShardState) {
+        let Some(store) = &self.store else { return };
+        let opts = state.session.options();
+        let record = ProjectRecord {
+            name: shard.name.clone(),
+            header: opts.header.clone(),
+            sources: opts.sources.clone(),
+            build_latency: shard.build_latency,
+            files: state
+                .session
+                .vfs()
+                .iter()
+                .map(|(_, f)| (f.path.clone(), f.text.clone()))
+                .collect(),
+        };
+        store.put(NS_SERVE, shard.root_hash, &record.encode());
     }
 
     /// The executor reruns are scheduled on.
@@ -278,6 +360,7 @@ impl ServeState {
         let root_hash = hash_request_tree(&header, &sources, files);
         let mut shards = self.shards.lock().expect("shards lock");
         let created = !shards.contains_key(&root_hash);
+        let mut new_shard = None;
         if created {
             let mut vfs = Vfs::new();
             for (path, text) in files {
@@ -288,24 +371,31 @@ impl ServeState {
                 sources,
                 ..Options::default()
             };
-            shards.insert(
+            let shard = Arc::new(ProjectShard {
+                name: project.clone(),
                 root_hash,
-                Arc::new(ProjectShard {
-                    name: project.clone(),
-                    root_hash,
-                    build_latency,
-                    state: Mutex::new(ShardState {
-                        session: Session::new(options, vfs),
-                        pending_edits: Vec::new(),
-                        reruns: 0,
-                        last: None,
-                        last_summary: String::new(),
-                    }),
+                build_latency,
+                state: Mutex::new(ShardState {
+                    session: Session::with_store(options, vfs, self.store.clone()),
+                    pending_edits: Vec::new(),
+                    reruns: 0,
+                    last: None,
+                    last_summary: String::new(),
                 }),
-            );
+            });
+            shards.insert(root_hash, Arc::clone(&shard));
+            new_shard = Some(shard);
             yalla_obs::gauge(names::SERVE_SHARDS, shards.len() as i64);
         }
         drop(shards);
+        if let Some(shard) = new_shard {
+            if let Some(store) = &self.store {
+                if !store.contains(NS_SERVE, root_hash) {
+                    let state = shard.state.lock().expect("shard lock");
+                    self.persist_project(&shard, &state);
+                }
+            }
+        }
         self.names
             .lock()
             .expect("names lock")
@@ -387,6 +477,15 @@ impl ServeState {
                 let fully_cached = run.fully_cached();
                 state.last_summary = summary.clone();
                 state.last = Some(run.result);
+                // Keep the on-disk project record current so a crashed
+                // daemon restarts with this shard's latest file tree. By
+                // the time the rerun response is written, the record is
+                // durable — a SIGKILL any moment after still recovers.
+                if let Some(store) = &self.store {
+                    if edits_applied > 0 || !store.contains(NS_SERVE, shard.root_hash) {
+                        self.persist_project(&shard, &state);
+                    }
+                }
                 Response::ok(format!(
                     "{{\"ok\": true, \"op\": \"rerun\", \"reruns\": {}, \"edits_applied\": {edits_applied}, \"fully_cached\": {fully_cached}, \"summary\": \"{}\"}}",
                     state.reruns,
@@ -491,16 +590,32 @@ mod unix_server {
 
     impl Server {
         /// Binds `socket` (removing any stale file) and starts serving.
-        /// Reruns execute on `exec`.
+        /// Reruns execute on `exec`. Persists to the process-global store
+        /// (if `YALLA_CACHE_DIR` is set).
         ///
         /// # Errors
         ///
         /// Propagates socket bind failures.
         pub fn start(socket: &Path, exec: Executor) -> std::io::Result<Server> {
+            Server::start_with_store(socket, exec, Store::global())
+        }
+
+        /// Like [`Server::start`] with an explicit on-disk store: the
+        /// warm pool is rebuilt from persisted project records before the
+        /// socket accepts its first connection.
+        ///
+        /// # Errors
+        ///
+        /// Propagates socket bind failures.
+        pub fn start_with_store(
+            socket: &Path,
+            exec: Executor,
+            store: Option<Arc<Store>>,
+        ) -> std::io::Result<Server> {
             let _ = std::fs::remove_file(socket);
             let listener = UnixListener::bind(socket)?;
             listener.set_nonblocking(true)?;
-            let state = Arc::new(ServeState::new(exec));
+            let state = Arc::new(ServeState::with_store(exec, store));
             let stop = Arc::new(AtomicBool::new(false));
             let accept_thread = {
                 let state = Arc::clone(&state);
@@ -765,6 +880,72 @@ mod tests {
                 .map(<[JsonValue]>::len),
             Some(1)
         );
+    }
+
+    fn temp_store(tag: &str) -> Arc<Store> {
+        let dir =
+            std::env::temp_dir().join(format!("yalla-serve-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Arc::new(Store::open(dir).expect("open store"))
+    }
+
+    #[test]
+    fn warm_pool_rebuilds_from_store_across_daemon_generations() {
+        let store = temp_store("restart");
+        let dir = store.dir().to_path_buf();
+
+        // Generation 1: open, warm up, edit, rerun. The project record and
+        // the run bundle are on disk by the time the rerun responds.
+        let gen1 = ServeState::with_store(Executor::new(2), Some(Arc::clone(&store)));
+        gen1.handle_line(&open_req("p1"));
+        gen1.handle_line("{\"op\": \"rerun\", \"project\": \"p1\"}");
+        gen1.handle_line(
+            "{\"op\": \"edit\", \"project\": \"p1\", \"path\": \"main.cpp\", \
+             \"text\": \"#include \\\"lib.hpp\\\"\\nint g(K::W& w) { return w.id() + 7; }\\n\"}",
+        );
+        gen1.handle_line("{\"op\": \"rerun\", \"project\": \"p1\"}");
+        let want = gen1.handle_line(
+            "{\"op\": \"get\", \"project\": \"p1\", \"artifact\": \"source:main.cpp\"}",
+        );
+        drop(gen1); // daemon "dies"; only the cache dir survives
+
+        // Generation 2: a fresh state on the same dir rebuilds the pool
+        // before any request, and its first rerun is fully disk-warm.
+        let gen2 = ServeState::with_store(
+            Executor::new(2),
+            Some(Arc::new(Store::open(&dir).expect("reopen store"))),
+        );
+        assert_eq!(gen2.shard_count(), 1, "pool rebuilt from project records");
+        let r = gen2.handle_line("{\"op\": \"rerun\", \"project\": \"p1\"}");
+        assert!(r.text.contains("\"ok\": true"), "{}", r.text);
+        assert!(
+            r.text.contains("\"fully_cached\": true"),
+            "first rerun after restart should be disk-warm: {}",
+            r.text
+        );
+        let got = gen2.handle_line(
+            "{\"op\": \"get\", \"project\": \"p1\", \"artifact\": \"source:main.cpp\"}",
+        );
+        assert!(
+            got.text.contains("+ 7"),
+            "edited tree survived: {}",
+            got.text
+        );
+        assert_eq!(got.text, want.text, "artifacts identical across restart");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn undecodable_project_records_are_skipped_not_fatal() {
+        let store = temp_store("corrupt-record");
+        let dir = store.dir().to_path_buf();
+        store.put(NS_SERVE, 0xdead, b"not a project record");
+        let state = ServeState::with_store(Executor::new(1), Some(Arc::clone(&store)));
+        assert_eq!(state.shard_count(), 0, "garbage record ignored");
+        // The daemon still serves: a fresh open works normally.
+        let r = state.handle_line(&open_req("p1"));
+        assert!(r.text.contains("\"created\": true"), "{}", r.text);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

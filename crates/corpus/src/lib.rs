@@ -30,6 +30,37 @@ pub mod subjects;
 
 use yalla_cpp::vfs::Vfs;
 
+/// A subject (or per-suite generator) name that is not in the paper's
+/// Table 2. Returned instead of panicking so callers driving subject
+/// selection from external input — CLI arguments, bench configs, a cache
+/// index — degrade to a reportable error, not an abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownSubject {
+    /// The name that failed to resolve.
+    pub name: String,
+    /// The family the name was looked up in (e.g. `"Table 2"`,
+    /// `"kokkos kernel"`).
+    pub family: &'static str,
+}
+
+impl UnknownSubject {
+    /// A lookup failure of `name` within `family`.
+    pub fn new(family: &'static str, name: impl Into<String>) -> Self {
+        UnknownSubject {
+            name: name.into(),
+            family,
+        }
+    }
+}
+
+impl std::fmt::Display for UnknownSubject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown {} subject `{}`", self.family, self.name)
+    }
+}
+
+impl std::error::Error for UnknownSubject {}
+
 /// Which library family a subject belongs to (Table 2 "Subject" column).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
@@ -107,4 +138,4 @@ pub struct Subject {
     pub kernel: Option<KernelSpec>,
 }
 
-pub use subjects::{all_subjects, subject_by_name};
+pub use subjects::{all_subjects, subject_by_name, try_subject_by_name};

@@ -13,6 +13,7 @@
 use yalla_cpp::vfs::Vfs;
 
 use crate::gen::{generate_library, LibSpec};
+use crate::UnknownSubject;
 
 /// The Kokkos umbrella header path.
 pub const TOP_HEADER: &str = "Kokkos_Core.hpp";
@@ -118,8 +119,12 @@ pub struct KernelFiles {
 /// Source files for a named PyKokkos/ExaMiniMD kernel. The kernels differ
 /// in field counts and body shape (mirroring the paper's per-subject LOC
 /// variation) but all exercise the full rule set.
-pub fn kernel_files(name: &str) -> KernelFiles {
-    match name {
+///
+/// # Errors
+///
+/// Returns [`UnknownSubject`] for names outside the paper's kernel set.
+pub fn kernel_files(name: &str) -> Result<KernelFiles, UnknownSubject> {
+    Ok(match name {
         "02" => KernelFiles {
             functor_hpp: r#"#pragma once
 #include <Kokkos_Core.hpp>
@@ -320,8 +325,8 @@ int run_kernel(int leagues, int n) {
 "#,
             &["velocities", "sums"],
         ),
-        other => panic!("unknown kokkos kernel `{other}`"),
-    }
+        other => return Err(UnknownSubject::new("kokkos kernel", other)),
+    })
 }
 
 /// Builds ExaMiniMD-style files from a kernel body and the view fields it
@@ -405,7 +410,7 @@ mod tests {
             "KinE",
             "Temperature",
         ] {
-            let files = kernel_files(name);
+            let files = kernel_files(name).expect("known kernel");
             let mut vfs = base.clone();
             vfs.add_file("functor.hpp", files.functor_hpp);
             vfs.add_file("kernel.cpp", files.kernel_cpp);

@@ -5,38 +5,53 @@ use std::sync::OnceLock;
 use yalla_cpp::vfs::Vfs;
 
 use crate::{miniasio, minicv, minijson, minikokkos, ministd};
-use crate::{KernelSpec, RuntimeKind, Subject, Suite};
+use crate::{KernelSpec, RuntimeKind, Subject, Suite, UnknownSubject};
 
 /// All 18 subjects, in the paper's Table 2 order.
 pub fn all_subjects() -> Vec<Subject> {
+    try_all_subjects().expect("Table 2 subject set is self-consistent")
+}
+
+fn try_all_subjects() -> Result<Vec<Subject>, UnknownSubject> {
     let mut v = vec![
-        pykokkos("02", Suite::PyKokkos),
-        pykokkos("team_policy", Suite::PyKokkos),
-        pykokkos("nstream", Suite::PyKokkos),
-        pykokkos("BinningKKSort", Suite::ExaMiniMd),
-        pykokkos("FinalIntegrateFunctor", Suite::ExaMiniMd),
-        pykokkos("ForceLJNeigh_for", Suite::ExaMiniMd),
-        pykokkos("ForceLJNeigh_reduce", Suite::ExaMiniMd),
-        pykokkos("InitialIntegrateFunctor", Suite::ExaMiniMd),
-        pykokkos("init_system_get_n", Suite::ExaMiniMd),
-        pykokkos("KinE", Suite::ExaMiniMd),
-        pykokkos("Temperature", Suite::ExaMiniMd),
+        pykokkos("02", Suite::PyKokkos)?,
+        pykokkos("team_policy", Suite::PyKokkos)?,
+        pykokkos("nstream", Suite::PyKokkos)?,
+        pykokkos("BinningKKSort", Suite::ExaMiniMd)?,
+        pykokkos("FinalIntegrateFunctor", Suite::ExaMiniMd)?,
+        pykokkos("ForceLJNeigh_for", Suite::ExaMiniMd)?,
+        pykokkos("ForceLJNeigh_reduce", Suite::ExaMiniMd)?,
+        pykokkos("InitialIntegrateFunctor", Suite::ExaMiniMd)?,
+        pykokkos("init_system_get_n", Suite::ExaMiniMd)?,
+        pykokkos("KinE", Suite::ExaMiniMd)?,
+        pykokkos("Temperature", Suite::ExaMiniMd)?,
     ];
     v.extend([
-        rapidjson("archiver"),
-        rapidjson("capitalize"),
-        rapidjson("condense"),
-        opencv("3calibration"),
-        opencv("drawing"),
-        opencv("laplace"),
+        rapidjson("archiver")?,
+        rapidjson("capitalize")?,
+        rapidjson("condense")?,
+        opencv("3calibration")?,
+        opencv("drawing")?,
+        opencv("laplace")?,
         asio("chat_server"),
     ]);
-    v
+    Ok(v)
 }
 
 /// Looks up one subject by its Table 2 name.
 pub fn subject_by_name(name: &str) -> Option<Subject> {
     all_subjects().into_iter().find(|s| s.name == name)
+}
+
+/// Looks up one subject by its Table 2 name, reporting unknown names as
+/// a typed [`UnknownSubject`] error (for callers whose names come from
+/// external input — CLI args, bench configs, persisted records).
+///
+/// # Errors
+///
+/// Returns [`UnknownSubject`] when `name` is not in Table 2.
+pub fn try_subject_by_name(name: &str) -> Result<Subject, UnknownSubject> {
+    subject_by_name(name).ok_or_else(|| UnknownSubject::new("Table 2", name))
 }
 
 // ---- shared library trees (built once per process) ------------------------
@@ -82,13 +97,13 @@ fn asio_base() -> &'static Vfs {
 
 // ---- PyKokkos / ExaMiniMD ---------------------------------------------------
 
-fn pykokkos(name: &'static str, suite: Suite) -> Subject {
-    let files = minikokkos::kernel_files(name);
+fn pykokkos(name: &'static str, suite: Suite) -> Result<Subject, UnknownSubject> {
+    let files = minikokkos::kernel_files(name)?;
     let mut vfs = kokkos_base().clone();
     vfs.add_file("functor.hpp", files.functor_hpp);
     vfs.add_file("kernel.cpp", files.kernel_cpp);
     vfs.add_file("driver.cpp", files.driver_cpp);
-    Subject {
+    Ok(Subject {
         name,
         suite,
         vfs,
@@ -102,12 +117,12 @@ fn pykokkos(name: &'static str, suite: Suite) -> Subject {
             runtime: RuntimeKind::Kokkos,
             repeat: 2_000,
         }),
-    }
+    })
 }
 
 // ---- RapidJSON ---------------------------------------------------------------
 
-fn rapidjson(name: &'static str) -> Subject {
+fn rapidjson(name: &'static str) -> Result<Subject, UnknownSubject> {
     let mut vfs = json_base().clone();
     let (source, driver, extra_includes): (&str, &str, &str) = match name {
         "condense" => (
@@ -227,13 +242,13 @@ int run_kernel(int iters, int n) {
 "#,
             "",
         ),
-        other => panic!("unknown rapidjson subject `{other}`"),
+        other => return Err(UnknownSubject::new("rapidjson", other)),
     };
     let _ = extra_includes;
     let main = format!("{name}.cpp");
     vfs.add_file(&main, source);
     vfs.add_file("driver.cpp", driver);
-    Subject {
+    Ok(Subject {
         name,
         suite: Suite::RapidJson,
         vfs,
@@ -247,12 +262,12 @@ int run_kernel(int iters, int n) {
             runtime: RuntimeKind::Json,
             repeat: 400,
         }),
-    }
+    })
 }
 
 // ---- OpenCV --------------------------------------------------------------------
 
-fn opencv(name: &'static str) -> Subject {
+fn opencv(name: &'static str) -> Result<Subject, UnknownSubject> {
     let mut vfs = cv_base().clone();
     let (source, driver, pch): (&str, &str, Vec<String>) = match name {
         "3calibration" => (
@@ -386,12 +401,12 @@ int run_kernel(int iters, int n) {
                 crate::ministd::STD_IO.into(),
             ],
         ),
-        other => panic!("unknown opencv subject `{other}`"),
+        other => return Err(UnknownSubject::new("opencv", other)),
     };
     let main = format!("{name}.cpp");
     vfs.add_file(&main, source);
     vfs.add_file("driver.cpp", driver);
-    Subject {
+    Ok(Subject {
         name,
         suite: Suite::OpenCv,
         vfs,
@@ -405,7 +420,7 @@ int run_kernel(int iters, int n) {
             runtime: RuntimeKind::Cv,
             repeat: 300,
         }),
-    }
+    })
 }
 
 // ---- Boost.Asio --------------------------------------------------------------------
@@ -484,6 +499,17 @@ mod tests {
         assert!(names.contains(&"chat_server"));
         assert!(subject_by_name("condense").is_some());
         assert!(subject_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn unknown_names_are_typed_errors_not_panics() {
+        let err = try_subject_by_name("nope").unwrap_err();
+        assert_eq!(err.name, "nope");
+        assert!(err.to_string().contains("`nope`"), "{err}");
+        let err = minikokkos::kernel_files("ghost_kernel").unwrap_err();
+        assert_eq!(err.name, "ghost_kernel");
+        assert!(err.to_string().contains("kokkos kernel"), "{err}");
+        assert!(try_subject_by_name("condense").is_ok());
     }
 
     #[test]

@@ -17,9 +17,21 @@
 //! input set (main path + defines + every dependency's hash). Downstream
 //! stages key *their* artifacts on it: if the closure hash is unchanged,
 //! the parse — and anything derived only from it — cannot have changed.
+//!
+//! With an attached [`yalla_store::Store`], the cache additionally
+//! persists each parse's *dependency manifest* (the depfile: every file in
+//! the closure with its hash, plus the closure hash) to disk under the
+//! `parse` namespace. ASTs never leave memory — the manifest exists so a
+//! *fresh process* can prove via [`ParseCache::probe_disk`] that its input
+//! set is byte-identical to a previous parse and recover the closure hash
+//! without preprocessing anything, which is the anchor the session layer
+//! needs to look up a whole-run artifact bundle on disk.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+
+use yalla_store::codec::{ByteReader, ByteWriter};
+use yalla_store::{Store, NS_PARSE};
 
 use crate::error::Result;
 use crate::frontend::{Frontend, ParsedTu};
@@ -113,12 +125,106 @@ const VERSIONS_PER_KEY: usize = 4;
 #[derive(Debug, Default)]
 pub struct ParseCache {
     entries: Mutex<HashMap<(String, u64), Vec<Entry>>>,
+    store: Option<Arc<Store>>,
 }
 
 impl ParseCache {
     /// An empty cache.
     pub fn new() -> Self {
         ParseCache::default()
+    }
+
+    /// An empty cache that persists dependency manifests to `store`.
+    pub fn with_store(store: Option<Arc<Store>>) -> Self {
+        ParseCache {
+            entries: Mutex::new(HashMap::new()),
+            store,
+        }
+    }
+
+    /// The attached on-disk store, if any.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
+    }
+
+    /// Key of the on-disk dependency manifest for `(path, defines)` with
+    /// the root file's own content hash folded in. Without the root hash,
+    /// an edited main file would leave the stale manifest squatting on
+    /// the key (the dedup `contains` check would skip the overwrite) and
+    /// every later process would probe the dead manifest forever; with
+    /// it, each content generation gets its own slot and the LRU sweeps
+    /// out the old ones.
+    fn manifest_key(path: &str, defines_hash: u64, root_hash: u64) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str(path);
+        h.write_u64(defines_hash);
+        h.write_u64(root_hash);
+        h.finish()
+    }
+
+    fn encode_manifest(deps: &[(String, u64)], closure_hash: u64) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(deps.len() as u32);
+        for (path, hash) in deps {
+            w.put_str(path);
+            w.put_u64(*hash);
+        }
+        w.put_u64(closure_hash);
+        w.into_bytes()
+    }
+
+    fn decode_manifest(bytes: &[u8]) -> Option<(Vec<(String, u64)>, u64)> {
+        let mut r = ByteReader::new(bytes);
+        let n = r.get_u32().ok()?;
+        let mut deps = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let path = r.get_str().ok()?.to_string();
+            let hash = r.get_u64().ok()?;
+            deps.push((path, hash));
+        }
+        let closure_hash = r.get_u64().ok()?;
+        r.is_exhausted().then_some((deps, closure_hash))
+    }
+
+    /// Best-effort write of the manifest for `deps` if the store does not
+    /// already hold one for this content (`contains` is a cheap stat).
+    fn persist_manifest(
+        &self,
+        key: &(String, u64),
+        root_hash: Option<u64>,
+        deps: &[(String, u64)],
+        closure_hash: u64,
+    ) {
+        let (Some(store), Some(root_hash)) = (&self.store, root_hash) else {
+            return;
+        };
+        let disk_key = Self::manifest_key(&key.0, key.1, root_hash);
+        if !store.contains(NS_PARSE, disk_key) {
+            store.put(
+                NS_PARSE,
+                disk_key,
+                &Self::encode_manifest(deps, closure_hash),
+            );
+        }
+    }
+
+    /// Validates the *on-disk* dependency manifest for `path` against the
+    /// current file tree: returns the previous parse's closure hash when
+    /// every file in the recorded include closure still has the same
+    /// content hash. No TU is produced (ASTs are not persisted) — the
+    /// session layer uses the recovered closure hash to address whole-run
+    /// artifact bundles on disk. Returns `None` (with no side effects
+    /// beyond the store's own hit/miss counters) when no store is
+    /// attached, no manifest exists, or any dependency changed.
+    pub fn probe_disk(&self, vfs: &Vfs, defines: &[(String, String)], path: &str) -> Option<u64> {
+        let store = self.store.as_ref()?;
+        let root_hash = vfs.hash_of(path)?;
+        let key = Self::manifest_key(path, hash::hash_defines(defines), root_hash);
+        let payload = store.get(NS_PARSE, key)?;
+        let (deps, closure_hash) = Self::decode_manifest(&payload)?;
+        deps.iter()
+            .all(|(dep, h)| vfs.hash_of(dep) == Some(*h))
+            .then_some(closure_hash)
     }
 
     /// Number of cached TUs.
@@ -148,8 +254,25 @@ impl ParseCache {
         path: &str,
     ) -> Option<CachedParse> {
         let key = (path.to_string(), hash::hash_defines(defines));
-        let mut entries = self.entries.lock().expect("parse cache lock");
-        Self::lookup_valid(&mut entries, &key, vfs)
+        self.lookup_and_repair(&key, vfs)
+    }
+
+    /// The hit path plus disk-manifest repair: a memory hit whose
+    /// manifest is missing on disk (evicted, or a failed earlier write)
+    /// re-persists it, so disk warmth converges back toward memory
+    /// warmth.
+    fn lookup_and_repair(&self, key: &(String, u64), vfs: &Vfs) -> Option<CachedParse> {
+        let (cached, deps) = {
+            let mut entries = self.entries.lock().expect("parse cache lock");
+            let cached = Self::lookup_valid(&mut entries, key, vfs)?;
+            // lookup_valid promoted the hit to versions[0].
+            let deps = self.store.is_some().then(|| entries[key][0].deps.clone());
+            (cached, deps)
+        };
+        if let Some(deps) = deps {
+            self.persist_manifest(key, vfs.hash_of(&key.0), &deps, cached.closure_hash);
+        }
+        Some(cached)
     }
 
     /// The shared hit path: finds a validated version for `key`, promotes
@@ -193,13 +316,14 @@ impl ParseCache {
         path: &str,
     ) -> Result<CachedParse> {
         let key = (path.to_string(), hash::hash_defines(defines));
-        let stale = {
-            let mut entries = self.entries.lock().expect("parse cache lock");
-            if let Some(cached) = Self::lookup_valid(&mut entries, &key, vfs) {
-                return Ok(cached);
-            }
-            entries.contains_key(&key)
-        };
+        if let Some(cached) = self.lookup_and_repair(&key, vfs) {
+            return Ok(cached);
+        }
+        let stale = self
+            .entries
+            .lock()
+            .expect("parse cache lock")
+            .contains_key(&key);
         // Lock released: the parse itself runs unsynchronized, so cache
         // misses on different TUs overlap on the executor.
         yalla_obs::count(yalla_obs::metrics::names::CACHE_MISSES, 1);
@@ -225,6 +349,7 @@ impl ParseCache {
             deps.push((dep_path, dep_hash));
         }
         let closure_hash = closure.finish();
+        self.persist_manifest(&key, vfs.hash_of(path), &deps, closure_hash);
         let mut entries = self.entries.lock().expect("parse cache lock");
         let versions = entries.entry(key).or_default();
         versions.retain(|e| e.closure_hash != closure_hash);
@@ -380,6 +505,47 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert!(cache.parse(&v, &[], "main.cpp").unwrap().lookup.is_hit());
         assert!(cache.parse(&v, &[], "second.cpp").unwrap().lookup.is_hit());
+    }
+
+    #[test]
+    fn disk_manifest_probe_survives_process_restart() {
+        let dir =
+            std::env::temp_dir().join(format!("yalla-parsecache-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(Store::open(&dir).expect("open store"));
+        let v = vfs();
+        let cache = ParseCache::with_store(Some(Arc::clone(&store)));
+        let parsed = cache.parse(&v, &[], "main.cpp").unwrap();
+
+        // A fresh cache on the same store (a restarted process): the
+        // memory tier is cold, but the disk manifest validates and
+        // recovers the closure hash without parsing anything.
+        let fresh = ParseCache::with_store(Some(Arc::clone(&store)));
+        assert!(fresh.probe(&v, &[], "main.cpp").is_none());
+        assert_eq!(
+            fresh.probe_disk(&v, &[], "main.cpp"),
+            Some(parsed.closure_hash)
+        );
+
+        // Editing a file in the closure defeats the manifest; editing an
+        // unreached file does not.
+        let mut edited = v.clone();
+        edited
+            .apply_edit("lib.hpp", "#pragma once\nnamespace l { class X; }\n")
+            .unwrap();
+        assert_eq!(fresh.probe_disk(&edited, &[], "main.cpp"), None);
+        let mut unrelated = v.clone();
+        unrelated
+            .apply_edit("other.hpp", "#pragma once\nint changed;\n")
+            .unwrap();
+        assert_eq!(
+            fresh.probe_disk(&unrelated, &[], "main.cpp"),
+            Some(parsed.closure_hash)
+        );
+
+        // Without a store, probe_disk is inert.
+        assert_eq!(ParseCache::new().probe_disk(&v, &[], "main.cpp"), None);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

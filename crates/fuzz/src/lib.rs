@@ -38,7 +38,7 @@ pub use grammar::ProjectModel;
 pub use oracle::{CaseOutcome, Divergence, ExecTrace, Sabotage};
 pub use race::{run_race_case, RaceCaseReport, RaceMismatch};
 pub use repro::{parse_fixture, render_fixture, Repro};
-pub use session_fuzz::{run_session_case, SessionCaseReport};
+pub use session_fuzz::{run_session_case, run_session_case_with_store, SessionCaseReport};
 pub use shrink::{shrink, Shrunk};
 
 use yalla_obs::metrics::names;
@@ -60,6 +60,9 @@ pub struct FuzzConfig {
     /// Also run the daemon shard-race mode every this many cases
     /// (0 disables it).
     pub race_every: u64,
+    /// Cache dir for session-fuzz cases: each step additionally checks a
+    /// warm-from-disk restart against the cold oracle (`None` disables).
+    pub store_dir: Option<std::path::PathBuf>,
     /// Entry arguments handed to `fuzz_entry`.
     pub entry_args: (i64, i64),
 }
@@ -73,6 +76,7 @@ impl Default for FuzzConfig {
             sabotage: Sabotage::None,
             session_every: 25,
             race_every: 50,
+            store_dir: None,
             entry_args: (3, 5),
         }
     }
@@ -161,7 +165,11 @@ pub fn run_campaign(config: &FuzzConfig) -> Result<CampaignReport, String> {
         }
 
         if config.session_every > 0 && (i + 1) % config.session_every == 0 {
-            let session = session_fuzz::run_session_case(case_seed ^ 0xa5a5, 6)?;
+            let session = session_fuzz::run_session_case_with_store(
+                case_seed ^ 0xa5a5,
+                6,
+                config.store_dir.as_deref(),
+            )?;
             report.session_cases += 1;
             report.session_mismatches += session.mismatches.len();
         }
@@ -193,6 +201,27 @@ mod tests {
             panic!("seed {} diverged: {}", d.case_seed, d.divergence);
         }
         assert_eq!(report.session_mismatches, 0);
+    }
+
+    #[test]
+    fn session_cases_with_a_store_fuzz_disk_warm_restarts_cleanly() {
+        let dir = std::env::temp_dir().join(format!("yalla-fuzz-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = run_campaign(&FuzzConfig {
+            seed: 1717,
+            iters: 6,
+            session_every: 3,
+            race_every: 0,
+            store_dir: Some(dir.clone()),
+            ..FuzzConfig::default()
+        })
+        .unwrap();
+        assert_eq!(report.session_cases, 2);
+        assert_eq!(
+            report.session_mismatches, 0,
+            "warm-from-disk restarts must match the cold oracle"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

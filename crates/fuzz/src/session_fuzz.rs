@@ -8,9 +8,19 @@
 //! rerun's artifacts are byte-identical to a cold engine run over the
 //! same file state. Any difference means a cache key failed to capture
 //! an input.
+//!
+//! With a store dir attached, every step additionally simulates a
+//! process restart: a *fresh* session (fresh [`Store`] handle, empty
+//! memory caches) over the same file state reruns warm-from-disk and is
+//! held to the same byte-identical oracle — fuzzing the on-disk cache
+//! keys the same way the in-memory ones are fuzzed.
+
+use std::path::Path;
+use std::sync::Arc;
 
 use yalla_core::{Engine, Session};
 use yalla_corpus::gen::DetRng;
+use yalla_store::Store;
 
 use crate::grammar::{ProjectModel, UserStmt, DRIVER_SOURCE, LIB_HEADER, MAIN_SOURCE};
 
@@ -55,9 +65,35 @@ enum EditKind {
 /// Returns a diagnostic when the engine itself fails (which the
 /// generator is expected to avoid).
 pub fn run_session_case(seed: u64, edits: usize) -> Result<SessionCaseReport, String> {
+    run_session_case_with_store(seed, edits, None)
+}
+
+/// Like [`run_session_case`], optionally backed by an on-disk store at
+/// `store_dir`: after each edit's warm-vs-cold check, a fresh session
+/// (simulating a restarted process that has only the cache dir) reruns
+/// warm-from-disk and its artifacts are compared against the cold oracle
+/// too. Disk mismatches are reported with a `disk:` artifact prefix.
+///
+/// # Errors
+///
+/// Returns a diagnostic when the engine fails or the store dir cannot be
+/// opened.
+pub fn run_session_case_with_store(
+    seed: u64,
+    edits: usize,
+    store_dir: Option<&Path>,
+) -> Result<SessionCaseReport, String> {
+    let store = match store_dir {
+        Some(dir) => {
+            Some(Arc::new(Store::open(dir).map_err(|e| {
+                format!("opening store {}: {e}", dir.display())
+            })?))
+        }
+        None => None,
+    };
     let mut model = ProjectModel::generate(seed);
     let (vfs, options) = model.render();
-    let mut session = Session::new(options.clone(), vfs);
+    let mut session = Session::with_store(options.clone(), vfs, store.clone());
     session.rerun().map_err(|e| format!("cold run: {e}"))?;
 
     let mut rng = DetRng::new(seed ^ 0x5e55_10f5);
@@ -105,9 +141,42 @@ pub fn run_session_case(seed: u64, edits: usize) -> Result<SessionCaseReport, St
         if warm_r.rewritten_sources != cold.rewritten_sources {
             report.mismatches.push(SessionMismatch {
                 step,
-                edit: description,
+                edit: description.clone(),
                 artifact: "rewritten_sources".to_string(),
             });
+        }
+
+        // Restart simulation: a fresh session with a fresh store handle
+        // on the same dir — only the cache dir survives — must reproduce
+        // the cold artifacts from disk.
+        if let Some(dir) = store_dir {
+            let restart_store = Arc::new(
+                Store::open(dir).map_err(|e| format!("reopening store {}: {e}", dir.display()))?,
+            );
+            let restart =
+                Session::with_store(options.clone(), session.vfs().clone(), Some(restart_store))
+                    .rerun()
+                    .map_err(|e| format!("disk-warm rerun: {e}"))?;
+            let r = &restart.result;
+            for (artifact, differs) in [
+                (
+                    "disk:lightweight_header",
+                    r.lightweight_header != cold.lightweight_header,
+                ),
+                ("disk:wrappers_file", r.wrappers_file != cold.wrappers_file),
+                (
+                    "disk:rewritten_sources",
+                    r.rewritten_sources != cold.rewritten_sources,
+                ),
+            ] {
+                if differs {
+                    report.mismatches.push(SessionMismatch {
+                        step,
+                        edit: description.clone(),
+                        artifact: artifact.to_string(),
+                    });
+                }
+            }
         }
     }
     Ok(report)

@@ -66,6 +66,16 @@ pub mod names {
     pub const SERVE_RERUNS: &str = "serve.reruns";
     /// Project shards the daemon currently holds warm (gauge).
     pub const SERVE_SHARDS: &str = "serve.shards";
+    /// On-disk store entries found valid on lookup.
+    pub const STORE_HITS: &str = "store.hit";
+    /// On-disk store lookups that found nothing.
+    pub const STORE_MISSES: &str = "store.miss";
+    /// On-disk store entries evicted by the LRU size bound.
+    pub const STORE_EVICTIONS: &str = "store.evict";
+    /// On-disk store entries dropped as torn/corrupt (counted as misses too).
+    pub const STORE_CORRUPT: &str = "store.corrupt";
+    /// Bytes of entry payloads currently held by the on-disk store (gauge).
+    pub const STORE_BYTES: &str = "store.bytes";
     /// Differential-fuzzer cases executed (`yalla fuzz`).
     pub const FUZZ_CASES: &str = "fuzz.cases";
     /// Differential-fuzzer divergences detected.

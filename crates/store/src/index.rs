@@ -1,0 +1,258 @@
+//! The on-disk LRU index.
+//!
+//! One file (`index.v1`) lists every entry the store believes it holds:
+//! file name, last-use tick, and size. The index is a *hint*, not the
+//! source of truth — entries are self-validating records, so a lost or
+//! corrupt index costs only LRU recency (orphaned entries are re-adopted
+//! at tick zero by a directory scan), never correctness. Writers rewrite
+//! it atomically under the directory lock; a reload-merge before each
+//! mutation folds in ticks advanced by other processes.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::codec::{ByteReader, ByteWriter};
+
+const INDEX_MAGIC: [u8; 3] = *b"YSI";
+const INDEX_VERSION: u8 = 1;
+
+/// File name of the index inside a cache directory.
+pub const INDEX_FILE: &str = "index.v1";
+
+/// Per-entry bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryMeta {
+    /// Logical LRU clock value at last use (higher = more recent).
+    pub tick: u64,
+    /// Entry file size in bytes.
+    pub size: u64,
+}
+
+/// The LRU index: entry file name → metadata, plus the logical clock.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Index {
+    /// Entries keyed by file name (`<ns>.<key:016x>.rec`).
+    pub entries: BTreeMap<String, EntryMeta>,
+    /// The highest tick handed out so far.
+    pub clock: u64,
+}
+
+impl Index {
+    /// Loads the index from `dir`, returning an empty index when the
+    /// file is missing or fails to decode (the directory scan re-adopts
+    /// any entries it listed).
+    pub fn load(dir: &Path) -> Index {
+        let Ok(bytes) = fs::read(dir.join(INDEX_FILE)) else {
+            return Index::default();
+        };
+        Index::decode(&bytes).unwrap_or_default()
+    }
+
+    /// Atomically rewrites the index file (tmp + rename).
+    pub fn save(&self, dir: &Path) -> io::Result<()> {
+        let tmp = dir.join(format!("{INDEX_FILE}.tmp.{}", std::process::id()));
+        fs::write(&tmp, self.encode())?;
+        fs::rename(&tmp, dir.join(INDEX_FILE))
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u8(INDEX_MAGIC[0]);
+        w.put_u8(INDEX_MAGIC[1]);
+        w.put_u8(INDEX_MAGIC[2]);
+        w.put_u8(INDEX_VERSION);
+        w.put_u64(self.clock);
+        w.put_u32(self.entries.len() as u32);
+        for (name, meta) in &self.entries {
+            w.put_str(name);
+            w.put_u64(meta.tick);
+            w.put_u64(meta.size);
+        }
+        let mut bytes = w.into_bytes();
+        let sum = crate::fnv64(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        bytes
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Index> {
+        if bytes.len() < 8 {
+            return None;
+        }
+        let (body, footer) = bytes.split_at(bytes.len() - 8);
+        if crate::fnv64(body) != u64::from_le_bytes(footer.try_into().ok()?) {
+            return None;
+        }
+        let mut r = ByteReader::new(body);
+        let magic = [r.get_u8().ok()?, r.get_u8().ok()?, r.get_u8().ok()?];
+        let version = r.get_u8().ok()?;
+        if magic != INDEX_MAGIC || version != INDEX_VERSION {
+            return None;
+        }
+        let clock = r.get_u64().ok()?;
+        let n = r.get_u32().ok()?;
+        let mut entries = BTreeMap::new();
+        for _ in 0..n {
+            let name = r.get_str().ok()?.to_string();
+            let tick = r.get_u64().ok()?;
+            let size = r.get_u64().ok()?;
+            entries.insert(name, EntryMeta { tick, size });
+        }
+        if !r.is_exhausted() {
+            return None;
+        }
+        Some(Index { entries, clock })
+    }
+
+    /// Folds `other` into `self`: union of entries, per-entry max tick,
+    /// max clock. Used to reconcile with the on-disk index another
+    /// process rewrote since we last looked.
+    pub fn merge(&mut self, other: &Index) {
+        self.clock = self.clock.max(other.clock);
+        for (name, meta) in &other.entries {
+            let slot = self.entries.entry(name.clone()).or_insert(*meta);
+            if meta.tick > slot.tick {
+                slot.tick = meta.tick;
+            }
+            slot.size = meta.size;
+        }
+    }
+
+    /// Adopts `*.rec` files present in `dir` but absent from the index
+    /// (orphans from a crash between rename and index rewrite, or from a
+    /// lost index). Adopted entries start at tick zero: first to evict,
+    /// which is the conservative choice for entries of unknown age.
+    pub fn adopt_orphans(&mut self, dir: &Path) {
+        let Ok(read) = fs::read_dir(dir) else {
+            return;
+        };
+        for dirent in read.flatten() {
+            let name = dirent.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !name.ends_with(".rec") || self.entries.contains_key(name) {
+                continue;
+            }
+            let size = dirent.metadata().map(|m| m.len()).unwrap_or(0);
+            self.entries
+                .insert(name.to_string(), EntryMeta { tick: 0, size });
+        }
+    }
+
+    /// Sum of entry sizes.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.values().map(|m| m.size).sum()
+    }
+
+    /// Records a use of `name` at a fresh tick.
+    pub fn touch(&mut self, name: &str) {
+        if let Some(meta) = self.entries.get_mut(name) {
+            self.clock += 1;
+            meta.tick = self.clock;
+        }
+    }
+
+    /// Inserts (or replaces) `name` at a fresh tick.
+    pub fn insert(&mut self, name: &str, size: u64) {
+        self.clock += 1;
+        let tick = self.clock;
+        self.entries
+            .insert(name.to_string(), EntryMeta { tick, size });
+    }
+
+    /// The least-recently-used entry name, if any.
+    pub fn lru(&self) -> Option<String> {
+        self.entries
+            .iter()
+            .min_by_key(|(name, meta)| (meta.tick, name.as_str().to_string()))
+            .map(|(name, _)| name.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("yalla-store-index-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let mut idx = Index::default();
+        idx.insert("run.0000000000000001.rec", 100);
+        idx.insert("parse.00000000000000ff.rec", 40);
+        idx.save(&dir).expect("save");
+        assert_eq!(Index::load(&dir), idx);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_index_loads_empty() {
+        let dir = temp_dir("corrupt");
+        let mut idx = Index::default();
+        idx.insert("run.0000000000000001.rec", 100);
+        idx.save(&dir).expect("save");
+        // Damage one byte; the checksum catches it and load falls back
+        // to an empty index instead of erroring or mis-decoding.
+        let path = dir.join(INDEX_FILE);
+        let mut bytes = fs::read(&path).expect("read");
+        bytes[6] ^= 0xff;
+        fs::write(&path, bytes).expect("rewrite");
+        assert_eq!(Index::load(&dir), Index::default());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_index_loads_empty() {
+        let dir = temp_dir("missing");
+        assert_eq!(Index::load(&dir), Index::default());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_takes_max_ticks_and_unions() {
+        let mut a = Index::default();
+        a.insert("x.rec", 1); // tick 1
+        a.insert("y.rec", 2); // tick 2
+        let mut b = Index::default();
+        b.insert("y.rec", 2); // tick 1
+        b.insert("z.rec", 3); // tick 2
+        b.touch("y.rec"); // tick 3
+        a.merge(&b);
+        assert_eq!(a.clock, 3);
+        assert_eq!(a.entries.len(), 3);
+        assert_eq!(a.entries["y.rec"].tick, 3);
+        assert_eq!(a.entries["x.rec"].tick, 1);
+    }
+
+    #[test]
+    fn orphans_are_adopted_at_tick_zero() {
+        let dir = temp_dir("orphans");
+        fs::write(dir.join("run.00000000000000aa.rec"), b"12345").expect("write");
+        fs::write(dir.join("not-an-entry.txt"), b"ignored").expect("write");
+        let mut idx = Index::default();
+        idx.adopt_orphans(&dir);
+        assert_eq!(idx.entries.len(), 1);
+        let meta = idx.entries["run.00000000000000aa.rec"];
+        assert_eq!((meta.tick, meta.size), (0, 5));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_order_is_tick_then_name() {
+        let mut idx = Index::default();
+        idx.insert("b.rec", 1);
+        idx.insert("a.rec", 1);
+        idx.touch("b.rec");
+        assert_eq!(idx.lru().as_deref(), Some("a.rec"));
+        idx.touch("a.rec");
+        assert_eq!(idx.lru().as_deref(), Some("b.rec"));
+    }
+}

@@ -1,0 +1,187 @@
+//! The versioned on-disk record format.
+//!
+//! Every cache entry is one file holding one record:
+//!
+//! ```text
+//! magic    [u8; 4]   b"YST" + format version byte
+//! ns_len   u32       namespace length
+//! ns       [u8]      namespace bytes (ASCII, filename-safe)
+//! key      u64       the content-address the entry was stored under
+//! len      u64       payload length
+//! payload  [u8]
+//! checksum u64       FNV-1a of every preceding byte (the footer)
+//! ```
+//!
+//! The checksum footer is written *last*, so a torn write (power loss,
+//! `kill -9` mid-write on a filesystem that reorders, fault injection)
+//! leaves a record whose footer cannot match — decoding reports
+//! [`RecordError`] and the store treats the entry as a miss, never an
+//! error. Bumping [`FORMAT_VERSION`] invalidates every existing entry
+//! the same way: old records decode as `BadMagic` and are dropped as
+//! misses, so a format change never needs a migration.
+
+use crate::codec::{ByteReader, ByteWriter, CodecError};
+use crate::fnv64;
+
+/// Current record format version. Bump on ANY layout change (record
+/// framing or the payload layout of a namespace) — old entries then
+/// degrade to misses instead of mis-decoding.
+pub const FORMAT_VERSION: u8 = 1;
+
+const MAGIC: [u8; 3] = *b"YST";
+
+/// Why a record failed to decode. Every variant is handled identically
+/// by the store — count `store.corrupt`, drop the entry, report a miss —
+/// the distinction exists for tests and diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// Wrong magic bytes or format version.
+    BadMagic,
+    /// The record ended before its declared length (torn write).
+    Truncated,
+    /// The checksum footer did not match the record bytes.
+    ChecksumMismatch,
+    /// The record decoded but was stored under a different namespace or
+    /// key than requested (index corruption or a renamed file).
+    WrongAddress,
+    /// A field inside the record failed to decode.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::BadMagic => write!(f, "bad magic or format version"),
+            RecordError::Truncated => write!(f, "record truncated"),
+            RecordError::ChecksumMismatch => write!(f, "checksum mismatch"),
+            RecordError::WrongAddress => write!(f, "record stored under a different address"),
+            RecordError::Codec(e) => write!(f, "record field: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+impl From<CodecError> for RecordError {
+    fn from(e: CodecError) -> Self {
+        RecordError::Codec(e)
+    }
+}
+
+/// Encodes one record (header + payload + checksum footer).
+pub fn encode(namespace: &str, key: u64, payload: &[u8]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(MAGIC[0]);
+    w.put_u8(MAGIC[1]);
+    w.put_u8(MAGIC[2]);
+    w.put_u8(FORMAT_VERSION);
+    w.put_str(namespace);
+    w.put_u64(key);
+    w.put_u64(payload.len() as u64);
+    let mut bytes = w.into_bytes();
+    bytes.extend_from_slice(payload);
+    let checksum = fnv64(&bytes);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    bytes
+}
+
+/// Decodes `bytes`, verifying magic, framing, checksum, and that the
+/// record was stored under `(namespace, key)`. Returns the payload.
+pub fn decode(bytes: &[u8], namespace: &str, key: u64) -> Result<Vec<u8>, RecordError> {
+    if bytes.len() < 8 {
+        return Err(RecordError::Truncated);
+    }
+    let (body, footer) = bytes.split_at(bytes.len() - 8);
+    let declared = u64::from_le_bytes(footer.try_into().expect("8 bytes"));
+    if fnv64(body) != declared {
+        return Err(RecordError::ChecksumMismatch);
+    }
+    let mut r = ByteReader::new(body);
+    let magic = [r.get_u8()?, r.get_u8()?, r.get_u8()?];
+    let version = r.get_u8()?;
+    if magic != MAGIC || version != FORMAT_VERSION {
+        return Err(RecordError::BadMagic);
+    }
+    let ns = r.get_str()?.to_string();
+    let stored_key = r.get_u64()?;
+    let len = r.get_u64()? as usize;
+    let mut payload = Vec::with_capacity(len);
+    for _ in 0..len {
+        payload.push(r.get_u8().map_err(|_| RecordError::Truncated)?);
+    }
+    if !r.is_exhausted() {
+        return Err(RecordError::Truncated);
+    }
+    if ns != namespace || stored_key != key {
+        return Err(RecordError::WrongAddress);
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let bytes = encode("run", 0xabcd, b"artifact body");
+        assert_eq!(decode(&bytes, "run", 0xabcd).unwrap(), b"artifact body");
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let bytes = encode("parse", 0, b"");
+        assert_eq!(decode(&bytes, "parse", 0).unwrap(), b"");
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = encode("run", 42, b"some payload bytes");
+        for cut in 0..bytes.len() {
+            assert!(
+                decode(&bytes[..cut], "run", 42).is_err(),
+                "undetected truncation at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = encode("run", 42, b"some payload bytes");
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x20;
+            assert!(
+                decode(&bad, "run", 42).is_err(),
+                "undetected flip at byte {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_address_is_rejected() {
+        let bytes = encode("run", 42, b"x");
+        assert_eq!(decode(&bytes, "run", 43), Err(RecordError::WrongAddress));
+        assert_eq!(decode(&bytes, "parse", 42), Err(RecordError::WrongAddress));
+    }
+
+    #[test]
+    fn version_bump_invalidates() {
+        let mut bytes = encode("run", 1, b"x");
+        // Rewrite the version byte and fix up the checksum: a record from
+        // a future (or past) format must decode as BadMagic.
+        bytes[3] = FORMAT_VERSION + 1;
+        let body_len = bytes.len() - 8;
+        let sum = fnv64(&bytes[..body_len]);
+        let len = bytes.len();
+        bytes[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(decode(&bytes, "run", 1), Err(RecordError::BadMagic));
+    }
+
+    #[test]
+    fn trailing_garbage_is_detected() {
+        let mut bytes = encode("run", 1, b"x");
+        bytes.extend_from_slice(&[0u8; 16]);
+        assert!(decode(&bytes, "run", 1).is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! Fault injection for the on-disk store.
+//!
+//! A sabotage mode corrupts entries *as they are written*, modeling the
+//! on-disk damage a crash, torn write, or bit-rot would leave behind:
+//! the damaged bytes still land via the normal atomic tmp-file + rename
+//! path, so the reader-side contract is exercised exactly as it would be
+//! against real corruption. Set `YALLA_STORE_SABOTAGE` (or call
+//! [`crate::Store::set_sabotage`]) to enable; the fault suite in
+//! `tests/store_faults.rs` proves every mode degrades to a cache miss
+//! with a `store.corrupt` bump and byte-identical final artifacts.
+
+/// What to do to each entry at write time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sabotage {
+    /// Write entries faithfully.
+    #[default]
+    None,
+    /// Write only the first half of the record (torn write).
+    Truncate,
+    /// XOR one payload byte (bit rot).
+    FlipByte,
+    /// Write the record minus its checksum footer (crash before the
+    /// final block hit the disk).
+    PartialWrite,
+    /// Skip the write entirely — the entry never exists, so later
+    /// lookups are plain misses (no corruption to detect).
+    Enoent,
+}
+
+impl Sabotage {
+    /// Parses a `YALLA_STORE_SABOTAGE` value. Unknown strings disable
+    /// sabotage rather than erroring: fault injection is a test aid and
+    /// must never take the store down.
+    pub fn parse(value: &str) -> Sabotage {
+        match value.trim() {
+            "truncate" => Sabotage::Truncate,
+            "flip-byte" => Sabotage::FlipByte,
+            "partial-write" => Sabotage::PartialWrite,
+            "enoent" => Sabotage::Enoent,
+            _ => Sabotage::None,
+        }
+    }
+
+    /// Reads `YALLA_STORE_SABOTAGE` from the environment.
+    pub fn from_env() -> Sabotage {
+        match std::env::var("YALLA_STORE_SABOTAGE") {
+            Ok(v) => Sabotage::parse(&v),
+            Err(_) => Sabotage::None,
+        }
+    }
+
+    /// Applies this mode to an encoded record, returning the bytes to
+    /// write — or `None` when the write should be skipped entirely.
+    pub fn apply(self, record: &[u8]) -> Option<Vec<u8>> {
+        match self {
+            Sabotage::None => Some(record.to_vec()),
+            Sabotage::Truncate => Some(record[..record.len() / 2].to_vec()),
+            Sabotage::FlipByte => {
+                let mut bytes = record.to_vec();
+                // Flip a byte in the middle: lands in the payload for any
+                // realistically-sized record, and never in the footer.
+                let at = bytes.len() / 2;
+                bytes[at] ^= 0x40;
+                Some(bytes)
+            }
+            Sabotage::PartialWrite => Some(record[..record.len().saturating_sub(8)].to_vec()),
+            Sabotage::Enoent => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record;
+
+    #[test]
+    fn parse_known_and_unknown() {
+        assert_eq!(Sabotage::parse("truncate"), Sabotage::Truncate);
+        assert_eq!(Sabotage::parse("flip-byte"), Sabotage::FlipByte);
+        assert_eq!(Sabotage::parse("partial-write"), Sabotage::PartialWrite);
+        assert_eq!(Sabotage::parse("enoent"), Sabotage::Enoent);
+        assert_eq!(Sabotage::parse(""), Sabotage::None);
+        assert_eq!(Sabotage::parse("what"), Sabotage::None);
+    }
+
+    #[test]
+    fn every_corrupting_mode_defeats_decode() {
+        let rec = record::encode("run", 7, b"a realistic payload with some length");
+        for mode in [
+            Sabotage::Truncate,
+            Sabotage::FlipByte,
+            Sabotage::PartialWrite,
+        ] {
+            let damaged = mode.apply(&rec).expect("corrupting modes still write");
+            assert!(
+                record::decode(&damaged, "run", 7).is_err(),
+                "{mode:?} produced a decodable record"
+            );
+        }
+    }
+
+    #[test]
+    fn none_is_faithful_and_enoent_skips() {
+        let rec = record::encode("run", 7, b"x");
+        assert_eq!(Sabotage::None.apply(&rec).unwrap(), rec);
+        assert_eq!(Sabotage::Enoent.apply(&rec), None);
+    }
+}

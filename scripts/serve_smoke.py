@@ -1,17 +1,26 @@
 #!/usr/bin/env python3
 """End-to-end smoke test for the `yalla serve` daemon.
 
-Starts the daemon on a Unix socket, drives one full client cycle
+Phase 1 starts the daemon on a Unix socket, drives one full client cycle
 (open -> cold rerun -> warm rerun -> artifact read -> shutdown) with the
-line-delimited JSON protocol, and checks the daemon exits cleanly. Run
-under a hard timeout (CI uses `timeout 60`); any hang is a failure.
+line-delimited JSON protocol, and checks the daemon exits cleanly.
+
+Phase 2 proves crash-safe warm restart: a daemon started with
+`--cache-dir` is SIGKILLed mid-session, a second daemon generation is
+started on the same cache dir, and it must rebuild the warm shard pool
+from disk — project addressable by name before any `open`, first rerun
+fully cached, artifacts byte-identical to what the killed daemon served.
+
+Run under a hard timeout (CI uses `timeout 60`); any hang is a failure.
 """
 
 import json
 import os
+import shutil
 import socket
 import subprocess
 import sys
+import tempfile
 import time
 
 SOCKET = os.environ.get("YALLA_SMOKE_SOCKET", "/tmp/yalla-smoke.sock")
@@ -26,36 +35,44 @@ HEADER = (
     "}  // namespace ci\n"
 )
 SOURCE = '#include "ci.hpp"\nint f(ci::Probe& p) { return p.id(); }\n'
+EDITED_SOURCE = SOURCE + "int g(ci::Probe& p) { return p.id() + 1; }\n"
 
 
-def main():
+def connect(sock_path):
+    s = socket.socket(socket.AF_UNIX)
+    for _ in range(100):
+        try:
+            s.connect(sock_path)
+            break
+        except OSError:
+            time.sleep(0.1)
+    else:
+        raise SystemExit("could not connect to the daemon")
+    f = s.makefile("rw")
+
+    def req(obj):
+        f.write(json.dumps(obj) + "\n")
+        f.flush()
+        return json.loads(f.readline())
+
+    return req
+
+
+def open_request():
+    return {
+        "op": "open",
+        "project": "ci",
+        "header": "ci.hpp",
+        "sources": ["main.cpp"],
+        "files": {"ci.hpp": HEADER, "main.cpp": SOURCE},
+    }
+
+
+def basic_cycle():
     daemon = subprocess.Popen([BINARY, "serve", "--socket", SOCKET, "--workers", "2"])
     try:
-        s = socket.socket(socket.AF_UNIX)
-        for _ in range(100):
-            try:
-                s.connect(SOCKET)
-                break
-            except OSError:
-                time.sleep(0.1)
-        else:
-            raise SystemExit("could not connect to the daemon")
-        f = s.makefile("rw")
-
-        def req(obj):
-            f.write(json.dumps(obj) + "\n")
-            f.flush()
-            return json.loads(f.readline())
-
-        r = req(
-            {
-                "op": "open",
-                "project": "ci",
-                "header": "ci.hpp",
-                "sources": ["main.cpp"],
-                "files": {"ci.hpp": HEADER, "main.cpp": SOURCE},
-            }
-        )
+        req = connect(SOCKET)
+        r = req(open_request())
         assert r["ok"], r
         r = req({"op": "rerun", "project": "ci"})
         assert r["ok"] and not r["fully_cached"], r
@@ -70,6 +87,64 @@ def main():
         if daemon.poll() is None:
             daemon.kill()
     print("serve smoke OK")
+
+
+def kill_and_restart():
+    cache_dir = tempfile.mkdtemp(prefix="yalla-smoke-store-")
+    sock1 = SOCKET + ".gen1"
+    sock2 = SOCKET + ".gen2"
+    gen2 = None
+    gen1 = subprocess.Popen(
+        [BINARY, "serve", "--socket", sock1, "--cache-dir", cache_dir, "--workers", "2"]
+    )
+    try:
+        req = connect(sock1)
+        r = req(open_request())
+        assert r["ok"], r
+        r = req({"op": "rerun", "project": "ci"})
+        assert r["ok"], r
+        r = req({"op": "edit", "project": "ci", "path": "main.cpp", "text": EDITED_SOURCE})
+        assert r["ok"], r
+        r = req({"op": "rerun", "project": "ci"})
+        assert r["ok"], r
+        lightweight = req({"op": "get", "project": "ci", "artifact": "lightweight"})["text"]
+        rewritten = req({"op": "get", "project": "ci", "artifact": "source:main.cpp"})["text"]
+
+        # Crash: no shutdown handshake, no flush — only the cache dir survives.
+        gen1.kill()
+        gen1.wait(timeout=30)
+
+        gen2 = subprocess.Popen(
+            [BINARY, "serve", "--socket", sock2, "--cache-dir", cache_dir, "--workers", "2"]
+        )
+        req = connect(sock2)
+        r = req({"op": "status"})
+        assert r["ok"] and len(r["shards"]) == 1, (
+            "restarted daemon did not rebuild its pool from disk: %r" % r
+        )
+        assert r["shards"][0]["project"] == "ci", r
+        r = req({"op": "rerun", "project": "ci"})
+        assert r["ok"] and r["fully_cached"], (
+            "first rerun after crash restart was not disk-warm: %r" % r
+        )
+        r = req({"op": "get", "project": "ci", "artifact": "lightweight"})
+        assert r["ok"] and r["text"] == lightweight, "lightweight header changed across crash"
+        r = req({"op": "get", "project": "ci", "artifact": "source:main.cpp"})
+        assert r["ok"] and r["text"] == rewritten, "rewritten source changed across crash"
+        r = req({"op": "shutdown"})
+        assert r["ok"], r
+        assert gen2.wait(timeout=30) == 0, "restarted daemon did not exit cleanly"
+    finally:
+        for d in (gen1, gen2):
+            if d is not None and d.poll() is None:
+                d.kill()
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    print("serve kill-and-restart OK")
+
+
+def main():
+    basic_cycle()
+    kill_and_restart()
 
 
 if __name__ == "__main__":

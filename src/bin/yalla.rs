@@ -6,9 +6,15 @@
 //! ```text
 //! yalla --header <NAME> [--include-dir <DIR>]... [--out-dir <DIR>]
 //!       [--define NAME=VALUE]... [--keep <SYMBOL>]... [--no-verify]
-//!       [--iterate <SCRIPT>] [--self-profile <OUT.json>] [--metrics]
-//!       <SOURCES>...
+//!       [--iterate <SCRIPT>] [--cache-dir <DIR>] [--self-profile <OUT.json>]
+//!       [--metrics] <SOURCES>...
 //! ```
+//!
+//! With `--cache-dir <DIR>` (or the `YALLA_CACHE_DIR` environment
+//! variable) artifacts persist to an on-disk store shared across
+//! processes: a rerun of an unchanged project in a *fresh* process is
+//! disk-warm — no stage recomputes. Corrupt or torn cache entries are
+//! detected by checksum and silently recomputed.
 //!
 //! Sources and every file reachable through `--include-dir` are loaded
 //! into the in-memory file system, the engine runs, and the artifacts
@@ -21,8 +27,13 @@
 //! line-delimited JSON protocol on a Unix socket:
 //!
 //! ```text
-//! yalla serve --socket <PATH> [--workers N|max] [--metrics]
+//! yalla serve --socket <PATH> [--workers N|max] [--cache-dir <DIR>] [--metrics]
 //! ```
+//!
+//! With a cache dir, the daemon persists each project's record and run
+//! artifacts as it serves, and a restarted daemon (clean exit *or*
+//! `kill -9`) rebuilds its warm pool from disk: the first rerun per
+//! project after restart is fully cached.
 //!
 //! Clients send one JSON object per line (`open`, `edit`, `rerun`,
 //! `get`, `status`, `shutdown`) and read one response line per request;
@@ -34,7 +45,8 @@
 //!
 //! ```text
 //! yalla fuzz [--seed N] [--iters K] [--shrink] [--sabotage KIND]
-//!            [--session-every N] [--repro-dir <DIR>] [--metrics]
+//!            [--session-every N] [--store <DIR>] [--repro-dir <DIR>]
+//!            [--metrics]
 //! yalla fuzz --replay <FIXTURE>...
 //! ```
 //!
@@ -72,13 +84,15 @@ struct Cli {
     keep: Vec<String>,
     verify: bool,
     iterate: Option<PathBuf>,
+    cache_dir: Option<PathBuf>,
     self_profile: Option<PathBuf>,
     metrics: bool,
 }
 
 const USAGE: &str = "usage: yalla --header <NAME> [--include-dir <DIR>]... \
 [--out-dir <DIR>] [--define NAME=VALUE]... [--keep <SYMBOL>]... [--no-verify] \
-[--iterate <SCRIPT>] [--self-profile <OUT.json>] [--metrics] <SOURCES>...";
+[--iterate <SCRIPT>] [--cache-dir <DIR>] [--self-profile <OUT.json>] [--metrics] \
+<SOURCES>...";
 
 fn parse_args() -> Result<Cli, String> {
     let mut args = std::env::args().skip(1);
@@ -91,6 +105,7 @@ fn parse_args() -> Result<Cli, String> {
         keep: Vec::new(),
         verify: true,
         iterate: None,
+        cache_dir: None,
         self_profile: None,
         metrics: false,
     };
@@ -123,6 +138,11 @@ fn parse_args() -> Result<Cli, String> {
                     args.next().ok_or("--iterate needs a script path")?,
                 ));
             }
+            "--cache-dir" => {
+                cli.cache_dir = Some(PathBuf::from(
+                    args.next().ok_or("--cache-dir needs a directory")?,
+                ));
+            }
             "--self-profile" => {
                 cli.self_profile = Some(PathBuf::from(
                     args.next().ok_or("--self-profile needs a path")?,
@@ -146,6 +166,19 @@ fn parse_args() -> Result<Cli, String> {
         return Err(format!("no source files given\n{USAGE}"));
     }
     Ok(cli)
+}
+
+/// Resolves the on-disk artifact store: an explicit `--cache-dir` wins,
+/// else the `YALLA_CACHE_DIR` environment variable, else no store.
+fn open_store(
+    cache_dir: Option<&Path>,
+) -> Result<Option<std::sync::Arc<yalla::store::Store>>, String> {
+    match cache_dir {
+        Some(dir) => yalla::store::Store::open(dir)
+            .map(|s| Some(std::sync::Arc::new(s)))
+            .map_err(|e| format!("opening cache dir {}: {e}", dir.display())),
+        None => Ok(yalla::store::Store::global()),
+    }
 }
 
 /// Loads a directory tree (C++ files only) into the VFS under its
@@ -183,10 +216,15 @@ fn load_dir(vfs: &mut Vfs, dir: &Path) -> std::io::Result<usize> {
 
 /// Replays an edit script through one incremental [`Session`], printing
 /// each rerun's per-stage cache outcome. Returns the last rerun's result.
-fn iterate(options: Options, vfs: Vfs, script: &Path) -> Result<SubstitutionResult, String> {
+fn iterate(
+    options: Options,
+    vfs: Vfs,
+    script: &Path,
+    store: Option<std::sync::Arc<yalla::store::Store>>,
+) -> Result<SubstitutionResult, String> {
     let text = std::fs::read_to_string(script)
         .map_err(|e| format!("reading {}: {e}", script.display()))?;
-    let mut session = Session::new(options, vfs);
+    let mut session = Session::with_store(options, vfs, store);
     let run = session.rerun().map_err(|e| e.to_string())?;
     println!("iteration 0 (cold): {}", run.summary_line());
     let mut result = run.result;
@@ -280,8 +318,18 @@ fn run() -> Result<(), String> {
         verify: cli.verify,
         ..Options::default()
     };
+    let store = open_store(cli.cache_dir.as_deref())?;
     let result = match &cli.iterate {
-        Some(script) => iterate(options.clone(), vfs, script)?,
+        Some(script) => iterate(options.clone(), vfs, script, store)?,
+        // With a store attached, a one-shot run goes through a Session so
+        // it both probes the disk tier (a fresh process on an unchanged
+        // project is disk-warm) and persists its artifacts on the way out.
+        None if store.is_some() => {
+            Session::with_store(options.clone(), vfs, store)
+                .rerun()
+                .map_err(|e| e.to_string())?
+                .result
+        }
         None => Engine::new(options.clone())
             .run(&vfs)
             .map_err(|e| e.to_string())?,
@@ -328,7 +376,7 @@ fn run() -> Result<(), String> {
 
 const FUZZ_USAGE: &str = "usage: yalla fuzz [--seed N] [--iters K] [--shrink] \
 [--sabotage none|probe-offset|zero-return] [--session-every N] [--race-every N] \
-[--repro-dir <DIR>] [--metrics] | yalla fuzz --replay <FIXTURE>...";
+[--store <DIR>] [--repro-dir <DIR>] [--metrics] | yalla fuzz --replay <FIXTURE>...";
 
 /// Replays checked-in repro fixtures: each must run divergence-free.
 fn replay_fixtures(paths: &[String]) -> Result<(), String> {
@@ -396,6 +444,7 @@ fn run_fuzz(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("bad --race-every: {e}"))?;
             }
+            "--store" => config.store_dir = Some(PathBuf::from(value("--store")?)),
             "--repro-dir" => repro_dir = PathBuf::from(value("--repro-dir")?),
             "--metrics" => metrics = true,
             "--replay" => { /* the remaining positionals are fixtures */ }
@@ -453,12 +502,14 @@ fn run_fuzz(args: &[String]) -> Result<(), String> {
     }
 }
 
-const SERVE_USAGE: &str = "usage: yalla serve --socket <PATH> [--workers N|max] [--metrics]";
+const SERVE_USAGE: &str = "usage: yalla serve --socket <PATH> [--workers N|max] \
+[--cache-dir <DIR>] [--metrics]";
 
 #[cfg(unix)]
 fn run_serve(args: &[String]) -> Result<(), String> {
     let mut socket: Option<PathBuf> = None;
     let mut workers: Option<usize> = None;
+    let mut cache_dir: Option<PathBuf> = None;
     let mut metrics = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -467,6 +518,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         };
         match arg.as_str() {
             "--socket" => socket = Some(PathBuf::from(value("--socket")?)),
+            "--cache-dir" => cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
             "--workers" => {
                 let v = value("--workers")?;
                 workers = Some(if v == "max" {
@@ -492,11 +544,17 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         None => yalla::exec::Executor::global().clone(),
     };
     let workers = exec.workers();
-    let server = yalla::core::serve::Server::start(&socket, exec)
+    let store = open_store(cache_dir.as_deref())?;
+    let cache_note = store
+        .as_ref()
+        .map(|s| format!(", cache {}", s.dir().display()))
+        .unwrap_or_default();
+    let server = yalla::core::serve::Server::start_with_store(&socket, exec, store)
         .map_err(|e| format!("binding {}: {e}", socket.display()))?;
     println!(
-        "yalla serve: listening on {} ({workers} workers)",
-        socket.display()
+        "yalla serve: listening on {} ({workers} workers{cache_note}, {} warm shard(s))",
+        socket.display(),
+        server.state().shard_count()
     );
     while !server.is_stopped() {
         std::thread::sleep(std::time::Duration::from_millis(20));

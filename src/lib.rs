@@ -23,6 +23,9 @@
 //!   scheduler the engine's pipeline stages run on (`YALLA_WORKERS`),
 //! * [`obs`] — the self-profiling layer: hierarchical spans, counters,
 //!   and Chrome-trace output (`yalla --self-profile`),
+//! * [`store`] — the persistent content-addressed on-disk artifact cache
+//!   (`--cache-dir`/`YALLA_CACHE_DIR`): crash-safe record format with
+//!   checksum footers, LRU eviction, and multi-process sharing,
 //! * [`corpus`] — synthetic stand-ins for Kokkos, RapidJSON, OpenCV and
 //!   Boost.Asio, plus the paper's 18 evaluation subjects,
 //! * [`fuzz`] — the differential semantic-preservation fuzzer: random
@@ -65,6 +68,7 @@ pub use yalla_exec as exec;
 pub use yalla_fuzz as fuzz;
 pub use yalla_obs as obs;
 pub use yalla_sim as sim;
+pub use yalla_store as store;
 
 pub use yalla_core::{
     substitute_headers, Engine, MultiSubstitutionResult, Options, Report, Session, SessionRun,

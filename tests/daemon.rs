@@ -126,6 +126,107 @@ fn smoke_open_rerun_get_shutdown() {
     assert!(!path.exists(), "socket file removed on shutdown");
 }
 
+/// Crash recovery end to end against the real binary: a `yalla serve`
+/// daemon with a cache dir is driven through open/edit/rerun, killed
+/// with SIGKILL mid-steady-state (no shutdown handshake, no flush), and
+/// restarted on the same cache dir. The restarted daemon must rebuild
+/// its warm pool from disk — the very first rerun is fully cached — and
+/// serve artifacts byte-identical to the pre-crash ones.
+#[test]
+fn sigkill_and_restart_on_same_cache_dir_is_disk_warm() {
+    let cache = std::env::temp_dir().join(format!("yalla-test-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+    let spawn = |sock: &std::path::Path| -> std::process::Child {
+        std::process::Command::new(env!("CARGO_BIN_EXE_yalla"))
+            .args(["serve", "--socket"])
+            .arg(sock)
+            .arg("--cache-dir")
+            .arg(&cache)
+            .args(["--workers", "2"])
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::inherit())
+            .spawn()
+            .expect("spawn yalla serve")
+    };
+
+    // Generation 1: open, warm up, edit, rerun; capture the artifacts.
+    let sock1 = socket_path("crash-gen1");
+    let mut daemon = spawn(&sock1);
+    let mut stream = connect(&sock1);
+    let r = client_request(&mut stream, &open_request(0, 1)).unwrap();
+    assert!(ok(&r), "{r:?}");
+    let r = client_request(&mut stream, "{\"op\": \"rerun\", \"project\": \"pj0\"}").unwrap();
+    assert!(ok(&r), "{r:?}");
+    let edit = format!(
+        "{{\"op\": \"edit\", \"project\": \"pj0\", \"path\": \"s0.cpp\", \"text\": \"{}\"}}",
+        escape_json(&source_text(0, 0, 3))
+    );
+    let r = client_request(&mut stream, &edit).unwrap();
+    assert!(ok(&r), "{r:?}");
+    let r = client_request(&mut stream, "{\"op\": \"rerun\", \"project\": \"pj0\"}").unwrap();
+    assert!(ok(&r), "{r:?}");
+    let before: Vec<String> = ["lightweight", "wrappers", "source:s0.cpp"]
+        .iter()
+        .map(|artifact| {
+            let r = client_request(
+                &mut stream,
+                &format!("{{\"op\": \"get\", \"project\": \"pj0\", \"artifact\": \"{artifact}\"}}"),
+            )
+            .unwrap();
+            r.get("text")
+                .and_then(JsonValue::as_str)
+                .unwrap_or_else(|| panic!("{artifact}: {r:?}"))
+                .to_string()
+        })
+        .collect();
+
+    // SIGKILL: no shutdown request, no clean exit path runs.
+    daemon.kill().expect("SIGKILL the daemon");
+    daemon.wait().expect("reap the daemon");
+    let _ = std::fs::remove_file(&sock1);
+
+    // Generation 2 on the same cache dir: the warm pool is rebuilt from
+    // disk, so the first rerun recomputes nothing.
+    let sock2 = socket_path("crash-gen2");
+    let mut daemon = spawn(&sock2);
+    let mut stream = connect(&sock2);
+    let r = client_request(&mut stream, "{\"op\": \"status\"}").unwrap();
+    assert_eq!(
+        r.get("shards")
+            .and_then(JsonValue::as_array)
+            .map(<[JsonValue]>::len),
+        Some(1),
+        "warm pool rebuilt before any open: {r:?}"
+    );
+    let r = client_request(&mut stream, "{\"op\": \"rerun\", \"project\": \"pj0\"}").unwrap();
+    assert!(ok(&r), "{r:?}");
+    assert_eq!(
+        r.get("fully_cached"),
+        Some(&JsonValue::Bool(true)),
+        "first rerun after kill -9 must be disk-warm: {r:?}"
+    );
+    for (artifact, want) in ["lightweight", "wrappers", "source:s0.cpp"]
+        .iter()
+        .zip(&before)
+    {
+        let r = client_request(
+            &mut stream,
+            &format!("{{\"op\": \"get\", \"project\": \"pj0\", \"artifact\": \"{artifact}\"}}"),
+        )
+        .unwrap();
+        assert_eq!(
+            r.get("text").and_then(JsonValue::as_str),
+            Some(want.as_str()),
+            "`{artifact}` diverged across the crash"
+        );
+    }
+    let r = client_request(&mut stream, "{\"op\": \"shutdown\"}").unwrap();
+    assert!(ok(&r), "{r:?}");
+    let status = daemon.wait().expect("daemon exits after shutdown");
+    assert!(status.success(), "clean exit: {status:?}");
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
 #[test]
 fn stress_eight_clients_no_deadlock_no_bleed() {
     const PROJECTS: usize = 4;

@@ -28,7 +28,17 @@ struct Artifacts {
 /// The summary line minus its trailing wall-clock figure: the cache
 /// outcomes and work counts must be deterministic, the milliseconds are
 /// not.
+///
+/// When `YALLA_CACHE_DIR` is set (CI runs the whole suite again against
+/// a shared on-disk store), stage outcomes stop being comparable across
+/// runs by design — the first run misses the disk and populates it, every
+/// later run is disk-warm with zero recomputed work. The artifacts are
+/// still required to be byte-identical; only the summary comparison is
+/// dropped.
 fn normalized(summary: &str) -> String {
+    if std::env::var("YALLA_CACHE_DIR").is_ok_and(|dir| !dir.is_empty()) {
+        return String::new();
+    }
     match summary.rsplit_once(", ") {
         Some((head, tail)) if tail.ends_with("ms)") => format!("{head})"),
         _ => summary.to_string(),

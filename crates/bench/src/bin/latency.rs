@@ -1,0 +1,321 @@
+//! Client-observed request latency per request class (`yalla serve`).
+//!
+//! Drives a `yalla serve` daemon over its real Unix socket and measures
+//! what a *client* waits per request — not the server-side stage spans —
+//! classified by request class (`open`, `edit`, `rerun`, `get`,
+//! `status`). Each client walks its share of the corpus subjects through
+//! the development cycle: one `open` (cold pipeline), then steady-state
+//! `edit`→`rerun` iterations, a few artifact `get`s, and one `status`.
+//! Unlike the throughput bench no modeled build latency is injected —
+//! this bench measures the tool and daemon themselves.
+//!
+//! Two configurations run back to back, cold each time:
+//!
+//! * **clients1** — 1 client, 1 executor worker (no contention);
+//! * **clients8** — 8 clients, 8 executor workers (contended tails).
+//!
+//! Per configuration the samples feed the same log-bucketed histograms
+//! the daemon exports (`yalla_obs::Histogram`), and the report prints
+//! P50/P95/P99 per class. Writes `results/BENCH_latency.json` with one
+//! record per subject and configuration plus `corpus` aggregates.
+//!
+//! With `--slo <slo.toml>` every per-class aggregate P99 is checked
+//! against its pinned bound and the run exits non-zero on a violation —
+//! the CI latency gate. `--subjects N` trims the corpus for smoke runs;
+//! `--event-log <path>` streams the daemon's JSONL span log for
+//! post-mortem joins when the gate fails.
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("the latency bench drives a Unix-socket daemon; unix only");
+}
+
+#[cfg(unix)]
+fn main() {
+    imp::main();
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::collections::BTreeMap;
+    use std::os::unix::net::UnixStream;
+    use std::path::{Path, PathBuf};
+    use std::time::Instant;
+
+    use yalla_bench::results::{write_records, RunRecord};
+    use yalla_bench::slo::Slo;
+    use yalla_core::serve::{client_request, Server};
+    use yalla_corpus::{all_subjects, Subject};
+    use yalla_exec::Executor;
+    use yalla_obs::chrome::escape_json;
+    use yalla_obs::json::JsonValue;
+    use yalla_obs::{Histogram, HistogramSnapshot};
+
+    /// Steady-state `edit`→`rerun` pairs per subject (after the cold open).
+    const ITERATIONS: usize = 8;
+    /// Artifact `get` requests per subject.
+    const GETS: usize = 4;
+    /// Clients (and workers) in the contended configuration.
+    const FLEET: usize = 8;
+
+    const USAGE: &str =
+        "usage: latency [--subjects N] [--slo <slo.toml>] [--event-log <OUT.jsonl>]";
+
+    /// One measured request: subject, request class, client-observed µs.
+    type Sample = (&'static str, &'static str, u64);
+
+    struct Workload {
+        subject: &'static str,
+        /// `(class, request-line)` in script order.
+        script: Vec<(&'static str, String)>,
+    }
+
+    fn workload(subject: &Subject) -> Workload {
+        let mut files = Vec::new();
+        for (id, _) in subject.vfs.iter() {
+            files.push(format!(
+                "\"{}\": \"{}\"",
+                escape_json(subject.vfs.path(id)),
+                escape_json(subject.vfs.text(id))
+            ));
+        }
+        let sources: Vec<String> = subject.sources.iter().map(|s| format!("\"{s}\"")).collect();
+        let mut script = vec![(
+            "open",
+            format!(
+                "{{\"op\": \"open\", \"project\": \"{}\", \"header\": \"{}\", \
+                 \"sources\": [{}], \"files\": {{{}}}}}",
+                subject.name,
+                escape_json(&subject.header),
+                sources.join(", "),
+                files.join(", ")
+            ),
+        )];
+        let main_id = subject
+            .vfs
+            .lookup(&subject.main_source)
+            .unwrap_or_else(|| panic!("{}: no main source", subject.name));
+        // Same-content edits: §6's common case, so warm reruns revalidate.
+        let main_text = subject.vfs.text(main_id).to_string();
+        let rerun = format!("{{\"op\": \"rerun\", \"project\": \"{}\"}}", subject.name);
+        for _ in 0..ITERATIONS {
+            script.push((
+                "edit",
+                format!(
+                    "{{\"op\": \"edit\", \"project\": \"{}\", \"path\": \"{}\", \"text\": \"{}\"}}",
+                    subject.name,
+                    escape_json(&subject.main_source),
+                    escape_json(&main_text)
+                ),
+            ));
+            script.push(("rerun", rerun.clone()));
+        }
+        for _ in 0..GETS {
+            script.push((
+                "get",
+                format!(
+                    "{{\"op\": \"get\", \"project\": \"{}\", \"artifact\": \"lightweight\"}}",
+                    subject.name
+                ),
+            ));
+        }
+        script.push(("status", "{\"op\": \"status\"}".to_string()));
+        Workload {
+            subject: subject.name,
+            script,
+        }
+    }
+
+    fn connect(path: &Path) -> UnixStream {
+        for _ in 0..200 {
+            if let Ok(s) = UnixStream::connect(path) {
+                return s;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        panic!("could not connect to {}", path.display());
+    }
+
+    /// Runs one client's scripts; every request becomes one [`Sample`].
+    fn run_client(socket: &Path, group: &[Workload]) -> Vec<Sample> {
+        let mut stream = connect(socket);
+        let mut samples = Vec::new();
+        for w in group {
+            for (class, request) in &w.script {
+                let start = Instant::now();
+                let r = client_request(&mut stream, request)
+                    .unwrap_or_else(|e| panic!("{}: {e}", w.subject));
+                let us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                assert!(
+                    r.get("ok") == Some(&JsonValue::Bool(true)),
+                    "{}: rejected: {r:?}",
+                    w.subject
+                );
+                samples.push((w.subject, *class, us));
+            }
+        }
+        samples
+    }
+
+    /// One full cold pass: fresh daemon, `workers` executor workers, one
+    /// client thread per group.
+    fn run_config(tag: &str, workers: usize, groups: Vec<Vec<Workload>>) -> Vec<Sample> {
+        let socket =
+            std::env::temp_dir().join(format!("yalla-latency-{tag}-{}.sock", std::process::id()));
+        let server = Server::start(&socket, Executor::new(workers)).expect("start daemon");
+        let mut handles = Vec::new();
+        for group in groups {
+            let socket = socket.clone();
+            handles.push(std::thread::spawn(move || run_client(&socket, &group)));
+        }
+        let mut samples = Vec::new();
+        for handle in handles {
+            samples.extend(handle.join().expect("client thread"));
+        }
+        let mut stream = connect(&socket);
+        let _ = client_request(&mut stream, "{\"op\": \"shutdown\"}");
+        server.join();
+        samples
+    }
+
+    /// Round-robin split into `n` client groups.
+    fn split(loads: Vec<Workload>, n: usize) -> Vec<Vec<Workload>> {
+        let mut groups: Vec<Vec<Workload>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, load) in loads.into_iter().enumerate() {
+            groups[i % n].push(load);
+        }
+        groups.retain(|g| !g.is_empty());
+        groups
+    }
+
+    /// Histograms per key, fed from samples.
+    fn histograms(
+        samples: &[Sample],
+        key: impl Fn(&Sample) -> String,
+    ) -> BTreeMap<String, HistogramSnapshot> {
+        let mut hists: BTreeMap<String, Histogram> = BTreeMap::new();
+        for sample in samples {
+            hists.entry(key(sample)).or_default().record(sample.2);
+        }
+        hists.into_iter().map(|(k, h)| (k, h.snapshot())).collect()
+    }
+
+    fn quantile_entries(class: &str, snap: &HistogramSnapshot) -> Vec<(String, f64)> {
+        vec![
+            (format!("{class}.p50"), snap.quantile(0.50) as f64),
+            (format!("{class}.p95"), snap.quantile(0.95) as f64),
+            (format!("{class}.p99"), snap.quantile(0.99) as f64),
+            (format!("{class}.count"), snap.count as f64),
+        ]
+    }
+
+    pub(super) fn main() {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut subjects_cap: Option<usize> = None;
+        let mut slo_path: Option<PathBuf> = None;
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| -> String {
+                it.next()
+                    .cloned()
+                    .unwrap_or_else(|| panic!("{name} needs a value\n{USAGE}"))
+            };
+            match arg.as_str() {
+                "--subjects" => {
+                    subjects_cap = Some(
+                        value("--subjects")
+                            .parse()
+                            .unwrap_or_else(|e| panic!("bad --subjects: {e}")),
+                    );
+                }
+                "--slo" => slo_path = Some(PathBuf::from(value("--slo"))),
+                "--event-log" => {
+                    let path = PathBuf::from(value("--event-log"));
+                    yalla_obs::log::init_file(&path)
+                        .unwrap_or_else(|e| panic!("opening event log {}: {e}", path.display()));
+                }
+                "--help" | "-h" => {
+                    println!("{USAGE}");
+                    return;
+                }
+                other => panic!("unknown argument `{other}`\n{USAGE}"),
+            }
+        }
+        let slo = slo_path.map(|p| Slo::load(&p).unwrap_or_else(|e| panic!("{e}")));
+
+        let subjects = all_subjects();
+        let take = subjects_cap.unwrap_or(subjects.len()).min(subjects.len());
+        let build = || subjects.iter().take(take).map(workload).collect::<Vec<_>>();
+
+        println!("clients1 pass (1 client, 1 worker, {take} subject(s))...");
+        let seq = run_config("seq", 1, vec![build()]);
+        println!("clients8 pass ({FLEET} clients, {FLEET} workers, {take} subject(s))...");
+        let par = run_config("par", FLEET, split(build(), FLEET));
+
+        let mut records = Vec::new();
+        let mut measured = Vec::new();
+        println!(
+            "\n{:<10} {:<9} {:>7} {:>12} {:>12} {:>12}",
+            "config", "class", "count", "p50 (us)", "p95 (us)", "p99 (us)"
+        );
+        for (config, samples) in [("clients1", &seq), ("clients8", &par)] {
+            // Corpus-wide per-class aggregates: the printed table, the
+            // `corpus` records, and the SLO gate.
+            let by_class = histograms(samples, |s| s.1.to_string());
+            let mut corpus_entries = Vec::new();
+            for (class, snap) in &by_class {
+                println!(
+                    "{config:<10} {class:<9} {:>7} {:>12} {:>12} {:>12}",
+                    snap.count,
+                    snap.quantile(0.50),
+                    snap.quantile(0.95),
+                    snap.quantile(0.99)
+                );
+                corpus_entries.extend(quantile_entries(class, snap));
+                measured.push((class.clone(), config.to_string(), snap.quantile(0.99)));
+            }
+            records.push(RunRecord {
+                subject: "corpus".to_string(),
+                config: config.to_string(),
+                phase_us: corpus_entries,
+            });
+            // Per-subject per-class quantiles.
+            let by_subject_class = histograms(samples, |s| format!("{}\u{0}{}", s.0, s.1));
+            let mut per_subject: BTreeMap<String, Vec<(String, f64)>> = BTreeMap::new();
+            for (key, snap) in &by_subject_class {
+                let (subject, class) = key.split_once('\u{0}').expect("joined key");
+                per_subject
+                    .entry(subject.to_string())
+                    .or_default()
+                    .extend(quantile_entries(class, snap));
+            }
+            for (subject, entries) in per_subject {
+                records.push(RunRecord {
+                    subject,
+                    config: config.to_string(),
+                    phase_us: entries,
+                });
+            }
+        }
+
+        let out =
+            write_records(&PathBuf::from("results"), "latency", &records).expect("write results");
+        println!("\nwrote {}", out.display());
+        yalla_obs::log::flush();
+
+        if let Some(slo) = slo {
+            let violations = slo.check(&measured);
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            if !violations.is_empty() {
+                std::process::exit(1);
+            }
+            println!(
+                "SLO check passed: {} class bound(s), {} measurement(s)",
+                slo.len(),
+                measured.len()
+            );
+        }
+    }
+}

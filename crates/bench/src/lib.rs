@@ -7,3 +7,4 @@
 
 pub mod harness;
 pub mod results;
+pub mod slo;

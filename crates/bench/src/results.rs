@@ -3,8 +3,12 @@
 //! Every figure/table binary can dump what it measured as one JSON file
 //! per run — `results/BENCH_<bin>.json` — so downstream tooling (plots,
 //! regression checks, CI) reads numbers instead of scraping the printed
-//! tables. A record is `{subject, config, phase_us: {...}}`, phase times
-//! in microseconds to match the Chrome-trace unit.
+//! tables. Each file is an envelope
+//! `{schema_version, git, records: [...]}` — the version and the
+//! `git describe` of the producing tree let perf-trajectory tooling
+//! trust (or discard) old records — and a record is
+//! `{subject, config, phase_us: {...}}`, phase times in microseconds to
+//! match the Chrome-trace unit.
 
 use std::fmt::Write as _;
 use std::io;
@@ -73,8 +77,42 @@ pub fn records_for(eval: &SubjectEvaluation) -> Vec<RunRecord> {
     ]
 }
 
-/// Serializes records as a JSON array (stable key order, valid RFC 8259).
+/// Version of the `BENCH_*.json` envelope; bump on breaking layout
+/// changes. Version 2 introduced the envelope itself (version 1 files
+/// were a bare record array).
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// `git describe --always --dirty` of the producing tree, or `unknown`
+/// when git (or the repository) is unavailable — record files must still
+/// be writable from an exported tarball.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Serializes records as the versioned envelope (stable key order,
+/// valid RFC 8259), stamped with [`SCHEMA_VERSION`] and [`git_describe`].
 pub fn to_json(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"schema_version\": {SCHEMA_VERSION}, \"git\": \"{}\", \"records\": ",
+        escape_json(&git_describe())
+    );
+    out.push_str(&records_json(records));
+    out.push_str("}\n");
+    out
+}
+
+/// The bare record array (the envelope's `records` field).
+fn records_json(records: &[RunRecord]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
@@ -95,7 +133,7 @@ pub fn to_json(records: &[RunRecord]) -> String {
         }
         out.push_str("}}");
     }
-    out.push_str("\n]\n");
+    out.push_str("\n]");
     out
 }
 
@@ -136,7 +174,13 @@ mod tests {
         ];
         let text = to_json(&records);
         let parsed = json::parse(&text).expect("valid JSON");
-        let arr = parsed.as_array().unwrap();
+        assert_eq!(
+            parsed.get("schema_version").and_then(JsonValue::as_f64),
+            Some(SCHEMA_VERSION as f64)
+        );
+        let git = parsed.get("git").and_then(JsonValue::as_str).unwrap();
+        assert!(!git.is_empty());
+        let arr = parsed.get("records").and_then(JsonValue::as_array).unwrap();
         assert_eq!(arr.len(), 2);
         assert_eq!(
             arr[0].get("config").and_then(JsonValue::as_str),
@@ -172,7 +216,21 @@ mod tests {
         let path = write_records(&dir, "unit", &[]).unwrap();
         assert!(path.ends_with("BENCH_unit.json"));
         let text = std::fs::read_to_string(&path).unwrap();
-        json::parse(&text).expect("valid JSON");
+        let parsed = json::parse(&text).expect("valid JSON");
+        assert!(
+            parsed
+                .get("records")
+                .and_then(JsonValue::as_array)
+                .is_some_and(|records| records.is_empty()),
+            "{text}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn git_describe_never_panics_and_is_nonempty() {
+        let describe = git_describe();
+        assert!(!describe.is_empty());
+        assert!(!describe.contains('\n'));
     }
 }

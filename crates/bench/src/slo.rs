@@ -1,0 +1,215 @@
+//! Latency SLOs: parse `slo.toml` and check measured P99s against it.
+//!
+//! The checked-in `slo.toml` pins one P99 bound (µs) per request class:
+//!
+//! ```toml
+//! [slo.rerun]
+//! p99_us = 250000
+//! ```
+//!
+//! The `latency` bench loads it with [`Slo::load`] and fails its run —
+//! and therefore CI — when any measured class P99 exceeds its bound.
+//! The parser is a deliberate TOML subset (tables, integer keys, `#`
+//! comments) so the workspace stays dependency-free; anything outside
+//! the subset is a hard error rather than a silent skip.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// P99 bounds per request class, in microseconds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Slo {
+    bounds: BTreeMap<String, u64>,
+}
+
+/// One measured quantile that broke its bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Request class (`open`, `edit`, `rerun`, ...).
+    pub class: String,
+    /// Configuration label the measurement came from.
+    pub config: String,
+    /// Measured P99 (µs).
+    pub p99_us: u64,
+    /// The bound it exceeded (µs).
+    pub bound_us: u64,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SLO violation: {} P99 {} us > {} us bound ({})",
+            self.class, self.p99_us, self.bound_us, self.config
+        )
+    }
+}
+
+impl Slo {
+    /// Parses the `slo.toml` subset: `[slo.<class>]` tables each holding
+    /// `p99_us = <integer>`, with `#` comments and blank lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `line: message` string for anything outside the subset —
+    /// unknown tables, unknown keys, non-integer values, duplicates.
+    pub fn parse(text: &str) -> Result<Slo, String> {
+        let mut bounds = BTreeMap::new();
+        let mut class: Option<String> = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let err = |msg: String| format!("slo.toml:{}: {msg}", lineno + 1);
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let name = header
+                    .strip_prefix("slo.")
+                    .ok_or_else(|| err(format!("expected [slo.<class>], got [{header}]")))?;
+                if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                    return Err(err(format!("bad class name `{name}`")));
+                }
+                if bounds.contains_key(name) {
+                    return Err(err(format!("duplicate table [slo.{name}]")));
+                }
+                class = Some(name.to_string());
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err(format!("expected `key = value`, got `{line}`")))?;
+            if key.trim() != "p99_us" {
+                return Err(err(format!("unknown key `{}`", key.trim())));
+            }
+            let class = class
+                .as_ref()
+                .ok_or_else(|| err("p99_us outside any [slo.<class>] table".to_string()))?;
+            let us: u64 = value
+                .trim()
+                .parse()
+                .map_err(|e| err(format!("bad p99_us `{}`: {e}", value.trim())))?;
+            if bounds.insert(class.clone(), us).is_some() {
+                return Err(err(format!("duplicate p99_us for class `{class}`")));
+            }
+        }
+        Ok(Slo { bounds })
+    }
+
+    /// Reads and parses an SLO file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures and [`Slo::parse`] errors as strings.
+    pub fn load(path: &Path) -> Result<Slo, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        Slo::parse(&text)
+    }
+
+    /// The bound for one class, if pinned.
+    pub fn bound_us(&self, class: &str) -> Option<u64> {
+        self.bounds.get(class).copied()
+    }
+
+    /// Number of pinned classes.
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// True when no class is pinned.
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+
+    /// Checks measured `(class, config, p99_us)` triples; returns every
+    /// violation. Classes without a pinned bound pass — the SLO file
+    /// states what is enforced, not what is measured.
+    pub fn check(&self, measured: &[(String, String, u64)]) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        for (class, config, p99_us) in measured {
+            if let Some(bound_us) = self.bound_us(class) {
+                if *p99_us > bound_us {
+                    violations.push(Violation {
+                        class: class.clone(),
+                        config: config.clone(),
+                        p99_us: *p99_us,
+                        bound_us,
+                    });
+                }
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# latency SLOs (microseconds)
+[slo.open]
+p99_us = 2000000
+[slo.rerun]
+p99_us = 500000  # includes the cold first rerun
+";
+
+    #[test]
+    fn parses_the_subset() {
+        let slo = Slo::parse(SAMPLE).unwrap();
+        assert_eq!(slo.len(), 2);
+        assert_eq!(slo.bound_us("open"), Some(2_000_000));
+        assert_eq!(slo.bound_us("rerun"), Some(500_000));
+        assert_eq!(slo.bound_us("edit"), None);
+    }
+
+    #[test]
+    fn rejects_out_of_subset_input() {
+        for (text, needle) in [
+            ("[latency.open]\np99_us = 1", "expected [slo.<class>]"),
+            ("[slo.open]\np50_us = 1", "unknown key"),
+            ("p99_us = 1", "outside any"),
+            ("[slo.open]\np99_us = fast", "bad p99_us"),
+            (
+                "[slo.open]\np99_us = 1\n[slo.open]\np99_us = 2",
+                "duplicate",
+            ),
+        ] {
+            let err = Slo::parse(text).unwrap_err();
+            assert!(err.contains(needle), "{text:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn check_passes_within_bounds_and_ignores_unpinned_classes() {
+        let slo = Slo::parse(SAMPLE).unwrap();
+        let measured = vec![
+            ("open".to_string(), "clients1".to_string(), 1_999_999),
+            ("rerun".to_string(), "clients8".to_string(), 500_000),
+            ("edit".to_string(), "clients8".to_string(), u64::MAX),
+        ];
+        assert!(slo.check(&measured).is_empty());
+    }
+
+    /// The deliberate-regression drill: the same measurements that pass
+    /// the checked-in bounds must fail once a bound is flipped below the
+    /// measured P99 — proving the gate actually gates.
+    #[test]
+    fn flipping_a_bound_below_measurement_fails_the_check() {
+        let measured = vec![("rerun".to_string(), "clients8".to_string(), 400_000)];
+        let honest = Slo::parse(SAMPLE).unwrap();
+        assert!(honest.check(&measured).is_empty(), "sanity: within bounds");
+
+        let flipped = Slo::parse(&SAMPLE.replace("p99_us = 500000", "p99_us = 399999")).unwrap();
+        let violations = flipped.check(&measured);
+        assert_eq!(violations.len(), 1);
+        let v = &violations[0];
+        assert_eq!(
+            (v.class.as_str(), v.p99_us, v.bound_us),
+            ("rerun", 400_000, 399_999)
+        );
+        assert!(v
+            .to_string()
+            .contains("SLO violation: rerun P99 400000 us > 399999 us"));
+    }
+}

@@ -28,14 +28,20 @@
 //! * **Wire protocol.** One JSON object per line, over a Unix socket
 //!   (`ok`/`error` responses, one per request, in order). See
 //!   [`ServeState::handle_line`] for the operation set.
-//!
-//! Every request is wrapped in a `serve` span and counted under
-//! `serve.*` metrics through [`yalla_obs`].
+//! * **Telemetry.** Every request gets a monotonically increasing id,
+//!   stamped as `"req"` on its response line and installed as the
+//!   ambient [`yalla_obs::reqid`] for the handler's whole extent — so
+//!   stage, store, and event-log records produced anywhere downstream
+//!   (including DAG worker threads) join back to the request. Requests
+//!   are wrapped in a `serve` span, counted per class under
+//!   `serve.requests.<op>`, and timed into the `latency.serve.<op>`
+//!   histograms; the `metrics` op exposes all of it in Prometheus text
+//!   format, snapshotted without pausing any worker.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use yalla_cpp::hash::{self, Fnv64};
 use yalla_cpp::vfs::Vfs;
@@ -151,6 +157,8 @@ pub struct ServeState {
     /// persisted here let a restarted daemon rebuild its warm pool.
     store: Option<Arc<Store>>,
     requests: AtomicU64,
+    /// When this daemon state was created (drives `status`'s uptime).
+    start: Instant,
 }
 
 fn hash_request_tree(
@@ -196,6 +204,7 @@ impl ServeState {
             names: Mutex::new(HashMap::new()),
             store,
             requests: AtomicU64::new(0),
+            start: Instant::now(),
         };
         state.rebuild_pool();
         state
@@ -302,31 +311,71 @@ impl ServeState {
     /// | `edit`     | `project`, `path`, `text`                | queue an edit (batched) |
     /// | `rerun`    | `project`                                | apply queued edits, run the pipeline once |
     /// | `get`      | `project`, `artifact` (`lightweight`, `wrappers`, `report`, `source:<path>`) | read an artifact |
-    /// | `status`   | —                                        | shard inventory |
+    /// | `status`   | —                                        | shard inventory, uptime, per-class request totals, store hit-ratio |
+    /// | `metrics`  | —                                        | Prometheus-text counters/gauges/latency quantiles |
     /// | `shutdown` | —                                        | stop the daemon |
+    ///
+    /// Every response carries a `"req"` field: the request's id, also
+    /// installed as the ambient [`yalla_obs::reqid`] while the handler
+    /// runs so downstream telemetry joins back to this request.
     pub fn handle_line(&self, line: &str) -> Response {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        let req_id = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
+        let _ambient = yalla_obs::reqid::set(req_id);
         yalla_obs::count(names::SERVE_REQUESTS, 1);
+        let started = Instant::now();
+        let (class, mut response) = self.dispatch(line);
+        let dur = started.elapsed();
+        if let Some(op) = class {
+            yalla_obs::count(&names::serve_requests(op), 1);
+            yalla_obs::observe(&names::latency_serve(op), dur);
+        }
+        if yalla_obs::log::is_active() {
+            let ok = !response.text.starts_with("{\"ok\": false");
+            yalla_obs::log::emit(
+                "request",
+                &[
+                    ("op", class.unwrap_or("invalid").into()),
+                    ("ok", yalla_obs::ArgValue::Int(i64::from(ok))),
+                    ("dur_us", yalla_obs::ArgValue::Int(dur.as_micros() as i64)),
+                ],
+            );
+        }
+        // Stamp the request id as the first field of the response object
+        // (every response is a JSON object, so this is a pure prefix
+        // rewrite).
+        if let Some(rest) = response.text.strip_prefix('{') {
+            response.text = format!("{{\"req\": {req_id}, {rest}");
+        }
+        response
+    }
+
+    /// Parses and routes one request; returns the request class (the
+    /// `op`, when recognized) alongside the response.
+    fn dispatch(&self, line: &str) -> (Option<&'static str>, Response) {
         let req = match yalla_obs::json::parse(line) {
             Ok(v) => v,
-            Err(e) => return Response::error(format!("bad request JSON: {e}")),
+            Err(e) => return (None, Response::error(format!("bad request JSON: {e}"))),
         };
         let op = match str_field(&req, "op") {
             Ok(op) => op.to_string(),
-            Err(e) => return Response::error(e),
+            Err(e) => return (None, Response::error(e)),
         };
         let _span = yalla_obs::span("serve", &op);
         match op.as_str() {
-            "open" => self.handle_open(&req),
-            "edit" => self.handle_edit(&req),
-            "rerun" => self.handle_rerun(&req),
-            "get" => self.handle_get(&req),
-            "status" => self.handle_status(),
-            "shutdown" => Response {
-                text: "{\"ok\": true, \"op\": \"shutdown\"}".to_string(),
-                shutdown: true,
-            },
-            other => Response::error(format!("unknown op `{other}`")),
+            "open" => (Some("open"), self.handle_open(&req)),
+            "edit" => (Some("edit"), self.handle_edit(&req)),
+            "rerun" => (Some("rerun"), self.handle_rerun(&req)),
+            "get" => (Some("get"), self.handle_get(&req)),
+            "status" => (Some("status"), self.handle_status()),
+            "metrics" => (Some("metrics"), self.handle_metrics()),
+            "shutdown" => (
+                Some("shutdown"),
+                Response {
+                    text: "{\"ok\": true, \"op\": \"shutdown\"}".to_string(),
+                    shutdown: true,
+                },
+            ),
+            other => (None, Response::error(format!("unknown op `{other}`"))),
         }
     }
 
@@ -549,11 +598,45 @@ impl ServeState {
             ));
         }
         drop(shards);
+        let metrics = yalla_obs::global().metrics();
+        let by_class: Vec<String> = names::REQUEST_CLASSES
+            .iter()
+            .map(|op| {
+                format!(
+                    "\"{op}\": {}",
+                    metrics.counter(&names::serve_requests(op)).get()
+                )
+            })
+            .collect();
+        let store_hits = metrics.counter(names::STORE_HITS).get();
+        let store_lookups = store_hits + metrics.counter(names::STORE_MISSES).get();
+        let hit_ratio = if store_lookups > 0 {
+            store_hits as f64 / store_lookups as f64
+        } else {
+            0.0
+        };
         Response::ok(format!(
-            "{{\"ok\": true, \"op\": \"status\", \"workers\": {}, \"requests\": {}, \"shards\": [{}]}}",
+            "{{\"ok\": true, \"op\": \"status\", \"workers\": {}, \"requests\": {}, \
+             \"uptime_us\": {}, \"requests_by_class\": {{{}}}, \
+             \"store_lookups\": {store_lookups}, \"store_hit_ratio\": {hit_ratio:.4}, \
+             \"shards\": [{}]}}",
             self.exec.workers(),
             self.requests(),
+            self.start.elapsed().as_micros(),
+            by_class.join(", "),
             rows.join(", ")
+        ))
+    }
+
+    /// The `metrics` op: the live telemetry state — counters, gauges,
+    /// and latency-histogram quantiles — rendered in Prometheus text
+    /// exposition format. The snapshot is plain atomic reads; no worker
+    /// pauses for a scrape.
+    fn handle_metrics(&self) -> Response {
+        let text = yalla_obs::export::prometheus(yalla_obs::global());
+        Response::ok(format!(
+            "{{\"ok\": true, \"op\": \"metrics\", \"text\": \"{}\"}}",
+            escape_json(&text)
         ))
     }
 
@@ -931,7 +1014,21 @@ mod tests {
             "edited tree survived: {}",
             got.text
         );
-        assert_eq!(got.text, want.text, "artifacts identical across restart");
+        // Compare the artifact payloads, not the raw lines — request ids
+        // differ across daemon generations by design.
+        let artifact = |r: &Response| {
+            yalla_obs::json::parse(&r.text)
+                .expect("valid JSON")
+                .get("text")
+                .and_then(JsonValue::as_str)
+                .expect("artifact text")
+                .to_string()
+        };
+        assert_eq!(
+            artifact(&got),
+            artifact(&want),
+            "artifacts identical across restart"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -957,6 +1054,7 @@ mod tests {
             "{\"op\": \"get\", \"project\": \"p1\", \"artifact\": \"wrappers\"}",
             "{\"op\": \"get\", \"project\": \"p1\", \"artifact\": \"report\"}",
             "{\"op\": \"status\"}",
+            "{\"op\": \"metrics\"}",
             "not json",
             "{\"op\": \"shutdown\"}",
         ] {
@@ -964,5 +1062,95 @@ mod tests {
             yalla_obs::json::parse(&r.text)
                 .unwrap_or_else(|e| panic!("invalid response for {line}: {e}\n{}", r.text));
         }
+    }
+
+    #[test]
+    fn responses_carry_monotonic_request_ids() {
+        let state = state();
+        let id = |r: &Response| {
+            yalla_obs::json::parse(&r.text)
+                .expect("valid JSON")
+                .get("req")
+                .and_then(JsonValue::as_f64)
+                .expect("every response is stamped with a req id")
+        };
+        let a = id(&state.handle_line("{\"op\": \"status\"}"));
+        let b = id(&state.handle_line("{\"op\": \"status\"}"));
+        // Errors are requests too: they consume an id.
+        let c = id(&state.handle_line("not json"));
+        let d = id(&state.handle_line("{\"op\": \"status\"}"));
+        assert!(a >= 1.0);
+        assert_eq!(b, a + 1.0);
+        assert_eq!(c, b + 1.0);
+        assert_eq!(d, c + 1.0);
+    }
+
+    #[test]
+    fn status_reports_uptime_class_totals_and_hit_ratio() {
+        let state = state();
+        state.handle_line(&open_req("p1"));
+        state.handle_line("{\"op\": \"rerun\", \"project\": \"p1\"}");
+        let r = state.handle_line("{\"op\": \"status\"}");
+        let parsed = yalla_obs::json::parse(&r.text).expect("valid JSON");
+        assert!(
+            parsed
+                .get("uptime_us")
+                .and_then(JsonValue::as_f64)
+                .is_some(),
+            "{}",
+            r.text
+        );
+        let by_class = parsed.get("requests_by_class").expect("per-class totals");
+        // Counters are process-global, so other tests may have bumped
+        // them too — assert presence and a sane floor, not exact values.
+        for op in [
+            "open", "edit", "rerun", "get", "status", "metrics", "shutdown",
+        ] {
+            assert!(
+                by_class.get(op).and_then(JsonValue::as_f64).is_some(),
+                "{}",
+                r.text
+            );
+        }
+        assert!(by_class.get("rerun").and_then(JsonValue::as_f64).unwrap() >= 1.0);
+        let ratio = parsed
+            .get("store_hit_ratio")
+            .and_then(JsonValue::as_f64)
+            .expect("hit ratio present");
+        assert!((0.0..=1.0).contains(&ratio), "{ratio}");
+        assert!(
+            parsed
+                .get("store_lookups")
+                .and_then(JsonValue::as_f64)
+                .is_some(),
+            "{}",
+            r.text
+        );
+    }
+
+    #[test]
+    fn metrics_op_returns_prometheus_text() {
+        let state = state();
+        state.handle_line(&open_req("p1"));
+        state.handle_line("{\"op\": \"rerun\", \"project\": \"p1\"}");
+        let r = state.handle_line("{\"op\": \"metrics\"}");
+        let parsed = yalla_obs::json::parse(&r.text).expect("valid JSON");
+        let text = parsed
+            .get("text")
+            .and_then(JsonValue::as_str)
+            .expect("metrics text");
+        assert!(
+            text.contains("# TYPE yalla_serve_requests counter"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE yalla_latency_serve_rerun summary"),
+            "{text}"
+        );
+        assert!(
+            text.contains("yalla_latency_serve_rerun{quantile=\"0.99\"}"),
+            "{text}"
+        );
+        assert!(text.contains("yalla_latency_serve_rerun_count"), "{text}");
     }
 }

@@ -963,6 +963,39 @@ impl Session {
             verify: verify_dur,
         };
 
+        // ---- latency telemetry ------------------------------------------
+        // Recomputed stages feed the `latency.stage.<stage>` histograms
+        // (cache hits report zero and would drown the distribution, so
+        // they are skipped); one event-log line per stage carries the
+        // lookup and duration, joined to the daemon request by the
+        // ambient request id this handler thread holds.
+        for outcome in &stages {
+            if !outcome.lookup.is_hit() {
+                yalla_obs::observe(
+                    &yalla_obs::metrics::names::latency_stage(outcome.stage.label()),
+                    outcome.duration,
+                );
+            }
+            if yalla_obs::log::is_active() {
+                let lookup = match outcome.lookup {
+                    CacheLookup::Hit => "hit",
+                    CacheLookup::Miss => "miss",
+                    CacheLookup::Invalidated => "invalidated",
+                };
+                yalla_obs::log::emit(
+                    "stage",
+                    &[
+                        ("stage", outcome.stage.label().into()),
+                        ("lookup", lookup.into()),
+                        (
+                            "dur_us",
+                            yalla_obs::ArgValue::Int(outcome.duration.as_micros() as i64),
+                        ),
+                    ],
+                );
+            }
+        }
+
         let rewritten: BTreeMap<String, String> = {
             let map = self.rewrites.lock().expect("rewrites lock");
             opts.sources

@@ -143,7 +143,13 @@ impl<E: Send + 'static> RunState<E> {
             return;
         }
         let state = Arc::clone(self);
+        // Request-id causality: a node spawned while a daemon request is
+        // being handled (or by a node that was) carries that request's id
+        // onto the worker thread, so telemetry emitted inside the task —
+        // store lookups, event-log lines — joins back to the request.
+        let req_id = yalla_obs::reqid::current();
         self.exec.spawn(move || {
+            let _ambient = yalla_obs::reqid::set(req_id);
             let task = state.tasks[i]
                 .lock()
                 .expect("dag task lock")
@@ -420,5 +426,35 @@ mod tests {
         });
         let run = dag.run(&exec());
         assert!(run.outcome(slow).duration >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn nodes_inherit_the_spawners_request_id() {
+        // The causality guarantee the serve daemon's telemetry relies
+        // on: every node — including transitively-scheduled dependents
+        // running on other worker threads — observes the request id
+        // ambient where `run` was called.
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut dag: Dag<()> = Dag::new();
+        let record = |seen: &Arc<Mutex<Vec<u64>>>| {
+            let seen = Arc::clone(seen);
+            move || {
+                seen.lock().unwrap().push(yalla_obs::reqid::current());
+                Ok(())
+            }
+        };
+        let a = dag.node("a", &[], record(&seen));
+        let b = dag.node("b", &[a], record(&seen));
+        dag.node("c", &[a, b], record(&seen));
+        let guard = yalla_obs::reqid::set(41);
+        assert!(dag.run(&Executor::new(4)).ok());
+        drop(guard);
+        assert_eq!(*seen.lock().unwrap(), vec![41, 41, 41]);
+        // And the ambient id never leaks into unrelated work.
+        let mut clean: Dag<()> = Dag::new();
+        let seen2 = Arc::new(Mutex::new(Vec::new()));
+        clean.node("x", &[], record(&seen2));
+        assert!(clean.run(&Executor::new(2)).ok());
+        assert_eq!(*seen2.lock().unwrap(), vec![0]);
     }
 }

@@ -1,0 +1,154 @@
+//! Prometheus text-exposition rendering of the live telemetry state.
+//!
+//! The serve daemon's `metrics` op (and `yalla stat <socket>`) return
+//! this format: one `# TYPE` header per metric family followed by its
+//! samples, in the [Prometheus text format] every scraper understands.
+//!
+//! * Counters and gauges come straight from the [`crate::MetricsRegistry`]
+//!   snapshot.
+//! * Latency histograms render as *summaries*: `{quantile="0.5|0.9|0.95|
+//!   0.99"}` series plus `_count` and `_sum`, read from a
+//!   [`crate::hist::HistogramSnapshot`] taken with plain atomic loads —
+//!   workers are never paused for a scrape.
+//!
+//! Dotted yalla metric names (`cache.parse.hits`) mangle to Prometheus
+//! identifiers (`yalla_cache_parse_hits`).
+//!
+//! [Prometheus text format]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::fmt::Write as _;
+
+use crate::hist::HistogramSnapshot;
+use crate::metrics::MetricKind;
+use crate::Profiler;
+
+/// The quantiles every histogram summary exports.
+pub const QUANTILES: [f64; 4] = [0.5, 0.9, 0.95, 0.99];
+
+/// Mangles a dotted yalla metric name into a Prometheus identifier:
+/// `yalla_` prefix, every non-alphanumeric character folded to `_`.
+#[must_use]
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("yalla_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+/// Renders counters, gauges, and histogram summaries in Prometheus text
+/// exposition format.
+#[must_use]
+pub fn render(
+    metrics: &[(String, MetricKind, i64)],
+    hists: &[(String, HistogramSnapshot)],
+) -> String {
+    let mut out = String::new();
+    for (name, kind, value) in metrics {
+        let id = prometheus_name(name);
+        let kind = match kind {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        };
+        let _ = writeln!(out, "# TYPE {id} {kind}");
+        let _ = writeln!(out, "{id} {value}");
+    }
+    for (name, snap) in hists {
+        let id = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {id} summary");
+        for q in QUANTILES {
+            let _ = writeln!(out, "{id}{{quantile=\"{q}\"}} {}", snap.quantile(q));
+        }
+        let _ = writeln!(out, "{id}_count {}", snap.count);
+        let _ = writeln!(out, "{id}_sum {}", snap.sum);
+    }
+    out
+}
+
+/// Snapshots `profiler`'s metrics and histograms and renders them — the
+/// one-call scrape surface used by the serve daemon.
+#[must_use]
+pub fn prometheus(profiler: &Profiler) -> String {
+    render(
+        &profiler.metrics().snapshot(),
+        &profiler.histograms().snapshot(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn name_mangling_prefixes_and_folds() {
+        assert_eq!(
+            prometheus_name("cache.parse.hits"),
+            "yalla_cache_parse_hits"
+        );
+        assert_eq!(
+            prometheus_name("latency.serve.rerun"),
+            "yalla_latency_serve_rerun"
+        );
+        assert_eq!(prometheus_name("weird name-1"), "yalla_weird_name_1");
+    }
+
+    #[test]
+    fn renders_counters_gauges_and_summaries() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let text = render(
+            &[
+                ("serve.requests".into(), MetricKind::Counter, 7),
+                ("store.bytes".into(), MetricKind::Gauge, 4096),
+            ],
+            &[("latency.serve.rerun".into(), h.snapshot())],
+        );
+        assert!(
+            text.contains("# TYPE yalla_serve_requests counter\nyalla_serve_requests 7\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE yalla_store_bytes gauge\nyalla_store_bytes 4096\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE yalla_latency_serve_rerun summary"),
+            "{text}"
+        );
+        assert!(
+            text.contains("yalla_latency_serve_rerun{quantile=\"0.99\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("yalla_latency_serve_rerun_count 100\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!(
+                "yalla_latency_serve_rerun_sum {}\n",
+                (1..=100u64).sum::<u64>()
+            )),
+            "{text}"
+        );
+        // Every non-comment line is `<identifier or labeled id> <integer>`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.split_once(' ').expect("two fields");
+            assert!(name.starts_with("yalla_"), "{line}");
+            value.parse::<i64>().expect("integer sample value");
+        }
+    }
+
+    #[test]
+    fn scrape_from_profiler_is_one_call() {
+        let p = Profiler::new();
+        p.count("demo.items", 2);
+        p.observe_us("latency.demo", 250);
+        let text = prometheus(&p);
+        assert!(text.contains("yalla_demo_items 2"), "{text}");
+        assert!(text.contains("yalla_latency_demo_count 1"), "{text}");
+    }
+}

@@ -1,0 +1,426 @@
+//! Log-bucketed latency histograms with exact cross-thread merge.
+//!
+//! The daemon's latency telemetry needs a recorder that is cheap enough
+//! to sit on every request path, readable from another thread without
+//! pausing the writers, and *mergeable* so per-thread (or per-subject)
+//! recordings aggregate into one distribution without losing counts.
+//! This module provides an HDR-histogram-style fixed-layout histogram:
+//!
+//! * **Bucketing.** Values (µs) land in power-of-2 octaves split into
+//!   `2^SUB_BITS = 16` sub-buckets, so every bucket's width is at most
+//!   `1/16` of its lower bound — quantile estimates carry a bounded
+//!   ≤ 6.25 % relative error. Values `< 16` are exact (width-1 buckets).
+//! * **Lock-free-ish recording.** Buckets are `AtomicU64`s bumped with
+//!   relaxed `fetch_add`; `count`/`sum`/`min`/`max` are atomics too. A
+//!   [`HistogramSnapshot`] is a plain copy taken without stopping any
+//!   recorder — it is *consistent enough*: every completed record is
+//!   either fully visible or not yet visible in the totals the moment
+//!   they are read (individual cells may trail by one in-flight record,
+//!   which quantile readers tolerate by construction).
+//! * **Exact merge.** [`Histogram::merge_from`] adds bucket counts
+//!   integer-for-integer, so merging N per-thread histograms yields the
+//!   same buckets as recording everything into one shared histogram —
+//!   the property the cross-thread hammer test pins down.
+//!
+//! Histograms live in a [`HistogramRegistry`] keyed by dotted metric
+//! names (`latency.serve.rerun`, `latency.stage.parse`, …); the
+//! process-global registry hangs off the [`crate::Profiler`] and is fed
+//! through [`crate::observe_us`].
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Sub-bucket resolution: each power-of-2 octave splits into
+/// `2^SUB_BITS` buckets, bounding relative quantile error at
+/// `2^-SUB_BITS` (6.25 %).
+pub const SUB_BITS: u32 = 4;
+const SUB: u64 = 1 << SUB_BITS;
+/// Bucket count covering the full `u64` range at `SUB_BITS` resolution.
+const BUCKETS: usize = ((64 - SUB_BITS) as usize + 1) * SUB as usize;
+
+/// The bucket index recording `value`.
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros() as u64; // >= SUB_BITS
+    let shift = msb - u64::from(SUB_BITS);
+    let offset = (value >> shift) - SUB; // in [0, SUB)
+    ((msb - u64::from(SUB_BITS) + 1) * SUB + offset) as usize
+}
+
+/// The smallest value landing in bucket `index`.
+#[must_use]
+pub fn bucket_low(index: usize) -> u64 {
+    let i = index as u64;
+    if i < SUB {
+        return i;
+    }
+    let octave = i / SUB; // >= 1
+    let offset = i % SUB;
+    (SUB + offset) << (octave - 1)
+}
+
+/// The largest value landing in bucket `index` (saturating at
+/// `u64::MAX` for the top bucket).
+#[must_use]
+pub fn bucket_high(index: usize) -> u64 {
+    if index + 1 >= BUCKETS {
+        return u64::MAX;
+    }
+    bucket_low(index + 1) - 1
+}
+
+#[derive(Debug)]
+struct Inner {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Inner {
+    fn new() -> Self {
+        Inner {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A cheap, thread-safe handle to one histogram; clones share the same
+/// cells (like [`crate::metrics::Counter`]).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<Inner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            inner: Arc::new(Inner::new()),
+        }
+    }
+
+    /// Records one value (µs by convention).
+    pub fn record(&self, value: u64) {
+        let inner = &self.inner;
+        inner.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.min.fetch_min(value, Ordering::Relaxed);
+        inner.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] in microseconds (saturating).
+    pub fn record_duration(&self, dur: std::time::Duration) {
+        self.record(dur.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Total values recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Adds every bucket of `other` into `self`. The merge is exact:
+    /// bucket counts are integers, so `merge(a, b)` holds precisely the
+    /// union's per-bucket populations.
+    pub fn merge_from(&self, other: &Histogram) {
+        let (a, b) = (&self.inner, &other.inner);
+        for (mine, theirs) in a.buckets.iter().zip(&b.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        a.count
+            .fetch_add(b.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        a.sum
+            .fetch_add(b.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        a.min
+            .fetch_min(b.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        a.max
+            .fetch_max(b.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy for reporting. Taken with plain atomic loads
+    /// — no recorder pauses.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &self.inner;
+        HistogramSnapshot {
+            buckets: inner
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: inner.count.load(Ordering::Relaxed),
+            sum: inner.sum.load(Ordering::Relaxed),
+            min: inner.min.load(Ordering::Relaxed),
+            max: inner.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Convenience: quantile straight off a fresh snapshot.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// Zeroes every cell (buckets stay allocated).
+    pub fn reset(&self) {
+        let inner = &self.inner;
+        for b in &inner.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        inner.count.store(0, Ordering::Relaxed);
+        inner.sum.store(0, Ordering::Relaxed);
+        inner.min.store(u64::MAX, Ordering::Relaxed);
+        inner.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A plain (non-atomic) copy of a histogram's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket populations (see [`bucket_low`]/[`bucket_high`]).
+    pub buckets: Vec<u64>,
+    /// Total values recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// The estimated value at quantile `q ∈ [0, 1]`.
+    ///
+    /// Returns the *upper bound* of the bucket holding the rank-`⌈qN⌉`
+    /// value, capped at the observed maximum — so the estimate never
+    /// undershoots the exact quantile and overshoots it by at most one
+    /// bucket's width (≤ `2^-SUB_BITS` relative). Empty histograms
+    /// report 0.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return bucket_high(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// A registry of named histograms (the latency-side sibling of
+/// [`crate::MetricsRegistry`]).
+#[derive(Debug, Default)]
+pub struct HistogramRegistry {
+    slots: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl HistogramRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        HistogramRegistry::default()
+    }
+
+    /// The histogram named `name` (created empty on first use). The
+    /// returned handle records without re-locking the registry.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.slots
+            .lock()
+            .expect("histogram registry lock")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Snapshots every histogram, name-sorted.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.slots
+            .lock()
+            .expect("histogram registry lock")
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect()
+    }
+
+    /// Resets every histogram (slots stay registered).
+    pub fn reset(&self) {
+        for h in self.slots.lock().expect("histogram registry lock").values() {
+            h.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_brackets_every_value() {
+        for v in (0..4096u64).chain([1 << 20, (1 << 20) + 7, u64::MAX / 3, u64::MAX - 1, u64::MAX])
+        {
+            let i = bucket_index(v);
+            assert!(bucket_low(i) <= v, "low({i}) > {v}");
+            assert!(v <= bucket_high(i), "high({i}) < {v}");
+        }
+    }
+
+    #[test]
+    fn bucket_width_is_bounded_relative() {
+        for i in (SUB as usize)..BUCKETS - 1 {
+            let (lo, hi) = (bucket_low(i), bucket_high(i));
+            assert!(hi - lo <= lo / SUB, "bucket {i}: [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..SUB {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        for v in 0..SUB as usize {
+            assert_eq!(snap.buckets[v], 1);
+        }
+        assert_eq!(snap.quantile(1.0), SUB - 1);
+    }
+
+    #[test]
+    fn quantiles_never_undershoot_and_bound_overshoot() {
+        let h = Histogram::new();
+        let values: Vec<u64> = (1..=1000u64).map(|i| i * 37 % 90_000 + 1).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let snap = h.snapshot();
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let est = snap.quantile(q);
+            assert!(est >= exact, "q={q}: est {est} < exact {exact}");
+            assert!(
+                est <= exact + exact / SUB + 1,
+                "q={q}: est {est} too far above exact {exact}"
+            );
+        }
+        assert_eq!(snap.quantile(1.0), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn merge_is_exact_bucket_for_bucket() {
+        let (a, b, both) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in [1u64, 5, 16, 17, 300, 40_000, 40_001, 1 << 30] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [2u64, 16, 299, 40_000, u64::MAX / 5] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.snapshot(), both.snapshot());
+    }
+
+    #[test]
+    fn eight_thread_hammer_totals_are_exact() {
+        // Mirrors the obs cross-thread counter test: 8 threads × 10_000
+        // records into one shared histogram, *and* into 8 private
+        // histograms merged afterwards — totals and buckets must agree
+        // exactly with each other and with the arithmetic truth.
+        let shared = Histogram::new();
+        let locals: Vec<Histogram> = (0..8).map(|_| Histogram::new()).collect();
+        std::thread::scope(|scope| {
+            for local in &locals {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        let v = i % 997 + 1;
+                        shared.record(v);
+                        local.record(v);
+                    }
+                });
+            }
+        });
+        let merged = Histogram::new();
+        for local in &locals {
+            merged.merge_from(local);
+        }
+        let (s, m) = (shared.snapshot(), merged.snapshot());
+        assert_eq!(s.count, 80_000);
+        assert_eq!(s, m, "shared recording and post-hoc merge must agree");
+        let expect_sum: u64 = (0..10_000u64).map(|i| i % 997 + 1).sum::<u64>() * 8;
+        assert_eq!(s.sum, expect_sum);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 997);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        let snap = h.snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.quantile(0.99), 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn registry_hands_out_shared_handles() {
+        let reg = HistogramRegistry::new();
+        reg.histogram("lat").record(10);
+        reg.histogram("lat").record(20);
+        assert_eq!(reg.histogram("lat").count(), 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].0, "lat");
+        assert_eq!(snap[0].1.count, 2);
+        reg.reset();
+        assert_eq!(reg.histogram("lat").count(), 0);
+    }
+}

@@ -11,9 +11,15 @@
 //! * [`MetricsRegistry`] — named counters and gauges (files preprocessed,
 //!   symbols resolved, wrappers generated, …) that aggregate across
 //!   threads; see [`metrics::names`] for the well-known keys;
+//! * [`Histogram`] — log-bucketed latency histograms with exact
+//!   cross-thread merge and pause-free snapshots, per request class;
+//! * [`reqid`] — the ambient request id the serve daemon threads through
+//!   sessions, DAG nodes, and store lookups for end-to-end causality;
 //! * sinks — a Chrome-trace JSON writer ([`chrome`]) sharing one
-//!   [`Event`] model with the simulator's virtual-time traces, and a
-//!   human-readable summary table ([`summary`]);
+//!   [`Event`] model with the simulator's virtual-time traces, a
+//!   human-readable summary table ([`summary`]), a structured JSONL
+//!   event log ([`log`], `--event-log`), and a Prometheus text-format
+//!   exporter ([`export`], the daemon's `metrics` op);
 //! * [`json`] — a tiny validating JSON parser used to test the writers.
 //!
 //! Most call sites use the process-global profiler through the free
@@ -36,12 +42,17 @@
 
 pub mod chrome;
 pub mod event;
+pub mod export;
+pub mod hist;
 pub mod json;
+pub mod log;
 pub mod metrics;
 pub mod profiler;
+pub mod reqid;
 pub mod summary;
 
 pub use event::{ArgValue, Event, Phase};
+pub use hist::{Histogram, HistogramRegistry, HistogramSnapshot};
 pub use metrics::{Counter, Gauge, MetricKind, MetricsRegistry};
 pub use profiler::{Profiler, Span};
 
@@ -83,6 +94,19 @@ pub fn count(name: &str, delta: i64) {
 /// Sets a gauge on the global profiler.
 pub fn gauge(name: &str, value: i64) {
     global().gauge(name, value)
+}
+
+/// Records `value` (µs by convention) into the global latency histogram
+/// `name`. Histograms, like metrics, aggregate whether or not trace
+/// recording is enabled.
+pub fn observe_us(name: &str, value: u64) {
+    global().observe_us(name, value)
+}
+
+/// Records a [`std::time::Duration`] into the global latency histogram
+/// `name` (in microseconds).
+pub fn observe(name: &str, dur: std::time::Duration) {
+    global().histogram(name).record_duration(dur)
 }
 
 #[cfg(test)]

@@ -1,0 +1,174 @@
+//! Structured JSONL event log (`--event-log <path>`).
+//!
+//! One JSON object per line, written append-only through a process-global
+//! sink. Every line carries:
+//!
+//! * `ts_us` — microseconds since the sink was installed,
+//! * `req`   — the ambient [`crate::reqid`] request id (0 when none),
+//! * `tid`   — the writer thread's profiler tid,
+//! * `kind`  — what happened (`request`, `stage`, `store`, …),
+//!
+//! plus free-form fields ([`crate::ArgValue`] ints/floats/strings). The
+//! `req` field is the join key: a daemon `request` line and the `stage`
+//! and `store` lines its handler (and the DAG workers it spawned)
+//! produced all share one id, so the log reconstructs per-request
+//! causality end-to-end.
+//!
+//! The sink is deliberately simple — a mutex around a buffered writer.
+//! Event logging is opt-in and per-line cost is one small formatted
+//! write; when no sink is installed, [`emit`] is a single relaxed atomic
+//! load and an early return.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::chrome::escape_json;
+use crate::event::ArgValue;
+
+struct Sink {
+    epoch: Instant,
+    out: Mutex<Box<dyn std::io::Write + Send>>,
+}
+
+static SINK: OnceLock<Sink> = OnceLock::new();
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Installs the process-global event-log sink writing to `path`
+/// (created/truncated). Returns an error if the file cannot be opened;
+/// returns `Ok` and keeps the *first* sink if one is already installed
+/// (the sink is process-global and lives for the process lifetime).
+pub fn init_file(path: &Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    init_writer(Box::new(std::io::BufWriter::new(file)));
+    Ok(())
+}
+
+/// Installs the process-global event-log sink writing to an arbitrary
+/// writer (used by tests; first installation wins).
+pub fn init_writer(out: Box<dyn std::io::Write + Send>) {
+    let _ = SINK.set(Sink {
+        epoch: Instant::now(),
+        out: Mutex::new(out),
+    });
+    ACTIVE.store(true, Ordering::Relaxed);
+}
+
+/// Whether an event-log sink is installed.
+#[must_use]
+pub fn is_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Appends one event line. No-op (one atomic load) when no sink is
+/// installed. `fields` follow the standard `ts_us`/`req`/`tid`/`kind`
+/// prefix in the emitted object.
+pub fn emit(kind: &str, fields: &[(&str, ArgValue)]) {
+    if !is_active() {
+        return;
+    }
+    let Some(sink) = SINK.get() else { return };
+    let ts_us = sink.epoch.elapsed().as_micros() as u64;
+    let mut line = String::with_capacity(96);
+    let _ = write!(
+        line,
+        "{{\"ts_us\": {ts_us}, \"req\": {}, \"tid\": {}, \"kind\": \"{}\"",
+        crate::reqid::current(),
+        crate::profiler::current_tid(),
+        escape_json(kind),
+    );
+    for (k, v) in fields {
+        let _ = match v {
+            ArgValue::Int(n) => write!(line, ", \"{}\": {n}", escape_json(k)),
+            ArgValue::Float(f) => {
+                if f.is_finite() {
+                    write!(line, ", \"{}\": {f:.1}", escape_json(k))
+                } else {
+                    write!(line, ", \"{}\": 0.0", escape_json(k))
+                }
+            }
+            ArgValue::Str(s) => {
+                write!(line, ", \"{}\": \"{}\"", escape_json(k), escape_json(s))
+            }
+        };
+    }
+    line.push_str("}\n");
+    let mut out = sink.out.lock().expect("event log lock");
+    let _ = out.write_all(line.as_bytes());
+}
+
+/// Flushes the sink (call before exiting so the tail of the log reaches
+/// disk). No-op when no sink is installed.
+pub fn flush() {
+    if let Some(sink) = SINK.get() {
+        let _ = sink.out.lock().expect("event log lock").flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// A writer handing every byte to a shared buffer the test can read.
+    #[derive(Clone)]
+    struct Shared(Arc<StdMutex<Vec<u8>>>);
+
+    impl std::io::Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    // NOTE: the sink is process-global and first-install-wins, so all
+    // assertions about emitted lines live in this single test.
+    #[test]
+    fn emits_joinable_jsonl_lines() {
+        let buf = Shared(Arc::new(StdMutex::new(Vec::new())));
+        init_writer(Box::new(buf.clone()));
+        assert!(is_active());
+
+        {
+            let _req = crate::reqid::set(3);
+            emit(
+                "request",
+                &[("op", "rerun".into()), ("dur_us", ArgValue::Int(120))],
+            );
+            emit(
+                "stage",
+                &[("stage", "parse".into()), ("quote\"me", "x\ny".into())],
+            );
+        }
+        emit("idle", &[]);
+        flush();
+
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        for line in &lines {
+            let v = crate::json::parse(line).expect("each line is valid JSON");
+            assert!(v.get("ts_us").is_some(), "{line}");
+            assert!(v.get("kind").is_some(), "{line}");
+        }
+        let first = crate::json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("req").and_then(JsonValue::as_f64), Some(3.0));
+        assert_eq!(first.get("op").and_then(JsonValue::as_str), Some("rerun"));
+        let second = crate::json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("req").and_then(JsonValue::as_f64), Some(3.0));
+        assert_eq!(
+            second.get("quote\"me").and_then(JsonValue::as_str),
+            Some("x\ny"),
+            "keys and values must be escaped"
+        );
+        let third = crate::json::parse(lines[2]).unwrap();
+        assert_eq!(third.get("req").and_then(JsonValue::as_f64), Some(0.0));
+    }
+}

@@ -67,13 +67,13 @@ pub mod names {
     /// Project shards the daemon currently holds warm (gauge).
     pub const SERVE_SHARDS: &str = "serve.shards";
     /// On-disk store entries found valid on lookup.
-    pub const STORE_HITS: &str = "store.hit";
+    pub const STORE_HITS: &str = "store.hits";
     /// On-disk store lookups that found nothing.
-    pub const STORE_MISSES: &str = "store.miss";
+    pub const STORE_MISSES: &str = "store.misses";
     /// On-disk store entries evicted by the LRU size bound.
-    pub const STORE_EVICTIONS: &str = "store.evict";
+    pub const STORE_EVICTIONS: &str = "store.evictions";
     /// On-disk store entries dropped as torn/corrupt (counted as misses too).
-    pub const STORE_CORRUPT: &str = "store.corrupt";
+    pub const STORE_CORRUPT: &str = "store.corruptions";
     /// Bytes of entry payloads currently held by the on-disk store (gauge).
     pub const STORE_BYTES: &str = "store.bytes";
     /// Differential-fuzzer cases executed (`yalla fuzz`).
@@ -88,6 +88,104 @@ pub mod names {
     /// the session layer's per-stage hit/miss/invalidation accounting.
     pub fn stage_cache(stage: &str, outcome: &str) -> String {
         format!("cache.{stage}.{outcome}")
+    }
+
+    /// The session pipeline stages, in execution order — the `<stage>`
+    /// axis of [`stage_cache`] and [`latency_stage`].
+    pub const STAGES: [&str; 6] = ["parse", "analyze", "plan", "emit", "rewrite", "verify"];
+
+    /// The per-stage cache outcomes — the `<outcome>` axis of
+    /// [`stage_cache`].
+    pub const CACHE_OUTCOMES: [&str; 3] = ["hits", "misses", "invalidations"];
+
+    /// The serve-daemon request classes (protocol ops) — the `<op>` axis
+    /// of [`serve_requests`] and [`latency_serve`].
+    pub const REQUEST_CLASSES: [&str; 7] = [
+        "open", "edit", "rerun", "get", "status", "metrics", "shutdown",
+    ];
+
+    /// Name of the per-class request counter `serve.requests.<op>`.
+    pub fn serve_requests(op: &str) -> String {
+        format!("serve.requests.{op}")
+    }
+
+    /// Name of the per-class serve latency histogram `latency.serve.<op>`
+    /// (request wall time in µs, measured around the daemon handler).
+    pub fn latency_serve(op: &str) -> String {
+        format!("latency.serve.{op}")
+    }
+
+    /// Name of the per-stage latency histogram `latency.stage.<stage>`
+    /// (stage wall time in µs for non-cached executions).
+    pub fn latency_stage(stage: &str) -> String {
+        format!("latency.stage.{stage}")
+    }
+
+    /// Store-lookup latency histogram for lookups that hit (µs).
+    pub const LATENCY_STORE_HIT: &str = "latency.store.hit";
+    /// Store-lookup latency histogram for lookups that missed (µs).
+    pub const LATENCY_STORE_MISS: &str = "latency.store.miss";
+
+    /// Every well-known telemetry name — the static counter/gauge
+    /// constants plus the expanded dynamic families (per-stage cache
+    /// counters, per-class request counters, latency histograms) —
+    /// sorted. A unit test pins this set against the checked-in
+    /// `crates/obs/metrics.manifest`, so adding or renaming a metric is
+    /// a deliberate, reviewed act.
+    pub fn all() -> Vec<String> {
+        let mut names: Vec<String> = [
+            FILES_PREPROCESSED,
+            LINES_PREPROCESSED,
+            INCLUDES_RESOLVED,
+            MACRO_EXPANSIONS,
+            AST_DECLS,
+            SYMBOLS_RESOLVED,
+            USED_SYMBOLS,
+            INCOMPLETE_CHECKS,
+            WRAPPERS_GENERATED,
+            REWRITES_APPLIED,
+            ENGINE_RUNS,
+            CACHE_HITS,
+            CACHE_MISSES,
+            CACHE_INVALIDATIONS,
+            SESSION_RERUNS,
+            SESSION_TUS_REPARSED,
+            SIM_ITERATIONS,
+            EXEC_TASKS_EXECUTED,
+            EXEC_TASKS_STOLEN,
+            EXEC_PARKS,
+            EXEC_WORKERS,
+            SERVE_REQUESTS,
+            SERVE_REJECTED,
+            SERVE_EDITS_BATCHED,
+            SERVE_RERUNS,
+            SERVE_SHARDS,
+            STORE_HITS,
+            STORE_MISSES,
+            STORE_EVICTIONS,
+            STORE_CORRUPT,
+            STORE_BYTES,
+            FUZZ_CASES,
+            FUZZ_DIVERGENCES,
+            FUZZ_SHRINK_STEPS,
+            LATENCY_STORE_HIT,
+            LATENCY_STORE_MISS,
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        for stage in STAGES {
+            for outcome in CACHE_OUTCOMES {
+                names.push(stage_cache(stage, outcome));
+            }
+            names.push(latency_stage(stage));
+        }
+        for op in REQUEST_CLASSES {
+            names.push(serve_requests(op));
+            names.push(latency_serve(op));
+        }
+        names.sort();
+        names
     }
 }
 
@@ -357,5 +455,47 @@ mod tests {
             reg.snapshot(),
             vec![("a".to_string(), MetricKind::Counter, 0)]
         );
+    }
+
+    #[test]
+    fn registered_names_match_manifest() {
+        // Satellite requirement: the well-known name set is pinned by a
+        // checked-in manifest, so renames/additions are deliberate and
+        // every producer, DESIGN.md, and dashboards move together.
+        use std::collections::BTreeSet;
+        let manifest: BTreeSet<&str> = include_str!("../metrics.manifest")
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .collect();
+        let registered_vec = names::all();
+        let registered: BTreeSet<&str> = registered_vec.iter().map(String::as_str).collect();
+        let missing: Vec<&&str> = registered.difference(&manifest).collect();
+        let stale: Vec<&&str> = manifest.difference(&registered).collect();
+        assert!(
+            missing.is_empty() && stale.is_empty(),
+            "metrics.manifest drifted from names::all() —\n  not in manifest: {missing:?}\n  stale in manifest: {stale:?}"
+        );
+        assert_eq!(registered.len(), registered_vec.len(), "duplicate names");
+    }
+
+    #[test]
+    fn dotted_name_families_share_one_scheme() {
+        // The drift this guards against: `store.hit` vs `cache.hits`.
+        // Every countable family uses plural leaf names.
+        for name in [
+            names::STORE_HITS,
+            names::STORE_MISSES,
+            names::STORE_EVICTIONS,
+            names::STORE_CORRUPT,
+            names::CACHE_HITS,
+            names::CACHE_MISSES,
+        ] {
+            assert!(name.ends_with('s'), "{name} breaks the plural scheme");
+        }
+        assert_eq!(names::stage_cache("parse", "hits"), "cache.parse.hits");
+        assert_eq!(names::serve_requests("rerun"), "serve.requests.rerun");
+        assert_eq!(names::latency_serve("open"), "latency.serve.open");
+        assert_eq!(names::latency_stage("verify"), "latency.stage.verify");
     }
 }

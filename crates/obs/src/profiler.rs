@@ -19,6 +19,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::event::{ArgValue, Event, Phase};
+use crate::hist::{Histogram, HistogramRegistry};
 use crate::metrics::MetricsRegistry;
 
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
@@ -27,7 +28,9 @@ thread_local! {
     static THREAD_TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
 }
 
-fn current_tid() -> u64 {
+/// The calling thread's stable small profiler tid (assigned on first
+/// use; also stamped on trace events and event-log lines).
+pub fn current_tid() -> u64 {
     THREAD_TID.with(|t| *t)
 }
 
@@ -38,6 +41,7 @@ struct Inner {
     pid: AtomicU32,
     events: Mutex<Vec<Event>>,
     metrics: MetricsRegistry,
+    hists: HistogramRegistry,
 }
 
 /// A handle to a profiler; clones share the same recording.
@@ -62,6 +66,7 @@ impl Profiler {
                 pid: AtomicU32::new(1),
                 events: Mutex::new(Vec::new()),
                 metrics: MetricsRegistry::new(),
+                hists: HistogramRegistry::new(),
             }),
         }
     }
@@ -153,6 +158,23 @@ impl Profiler {
         &self.inner.metrics
     }
 
+    /// The latency-histogram registry.
+    pub fn histograms(&self) -> &HistogramRegistry {
+        &self.inner.hists
+    }
+
+    /// The latency histogram named `name` (created on first use).
+    /// Recording is always on — histograms, like metrics, aggregate
+    /// whether or not trace-event recording is enabled.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.inner.hists.histogram(name)
+    }
+
+    /// Records `value` (µs by convention) into histogram `name`.
+    pub fn observe_us(&self, name: &str, value: u64) {
+        self.inner.hists.histogram(name).record(value);
+    }
+
     /// A copy of the recorded events.
     pub fn events(&self) -> Vec<Event> {
         self.inner.events.lock().expect("events lock").clone()
@@ -163,10 +185,11 @@ impl Profiler {
         std::mem::take(&mut *self.inner.events.lock().expect("events lock"))
     }
 
-    /// Clears events and zeroes metrics.
+    /// Clears events and zeroes metrics and histograms.
     pub fn reset(&self) {
         self.inner.events.lock().expect("events lock").clear();
         self.inner.metrics.reset();
+        self.inner.hists.reset();
     }
 
     /// Serializes the recorded events as Chrome-trace JSON.

@@ -1,0 +1,90 @@
+//! Request-id causality: a thread-local ambient request id that threads
+//! a daemon request through `Session::rerun_on`, the `yalla-exec` DAG
+//! nodes, and store lookups.
+//!
+//! The serve daemon stamps every incoming request with a monotonically
+//! increasing id and installs it here for the duration of the handler
+//! ([`Guard`] is RAII, so nested requests — or panics — restore the
+//! previous value). Work handed to the executor captures the spawner's
+//! id at `spawn` time and re-installs it inside the task, so an
+//! event-log line written deep inside a parse node on a worker thread
+//! still joins back to the daemon request that caused it.
+//!
+//! Id 0 means "no active request" (direct CLI runs, tests): consumers
+//! treat it as absent.
+
+use std::cell::Cell;
+
+thread_local! {
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The calling thread's active request id (0 when none is set).
+#[must_use]
+pub fn current() -> u64 {
+    CURRENT.with(Cell::get)
+}
+
+/// Installs `id` as the calling thread's active request id until the
+/// returned [`Guard`] drops.
+#[must_use = "the request id is cleared when the guard drops"]
+pub fn set(id: u64) -> Guard {
+    let prev = CURRENT.with(|c| c.replace(id));
+    Guard { prev }
+}
+
+/// RAII guard restoring the previously active request id on drop.
+#[derive(Debug)]
+pub struct Guard {
+    prev: u64,
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero_and_guard_restores() {
+        assert_eq!(current(), 0);
+        {
+            let _g = set(7);
+            assert_eq!(current(), 7);
+            {
+                let _inner = set(8);
+                assert_eq!(current(), 8);
+            }
+            assert_eq!(current(), 7);
+        }
+        assert_eq!(current(), 0);
+    }
+
+    #[test]
+    fn ids_are_per_thread() {
+        let _g = set(42);
+        std::thread::spawn(|| {
+            assert_eq!(current(), 0, "request ids must not leak across threads");
+            let _g = set(99);
+            assert_eq!(current(), 99);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(current(), 42);
+    }
+
+    #[test]
+    fn guard_restores_on_panic() {
+        let _g = set(5);
+        let result = std::panic::catch_unwind(|| {
+            let _inner = set(6);
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        assert_eq!(current(), 5);
+    }
+}

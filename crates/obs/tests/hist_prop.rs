@@ -1,0 +1,71 @@
+//! Property tests for the latency histogram: merged-histogram quantiles
+//! must bound the union's *exact* quantiles within one bucket's relative
+//! error, for arbitrary inputs.
+
+use proptest::prelude::*;
+use yalla_obs::Histogram;
+
+/// The exact rank-⌈qN⌉ order statistic of `sorted`.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// merge(a, b) quantiles bound the union's exact quantiles:
+    /// `exact <= estimate <= exact * (1 + 2^-SUB_BITS) + 1`.
+    #[test]
+    fn merged_quantiles_bound_exact_union_quantiles(
+        a in prop::collection::vec(0u64..2_000_000, 1..200),
+        b in prop::collection::vec(0u64..2_000_000, 0..200),
+    ) {
+        let (ha, hb) = (Histogram::new(), Histogram::new());
+        for &v in &a {
+            ha.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+        }
+        ha.merge_from(&hb);
+
+        let mut union: Vec<u64> = a.iter().chain(&b).copied().collect();
+        union.sort_unstable();
+        let snap = ha.snapshot();
+        prop_assert_eq!(snap.count, union.len() as u64);
+
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let exact = exact_quantile(&union, q);
+            let est = snap.quantile(q);
+            prop_assert!(est >= exact, "q={} est={} < exact={}", q, est, exact);
+            // One bucket's width is at most lo/16; +1 absorbs the
+            // integer-boundary case for tiny values.
+            prop_assert!(
+                est <= exact + exact / 16 + 1,
+                "q={} est={} too far above exact={}", q, est, exact
+            );
+        }
+        prop_assert_eq!(snap.quantile(1.0), *union.last().unwrap());
+    }
+
+    /// Merging is exact: recording the union directly and merging two
+    /// halves produce identical snapshots (buckets, count, sum, min, max).
+    #[test]
+    fn merge_equals_direct_union_recording(
+        a in prop::collection::vec(0u64..1_000_000, 0..100),
+        b in prop::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let (ha, hb, direct) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for &v in &a {
+            ha.record(v);
+            direct.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            direct.record(v);
+        }
+        ha.merge_from(&hb);
+        prop_assert_eq!(ha.snapshot(), direct.snapshot());
+    }
+}

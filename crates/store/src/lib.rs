@@ -16,8 +16,8 @@
 //!   (re-adopted by directory scan at open).
 //! - **Corruption degrades to a miss, never an error.** Every entry is a
 //!   versioned record with an FNV-64 checksum footer ([`record`]); any
-//!   decode failure deletes the entry, bumps `store.corrupt` (and
-//!   `store.miss`), and reports a miss. The [`sabotage`] hook injects
+//!   decode failure deletes the entry, bumps `store.corruptions` (and
+//!   `store.misses`), and reports a miss. The [`sabotage`] hook injects
 //!   torn/flipped/partial writes to prove this in `tests/store_faults.rs`.
 //! - **Shared directories are safe.** Writers serialize on a lock file
 //!   ([`lock`]); readers are lock-free because entries are immutable once
@@ -171,8 +171,36 @@ impl Store {
 
     /// Looks up `(namespace, key)`. A torn or corrupt entry is deleted
     /// and reported as a miss; only a valid record is a hit.
+    ///
+    /// Every lookup is timed into the `latency.store.hit`/`.miss`
+    /// histograms and, when an event log is installed, emits a `store`
+    /// line joined to the ambient request id — worker threads running
+    /// DAG nodes inherit the daemon request's id, so these lines trace
+    /// back to the request that caused the lookup.
     pub fn get(&self, namespace: &str, key: u64) -> Option<Vec<u8>> {
-        let _span = yalla_obs::span("store", "get");
+        let span = yalla_obs::span("store", "get");
+        let result = self.get_uninstrumented(namespace, key);
+        let dur = span.finish();
+        let hist = if result.is_some() {
+            yalla_obs::metrics::names::LATENCY_STORE_HIT
+        } else {
+            yalla_obs::metrics::names::LATENCY_STORE_MISS
+        };
+        yalla_obs::observe(hist, dur);
+        if yalla_obs::log::is_active() {
+            yalla_obs::log::emit(
+                "store",
+                &[
+                    ("ns", namespace.into()),
+                    ("hit", yalla_obs::ArgValue::Int(i64::from(result.is_some()))),
+                    ("dur_us", yalla_obs::ArgValue::Int(dur.as_micros() as i64)),
+                ],
+            );
+        }
+        result
+    }
+
+    fn get_uninstrumented(&self, namespace: &str, key: u64) -> Option<Vec<u8>> {
         let name = Store::entry_name(namespace, key);
         let bytes = match fs::read(self.dir.join(&name)) {
             Ok(b) => b,

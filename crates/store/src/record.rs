@@ -31,7 +31,7 @@ pub const FORMAT_VERSION: u8 = 1;
 const MAGIC: [u8; 3] = *b"YST";
 
 /// Why a record failed to decode. Every variant is handled identically
-/// by the store — count `store.corrupt`, drop the entry, report a miss —
+/// by the store — count `store.corruptions`, drop the entry, report a miss —
 /// the distinction exists for tests and diagnostics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RecordError {

@@ -7,7 +7,7 @@
 //! against real corruption. Set `YALLA_STORE_SABOTAGE` (or call
 //! [`crate::Store::set_sabotage`]) to enable; the fault suite in
 //! `tests/store_faults.rs` proves every mode degrades to a cache miss
-//! with a `store.corrupt` bump and byte-identical final artifacts.
+//! with a `store.corruptions` bump and byte-identical final artifacts.
 
 /// What to do to each entry at write time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -5,6 +5,12 @@ Phase 1 starts the daemon on a Unix socket, drives one full client cycle
 (open -> cold rerun -> warm rerun -> artifact read -> shutdown) with the
 line-delimited JSON protocol, and checks the daemon exits cleanly.
 
+Phase 1 also exercises the telemetry surface: every response must carry
+a strictly increasing daemon-assigned request id, `status` must report
+uptime, per-class request totals, and the store hit ratio, and the
+`metrics` op must return Prometheus text exposition including the
+latency summary for the reruns the cycle just ran.
+
 Phase 2 proves crash-safe warm restart: a daemon started with
 `--cache-dir` is SIGKILLed mid-session, a second daemon generation is
 started on the same cache dir, and it must rebuild the warm shard pool
@@ -49,11 +55,17 @@ def connect(sock_path):
     else:
         raise SystemExit("could not connect to the daemon")
     f = s.makefile("rw")
+    last_req = [0]
 
     def req(obj):
         f.write(json.dumps(obj) + "\n")
         f.flush()
-        return json.loads(f.readline())
+        r = json.loads(f.readline())
+        # Every response is stamped with the daemon-assigned request id,
+        # strictly increasing over the daemon's lifetime.
+        assert r.get("req", 0) > last_req[0], "request ids must increase: %r" % r
+        last_req[0] = r["req"]
+        return r
 
     return req
 
@@ -80,6 +92,18 @@ def basic_cycle():
         assert r["ok"] and r["fully_cached"], r
         r = req({"op": "get", "project": "ci", "artifact": "lightweight"})
         assert r["ok"] and "class Probe;" in r["text"], r
+        r = req({"op": "status"})
+        assert r["ok"], r
+        assert r["uptime_us"] >= 0, r
+        assert "store_lookups" in r, r
+        assert 0.0 <= r["store_hit_ratio"] <= 1.0, r
+        by_class = r["requests_by_class"]
+        assert by_class["open"] >= 1 and by_class["rerun"] >= 2, r
+        r = req({"op": "metrics"})
+        assert r["ok"], r
+        text = r["text"]
+        assert "# TYPE" in text and "yalla_serve_requests " in text, text
+        assert 'yalla_latency_serve_rerun{quantile="0.99"}' in text, text
         r = req({"op": "shutdown"})
         assert r["ok"], r
         assert daemon.wait(timeout=30) == 0, "daemon did not exit cleanly"

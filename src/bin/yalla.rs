@@ -7,7 +7,7 @@
 //! yalla --header <NAME> [--include-dir <DIR>]... [--out-dir <DIR>]
 //!       [--define NAME=VALUE]... [--keep <SYMBOL>]... [--no-verify]
 //!       [--iterate <SCRIPT>] [--cache-dir <DIR>] [--self-profile <OUT.json>]
-//!       [--metrics] <SOURCES>...
+//!       [--event-log <OUT.jsonl>] [--metrics] <SOURCES>...
 //! ```
 //!
 //! With `--cache-dir <DIR>` (or the `YALLA_CACHE_DIR` environment
@@ -27,7 +27,9 @@
 //! line-delimited JSON protocol on a Unix socket:
 //!
 //! ```text
-//! yalla serve --socket <PATH> [--workers N|max] [--cache-dir <DIR>] [--metrics]
+//! yalla serve --socket <PATH> [--workers N|max] [--cache-dir <DIR>]
+//!             [--event-log <OUT.jsonl>] [--metrics]
+//! yalla stat <SOCKET>
 //! ```
 //!
 //! With a cache dir, the daemon persists each project's record and run
@@ -36,9 +38,15 @@
 //! project after restart is fully cached.
 //!
 //! Clients send one JSON object per line (`open`, `edit`, `rerun`,
-//! `get`, `status`, `shutdown`) and read one response line per request;
-//! edits batch on the shard until the next rerun. The daemon exits when
-//! any client sends `shutdown`.
+//! `get`, `status`, `metrics`, `shutdown`) and read one response line
+//! per request; edits batch on the shard until the next rerun. The
+//! daemon exits when any client sends `shutdown`. `yalla stat <SOCKET>`
+//! scrapes a running daemon and prints its live counters and latency
+//! quantiles in Prometheus text format. With `--event-log <PATH>`
+//! (accepted by both one-shot runs and the daemon) every request,
+//! pipeline stage, and store lookup appends one JSON line stamped with
+//! the request id that caused it, so a slow request can be joined to
+//! its stage timings end to end.
 //!
 //! The `fuzz` subcommand runs the differential semantic-preservation
 //! fuzzer instead:
@@ -86,13 +94,14 @@ struct Cli {
     iterate: Option<PathBuf>,
     cache_dir: Option<PathBuf>,
     self_profile: Option<PathBuf>,
+    event_log: Option<PathBuf>,
     metrics: bool,
 }
 
 const USAGE: &str = "usage: yalla --header <NAME> [--include-dir <DIR>]... \
 [--out-dir <DIR>] [--define NAME=VALUE]... [--keep <SYMBOL>]... [--no-verify] \
-[--iterate <SCRIPT>] [--cache-dir <DIR>] [--self-profile <OUT.json>] [--metrics] \
-<SOURCES>...";
+[--iterate <SCRIPT>] [--cache-dir <DIR>] [--self-profile <OUT.json>] \
+[--event-log <OUT.jsonl>] [--metrics] <SOURCES>...";
 
 fn parse_args() -> Result<Cli, String> {
     let mut args = std::env::args().skip(1);
@@ -107,6 +116,7 @@ fn parse_args() -> Result<Cli, String> {
         iterate: None,
         cache_dir: None,
         self_profile: None,
+        event_log: None,
         metrics: false,
     };
     while let Some(arg) = args.next() {
@@ -146,6 +156,11 @@ fn parse_args() -> Result<Cli, String> {
             "--self-profile" => {
                 cli.self_profile = Some(PathBuf::from(
                     args.next().ok_or("--self-profile needs a path")?,
+                ));
+            }
+            "--event-log" => {
+                cli.event_log = Some(PathBuf::from(
+                    args.next().ok_or("--event-log needs a path")?,
                 ));
             }
             "--metrics" => cli.metrics = true,
@@ -293,6 +308,10 @@ fn run() -> Result<(), String> {
         yalla::obs::enable();
         yalla::obs::global().set_process(1, "yalla");
     }
+    if let Some(path) = &cli.event_log {
+        yalla::obs::log::init_file(path)
+            .map_err(|e| format!("opening event log {}: {e}", path.display()))?;
+    }
     let mut vfs = Vfs::new();
     for dir in &cli.include_dirs {
         let n = load_dir(&mut vfs, dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
@@ -371,6 +390,7 @@ fn run() -> Result<(), String> {
     if cli.metrics {
         print!("{}", yalla::obs::global().summary());
     }
+    yalla::obs::log::flush();
     Ok(())
 }
 
@@ -503,13 +523,14 @@ fn run_fuzz(args: &[String]) -> Result<(), String> {
 }
 
 const SERVE_USAGE: &str = "usage: yalla serve --socket <PATH> [--workers N|max] \
-[--cache-dir <DIR>] [--metrics]";
+[--cache-dir <DIR>] [--event-log <OUT.jsonl>] [--metrics]";
 
 #[cfg(unix)]
 fn run_serve(args: &[String]) -> Result<(), String> {
     let mut socket: Option<PathBuf> = None;
     let mut workers: Option<usize> = None;
     let mut cache_dir: Option<PathBuf> = None;
+    let mut event_log: Option<PathBuf> = None;
     let mut metrics = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -519,6 +540,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         match arg.as_str() {
             "--socket" => socket = Some(PathBuf::from(value("--socket")?)),
             "--cache-dir" => cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--event-log" => event_log = Some(PathBuf::from(value("--event-log")?)),
             "--workers" => {
                 let v = value("--workers")?;
                 workers = Some(if v == "max" {
@@ -538,6 +560,10 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     let socket = socket.ok_or(format!("missing --socket\n{SERVE_USAGE}"))?;
     if metrics {
         yalla::obs::enable();
+    }
+    if let Some(path) = &event_log {
+        yalla::obs::log::init_file(path)
+            .map_err(|e| format!("opening event log {}: {e}", path.display()))?;
     }
     let exec = match workers {
         Some(n) => yalla::exec::Executor::new(n),
@@ -565,6 +591,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     if metrics {
         print!("{}", yalla::obs::global().summary());
     }
+    yalla::obs::log::flush();
     Ok(())
 }
 
@@ -573,11 +600,53 @@ fn run_serve(_args: &[String]) -> Result<(), String> {
     Err("yalla serve requires a platform with Unix sockets".to_string())
 }
 
+const STAT_USAGE: &str = "usage: yalla stat <SOCKET>";
+
+/// Scrapes a running daemon: sends one `metrics` request over the Unix
+/// socket and prints the returned Prometheus text exposition to stdout.
+#[cfg(unix)]
+fn run_stat(args: &[String]) -> Result<(), String> {
+    let mut socket: Option<PathBuf> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{STAT_USAGE}");
+                return Ok(());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n{STAT_USAGE}"));
+            }
+            path => {
+                if socket.is_some() {
+                    return Err(format!("more than one socket given\n{STAT_USAGE}"));
+                }
+                socket = Some(PathBuf::from(path));
+            }
+        }
+    }
+    let socket = socket.ok_or(format!("missing socket path\n{STAT_USAGE}"))?;
+    let mut stream = std::os::unix::net::UnixStream::connect(&socket)
+        .map_err(|e| format!("connecting to {}: {e}", socket.display()))?;
+    let response = yalla::core::serve::client_request(&mut stream, "{\"op\": \"metrics\"}")?;
+    let text = response
+        .get("text")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| format!("malformed metrics response: {response:?}"))?;
+    print!("{text}");
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn run_stat(_args: &[String]) -> Result<(), String> {
+    Err("yalla stat requires a platform with Unix sockets".to_string())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let outcome = match argv.first().map(String::as_str) {
         Some("fuzz") => run_fuzz(&argv[1..]),
         Some("serve") => run_serve(&argv[1..]),
+        Some("stat") => run_stat(&argv[1..]),
         _ => run(),
     };
     match outcome {

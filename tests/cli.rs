@@ -315,3 +315,110 @@ fn cli_keep_predeclares_symbols() {
     assert!(lw.contains("class Spare;"), "{lw}");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn cli_event_log_writes_joinable_jsonl() {
+    use yalla::obs::json;
+
+    let dir = scratch("eventlog");
+    std::fs::write(
+        dir.join("include/lib.hpp"),
+        "#pragma once\nnamespace E {\nclass Thing {\npublic:\n  int id() const;\n};\n}\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("app.cpp"),
+        "#include <lib.hpp>\nint f(E::Thing& t) { return t.id(); }\n",
+    )
+    .unwrap();
+    let out = Command::new(bin())
+        .current_dir(&dir)
+        .args([
+            "--header",
+            "lib.hpp",
+            "--include-dir",
+            "include",
+            "--out-dir",
+            "out",
+            "--event-log",
+            "events.jsonl",
+            "app.cpp",
+        ])
+        .output()
+        .expect("cli runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let log = std::fs::read_to_string(dir.join("events.jsonl")).unwrap();
+    let mut stage_lines = 0usize;
+    for line in log.lines() {
+        let v = json::parse(line).expect("every event-log line is valid JSON");
+        assert!(v.get("ts_us").is_some(), "missing ts_us: {line}");
+        assert!(v.get("req").is_some(), "missing req: {line}");
+        let kind = v.get("kind").and_then(|k| k.as_str()).expect("kind");
+        if kind == "stage" {
+            stage_lines += 1;
+            assert!(v.get("dur_us").is_some(), "stage without dur_us: {line}");
+        }
+    }
+    assert!(stage_lines > 0, "expected stage events, got:\n{log}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `yalla stat <socket>` scrapes a live daemon: the output is Prometheus
+/// text exposition, and a second scrape includes the latency summary for
+/// the first scrape's own `metrics` request.
+#[cfg(unix)]
+#[test]
+fn cli_stat_scrapes_a_running_daemon() {
+    let dir = scratch("stat");
+    let socket = dir.join("yalla.sock");
+    let socket_str = socket.to_str().unwrap().to_string();
+    let mut daemon = Command::new(bin())
+        .args(["serve", "--socket", &socket_str, "--workers", "1"])
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+    let mut ready = false;
+    for _ in 0..500 {
+        if socket.exists() {
+            ready = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(ready, "daemon never bound {}", socket.display());
+
+    let first = Command::new(bin())
+        .args(["stat", &socket_str])
+        .output()
+        .expect("stat runs");
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let text = String::from_utf8_lossy(&first.stdout);
+    assert!(text.contains("# TYPE"), "{text}");
+    assert!(text.contains("yalla_serve_requests "), "{text}");
+
+    let second = Command::new(bin())
+        .args(["stat", &socket_str])
+        .output()
+        .expect("stat runs twice");
+    let text = String::from_utf8_lossy(&second.stdout);
+    assert!(
+        text.contains("yalla_latency_serve_metrics{quantile=\"0.99\"}"),
+        "{text}"
+    );
+
+    use std::io::Write;
+    let mut stream = std::os::unix::net::UnixStream::connect(&socket).unwrap();
+    stream.write_all(b"{\"op\": \"shutdown\"}\n").unwrap();
+    let status = daemon.wait().expect("daemon exits");
+    assert!(status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,7 +1,7 @@
 //! Fault-injection tests for the on-disk artifact store as the session
 //! layer sees it: every injected corruption (truncated record, flipped
 //! byte, partial write, vanished file) must degrade to a cache *miss* —
-//! never an error, never a wrong artifact — with the `store.corrupt`
+//! never an error, never a wrong artifact — with the `store.corruptions`
 //! counter recording detection, and the recomputed artifacts must be
 //! byte-identical to a storeless cold run. Also covers cross-process
 //! warm restarts (a fresh `Store` handle on the same dir) and two

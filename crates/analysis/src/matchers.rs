@@ -105,9 +105,11 @@ pub fn enum_decl() -> DeclMatcher {
 }
 
 /// Matches declarations whose declared name equals `name` (`hasName`).
+/// The target is interned once up front, so each candidate is an
+/// integer compare instead of a string compare against a fresh `String`.
 pub fn has_name(name: &str) -> DeclMatcher {
-    let name = name.to_string();
-    DeclMatcher::new(move |d| d.declared_name().as_deref() == Some(name.as_str()))
+    let name = yalla_cpp::Sym::intern(name);
+    DeclMatcher::new(move |d| d.declared_name() == Some(name))
 }
 
 /// Matches definitions (classes with bodies, functions with bodies).

@@ -15,6 +15,7 @@ use yalla_cpp::ast::{
     StmtKind, TranslationUnit, Type, TypeKind,
 };
 use yalla_cpp::loc::{FileId, Span};
+use yalla_cpp::Sym;
 
 use crate::aliases::AliasResolver;
 use crate::symbols::{SymbolKind, SymbolTable};
@@ -743,16 +744,19 @@ impl<'a> Collector<'a> {
     /// Computes the free variables of a lambda's body that refer to the
     /// enclosing scope, in first-use order, with their declared types.
     fn lambda_captures(&self, l: &LambdaExpr) -> Vec<(String, Type)> {
-        let mut bound: HashSet<String> = l.params.iter().map(|(_, n)| n.clone()).collect();
+        // The walk speaks interned `Sym`s — the bound set and first-use
+        // list allocate nothing per occurrence; names become `String`s
+        // only at the captured-variable boundary below.
+        let mut bound: HashSet<Sym> = l.params.iter().map(|(_, n)| Sym::intern(n)).collect();
         let mut captured: Vec<(String, Type)> = Vec::new();
         let mut order = Vec::new();
         collect_free_names(&l.body.stmts, &mut bound, &mut order);
         for name in order {
-            if captured.iter().any(|(n, _)| *n == name) {
+            if captured.iter().any(|(n, _)| name == n.as_str()) {
                 continue;
             }
-            if let Some(ty) = self.lookup_local(&name) {
-                captured.push((name, ty.clone()));
+            if let Some(ty) = self.lookup_local(name.as_str()) {
+                captured.push((name.as_str().to_string(), ty.clone()));
             }
         }
         captured
@@ -926,17 +930,19 @@ impl<'a> Collector<'a> {
 
 /// Collects unqualified names used in `stmts` that are not bound locally,
 /// in first-use order. `bound` starts with the lambda parameters and grows
-/// with local declarations.
+/// with local declarations. Both collections hold interned `Sym`s: the
+/// bound set is order-insensitive membership and the out list preserves
+/// first-use order by position, so interning changes no observable order.
 #[allow(clippy::collapsible_match)] // arm-level guards read better uncollapsed
-fn collect_free_names(stmts: &[Stmt], bound: &mut HashSet<String>, out: &mut Vec<String>) {
+fn collect_free_names(stmts: &[Stmt], bound: &mut HashSet<Sym>, out: &mut Vec<Sym>) {
     #[allow(clippy::collapsible_match)]
-    fn expr_names(e: &Expr, bound: &HashSet<String>, out: &mut Vec<String>) {
+    fn expr_names(e: &Expr, bound: &HashSet<Sym>, out: &mut Vec<Sym>) {
         match &e.kind {
             ExprKind::Name(n) => {
                 if n.segs.len() == 1 && !n.global {
-                    let name = &n.segs[0].ident;
-                    if !bound.contains(name) {
-                        out.push(name.clone());
+                    let name = Sym::intern(&n.segs[0].ident);
+                    if !bound.contains(&name) {
+                        out.push(name);
                     }
                 }
             }
@@ -981,7 +987,7 @@ fn collect_free_names(stmts: &[Stmt], bound: &mut HashSet<String>, out: &mut Vec
                 // Nested lambda: its free names are free here too, minus
                 // its own params.
                 let mut inner_bound = bound.clone();
-                inner_bound.extend(inner.params.iter().map(|(_, n)| n.clone()));
+                inner_bound.extend(inner.params.iter().map(|(_, n)| Sym::intern(n)));
                 collect_free_names(&inner.body.stmts, &mut inner_bound, out);
             }
             _ => {}
@@ -994,7 +1000,7 @@ fn collect_free_names(stmts: &[Stmt], bound: &mut HashSet<String>, out: &mut Vec
                 if let Some(i) = &v.init {
                     expr_names(i, bound, out);
                 }
-                bound.insert(v.name.clone());
+                bound.insert(Sym::intern(&v.name));
             }
             StmtKind::Block(b) => collect_free_names(&b.stmts, &mut bound.clone(), out),
             StmtKind::If {
@@ -1020,7 +1026,7 @@ fn collect_free_names(stmts: &[Stmt], bound: &mut HashSet<String>, out: &mut Vec
                         if let Some(i) = &v.init {
                             expr_names(i, &inner, out);
                         }
-                        inner.insert(v.name.clone());
+                        inner.insert(Sym::intern(&v.name));
                     }
                     ForInit::Expr(e) => expr_names(e, &inner, out),
                     ForInit::Empty => {}
@@ -1036,7 +1042,7 @@ fn collect_free_names(stmts: &[Stmt], bound: &mut HashSet<String>, out: &mut Vec
             StmtKind::RangeFor { var, range, body } => {
                 expr_names(range, bound, out);
                 let mut inner = bound.clone();
-                inner.insert(var.name.clone());
+                inner.insert(Sym::intern(&var.name));
                 collect_free_names(std::slice::from_ref(body), &mut inner, out);
             }
             StmtKind::While { cond, body } => {

@@ -16,13 +16,22 @@
 //!   cached flag, reparse count); the parent checks the contract,
 //!   prints the speedup table, and writes `results/BENCH_store.json`
 //!   with `store-cold` / `store-warm` records.
+//!
+//! The parent also measures the **on-disk footprint** of each subject's
+//! run bundle: the binary module encoding (what the store persists,
+//! DESIGN.md §13) against the line-oriented text rendering
+//! (`yalla dump --format=text`) as the size baseline. The binary form
+//! must be smaller for every subject; `store-bytes` records carry both
+//! numbers (in bytes, despite the field name's µs convention —
+//! `config` disambiguates).
 
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
 use yalla_bench::results::{write_records, RunRecord};
-use yalla_core::{Options, Session};
+use yalla_core::persist::{encode_run, render_text};
+use yalla_core::{Engine, Options, Session};
 use yalla_corpus::all_subjects;
 use yalla_store::Store;
 
@@ -143,6 +152,60 @@ fn parent() -> Result<usize, String> {
             subject: w.subject.clone(),
             config: "store-warm".to_string(),
             phase_us: vec![("wall".to_string(), w.wall_us)],
+        });
+    }
+
+    // Size pass: one in-process engine run per subject, encoded both
+    // ways. The binary module format must beat the text rendering on
+    // every subject, or the compactness claim regressed.
+    println!();
+    println!(
+        "{:<10} {:>12} {:>12}  binary/text",
+        "subject", "binary (B)", "text (B)"
+    );
+    for subject in all_subjects() {
+        let options = Options {
+            header: subject.header.clone(),
+            sources: subject.sources.clone(),
+            ..Options::default()
+        };
+        let result = match Engine::new(options).run(&subject.vfs) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: size pass engine run: {e}", subject.name);
+                failures += 1;
+                continue;
+            }
+        };
+        let Some(binary) = encode_run(&result) else {
+            eprintln!("{}: run bundle not persistable", subject.name);
+            failures += 1;
+            continue;
+        };
+        let text = render_text(&result);
+        if binary.len() >= text.len() {
+            eprintln!(
+                "{}: binary bundle ({} B) is not smaller than the text rendering ({} B)",
+                subject.name,
+                binary.len(),
+                text.len()
+            );
+            failures += 1;
+        }
+        println!(
+            "{:<10} {:>12} {:>12}  {:>10.2}",
+            subject.name,
+            binary.len(),
+            text.len(),
+            binary.len() as f64 / text.len() as f64
+        );
+        records.push(RunRecord {
+            subject: subject.name.to_string(),
+            config: "store-bytes".to_string(),
+            phase_us: vec![
+                ("binary_bytes".to_string(), binary.len() as f64),
+                ("text_bytes".to_string(), text.len() as f64),
+            ],
         });
     }
 

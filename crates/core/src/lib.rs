@@ -49,7 +49,7 @@ pub mod emit;
 pub mod engine;
 pub mod fingerprint;
 pub mod lambda;
-pub(crate) mod persist;
+pub mod persist;
 pub mod plan;
 pub mod report;
 pub mod rewrite;

@@ -34,7 +34,7 @@ use std::time::Duration;
 
 use yalla_cpp::hash::Fnv64;
 use yalla_cpp::vfs::Vfs;
-use yalla_store::codec::{ByteReader, ByteWriter};
+use yalla_store::module::{ModuleBuilder, ModuleReader, PartitionBuilder};
 
 use crate::engine::{Options, SubstitutionResult, Timings};
 use crate::plan::{Diagnostic, DiagnosticKind, Plan};
@@ -44,7 +44,25 @@ use crate::report::{Report, TuStats, Verification};
 /// bundles degrade to misses (the record decoder treats a short or
 /// reshaped payload as corrupt, but an explicit version keeps additive
 /// changes honest too).
-const BUNDLE_VERSION: u8 = 1;
+const BUNDLE_VERSION: u8 = 2;
+
+/// Module kind byte of run-bundle payloads (DESIGN.md §13).
+pub(crate) const MODULE_KIND_RUN: u8 = 2;
+/// Module kind byte of serve project records.
+pub(crate) const MODULE_KIND_PROJECT: u8 = 3;
+
+// Run-bundle partitions.
+/// Var: bundle version, report counts, TU stats, verification flags.
+const PART_META: u8 = 1;
+/// Var: lightweight header text, wrappers file text.
+const PART_TEXTS: u8 = 2;
+/// Fixed 8-byte rows: `(path StrRef, text StrRef)` per rewritten source.
+const PART_SOURCES: u8 = 3;
+/// Fixed 5-byte rows: `(kind u8, message StrRef)` per diagnostic.
+const PART_DIAGS: u8 = 4;
+/// Fixed 8-byte rows: `(path StrRef, text StrRef)` per project file
+/// (project records only).
+const PART_FILES: u8 = 5;
 
 /// Key of the whole-run artifact bundle: the parse closure (which covers
 /// the header, the main source, and everything transitively included)
@@ -91,89 +109,130 @@ fn diag_kind(tag: u8) -> Option<DiagnosticKind> {
     })
 }
 
-/// Encodes a run's final artifacts as a bundle payload, or `None` when
-/// the run is not persistable (verification violations carry spans).
-pub(crate) fn encode_run(result: &SubstitutionResult) -> Option<Vec<u8>> {
+/// Encodes a run's final artifacts as a module payload (kind
+/// [`MODULE_KIND_RUN`]), or `None` when the run is not persistable
+/// (verification violations carry spans). Paths, texts, and messages are
+/// interned into the module's string table; per-source and per-diagnostic
+/// data are fixed-layout rows holding `StrRef`s.
+pub fn encode_run(result: &SubstitutionResult) -> Option<Vec<u8>> {
     if !result.report.verification.violations.is_empty() {
         return None;
     }
     let r = &result.report;
-    let mut w = ByteWriter::new();
-    w.put_u8(BUNDLE_VERSION);
-    w.put_str(&result.lightweight_header);
-    w.put_str(&result.wrappers_file);
-    w.put_u32(result.rewritten_sources.len() as u32);
+    let mut m = ModuleBuilder::new(MODULE_KIND_RUN);
+
+    let mut meta = PartitionBuilder::var(PART_META);
+    {
+        let w = meta.row();
+        w.put_u8(BUNDLE_VERSION);
+        for count in [
+            r.classes_forward_declared,
+            r.functions_forward_declared,
+            r.function_wrappers,
+            r.method_wrappers,
+            r.functors,
+            r.enums_replaced,
+            r.explicit_instantiations,
+        ] {
+            w.put_varint(count as u64);
+        }
+        for stat in [r.before, r.after] {
+            w.put_varint(stat.loc as u64);
+            w.put_varint(stat.headers as u64);
+        }
+        w.put_u8(u8::from(r.verification.sources_parse));
+        w.put_u8(u8::from(r.verification.wrappers_parse));
+    }
+    m.push(meta);
+
+    let mut texts = PartitionBuilder::var(PART_TEXTS);
+    {
+        let w = texts.row();
+        w.put_vstr(&result.lightweight_header);
+        w.put_vstr(&result.wrappers_file);
+    }
+    m.push(texts);
+
+    let mut sources = PartitionBuilder::fixed(PART_SOURCES, 8);
     for (path, text) in &result.rewritten_sources {
-        w.put_str(path);
-        w.put_str(text);
+        let path = m.intern(path);
+        let text = m.intern(text);
+        let row = sources.row();
+        row.put_u32(path.0);
+        row.put_u32(text.0);
     }
-    for count in [
-        r.classes_forward_declared,
-        r.functions_forward_declared,
-        r.function_wrappers,
-        r.method_wrappers,
-        r.functors,
-        r.enums_replaced,
-        r.explicit_instantiations,
-    ] {
-        w.put_u64(count as u64);
-    }
-    w.put_u32(r.diagnostics.len() as u32);
+    m.push(sources);
+
+    let mut diags = PartitionBuilder::fixed(PART_DIAGS, 5);
     for d in &r.diagnostics {
-        w.put_u8(diag_tag(d.kind));
-        w.put_str(&d.message);
+        let message = m.intern(&d.message);
+        let row = diags.row();
+        row.put_u8(diag_tag(d.kind));
+        row.put_u32(message.0);
     }
-    for stat in [r.before, r.after] {
-        w.put_u64(stat.loc as u64);
-        w.put_u64(stat.headers as u64);
-    }
-    w.put_u8(u8::from(r.verification.sources_parse));
-    w.put_u8(u8::from(r.verification.wrappers_parse));
-    Some(w.into_bytes())
+    m.push(diags);
+
+    Some(m.finish())
 }
 
 /// Decodes a bundle payload back into a [`SubstitutionResult`]. Timings
 /// are zero (nothing ran) and diagnostic spans are gone (not persisted);
-/// everything else is byte-identical to the run that was stored.
-pub(crate) fn decode_run(bytes: &[u8]) -> Option<SubstitutionResult> {
-    let mut r = ByteReader::new(bytes);
+/// everything else is byte-identical to the run that was stored. The
+/// module is validated once; every string is read in place and copied
+/// exactly once into its owned slot in the result.
+pub fn decode_run(bytes: &[u8]) -> Option<SubstitutionResult> {
+    let m = ModuleReader::parse(bytes).ok()?;
+    if m.kind() != MODULE_KIND_RUN {
+        return None;
+    }
+
+    let meta = m.part(PART_META)?;
+    let mut r = meta.reader();
     if r.get_u8().ok()? != BUNDLE_VERSION {
         return None;
     }
-    let lightweight_header = r.get_str().ok()?.to_string();
-    let wrappers_file = r.get_str().ok()?.to_string();
-    let n_sources = r.get_u32().ok()?;
-    let mut rewritten_sources = BTreeMap::new();
-    for _ in 0..n_sources {
-        let path = r.get_str().ok()?.to_string();
-        let text = r.get_str().ok()?.to_string();
-        rewritten_sources.insert(path, text);
-    }
     let mut counts = [0u64; 7];
     for slot in &mut counts {
-        *slot = r.get_u64().ok()?;
-    }
-    let n_diags = r.get_u32().ok()?;
-    let mut diagnostics = Vec::with_capacity(n_diags as usize);
-    for _ in 0..n_diags {
-        let kind = diag_kind(r.get_u8().ok()?)?;
-        let message = r.get_str().ok()?.to_string();
-        diagnostics.push(Diagnostic {
-            kind,
-            message,
-            span: None,
-        });
+        *slot = r.get_varint().ok()?;
     }
     let mut stats = [TuStats::default(); 2];
     for stat in &mut stats {
-        stat.loc = r.get_u64().ok()? as usize;
-        stat.headers = r.get_u64().ok()? as usize;
+        stat.loc = r.get_varint().ok()? as usize;
+        stat.headers = r.get_varint().ok()? as usize;
     }
     let sources_parse = r.get_u8().ok()? != 0;
     let wrappers_parse = r.get_u8().ok()? != 0;
     if !r.is_exhausted() {
         return None;
     }
+
+    let texts = m.part(PART_TEXTS)?;
+    let mut r = texts.reader();
+    let lightweight_header = r.get_vstr().ok()?.to_string();
+    let wrappers_file = r.get_vstr().ok()?.to_string();
+    if !r.is_exhausted() {
+        return None;
+    }
+
+    let mut rewritten_sources = BTreeMap::new();
+    for row in m.part(PART_SOURCES)?.iter() {
+        let path = m.get(row.str_at(0).ok()?).ok()?;
+        let text = m.get(row.str_at(4).ok()?).ok()?;
+        rewritten_sources.insert(path.to_string(), text.to_string());
+    }
+
+    let diags = m.part(PART_DIAGS)?;
+    let mut diagnostics = Vec::with_capacity(diags.rows());
+    for row in diags.iter() {
+        let kind = diag_kind(row.u8_at(0).ok()?)?;
+        let message = m.get(row.str_at(1).ok()?).ok()?.to_string();
+        diagnostics.push(Diagnostic {
+            kind,
+            message,
+            span: None,
+        });
+    }
+
     let report = Report {
         classes_forward_declared: counts[0] as usize,
         functions_forward_declared: counts[1] as usize,
@@ -219,45 +278,72 @@ pub(crate) struct ProjectRecord {
 }
 
 impl ProjectRecord {
+    /// Encodes as a module of kind [`MODULE_KIND_PROJECT`]: identity and
+    /// source list in the meta partition (as `StrRef` varints), the file
+    /// tree as fixed `(path, text)` rows over the string table.
     pub(crate) fn encode(&self) -> Vec<u8> {
-        let mut w = ByteWriter::new();
-        w.put_u8(BUNDLE_VERSION);
-        w.put_str(&self.name);
-        w.put_str(&self.header);
-        w.put_u32(self.sources.len() as u32);
-        for s in &self.sources {
-            w.put_str(s);
+        let mut m = ModuleBuilder::new(MODULE_KIND_PROJECT);
+        let name = m.intern(&self.name);
+        let header = m.intern(&self.header);
+        let sources: Vec<_> = self.sources.iter().map(|s| m.intern(s)).collect();
+        let mut meta = PartitionBuilder::var(PART_META);
+        {
+            let w = meta.row();
+            w.put_u8(BUNDLE_VERSION);
+            w.put_varint(u64::from(name.0));
+            w.put_varint(u64::from(header.0));
+            w.put_varint(self.build_latency.as_micros() as u64);
+            w.put_varint(sources.len() as u64);
+            for s in sources {
+                w.put_varint(u64::from(s.0));
+            }
         }
-        w.put_u64(self.build_latency.as_micros() as u64);
-        w.put_u32(self.files.len() as u32);
+        m.push(meta);
+        let mut files = PartitionBuilder::fixed(PART_FILES, 8);
         for (path, text) in &self.files {
-            w.put_str(path);
-            w.put_str(text);
+            let path = m.intern(path);
+            let text = m.intern(text);
+            let row = files.row();
+            row.put_u32(path.0);
+            row.put_u32(text.0);
         }
-        w.into_bytes()
+        m.push(files);
+        m.finish()
     }
 
     pub(crate) fn decode(bytes: &[u8]) -> Option<ProjectRecord> {
-        let mut r = ByteReader::new(bytes);
+        let m = ModuleReader::parse(bytes).ok()?;
+        if m.kind() != MODULE_KIND_PROJECT {
+            return None;
+        }
+        let str_of = |r: &mut yalla_store::codec::ByteReader<'_>| -> Option<String> {
+            let idx = u32::try_from(r.get_varint().ok()?).ok()?;
+            Some(m.get(yalla_store::module::StrRef(idx)).ok()?.to_string())
+        };
+        let meta = m.part(PART_META)?;
+        let mut r = meta.reader();
         if r.get_u8().ok()? != BUNDLE_VERSION {
             return None;
         }
-        let name = r.get_str().ok()?.to_string();
-        let header = r.get_str().ok()?.to_string();
-        let n_sources = r.get_u32().ok()?;
-        let mut sources = Vec::with_capacity(n_sources as usize);
+        let name = str_of(&mut r)?;
+        let header = str_of(&mut r)?;
+        let build_latency = Duration::from_micros(r.get_varint().ok()?);
+        let n_sources = r.get_varint().ok()?;
+        let mut sources = Vec::with_capacity(usize::try_from(n_sources).ok()?);
         for _ in 0..n_sources {
-            sources.push(r.get_str().ok()?.to_string());
+            sources.push(str_of(&mut r)?);
         }
-        let build_latency = Duration::from_micros(r.get_u64().ok()?);
-        let n_files = r.get_u32().ok()?;
-        let mut files = Vec::with_capacity(n_files as usize);
-        for _ in 0..n_files {
-            let path = r.get_str().ok()?.to_string();
-            let text = r.get_str().ok()?.to_string();
+        if !r.is_exhausted() {
+            return None;
+        }
+        let files_part = m.part(PART_FILES)?;
+        let mut files = Vec::with_capacity(files_part.rows());
+        for row in files_part.iter() {
+            let path = m.get(row.str_at(0).ok()?).ok()?.to_string();
+            let text = m.get(row.str_at(4).ok()?).ok()?.to_string();
             files.push((path, text));
         }
-        r.is_exhausted().then_some(ProjectRecord {
+        Some(ProjectRecord {
             name,
             header,
             sources,
@@ -265,6 +351,54 @@ impl ProjectRecord {
             files,
         })
     }
+}
+
+/// Renders a decoded run bundle as the line-oriented text form — the
+/// debug/goldens path the binary format replaced on the wire (`yalla
+/// dump --format=text`). Also the size baseline the store bench reports
+/// binary shrinkage against.
+pub fn render_text(result: &SubstitutionResult) -> String {
+    use std::fmt::Write;
+    let r = &result.report;
+    let mut out = String::new();
+    let section = |out: &mut String, title: &str, body: &str| {
+        let _ = writeln!(out, "=== {title} ({} bytes)", body.len());
+        out.push_str(body);
+        if !body.ends_with('\n') {
+            out.push('\n');
+        }
+    };
+    let _ = writeln!(out, "yalla run bundle v{BUNDLE_VERSION} (text)");
+    let _ = writeln!(
+        out,
+        "counts: classes_fwd={} functions_fwd={} fn_wrappers={} method_wrappers={} functors={} enums={} instantiations={}",
+        r.classes_forward_declared,
+        r.functions_forward_declared,
+        r.function_wrappers,
+        r.method_wrappers,
+        r.functors,
+        r.enums_replaced,
+        r.explicit_instantiations,
+    );
+    let _ = writeln!(
+        out,
+        "stats: before={}loc/{}hdr after={}loc/{}hdr verify={}/{}",
+        r.before.loc,
+        r.before.headers,
+        r.after.loc,
+        r.after.headers,
+        r.verification.sources_parse,
+        r.verification.wrappers_parse,
+    );
+    for d in &r.diagnostics {
+        let _ = writeln!(out, "diag[{}]: {}", diag_tag(d.kind), d.message);
+    }
+    section(&mut out, "lightweight header", &result.lightweight_header);
+    section(&mut out, "wrappers", &result.wrappers_file);
+    for (path, text) in &result.rewritten_sources {
+        section(&mut out, &format!("source {path}"), text);
+    }
+    out
 }
 
 #[cfg(test)]

@@ -219,8 +219,8 @@ impl ServeState {
         let mut name_map = self.names.lock().expect("names lock");
         for key in store.keys(NS_SERVE) {
             let Some(record) = store
-                .get(NS_SERVE, key)
-                .and_then(|bytes| ProjectRecord::decode(&bytes))
+                .get_view(NS_SERVE, key)
+                .and_then(|view| ProjectRecord::decode(&view))
             else {
                 continue;
             };

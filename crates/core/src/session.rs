@@ -588,9 +588,11 @@ impl Session {
                 });
                 if let Some(closure_hash) = closure_hash {
                     let run_key = persist::run_key_of(closure_hash, &opts, &vfs);
+                    // Zero-copy hit: the record is validated once and the
+                    // bundle module decodes straight from the payload view.
                     let bundle = store
-                        .get(NS_RUN, run_key)
-                        .and_then(|bytes| persist::decode_run(&bytes));
+                        .get_view(NS_RUN, run_key)
+                        .and_then(|view| persist::decode_run(&view));
                     if let Some(result) = bundle {
                         yalla_obs::global().instant("engine", "run (disk-warm)");
                         note(Stage::Parse, CacheLookup::Hit, false);

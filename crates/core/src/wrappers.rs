@@ -290,7 +290,7 @@ pub fn make_method_wrapper(
         });
     };
     // Locate the method declaration in the class definition.
-    let target_spelling = method.to_string();
+    let target_spelling = yalla_cpp::Sym::intern(method);
     let found = class.methods().find(|(_, f)| {
         f.name.spelling() == target_spelling
             || (target_spelling == "operator()" && f.name == FunctionName::CallOperator)

@@ -6,6 +6,7 @@ use crate::ast::expr::Expr;
 use crate::ast::name::QualName;
 use crate::ast::stmt::Block;
 use crate::ast::types::Type;
+use crate::intern::Sym;
 use crate::loc::Span;
 
 /// A whole parsed translation unit.
@@ -275,14 +276,19 @@ pub enum FunctionName {
 }
 
 impl FunctionName {
-    /// The name as written in source (e.g. `operator()`).
-    pub fn spelling(&self) -> String {
+    /// The name as written in source (e.g. `operator()`), interned.
+    /// `Ident`/`Constructor`/`CallOperator` never allocate after their
+    /// spelling's first intern; `Operator`/`Destructor` compose one
+    /// short temporary per call before the intern dedups it — identifier
+    /// names are the hot case, and callers now compare `Sym`s instead
+    /// of fresh `String`s.
+    pub fn spelling(&self) -> Sym {
         match self {
-            FunctionName::Ident(s) => s.clone(),
-            FunctionName::CallOperator => "operator()".into(),
-            FunctionName::Operator(op) => format!("operator{op}"),
-            FunctionName::Constructor(s) => s.clone(),
-            FunctionName::Destructor(s) => format!("~{s}"),
+            FunctionName::Ident(s) => Sym::intern(s),
+            FunctionName::CallOperator => Sym::intern("operator()"),
+            FunctionName::Operator(op) => Sym::intern(&format!("operator{op}")),
+            FunctionName::Constructor(s) => Sym::intern(s),
+            FunctionName::Destructor(s) => Sym::intern(&format!("~{s}")),
         }
     }
 
@@ -297,7 +303,7 @@ impl FunctionName {
 
 impl fmt::Display for FunctionName {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.spelling())
+        f.write_str(self.spelling().as_str())
     }
 }
 
@@ -426,15 +432,16 @@ impl Decl {
         Decl { kind, span }
     }
 
-    /// The declared name, for kinds that introduce exactly one name.
-    pub fn declared_name(&self) -> Option<String> {
+    /// The declared name, for kinds that introduce exactly one name —
+    /// interned, so repeated calls stop allocating a fresh `String`.
+    pub fn declared_name(&self) -> Option<Sym> {
         match &self.kind {
-            DeclKind::Namespace(ns) => Some(ns.name.clone()),
-            DeclKind::Class(c) => Some(c.name.clone()),
-            DeclKind::Enum(e) => Some(e.name.clone()),
-            DeclKind::Alias(a) => Some(a.name.clone()),
+            DeclKind::Namespace(ns) => Some(Sym::intern(&ns.name)),
+            DeclKind::Class(c) => Some(Sym::intern(&c.name)),
+            DeclKind::Enum(e) => Some(Sym::intern(&e.name)),
+            DeclKind::Alias(a) => Some(Sym::intern(&a.name)),
             DeclKind::Function(f) => Some(f.name.spelling()),
-            DeclKind::Variable(v) => Some(v.name.clone()),
+            DeclKind::Variable(v) => Some(Sym::intern(&v.name)),
             DeclKind::UsingDecl(_)
             | DeclKind::UsingNamespace(_)
             | DeclKind::StaticAssert
@@ -565,6 +572,6 @@ mod tests {
         let tu = TranslationUnit { decls: vec![ns] };
         let all = tu.walk();
         assert_eq!(all.len(), 2);
-        assert_eq!(all[1].declared_name().as_deref(), Some("OpenMP"));
+        assert_eq!(all[1].declared_name().map(Sym::as_str), Some("OpenMP"));
     }
 }

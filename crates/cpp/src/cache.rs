@@ -30,7 +30,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use yalla_store::codec::{ByteReader, ByteWriter};
+use yalla_store::module::{ModuleBuilder, ModuleReader, PartitionBuilder};
 use yalla_store::{Store, NS_PARSE};
 
 use crate::error::Result;
@@ -162,28 +162,30 @@ impl ParseCache {
         h.finish()
     }
 
-    fn encode_manifest(deps: &[(String, u64)], closure_hash: u64) -> Vec<u8> {
-        let mut w = ByteWriter::new();
-        w.put_u32(deps.len() as u32);
-        for (path, hash) in deps {
-            w.put_str(path);
-            w.put_u64(*hash);
-        }
-        w.put_u64(closure_hash);
-        w.into_bytes()
-    }
+    /// Manifest payloads are modules ([`yalla_store::module`]): dep paths
+    /// interned once, one fixed 12-byte row (`path StrRef`, `content
+    /// hash u64`) per closure file, closure hash in a meta partition.
+    /// [`ParseCache::probe_disk`] validates the rows straight off the
+    /// store's payload view without materializing a single `String`.
+    const MODULE_KIND: u8 = 1;
+    const PART_DEPS: u8 = 1;
+    const PART_META: u8 = 2;
+    const DEP_ROW_SIZE: usize = 12;
 
-    fn decode_manifest(bytes: &[u8]) -> Option<(Vec<(String, u64)>, u64)> {
-        let mut r = ByteReader::new(bytes);
-        let n = r.get_u32().ok()?;
-        let mut deps = Vec::with_capacity(n as usize);
-        for _ in 0..n {
-            let path = r.get_str().ok()?.to_string();
-            let hash = r.get_u64().ok()?;
-            deps.push((path, hash));
+    fn encode_manifest(deps: &[(String, u64)], closure_hash: u64) -> Vec<u8> {
+        let mut m = ModuleBuilder::new(Self::MODULE_KIND);
+        let mut rows = PartitionBuilder::fixed(Self::PART_DEPS, Self::DEP_ROW_SIZE);
+        for (path, hash) in deps {
+            let path = m.intern(path);
+            let row = rows.row();
+            row.put_u32(path.0);
+            row.put_u64(*hash);
         }
-        let closure_hash = r.get_u64().ok()?;
-        r.is_exhausted().then_some((deps, closure_hash))
+        m.push(rows);
+        let mut meta = PartitionBuilder::var(Self::PART_META);
+        meta.row().put_varint(closure_hash);
+        m.push(meta);
+        m.finish()
     }
 
     /// Best-effort write of the manifest for `deps` if the store does not
@@ -220,11 +222,21 @@ impl ParseCache {
         let store = self.store.as_ref()?;
         let root_hash = vfs.hash_of(path)?;
         let key = Self::manifest_key(path, hash::hash_defines(defines), root_hash);
-        let payload = store.get(NS_PARSE, key)?;
-        let (deps, closure_hash) = Self::decode_manifest(&payload)?;
-        deps.iter()
-            .all(|(dep, h)| vfs.hash_of(dep) == Some(*h))
-            .then_some(closure_hash)
+        let view = store.get_view(NS_PARSE, key)?;
+        // Zero-copy validation: each dep row is read in place from the
+        // record's payload view — no paths are copied out of the buffer.
+        let m = ModuleReader::parse(&view).ok()?;
+        if m.kind() != Self::MODULE_KIND {
+            return None;
+        }
+        for row in m.part(Self::PART_DEPS)?.iter() {
+            let dep = m.get(row.str_at(0).ok()?).ok()?;
+            let hash = row.u64_at(4).ok()?;
+            if vfs.hash_of(dep) != Some(hash) {
+                return None;
+            }
+        }
+        m.part(Self::PART_META)?.reader().get_varint().ok()
     }
 
     /// Number of cached TUs.

@@ -120,7 +120,10 @@ mod tests {
         let mut fe = Frontend::new(vfs);
         fe.define("MODE", "2");
         let tu = fe.parse_translation_unit("m.cpp").unwrap();
-        assert_eq!(tu.ast.decls[0].declared_name().as_deref(), Some("two"));
+        assert_eq!(
+            tu.ast.decls[0].declared_name().map(crate::Sym::as_str),
+            Some("two")
+        );
     }
 
     #[test]

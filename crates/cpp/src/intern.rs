@@ -1,0 +1,151 @@
+//! The global string interner: names as `Sym(u32)` instead of `String`.
+//!
+//! AST render paths used to build a fresh `String` per call
+//! (`Decl::declared_name()`, `FunctionName::spelling()`), so every
+//! matcher comparison and usage walk paid an allocation. Interning maps
+//! each distinct spelling to a small id once; after that, equality is an
+//! integer compare and `as_str()` is a table lookup returning a
+//! `&'static str` — no allocation on any warm path.
+//!
+//! Scope and caveats:
+//!
+//! - Ids are **process-local**: they depend on interning order, so they
+//!   must never reach a disk format or a fingerprint. The on-disk module
+//!   format has its own per-module table (`yalla_store::module::StrRef`);
+//!   encoders translate by content at the boundary.
+//! - Ordering by `Sym` is interning-order, not lexicographic — anything
+//!   whose iteration order feeds deterministic output (plan notes, the
+//!   usage report's `BTreeMap`s) keeps `String` keys.
+//! - Entries are leaked (`Box::leak`) and live for the process; the
+//!   table only ever grows. That is the right trade for a compiler-shaped
+//!   tool whose name population is bounded by its inputs.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock, RwLock};
+
+/// An interned string. `Eq`/`Hash` are integer-cheap; two `Sym`s are
+/// equal iff their spellings are equal (within one process).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(u32);
+
+struct Interner {
+    /// Spelling → id. Keys borrow the leaked entries in `table`.
+    lookup: Mutex<HashMap<&'static str, u32>>,
+    /// Id → spelling, append-only.
+    table: RwLock<Vec<&'static str>>,
+}
+
+fn interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(|| Interner {
+        lookup: Mutex::new(HashMap::new()),
+        table: RwLock::new(Vec::new()),
+    })
+}
+
+impl Sym {
+    /// Interns `s`, allocating only on first sight of a spelling.
+    pub fn intern(s: &str) -> Sym {
+        let i = interner();
+        let mut lookup = i.lookup.lock().expect("interner lookup");
+        if let Some(&id) = lookup.get(s) {
+            return Sym(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+        let mut table = i.table.write().expect("interner table");
+        let id = u32::try_from(table.len()).expect("interner < 2^32 entries");
+        table.push(leaked);
+        lookup.insert(leaked, id);
+        Sym(id)
+    }
+
+    /// The interned spelling. A read-locked table lookup; the returned
+    /// reference is `'static` because entries are never freed.
+    pub fn as_str(self) -> &'static str {
+        interner().table.read().expect("interner table")[self.0 as usize]
+    }
+
+    /// The raw id — for diagnostics only; never persist it.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl PartialEq<str> for Sym {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Sym {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<Sym> for str {
+    fn eq(&self, other: &Sym) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<Sym> for &str {
+    fn eq(&self, other: &Sym) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups_and_compares_by_content() {
+        let a = Sym::intern("operator==");
+        let b = Sym::intern("operator==");
+        let c = Sym::intern("operator!=");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "operator==");
+        assert_eq!(a, "operator==");
+        assert_eq!("operator==", a);
+        assert_ne!(a, "operator!=");
+        assert_eq!(a.to_string(), "operator==");
+    }
+
+    #[test]
+    fn as_str_is_stable_across_later_interning() {
+        let early = Sym::intern("stable-spelling");
+        let s1 = early.as_str();
+        for i in 0..100 {
+            Sym::intern(&format!("filler-{i}"));
+        }
+        assert_eq!(early.as_str(), s1);
+        assert!(std::ptr::eq(early.as_str(), s1), "same leaked entry");
+    }
+
+    #[test]
+    fn concurrent_interning_agrees_on_ids() {
+        let ids: Vec<Sym> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| Sym::intern("contended-name")))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

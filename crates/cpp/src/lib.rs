@@ -42,6 +42,7 @@ pub mod cache;
 pub mod error;
 pub mod frontend;
 pub mod hash;
+pub mod intern;
 pub mod lex;
 pub mod loc;
 pub mod parse;
@@ -52,5 +53,6 @@ pub mod vfs;
 pub use cache::{CacheLookup, ParseCache};
 pub use error::{CppError, Result};
 pub use frontend::{Frontend, ParsedTu};
+pub use intern::Sym;
 
 pub use loc::{FileId, Span};

@@ -1091,10 +1091,13 @@ mod tests {
                 let th = c.template.as_ref().unwrap();
                 assert_eq!(th.params.len(), 2);
                 assert_eq!(c.methods().count(), 4);
-                let names: Vec<String> = c.methods().map(|(_, f)| f.name.spelling()).collect();
-                assert!(names.contains(&"View".to_string()));
-                assert!(names.contains(&"~View".to_string()));
-                assert!(names.contains(&"operator()".to_string()));
+                let names: Vec<&str> = c
+                    .methods()
+                    .map(|(_, f)| f.name.spelling().as_str())
+                    .collect();
+                assert!(names.contains(&"View"));
+                assert!(names.contains(&"~View"));
+                assert!(names.contains(&"operator()"));
             }
             other => panic!("bad parse: {other:?}"),
         }
@@ -1232,7 +1235,10 @@ mod tests {
         let d = first(src);
         match d.kind {
             DeclKind::Class(c) => {
-                let names: Vec<String> = c.methods().map(|(_, f)| f.name.spelling()).collect();
+                let names: Vec<&str> = c
+                    .methods()
+                    .map(|(_, f)| f.name.spelling().as_str())
+                    .collect();
                 assert_eq!(names, vec!["operator+", "operator[]", "operator=="]);
             }
             other => panic!("bad parse: {other:?}"),

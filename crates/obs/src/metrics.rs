@@ -68,6 +68,9 @@ pub mod names {
     pub const SERVE_SHARDS: &str = "serve.shards";
     /// On-disk store entries found valid on lookup.
     pub const STORE_HITS: &str = "store.hits";
+    /// On-disk store hits served as zero-copy payload views (no copy out
+    /// of the record buffer; subset of `store.hits`).
+    pub const STORE_ZERO_COPY_HITS: &str = "store.zero_copy_hits";
     /// On-disk store lookups that found nothing.
     pub const STORE_MISSES: &str = "store.misses";
     /// On-disk store entries evicted by the LRU size bound.
@@ -161,6 +164,7 @@ pub mod names {
             SERVE_RERUNS,
             SERVE_SHARDS,
             STORE_HITS,
+            STORE_ZERO_COPY_HITS,
             STORE_MISSES,
             STORE_EVICTIONS,
             STORE_CORRUPT,

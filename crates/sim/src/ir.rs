@@ -352,7 +352,7 @@ impl Machine {
                             if !k.is_empty() {
                                 k.push_str("::");
                             }
-                            k.push_str(&f.name.spelling());
+                            k.push_str(f.name.spelling().as_str());
                             k
                         }
                     };

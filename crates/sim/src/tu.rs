@@ -109,7 +109,8 @@ impl Visitor for Counter {
                 ));
             }
             DeclKind::Function(f) if f.specs.is_explicit_instantiation => {
-                self.instantiation_keys.insert(f.name.spelling());
+                self.instantiation_keys
+                    .insert(f.name.spelling().as_str().to_string());
             }
             _ => {}
         }
@@ -189,7 +190,7 @@ impl Attributor<'_> {
                             self.used_names.contains(n.split('<').next().unwrap_or(n))
                         }
                         yalla_cpp::ast::FunctionName::CallOperator => used,
-                        other => self.used_names.contains(&other.spelling()),
+                        other => self.used_names.contains(other.spelling().as_str()),
                     };
                     if name_used && (used || !templated) {
                         self.instantiated += stmts;

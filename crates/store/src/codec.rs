@@ -57,15 +57,43 @@ impl ByteWriter {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Appends an LEB128 varint. Small values (lengths, counts, table
+    /// indices) take one byte instead of the eight `put_u64` always
+    /// burns; the encoding is canonical (minimal length), so re-encoding
+    /// a decoded value reproduces the same bytes.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
     /// Appends a length-prefixed byte blob.
     pub fn put_bytes(&mut self, v: &[u8]) {
         self.put_u32(v.len() as u32);
         self.buf.extend_from_slice(v);
     }
 
+    /// Appends a varint-length-prefixed byte blob (the compact framing
+    /// the binary module format uses).
+    pub fn put_vbytes(&mut self, v: &[u8]) {
+        self.put_varint(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
     /// Appends a length-prefixed UTF-8 string.
     pub fn put_str(&mut self, v: &str) {
         self.put_bytes(v.as_bytes());
+    }
+
+    /// Appends a varint-length-prefixed UTF-8 string.
+    pub fn put_vstr(&mut self, v: &str) {
+        self.put_vbytes(v.as_bytes());
     }
 
     /// The accumulated payload.
@@ -126,10 +154,59 @@ impl<'a> ByteReader<'a> {
         ))
     }
 
+    /// Reads an LEB128 varint. Rejects encodings longer than ten bytes,
+    /// bits beyond the 64th, and non-canonical (overlong) forms — a
+    /// decoded value always re-encodes to the same bytes.
+    pub fn get_varint(&mut self) -> Result<u64, CodecError> {
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.get_u8()?;
+            if shift == 63 && byte > 1 {
+                // Tenth byte may only contribute the 64th bit.
+                return Err(CodecError::BadTag(byte));
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                if byte == 0 && shift != 0 {
+                    // Overlong: a trailing zero continuation byte.
+                    return Err(CodecError::BadTag(byte));
+                }
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads exactly `n` raw bytes (no length prefix) — used by framings
+    /// whose lengths live elsewhere, like the module partition directory.
+    pub fn get_slice(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take(n)
+    }
+
+    /// Consumes and returns every remaining byte.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let slice = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        slice
+    }
+
     /// Reads a length-prefixed byte blob.
     pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
         let len = self.get_u32()? as usize;
         self.take(len)
+    }
+
+    /// Reads a varint-length-prefixed byte blob.
+    pub fn get_vbytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.get_varint()?;
+        let len = usize::try_from(len).map_err(|_| CodecError::Truncated)?;
+        self.take(len)
+    }
+
+    /// Reads a varint-length-prefixed UTF-8 string.
+    pub fn get_vstr(&mut self) -> Result<&'a str, CodecError> {
+        std::str::from_utf8(self.get_vbytes()?).map_err(|_| CodecError::BadUtf8)
     }
 
     /// Reads a length-prefixed UTF-8 string.
@@ -183,6 +260,79 @@ mod tests {
         buf.extend_from_slice(b"ab");
         let mut r = ByteReader::new(&buf);
         assert_eq!(r.get_bytes(), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn varint_roundtrips_and_is_compact() {
+        let samples = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut w = ByteWriter::new();
+        for &v in &samples {
+            w.put_varint(v);
+        }
+        let buf = w.into_bytes();
+        let mut r = ByteReader::new(&buf);
+        for &v in &samples {
+            assert_eq!(r.get_varint().unwrap(), v);
+        }
+        assert!(r.is_exhausted());
+        // One byte for values under 128, never more than ten.
+        let mut one = ByteWriter::new();
+        one.put_varint(127);
+        assert_eq!(one.len(), 1);
+        let mut max = ByteWriter::new();
+        max.put_varint(u64::MAX);
+        assert_eq!(max.len(), 10);
+    }
+
+    #[test]
+    fn varint_truncation_is_an_error() {
+        let mut w = ByteWriter::new();
+        w.put_varint(1 << 40);
+        let buf = w.into_bytes();
+        for cut in 0..buf.len() {
+            let mut r = ByteReader::new(&buf[..cut]);
+            assert_eq!(r.get_varint(), Err(CodecError::Truncated), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overlong_and_overflowing_encodings() {
+        // 0 encoded in two bytes (non-canonical).
+        let mut r = ByteReader::new(&[0x80, 0x00]);
+        assert!(r.get_varint().is_err());
+        // Eleven continuation bytes: bits beyond the 64th.
+        let mut r = ByteReader::new(&[0xff; 11]);
+        assert!(r.get_varint().is_err());
+        // Tenth byte carrying more than the top bit.
+        let mut bytes = vec![0xff; 9];
+        bytes.push(0x02);
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_varint().is_err());
+    }
+
+    #[test]
+    fn vbytes_and_vstr_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_vstr("héllo");
+        w.put_vbytes(&[9, 8, 7]);
+        let buf = w.into_bytes();
+        // "héllo" is 6 bytes: 1-byte varint length instead of 4.
+        assert_eq!(buf.len(), 1 + 6 + 1 + 3);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.get_vstr().unwrap(), "héllo");
+        assert_eq!(r.get_vbytes().unwrap(), &[9, 8, 7]);
+        assert!(r.is_exhausted());
     }
 
     #[test]

@@ -41,6 +41,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 pub mod codec;
 pub mod index;
 pub mod lock;
+pub mod module;
 pub mod record;
 pub mod sabotage;
 
@@ -99,6 +100,24 @@ struct Counters {
     misses: AtomicI64,
     evictions: AtomicI64,
     corrupt: AtomicI64,
+}
+
+/// A validated store hit served as a view: the guard owns the record's
+/// file bytes and derefs to the payload slice inside them — the payload
+/// is never copied out, and module readers borrow straight from it.
+#[derive(Debug)]
+pub struct PayloadView {
+    bytes: Vec<u8>,
+    start: usize,
+    end: usize,
+}
+
+impl std::ops::Deref for PayloadView {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.bytes[self.start..self.end]
+    }
 }
 
 /// A handle to one cache directory.
@@ -179,7 +198,7 @@ impl Store {
     /// back to the request that caused the lookup.
     pub fn get(&self, namespace: &str, key: u64) -> Option<Vec<u8>> {
         let span = yalla_obs::span("store", "get");
-        let result = self.get_uninstrumented(namespace, key);
+        let result = self.get_uninstrumented(namespace, key).map(|v| v.to_vec());
         let dur = span.finish();
         let hist = if result.is_some() {
             yalla_obs::metrics::names::LATENCY_STORE_HIT
@@ -200,7 +219,36 @@ impl Store {
         result
     }
 
-    fn get_uninstrumented(&self, namespace: &str, key: u64) -> Option<Vec<u8>> {
+    /// Looks up `(namespace, key)` and serves the hit zero-copy: the
+    /// record file is read once, validated once (header + checksum),
+    /// and the returned [`PayloadView`] borrows the payload bytes in
+    /// place — no copy, no per-field allocation. This is the warm-path
+    /// entry point; hits additionally bump `store.zero_copy_hits`.
+    pub fn get_view(&self, namespace: &str, key: u64) -> Option<PayloadView> {
+        let span = yalla_obs::span("store", "get");
+        let result = self.get_uninstrumented(namespace, key);
+        let dur = span.finish();
+        let hist = if result.is_some() {
+            yalla_obs::count(yalla_obs::metrics::names::STORE_ZERO_COPY_HITS, 1);
+            yalla_obs::metrics::names::LATENCY_STORE_HIT
+        } else {
+            yalla_obs::metrics::names::LATENCY_STORE_MISS
+        };
+        yalla_obs::observe(hist, dur);
+        if yalla_obs::log::is_active() {
+            yalla_obs::log::emit(
+                "store",
+                &[
+                    ("ns", namespace.into()),
+                    ("hit", yalla_obs::ArgValue::Int(i64::from(result.is_some()))),
+                    ("dur_us", yalla_obs::ArgValue::Int(dur.as_micros() as i64)),
+                ],
+            );
+        }
+        result
+    }
+
+    fn get_uninstrumented(&self, namespace: &str, key: u64) -> Option<PayloadView> {
         let name = Store::entry_name(namespace, key);
         let bytes = match fs::read(self.dir.join(&name)) {
             Ok(b) => b,
@@ -209,14 +257,16 @@ impl Store {
                 return None;
             }
         };
-        match record::decode(&bytes, namespace, key) {
+        match record::decode_view(&bytes, namespace, key) {
             Ok(payload) => {
+                let start = payload.as_ptr() as usize - bytes.as_ptr() as usize;
+                let end = start + payload.len();
                 self.counters.hits.fetch_add(1, Ordering::Relaxed);
                 yalla_obs::count(yalla_obs::metrics::names::STORE_HITS, 1);
                 // Recency is tracked in-memory and persisted by the next
                 // put; a pure-read process never takes the lock.
                 self.state.lock().expect("store state").touch(&name);
-                Some(payload)
+                Some(PayloadView { bytes, start, end })
             }
             Err(_) => {
                 let _ = fs::remove_file(self.dir.join(&name));
@@ -369,6 +419,28 @@ mod tests {
         let stats = store.stats();
         assert_eq!((stats.hits, stats.misses, stats.corrupt), (1, 1, 0));
         assert!(stats.bytes > 8);
+        cleanup(&store);
+    }
+
+    #[test]
+    fn get_view_serves_hits_without_copying_the_payload() {
+        let store = temp_store("view", DEFAULT_CAPACITY);
+        store.put(NS_RUN, 3, b"zero copy body");
+        let view = store.get_view(NS_RUN, 3).expect("hit");
+        assert_eq!(&*view, b"zero copy body");
+        // The view is a window into the whole record file, not a copy:
+        // the backing buffer is strictly larger than the payload.
+        assert!(view.bytes.len() > view.len());
+        assert!(store.get_view(NS_RUN, 999).is_none());
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // A module payload decodes straight from the view's bytes.
+        let mut m = module::ModuleBuilder::new(1);
+        m.intern("borrowed");
+        store.put(NS_RUN, 4, &m.finish());
+        let view = store.get_view(NS_RUN, 4).expect("hit");
+        let reader = module::ModuleReader::parse(&view).expect("module parses");
+        assert_eq!(reader.get(module::StrRef(0)).unwrap(), "borrowed");
         cleanup(&store);
     }
 

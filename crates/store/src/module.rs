@@ -1,0 +1,520 @@
+//! The binary module format: interned strings + tagged partitions,
+//! readable zero-copy (DESIGN.md §13).
+//!
+//! Modeled on the MSVC IFC container (and the C++20 BMI idea of a
+//! persistent binary serialization of parsed state): a module is a
+//! self-describing buffer holding
+//!
+//! 1. a **header** (magic, format version, caller-chosen module kind),
+//! 2. a **partition directory** — one entry per tagged partition with its
+//!    row size and row count (varint-coded; the directory is tiny),
+//! 3. the **partition payloads**, concatenated in directory order —
+//!    fixed-layout rows where zero-copy random access matters, varint
+//!    streams where compactness matters,
+//! 4. an **interned string table**: a fixed-width `u32` end-offset array
+//!    (fixed so string N is one slice away, no scan) over one UTF-8 blob.
+//!    Every string is stored once; rows refer to strings by [`StrRef`].
+//!
+//! [`ModuleReader::parse`] validates the whole container once — bounds,
+//! row-size arithmetic, offset monotonicity, UTF-8, char boundaries —
+//! and after that every access is pure slicing over the borrowed buffer:
+//! no allocation, no copying, no re-validation. Decoding never panics;
+//! any malformed input surfaces as [`CodecError`], which the record
+//! layer above treats as a corrupt entry (a miss, never a failure).
+//!
+//! The integer framing deliberately mixes widths (ISSUE satellite): the
+//! directory and variable partitions use LEB128 varints, while row
+//! payloads and the string-offset array stay fixed-width because
+//! zero-copy `row(i)` / `get(StrRef)` need constant-time offsets.
+
+use std::collections::HashMap;
+
+use crate::codec::{ByteReader, ByteWriter, CodecError};
+
+/// Version byte of the module container itself. The record layer's
+/// [`crate::record::FORMAT_VERSION`] already invalidates old entries
+/// wholesale; this inner version keeps the container self-describing
+/// for tools reading a module outside a record (goldens, `yalla dump`).
+pub const MODULE_VERSION: u8 = 1;
+
+const MAGIC: [u8; 2] = *b"YM";
+
+/// Index of an interned string in a module's string table.
+///
+/// A `StrRef` is only meaningful against the module that produced it —
+/// it is *not* the process-wide `yalla_cpp::intern::Sym`; encoders
+/// translate between the two at the boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StrRef(pub u32);
+
+/// One partition under construction: a tag, a row discipline, and bytes.
+#[derive(Debug)]
+pub struct PartitionBuilder {
+    tag: u8,
+    /// Fixed byte size per row; 0 for variable-size rows.
+    row_size: usize,
+    rows: u64,
+    buf: ByteWriter,
+}
+
+impl PartitionBuilder {
+    /// A partition of fixed-layout rows, `row_size` bytes each.
+    pub fn fixed(tag: u8, row_size: usize) -> Self {
+        assert!(row_size > 0, "fixed rows need a nonzero size");
+        PartitionBuilder {
+            tag,
+            row_size,
+            rows: 0,
+            buf: ByteWriter::new(),
+        }
+    }
+
+    /// A partition of variable-size rows (read back as one varint
+    /// stream).
+    pub fn var(tag: u8) -> Self {
+        PartitionBuilder {
+            tag,
+            row_size: 0,
+            rows: 0,
+            buf: ByteWriter::new(),
+        }
+    }
+
+    /// Starts one row and hands out the writer. For fixed partitions the
+    /// caller must append exactly `row_size` bytes before the next call
+    /// ([`ModuleBuilder::push`] asserts the arithmetic).
+    pub fn row(&mut self) -> &mut ByteWriter {
+        self.rows += 1;
+        &mut self.buf
+    }
+
+    /// Rows written so far.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+}
+
+/// Builds one module: intern strings, push partitions, [`finish`].
+///
+/// [`finish`]: ModuleBuilder::finish
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    kind: u8,
+    strings: Vec<String>,
+    lookup: HashMap<String, u32>,
+    parts: Vec<PartitionBuilder>,
+}
+
+impl ModuleBuilder {
+    /// An empty module of caller-defined `kind` (the payload-schema tag
+    /// the consumer dispatches on).
+    pub fn new(kind: u8) -> Self {
+        ModuleBuilder {
+            kind,
+            strings: Vec::new(),
+            lookup: HashMap::new(),
+            parts: Vec::new(),
+        }
+    }
+
+    /// Interns `s`, returning the existing reference when the module has
+    /// seen the string before (repeated paths and names cost 4 bytes per
+    /// row, not a copy).
+    pub fn intern(&mut self, s: &str) -> StrRef {
+        if let Some(&i) = self.lookup.get(s) {
+            return StrRef(i);
+        }
+        let i = u32::try_from(self.strings.len()).expect("string table < 2^32");
+        self.strings.push(s.to_string());
+        self.lookup.insert(s.to_string(), i);
+        StrRef(i)
+    }
+
+    /// Adds a finished partition. Panics (a builder bug, not an input
+    /// condition) if a fixed partition's bytes disagree with its row
+    /// arithmetic.
+    pub fn push(&mut self, part: PartitionBuilder) {
+        if part.row_size > 0 {
+            assert_eq!(
+                part.buf.len() as u64,
+                part.rows * part.row_size as u64,
+                "fixed partition {}: rows × row_size must equal the bytes written",
+                part.tag
+            );
+        }
+        assert!(self.parts.len() < 255, "too many partitions");
+        self.parts.push(part);
+    }
+
+    /// Serializes the module.
+    pub fn finish(self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u8(MAGIC[0]);
+        w.put_u8(MAGIC[1]);
+        w.put_u8(MODULE_VERSION);
+        w.put_u8(self.kind);
+        w.put_u8(self.parts.len() as u8);
+        for p in &self.parts {
+            w.put_u8(p.tag);
+            w.put_varint(p.row_size as u64);
+            w.put_varint(p.rows);
+            w.put_varint(p.buf.len() as u64);
+        }
+        let mut bytes = w.into_bytes();
+        for p in self.parts {
+            bytes.extend_from_slice(&p.buf.into_bytes());
+        }
+        // String table: varint count, fixed u32 end offsets (so lookup
+        // is one slice), then the blob.
+        let mut tail = ByteWriter::new();
+        tail.put_varint(self.strings.len() as u64);
+        let mut end = 0u32;
+        for s in &self.strings {
+            end = end
+                .checked_add(s.len() as u32)
+                .expect("string blob < 4 GiB");
+            tail.put_u32(end);
+        }
+        bytes.extend_from_slice(&tail.into_bytes());
+        for s in &self.strings {
+            bytes.extend_from_slice(s.as_bytes());
+        }
+        bytes
+    }
+}
+
+/// One validated partition, borrowed from the module buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct Part<'a> {
+    row_size: usize,
+    rows: usize,
+    bytes: &'a [u8],
+}
+
+impl<'a> Part<'a> {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row `i` of a fixed-layout partition, as a typed view. Errors on a
+    /// variable partition or an out-of-range index.
+    pub fn row(&self, i: usize) -> Result<Row<'a>, CodecError> {
+        if self.row_size == 0 || i >= self.rows {
+            return Err(CodecError::Truncated);
+        }
+        let start = i * self.row_size;
+        Ok(Row(&self.bytes[start..start + self.row_size]))
+    }
+
+    /// Iterates the fixed-layout rows.
+    pub fn iter(&self) -> impl Iterator<Item = Row<'a>> + '_ {
+        let n = if self.row_size == 0 { 0 } else { self.rows };
+        (0..n).map(move |i| self.row(i).expect("validated fixed row"))
+    }
+
+    /// A sequential reader over a variable-size partition's bytes.
+    pub fn reader(&self) -> ByteReader<'a> {
+        ByteReader::new(self.bytes)
+    }
+}
+
+/// A borrowed view of one fixed-layout row.
+#[derive(Debug, Clone, Copy)]
+pub struct Row<'a>(&'a [u8]);
+
+impl Row<'_> {
+    fn take(&self, off: usize, n: usize) -> Result<&[u8], CodecError> {
+        let end = off.checked_add(n).ok_or(CodecError::Truncated)?;
+        if end > self.0.len() {
+            return Err(CodecError::Truncated);
+        }
+        Ok(&self.0[off..end])
+    }
+
+    /// The byte at `off`.
+    pub fn u8_at(&self, off: usize) -> Result<u8, CodecError> {
+        Ok(self.take(off, 1)?[0])
+    }
+
+    /// The little-endian `u32` at `off`.
+    pub fn u32_at(&self, off: usize) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(
+            self.take(off, 4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// The little-endian `u64` at `off`.
+    pub fn u64_at(&self, off: usize) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(
+            self.take(off, 8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// The string reference (`u32`) at `off`.
+    pub fn str_at(&self, off: usize) -> Result<StrRef, CodecError> {
+        Ok(StrRef(self.u32_at(off)?))
+    }
+}
+
+/// A zero-copy view of one module: validated once at [`parse`], then
+/// every partition row and interned string is a borrow of the buffer.
+///
+/// [`parse`]: ModuleReader::parse
+#[derive(Debug)]
+pub struct ModuleReader<'a> {
+    kind: u8,
+    parts: Vec<(u8, Part<'a>)>,
+    str_ends: &'a [u8],
+    str_count: usize,
+    blob: &'a str,
+}
+
+impl<'a> ModuleReader<'a> {
+    /// Parses and validates `buf`. After this returns, no accessor can
+    /// fail on malformed data — only on caller errors (bad tag, bad
+    /// index), and those return typed errors, never panic.
+    pub fn parse(buf: &'a [u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(buf);
+        let magic = [r.get_u8()?, r.get_u8()?];
+        if magic != MAGIC {
+            return Err(CodecError::BadTag(magic[0]));
+        }
+        let version = r.get_u8()?;
+        if version != MODULE_VERSION {
+            return Err(CodecError::BadTag(version));
+        }
+        let kind = r.get_u8()?;
+        let npart = r.get_u8()? as usize;
+        let mut dir = Vec::with_capacity(npart);
+        for _ in 0..npart {
+            let tag = r.get_u8()?;
+            let row_size = usize::try_from(r.get_varint()?).map_err(|_| CodecError::Truncated)?;
+            let rows = usize::try_from(r.get_varint()?).map_err(|_| CodecError::Truncated)?;
+            let len = usize::try_from(r.get_varint()?).map_err(|_| CodecError::Truncated)?;
+            if row_size > 0 {
+                let expect = row_size.checked_mul(rows).ok_or(CodecError::Truncated)?;
+                if expect != len {
+                    return Err(CodecError::Truncated);
+                }
+            }
+            dir.push((tag, row_size, rows, len));
+        }
+        let mut parts = Vec::with_capacity(npart);
+        for (tag, row_size, rows, len) in dir {
+            if parts.iter().any(|(t, _)| *t == tag) {
+                return Err(CodecError::BadTag(tag));
+            }
+            let bytes = r.get_slice(len)?;
+            parts.push((
+                tag,
+                Part {
+                    row_size,
+                    rows,
+                    bytes,
+                },
+            ));
+        }
+        let str_count = usize::try_from(r.get_varint()?).map_err(|_| CodecError::Truncated)?;
+        let ends_len = str_count.checked_mul(4).ok_or(CodecError::Truncated)?;
+        let str_ends = r.get_slice(ends_len)?;
+        let blob_bytes = r.rest();
+        let blob = std::str::from_utf8(blob_bytes).map_err(|_| CodecError::BadUtf8)?;
+        // Offsets must be monotone, in range, end exactly at the blob's
+        // end, and land on char boundaries — validated once here so
+        // `get` is pure slicing.
+        let mut prev = 0usize;
+        for i in 0..str_count {
+            let end = u32::from_le_bytes(str_ends[i * 4..i * 4 + 4].try_into().expect("4 bytes"))
+                as usize;
+            if end < prev || end > blob.len() || !blob.is_char_boundary(end) {
+                return Err(CodecError::Truncated);
+            }
+            prev = end;
+        }
+        if prev != blob.len() {
+            return Err(CodecError::Truncated);
+        }
+        Ok(ModuleReader {
+            kind,
+            parts,
+            str_ends,
+            str_count,
+            blob,
+        })
+    }
+
+    /// The caller-defined module kind byte.
+    pub fn kind(&self) -> u8 {
+        self.kind
+    }
+
+    /// The partition tagged `tag`, if present.
+    pub fn part(&self, tag: u8) -> Option<Part<'a>> {
+        self.parts.iter().find(|(t, _)| *t == tag).map(|(_, p)| *p)
+    }
+
+    /// `(tag, partition)` pairs in directory order.
+    pub fn parts(&self) -> impl Iterator<Item = (u8, Part<'a>)> + '_ {
+        self.parts.iter().copied()
+    }
+
+    /// Number of interned strings.
+    pub fn str_count(&self) -> usize {
+        self.str_count
+    }
+
+    fn end_of(&self, i: usize) -> usize {
+        u32::from_le_bytes(self.str_ends[i * 4..i * 4 + 4].try_into().expect("4 bytes")) as usize
+    }
+
+    /// The interned string behind `r` — a borrow of the module buffer,
+    /// no allocation, no validation (done at parse time).
+    pub fn get(&self, r: StrRef) -> Result<&'a str, CodecError> {
+        let i = r.0 as usize;
+        if i >= self.str_count {
+            return Err(CodecError::Truncated);
+        }
+        let start = if i == 0 { 0 } else { self.end_of(i - 1) };
+        Ok(&self.blob[start..self.end_of(i)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T_FIXED: u8 = 1;
+    const T_VAR: u8 = 2;
+
+    fn sample() -> Vec<u8> {
+        let mut m = ModuleBuilder::new(7);
+        let a = m.intern("alpha");
+        let b = m.intern("beta");
+        assert_eq!(m.intern("alpha"), a, "interning dedups");
+        let mut fixed = PartitionBuilder::fixed(T_FIXED, 12);
+        for (i, s) in [(1u32, a), (2, b), (3, a)] {
+            let row = fixed.row();
+            row.put_u32(s.0);
+            row.put_u64(u64::from(i) * 100);
+        }
+        m.push(fixed);
+        let mut var = PartitionBuilder::var(T_VAR);
+        let w = var.row();
+        w.put_varint(300);
+        w.put_vstr("inline payload");
+        m.push(var);
+        m.finish()
+    }
+
+    #[test]
+    fn roundtrip_with_zero_copy_views() {
+        let bytes = sample();
+        let m = ModuleReader::parse(&bytes).expect("parses");
+        assert_eq!(m.kind(), 7);
+        assert_eq!(m.str_count(), 2);
+        let fixed = m.part(T_FIXED).expect("fixed partition");
+        assert_eq!(fixed.rows(), 3);
+        let row1 = fixed.row(1).unwrap();
+        assert_eq!(m.get(row1.str_at(0).unwrap()).unwrap(), "beta");
+        assert_eq!(row1.u64_at(4).unwrap(), 200);
+        let names: Vec<&str> = fixed
+            .iter()
+            .map(|r| m.get(r.str_at(0).unwrap()).unwrap())
+            .collect();
+        assert_eq!(names, ["alpha", "beta", "alpha"]);
+        let var = m.part(T_VAR).expect("var partition");
+        let mut r = var.reader();
+        assert_eq!(r.get_varint().unwrap(), 300);
+        assert_eq!(r.get_vstr().unwrap(), "inline payload");
+        assert!(m.part(99).is_none());
+    }
+
+    #[test]
+    fn interned_strings_are_stored_once() {
+        let mut dedup = ModuleBuilder::new(0);
+        for _ in 0..100 {
+            dedup.intern("the/same/long/path/over/and/over.hpp");
+        }
+        let mut repeat = ModuleBuilder::new(0);
+        repeat.intern("the/same/long/path/over/and/over.hpp");
+        assert_eq!(dedup.finish().len(), repeat.finish().len());
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = sample();
+        for cut in 0..bytes.len() {
+            match ModuleReader::parse(&bytes[..cut]) {
+                Err(_) => {}
+                Ok(m) => {
+                    // A prefix that still parses must not alias the full
+                    // module's string table (possible only when the cut
+                    // lands exactly after a shorter valid blob).
+                    assert!(cut < bytes.len(), "full buffer re-parsed at {cut}");
+                    assert!(m.str_count() <= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_and_duplicate_tags_are_rejected() {
+        let good = sample();
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(ModuleReader::parse(&bad).is_err(), "magic");
+        let mut bad = good.clone();
+        bad[2] = MODULE_VERSION + 1;
+        assert!(ModuleReader::parse(&bad).is_err(), "version");
+        let mut m = ModuleBuilder::new(0);
+        m.push(PartitionBuilder::var(5));
+        let mut dup = PartitionBuilder::var(5);
+        dup.row().put_u8(1);
+        m.push(dup);
+        assert!(ModuleReader::parse(&m.finish()).is_err(), "duplicate tag");
+    }
+
+    #[test]
+    fn string_table_boundary_corruption_is_rejected() {
+        let mut m = ModuleBuilder::new(0);
+        m.intern("héllo"); // multi-byte char to probe boundaries
+        m.intern("world");
+        let bytes = m.finish();
+        let good = ModuleReader::parse(&bytes).expect("parses");
+        assert_eq!(good.get(StrRef(0)).unwrap(), "héllo");
+        // Flip each byte of the offset array / blob region: decode must
+        // never panic, and any successful parse must still hand back
+        // valid UTF-8 slices.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x11;
+            if let Ok(m) = ModuleReader::parse(&bad) {
+                for s in 0..m.str_count() {
+                    let _ = m.get(StrRef(s as u32));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_accesses_are_errors_not_panics() {
+        let bytes = sample();
+        let m = ModuleReader::parse(&bytes).unwrap();
+        assert!(m.get(StrRef(2)).is_err());
+        let fixed = m.part(T_FIXED).unwrap();
+        assert!(fixed.row(3).is_err());
+        assert!(fixed.row(0).unwrap().u64_at(5).is_err());
+        let var = m.part(T_VAR).unwrap();
+        assert!(var.row(0).is_err(), "var partitions have no fixed rows");
+    }
+
+    #[test]
+    fn empty_module_roundtrips() {
+        let bytes = ModuleBuilder::new(3).finish();
+        let m = ModuleReader::parse(&bytes).expect("parses");
+        assert_eq!(m.kind(), 3);
+        assert_eq!(m.str_count(), 0);
+        assert_eq!(m.parts().count(), 0);
+    }
+}

@@ -26,7 +26,12 @@ use crate::fnv64;
 /// Current record format version. Bump on ANY layout change (record
 /// framing or the payload layout of a namespace) — old entries then
 /// degrade to misses instead of mis-decoding.
-pub const FORMAT_VERSION: u8 = 1;
+///
+/// Version 2: namespace payloads moved from length-prefixed text fields
+/// to the binary module format (`crate::module` — interned string table
+/// plus tagged partitions, consumed zero-copy). Version-1 records
+/// written by older builds decode as `BadMagic` and fall out as misses.
+pub const FORMAT_VERSION: u8 = 2;
 
 const MAGIC: [u8; 3] = *b"YST";
 
@@ -85,9 +90,15 @@ pub fn encode(namespace: &str, key: u64, payload: &[u8]) -> Vec<u8> {
     bytes
 }
 
-/// Decodes `bytes`, verifying magic, framing, checksum, and that the
-/// record was stored under `(namespace, key)`. Returns the payload.
-pub fn decode(bytes: &[u8], namespace: &str, key: u64) -> Result<Vec<u8>, RecordError> {
+/// Decodes `bytes` zero-copy, verifying magic, framing, checksum, and
+/// that the record was stored under `(namespace, key)`. The returned
+/// payload is a borrow of `bytes` — validation happens once here, and
+/// serving the hit costs no copy and no allocation.
+pub fn decode_view<'a>(
+    bytes: &'a [u8],
+    namespace: &str,
+    key: u64,
+) -> Result<&'a [u8], RecordError> {
     if bytes.len() < 8 {
         return Err(RecordError::Truncated);
     }
@@ -102,13 +113,10 @@ pub fn decode(bytes: &[u8], namespace: &str, key: u64) -> Result<Vec<u8>, Record
     if magic != MAGIC || version != FORMAT_VERSION {
         return Err(RecordError::BadMagic);
     }
-    let ns = r.get_str()?.to_string();
+    let ns = r.get_str()?;
     let stored_key = r.get_u64()?;
-    let len = r.get_u64()? as usize;
-    let mut payload = Vec::with_capacity(len);
-    for _ in 0..len {
-        payload.push(r.get_u8().map_err(|_| RecordError::Truncated)?);
-    }
+    let len = usize::try_from(r.get_u64()?).map_err(|_| RecordError::Truncated)?;
+    let payload = r.get_slice(len).map_err(|_| RecordError::Truncated)?;
     if !r.is_exhausted() {
         return Err(RecordError::Truncated);
     }
@@ -116,6 +124,12 @@ pub fn decode(bytes: &[u8], namespace: &str, key: u64) -> Result<Vec<u8>, Record
         return Err(RecordError::WrongAddress);
     }
     Ok(payload)
+}
+
+/// Owning variant of [`decode_view`] for callers that need the payload
+/// to outlive the record bytes.
+pub fn decode(bytes: &[u8], namespace: &str, key: u64) -> Result<Vec<u8>, RecordError> {
+    decode_view(bytes, namespace, key).map(|p| p.to_vec())
 }
 
 #[cfg(test)]

@@ -48,6 +48,19 @@
 //! the request id that caused it, so a slow request can be joined to
 //! its stage timings end to end.
 //!
+//! The `dump` subcommand inspects one record of the on-disk store
+//! (DESIGN.md §13) without running anything:
+//!
+//! ```text
+//! yalla dump --cache-dir <DIR> --key <HEX> [--ns parse|run|serve]
+//!            [--format summary|text]
+//! ```
+//!
+//! `--format=summary` prints the record's binary-module layout
+//! (partitions, row counts, interned strings); `--format=text` renders a
+//! `run` bundle's artifacts in the line-oriented text form — the debug
+//! path kept when the wire format went binary.
+//!
 //! The `fuzz` subcommand runs the differential semantic-preservation
 //! fuzzer instead:
 //!
@@ -600,6 +613,91 @@ fn run_serve(_args: &[String]) -> Result<(), String> {
     Err("yalla serve requires a platform with Unix sockets".to_string())
 }
 
+const DUMP_USAGE: &str = "usage: yalla dump --cache-dir <DIR> --key <HEX> \
+[--ns parse|run|serve] [--format summary|text]";
+
+/// Inspects one on-disk store record: validates it (header + checksum)
+/// and prints either the binary module's layout (`--format=summary`,
+/// the default) or — for `run` bundles — the full text rendering of the
+/// persisted artifacts (`--format=text`, the debug path that replaced
+/// text on the wire).
+fn run_dump(args: &[String]) -> Result<(), String> {
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut key: Option<u64> = None;
+    let mut ns = yalla::store::NS_RUN.to_string();
+    let mut format = "summary".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{DUMP_USAGE}");
+                return Ok(());
+            }
+            "--cache-dir" => {
+                let dir = it
+                    .next()
+                    .ok_or(format!("--cache-dir needs a value\n{DUMP_USAGE}"))?;
+                cache_dir = Some(PathBuf::from(dir));
+            }
+            "--key" => {
+                let hex = it
+                    .next()
+                    .ok_or(format!("--key needs a value\n{DUMP_USAGE}"))?;
+                let hex = hex.trim_start_matches("0x");
+                key = Some(
+                    u64::from_str_radix(hex, 16).map_err(|e| format!("bad --key `{hex}`: {e}"))?,
+                );
+            }
+            "--ns" => {
+                ns = it
+                    .next()
+                    .ok_or(format!("--ns needs a value\n{DUMP_USAGE}"))?
+                    .clone();
+            }
+            other if other.starts_with("--format") => {
+                format = match other.strip_prefix("--format=") {
+                    Some(v) => v.to_string(),
+                    None => it
+                        .next()
+                        .ok_or(format!("--format needs a value\n{DUMP_USAGE}"))?
+                        .clone(),
+                };
+            }
+            other => return Err(format!("unknown argument `{other}`\n{DUMP_USAGE}")),
+        }
+    }
+    let cache_dir = cache_dir.ok_or(format!("missing --cache-dir\n{DUMP_USAGE}"))?;
+    let key = key.ok_or(format!("missing --key\n{DUMP_USAGE}"))?;
+    let store = yalla::store::Store::open(&cache_dir)
+        .map_err(|e| format!("opening store {}: {e}", cache_dir.display()))?;
+    let view = store
+        .get_view(&ns, key)
+        .ok_or_else(|| format!("no valid record for ({ns}, {key:016x})"))?;
+    match format.as_str() {
+        "text" => {
+            let result = yalla::core::persist::decode_run(&view)
+                .ok_or("record payload is not a run bundle (try --ns run, or --format summary)")?;
+            print!("{}", yalla::core::persist::render_text(&result));
+        }
+        "summary" => {
+            let m = yalla::store::module::ModuleReader::parse(&view)
+                .map_err(|e| format!("payload is not a module: {e}"))?;
+            println!(
+                "record ({ns}, {key:016x}): {} payload bytes, module kind {}, format v{}",
+                view.len(),
+                m.kind(),
+                yalla::store::FORMAT_VERSION,
+            );
+            for (tag, part) in m.parts() {
+                println!("  partition tag={tag}: {} rows", part.rows());
+            }
+            println!("  strings: {} interned", m.str_count());
+        }
+        other => return Err(format!("unknown format `{other}`\n{DUMP_USAGE}")),
+    }
+    Ok(())
+}
+
 const STAT_USAGE: &str = "usage: yalla stat <SOCKET>";
 
 /// Scrapes a running daemon: sends one `metrics` request over the Unix
@@ -647,6 +745,7 @@ fn main() -> ExitCode {
         Some("fuzz") => run_fuzz(&argv[1..]),
         Some("serve") => run_serve(&argv[1..]),
         Some("stat") => run_stat(&argv[1..]),
+        Some("dump") => run_dump(&argv[1..]),
         _ => run(),
     };
     match outcome {

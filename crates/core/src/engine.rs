@@ -31,6 +31,11 @@ pub enum YallaError {
     /// Every missing path is reported at once, so a typo in source three
     /// does not hide a typo in source five.
     SourcesNotFound(Vec<String>),
+    /// The run was cooperatively cancelled at a stage boundary (a newer
+    /// edit superseded it). No partial artifact was published; the
+    /// session's caches stay consistent and a retry picks up where the
+    /// completed stages left off.
+    Cancelled,
 }
 
 impl fmt::Display for YallaError {
@@ -44,6 +49,7 @@ impl fmt::Display for YallaError {
             YallaError::SourcesNotFound(paths) => {
                 write!(f, "source files not found: {}", paths.join(", "))
             }
+            YallaError::Cancelled => write!(f, "run cancelled (superseded by a newer edit)"),
         }
     }
 }

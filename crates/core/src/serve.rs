@@ -9,12 +9,27 @@
 //!   [`Session`]. Shards are keyed by the *root hash* — a content hash of
 //!   the opened file tree plus the substitution options — so re-opening
 //!   an identical project (even under another name) lands on the same
-//!   warm shard instead of rebuilding caches. A mutex around the shard
-//!   state serializes concurrent `edit`/`rerun` on the same project:
-//!   requests interleave at request granularity, never mid-pipeline.
-//! * **Batching.** `edit` requests are queued on the shard and applied
-//!   in arrival order by the next `rerun` — N edits between reruns cost
-//!   one pipeline pass, exactly like saving N files before rebuilding.
+//!   warm shard instead of rebuilding caches. Shard state is split by
+//!   concern — an edit queue, a published-artifacts slot, and the
+//!   session itself — each behind its own lock, so `edit`, `get`,
+//!   `status`, and `metrics` never wait behind a pipeline pass; only
+//!   concurrent `rerun`s on the *same* project serialize.
+//! * **Batching + coalescing.** `edit` requests are queued on the shard
+//!   and applied in arrival order by the next `rerun` — N edits between
+//!   reruns cost one pipeline pass, exactly like saving N files before
+//!   rebuilding. An edit that lands while a rerun is *already running*
+//!   goes further: it cancels the in-flight attempt (cooperatively, at
+//!   the next stage boundary — see [`yalla_exec::CancelToken`]), and the
+//!   rerun retries with the new edit folded in. The response reports how
+//!   many attempts were superseded and how many edits it absorbed. After
+//!   `MAX_SUPERSEDES` cancelled rounds the final attempt runs
+//!   un-cancellable, so a continuous edit stream degrades to plain
+//!   batching instead of livelocking the client.
+//! * **Priority.** Client-blocking work runs at interactive priority;
+//!   warm-up prefetches after a daemon restart run at background
+//!   priority ([`yalla_exec::Priority`]) and are cancelled the moment a
+//!   real rerun arrives — idle workers pre-warm caches, busy workers
+//!   never queue client work behind a prefetch.
 //! * **Execution.** A rerun runs on its handler thread, admitted by a
 //!   counting semaphore sized to the [`yalla_exec::Executor`]'s worker
 //!   count — one worker makes the daemon a strictly serial build agent,
@@ -38,38 +53,65 @@
 //!   histograms; the `metrics` op exposes all of it in Prometheus text
 //!   format, snapshotted without pausing any worker.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use yalla_cpp::hash::{self, Fnv64};
 use yalla_cpp::vfs::Vfs;
-use yalla_exec::Executor;
+use yalla_exec::{CancelToken, Executor, Priority};
 use yalla_obs::chrome::escape_json;
 use yalla_obs::json::JsonValue;
 use yalla_obs::metrics::names;
 use yalla_store::{Store, NS_SERVE};
 
-use crate::engine::{Options, SubstitutionResult};
+use crate::engine::{Options, SubstitutionResult, YallaError};
 use crate::persist::ProjectRecord;
 use crate::session::Session;
 
-/// One project's warm state: a session plus the edit queue.
-#[derive(Debug)]
-struct ShardState {
-    session: Session,
-    pending_edits: Vec<(String, String)>,
-    /// Reruns completed on this shard.
+/// Supersede bound: after this many cancelled attempts, one rerun request
+/// runs its final attempt un-cancellable so a continuous edit stream can
+/// never livelock a client (later edits fall back to plain batching).
+const MAX_SUPERSEDES: u64 = 4;
+
+/// The edit side of a shard: queued edits plus supersede bookkeeping.
+/// `edit` requests only ever touch this lock — never the session — so
+/// queuing an edit during a multi-second build returns in microseconds.
+#[derive(Debug, Default)]
+struct EditQueue {
+    /// Edits queued since the last rerun attempt started, arrival order.
+    pending: Vec<(String, String)>,
+    /// Bumped once per accepted edit. A rerun attempt captures the
+    /// generation its input covers; any later edit supersedes it.
+    generation: u64,
+    /// The in-flight rerun attempt, if cancellable: its token and the
+    /// edit generation it covers. An edit that lands with a higher
+    /// generation cancels the token, folding itself into the retry.
+    active: Option<(CancelToken, u64)>,
+}
+
+/// The read side of a shard: the last published run. `get`/`status`
+/// requests only ever touch this lock, so reads never wait on a build.
+#[derive(Debug, Default)]
+struct Published {
+    /// Client reruns completed on this shard.
     reruns: u64,
+    /// Rerun attempts cancelled mid-flight by a superseding edit.
+    cancelled: u64,
+    /// The edit generation the published artifacts cover (monotonic).
+    generation: u64,
     /// The most recent successful run's artifacts.
     last: Option<SubstitutionResult>,
     /// The most recent run's one-line stage summary.
     last_summary: String,
 }
 
-/// A warm project shard. The state mutex is the serialization point for
-/// concurrent `edit`/`rerun`/`get` on one project.
+/// A warm project shard with per-concern locks: `edits` (queue +
+/// supersede state), `published` (last artifacts), and `session` (the
+/// pipeline itself, held only by the one running rerun). `edit`, `get`,
+/// `status`, and `metrics` never take the session lock, so no request
+/// class ever waits behind a pipeline pass.
 #[derive(Debug)]
 pub struct ProjectShard {
     /// Client-facing project name (first name that opened this tree).
@@ -78,7 +120,15 @@ pub struct ProjectShard {
     root_hash: u64,
     /// Modeled client-blocking build time slept inside each rerun task.
     build_latency: Duration,
-    state: Mutex<ShardState>,
+    /// The project's file set, fixed at open: edits may only change the
+    /// contents of existing files, so `edit` validates lock-free.
+    files: HashSet<String>,
+    edits: Mutex<EditQueue>,
+    published: Mutex<Published>,
+    session: Mutex<Session>,
+    /// Cancel token for this shard's background warm-up prefetch; the
+    /// first client rerun cancels it and takes over.
+    warmup: Mutex<Option<CancelToken>>,
 }
 
 /// A counting semaphore bounding how many builds run at once. Sized to
@@ -146,7 +196,7 @@ impl Response {
 /// in-process tests both drive it through [`ServeState::handle_line`].
 #[derive(Debug)]
 pub struct ServeState {
-    exec: Executor,
+    exec: Arc<Executor>,
     /// Bounds concurrent builds to the worker count.
     gate: BuildGate,
     /// root hash → shard. The warm pool.
@@ -157,8 +207,29 @@ pub struct ServeState {
     /// persisted here let a restarted daemon rebuild its warm pool.
     store: Option<Arc<Store>>,
     requests: AtomicU64,
+    /// Fault-injection hook: when nonzero, the first attempt of every
+    /// rerun arms its cancel token to trip at the N-th checkpoint, as if
+    /// a superseding edit had landed exactly at that stage boundary.
+    cancel_every: AtomicU64,
     /// When this daemon state was created (drives `status`'s uptime).
     start: Instant,
+}
+
+/// Sleeps `dur` in small slices, returning early (true) the moment
+/// `cancel` trips — the modeled client-blocking compile is a cancel
+/// point too, so a superseded rerun stops burning its build-gate slot.
+fn sleep_cancellable(dur: Duration, cancel: &CancelToken) -> bool {
+    let deadline = Instant::now() + dur;
+    loop {
+        if cancel.is_cancelled() {
+            return true;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(1).min(deadline - now));
+    }
 }
 
 fn hash_request_tree(
@@ -198,75 +269,130 @@ impl ServeState {
     pub fn with_store(exec: Executor, store: Option<Arc<Store>>) -> Self {
         let gate = BuildGate::new(exec.workers());
         let state = ServeState {
-            exec,
+            exec: Arc::new(exec),
             gate,
             shards: Mutex::new(HashMap::new()),
             names: Mutex::new(HashMap::new()),
             store,
             requests: AtomicU64::new(0),
+            cancel_every: AtomicU64::new(0),
             start: Instant::now(),
         };
         state.rebuild_pool();
         state
     }
 
+    /// Arms cancel-injection: when `n > 0`, the first attempt of every
+    /// rerun trips its own cancel token at the `n`-th checkpoint — the
+    /// same code path a superseding edit takes, but landing at a
+    /// deterministic stage boundary regardless of thread timing. The
+    /// rerun then retries and completes normally (`0` disarms). Test and
+    /// fuzz hook.
+    pub fn set_cancel_every(&self, n: u64) {
+        self.cancel_every.store(n, Ordering::Relaxed);
+    }
+
     /// Rebuilds the shard pool from project records persisted in the
     /// store. Undecodable records (torn writes, format bumps) are
-    /// skipped — the project is simply cold until reopened.
+    /// skipped — the project is simply cold until reopened. Each rebuilt
+    /// shard gets a background-priority warm-up prefetch: idle workers
+    /// pre-run its pipeline disk-warm so the first client rerun is
+    /// memory-warm, but the first real rerun (or edit) on the shard
+    /// cancels the prefetch and takes over.
     fn rebuild_pool(&self) {
         let Some(store) = &self.store else { return };
-        let mut shards = self.shards.lock().expect("shards lock");
-        let mut name_map = self.names.lock().expect("names lock");
-        for key in store.keys(NS_SERVE) {
-            let Some(record) = store
-                .get_view(NS_SERVE, key)
-                .and_then(|view| ProjectRecord::decode(&view))
-            else {
+        let mut rebuilt: Vec<Arc<ProjectShard>> = Vec::new();
+        {
+            let mut shards = self.shards.lock().expect("shards lock");
+            let mut name_map = self.names.lock().expect("names lock");
+            for key in store.keys(NS_SERVE) {
+                let Some(record) = store
+                    .get_view(NS_SERVE, key)
+                    .and_then(|view| ProjectRecord::decode(&view))
+                else {
+                    continue;
+                };
+                let mut vfs = Vfs::new();
+                let mut files = HashSet::new();
+                for (path, text) in &record.files {
+                    vfs.add_file(path, text.clone());
+                    files.insert(path.clone());
+                }
+                let options = Options {
+                    header: record.header,
+                    sources: record.sources,
+                    ..Options::default()
+                };
+                name_map.insert(record.name.clone(), key);
+                let shard = Arc::clone(shards.entry(key).or_insert_with(|| {
+                    Arc::new(ProjectShard {
+                        name: record.name,
+                        root_hash: key,
+                        build_latency: record.build_latency,
+                        files,
+                        edits: Mutex::new(EditQueue::default()),
+                        published: Mutex::new(Published::default()),
+                        session: Mutex::new(Session::with_store(
+                            options,
+                            vfs,
+                            Some(Arc::clone(store)),
+                        )),
+                        warmup: Mutex::new(Some(CancelToken::new())),
+                    })
+                }));
+                rebuilt.push(shard);
+            }
+            if !shards.is_empty() {
+                yalla_obs::gauge(names::SERVE_SHARDS, shards.len() as i64);
+            }
+        }
+        // Queue the prefetches outside the pool locks. The task holds the
+        // executor weakly: a queued prefetch must not keep the executor
+        // (and so the daemon) alive, and one draining at shutdown simply
+        // no-ops.
+        for shard in rebuilt {
+            let Some(token) = shard.warmup.lock().expect("warmup lock").clone() else {
                 continue;
             };
-            let mut vfs = Vfs::new();
-            for (path, text) in &record.files {
-                vfs.add_file(path, text.clone());
-            }
-            let options = Options {
-                header: record.header,
-                sources: record.sources,
-                ..Options::default()
-            };
-            name_map.insert(record.name.clone(), key);
-            shards.entry(key).or_insert_with(|| {
-                Arc::new(ProjectShard {
-                    name: record.name,
-                    root_hash: key,
-                    build_latency: record.build_latency,
-                    state: Mutex::new(ShardState {
-                        session: Session::with_store(options, vfs, Some(Arc::clone(store))),
-                        pending_edits: Vec::new(),
-                        reruns: 0,
-                        last: None,
-                        last_summary: String::new(),
-                    }),
-                })
+            let exec = Arc::downgrade(&self.exec);
+            self.exec.spawn_background(move || {
+                let Some(exec) = exec.upgrade() else { return };
+                if token.is_cancelled() {
+                    return;
+                }
+                // A client rerun owns the session lock if it got here
+                // first — the prefetch is then pointless, not worth
+                // waiting for.
+                let Ok(mut session) = shard.session.try_lock() else {
+                    return;
+                };
+                let run = session.rerun_with(&exec, &token, Priority::Background);
+                drop(session);
+                if let Ok(run) = run {
+                    yalla_obs::count(names::SERVE_PREFETCHES, 1);
+                    let summary = run.summary_line();
+                    let mut pubd = shard.published.lock().expect("published lock");
+                    if pubd.last.is_none() {
+                        pubd.last_summary = summary;
+                        pubd.last = Some(run.result);
+                    }
+                }
             });
-        }
-        if !shards.is_empty() {
-            yalla_obs::gauge(names::SERVE_SHARDS, shards.len() as i64);
         }
     }
 
     /// Persists a shard's project record (name, options, current file
     /// tree) so a restarted daemon can rebuild this shard. Best-effort:
     /// a full or read-only store just means a cold restart.
-    fn persist_project(&self, shard: &ProjectShard, state: &ShardState) {
+    fn persist_project(&self, shard: &ProjectShard, session: &Session) {
         let Some(store) = &self.store else { return };
-        let opts = state.session.options();
+        let opts = session.options();
         let record = ProjectRecord {
             name: shard.name.clone(),
             header: opts.header.clone(),
             sources: opts.sources.clone(),
             build_latency: shard.build_latency,
-            files: state
-                .session
+            files: session
                 .vfs()
                 .iter()
                 .map(|(_, f)| (f.path.clone(), f.text.clone()))
@@ -412,8 +538,10 @@ impl ServeState {
         let mut new_shard = None;
         if created {
             let mut vfs = Vfs::new();
+            let mut file_set = HashSet::new();
             for (path, text) in files {
                 vfs.add_file(path, text.as_str().unwrap_or_default());
+                file_set.insert(path.clone());
             }
             let options = Options {
                 header,
@@ -424,13 +552,11 @@ impl ServeState {
                 name: project.clone(),
                 root_hash,
                 build_latency,
-                state: Mutex::new(ShardState {
-                    session: Session::with_store(options, vfs, self.store.clone()),
-                    pending_edits: Vec::new(),
-                    reruns: 0,
-                    last: None,
-                    last_summary: String::new(),
-                }),
+                files: file_set,
+                edits: Mutex::new(EditQueue::default()),
+                published: Mutex::new(Published::default()),
+                session: Mutex::new(Session::with_store(options, vfs, self.store.clone())),
+                warmup: Mutex::new(None),
             });
             shards.insert(root_hash, Arc::clone(&shard));
             new_shard = Some(shard);
@@ -440,8 +566,8 @@ impl ServeState {
         if let Some(shard) = new_shard {
             if let Some(store) = &self.store {
                 if !store.contains(NS_SERVE, root_hash) {
-                    let state = shard.state.lock().expect("shard lock");
-                    self.persist_project(&shard, &state);
+                    let session = shard.session.lock().expect("session lock");
+                    self.persist_project(&shard, &session);
                 }
             }
         }
@@ -472,16 +598,31 @@ impl ServeState {
             Ok(s) => s,
             Err(e) => return Response::error(e),
         };
-        let mut state = shard.state.lock().expect("shard lock");
-        if state.session.vfs().lookup(&path).is_none() {
+        // The file set is fixed at open, so validation never needs the
+        // session. The only lock this handler takes is the edit queue's —
+        // a few pushes and compares — so edits return in microseconds
+        // even while a multi-second rerun holds the session.
+        if !shard.files.contains(&path) {
             return Response::error(format!("unknown file `{path}` in project `{project}`"));
         }
-        state.pending_edits.push((path, text));
-        let pending = state.pending_edits.len();
-        drop(state);
+        let mut edits = shard.edits.lock().expect("edits lock");
+        edits.pending.push((path, text));
+        edits.generation += 1;
+        let pending = edits.pending.len();
+        // Supersede: an in-flight rerun covering an older generation is
+        // now building stale input. Cancel it — it stops at its next
+        // stage boundary and retries with this edit folded in.
+        let mut superseded = false;
+        if let Some((token, covers)) = &edits.active {
+            if *covers < edits.generation && !token.is_cancelled() {
+                token.cancel();
+                superseded = true;
+            }
+        }
+        drop(edits);
         yalla_obs::count(names::SERVE_EDITS_BATCHED, 1);
         Response::ok(format!(
-            "{{\"ok\": true, \"op\": \"edit\", \"pending\": {pending}}}"
+            "{{\"ok\": true, \"op\": \"edit\", \"pending\": {pending}, \"superseded\": {superseded}}}"
         ))
     }
 
@@ -494,54 +635,138 @@ impl ServeState {
             Ok(s) => s,
             Err(e) => return Response::error(e),
         };
-        // The shard lock (held through the whole build) serializes
-        // concurrent edit/rerun/get on one project; the build gate bounds
-        // cross-project build concurrency to the worker count. The
-        // modeled build latency and the pipeline run stay on this handler
-        // thread — only the session's short stage tasks ever enter the
-        // pool, so a worker mid-wait can never pick up another project's
-        // multi-second build and stall its own.
-        let mut state = shard.state.lock().expect("shard lock");
-        let edits = std::mem::take(&mut state.pending_edits);
-        let edits_applied = edits.len();
-        for (path, text) in edits {
-            if let Err(e) = state.session.apply_edit(&path, text) {
-                return Response::error(e.to_string());
-            }
+        // A client rerun owns the shard: cancel any background warm-up
+        // prefetch so it yields the session at its next stage boundary.
+        if let Some(token) = shard.warmup.lock().expect("warmup lock").take() {
+            token.cancel();
         }
-        self.gate.acquire();
-        if !shard.build_latency.is_zero() {
-            // The modeled client-blocking compile (Figure 6), slept
-            // under the gate so a one-slot daemon genuinely serializes
-            // builds.
-            std::thread::sleep(shard.build_latency);
-        }
-        let run = state.session.rerun_on(&self.exec);
-        self.gate.release();
-        match run {
-            Ok(run) => {
-                yalla_obs::count(names::SERVE_RERUNS, 1);
-                state.reruns += 1;
-                let summary = run.summary_line();
-                let fully_cached = run.fully_cached();
-                state.last_summary = summary.clone();
-                state.last = Some(run.result);
-                // Keep the on-disk project record current so a crashed
-                // daemon restarts with this shard's latest file tree. By
-                // the time the rerun response is written, the record is
-                // durable — a SIGKILL any moment after still recovers.
-                if let Some(store) = &self.store {
-                    if edits_applied > 0 || !store.contains(NS_SERVE, shard.root_hash) {
-                        self.persist_project(&shard, &state);
+        // The session lock (held through the whole retry loop) serializes
+        // concurrent reruns on one project; the build gate bounds
+        // cross-project build concurrency to the worker count. `edit`,
+        // `get`, `status`, and `metrics` use their own locks and never
+        // wait here. The modeled build latency and the pipeline run stay
+        // on this handler thread — only the session's short stage tasks
+        // ever enter the pool, so a worker mid-wait can never pick up
+        // another project's multi-second build and stall its own.
+        let mut session = shard.session.lock().expect("session lock");
+        let mut edits_applied = 0usize;
+        let mut superseded_rounds = 0u64;
+        let clear_active = || {
+            shard.edits.lock().expect("edits lock").active = None;
+        };
+        loop {
+            let attempt = superseded_rounds + 1;
+            // Take the queue and register this attempt as cancellable.
+            // The final attempt (after MAX_SUPERSEDES cancelled rounds)
+            // is not registered: later edits can no longer supersede it,
+            // they just batch for the next rerun — a continuous edit
+            // stream cannot livelock the client.
+            let (batch, target_gen, token) = {
+                let mut edits = shard.edits.lock().expect("edits lock");
+                let batch = std::mem::take(&mut edits.pending);
+                let token = CancelToken::new();
+                if attempt == 1 {
+                    let inject = self.cancel_every.load(Ordering::Relaxed);
+                    if inject > 0 {
+                        token.trip_after(inject);
                     }
                 }
-                Response::ok(format!(
-                    "{{\"ok\": true, \"op\": \"rerun\", \"reruns\": {}, \"edits_applied\": {edits_applied}, \"fully_cached\": {fully_cached}, \"summary\": \"{}\"}}",
-                    state.reruns,
-                    escape_json(&summary)
-                ))
+                edits.active = if attempt <= MAX_SUPERSEDES {
+                    Some((token.clone(), edits.generation))
+                } else {
+                    None
+                };
+                (batch, edits.generation, token)
+            };
+            if attempt > 1 && !batch.is_empty() {
+                // Edits absorbed by a cancelled round — coalescing saved
+                // a whole pipeline pass per edit beyond plain batching.
+                yalla_obs::count(names::SERVE_EDITS_COALESCED, batch.len() as i64);
             }
-            Err(e) => Response::error(e.to_string()),
+            edits_applied += batch.len();
+            for (path, text) in batch {
+                if let Err(e) = session.apply_edit(&path, text) {
+                    clear_active();
+                    return Response::error(e.to_string());
+                }
+            }
+            let attempt_started = Instant::now();
+            self.gate.acquire();
+            // The modeled client-blocking compile (Figure 6), slept under
+            // the gate so a one-slot daemon genuinely serializes builds —
+            // but sliced, so a superseding edit aborts the sleep too.
+            let cancelled_in_sleep =
+                !shard.build_latency.is_zero() && sleep_cancellable(shard.build_latency, &token);
+            let run = if cancelled_in_sleep {
+                Err(YallaError::Cancelled)
+            } else {
+                session.rerun_with(&self.exec, &token, Priority::Interactive)
+            };
+            self.gate.release();
+            match run {
+                Ok(run) => {
+                    clear_active();
+                    yalla_obs::count(names::SERVE_RERUNS, 1);
+                    let summary = run.summary_line();
+                    let fully_cached = run.fully_cached();
+                    let reruns = {
+                        let mut pubd = shard.published.lock().expect("published lock");
+                        pubd.reruns += 1;
+                        pubd.generation = pubd.generation.max(target_gen);
+                        pubd.last_summary = summary.clone();
+                        pubd.last = Some(run.result);
+                        pubd.reruns
+                    };
+                    // Keep the on-disk project record current so a
+                    // crashed daemon restarts with this shard's latest
+                    // file tree. By the time the rerun response is
+                    // written, the record is durable — a SIGKILL any
+                    // moment after still recovers.
+                    if let Some(store) = &self.store {
+                        if edits_applied > 0 || !store.contains(NS_SERVE, shard.root_hash) {
+                            self.persist_project(&shard, &session);
+                        }
+                    }
+                    return Response::ok(format!(
+                        "{{\"ok\": true, \"op\": \"rerun\", \"reruns\": {reruns}, \
+                         \"edits_applied\": {edits_applied}, \"superseded\": {superseded_rounds}, \
+                         \"generation\": {target_gen}, \"fully_cached\": {fully_cached}, \
+                         \"summary\": \"{}\"}}",
+                        escape_json(&summary)
+                    ));
+                }
+                Err(YallaError::Cancelled) => {
+                    // Superseded (or injected): the attempt stopped at a
+                    // stage boundary, published nothing, and left every
+                    // cache key-consistent. Fold the newer edits in and
+                    // go again.
+                    clear_active();
+                    superseded_rounds += 1;
+                    yalla_obs::count(names::SERVE_CANCELLED, 1);
+                    yalla_obs::observe(
+                        names::LATENCY_SERVE_RERUN_CANCELLED,
+                        attempt_started.elapsed(),
+                    );
+                    shard.published.lock().expect("published lock").cancelled += 1;
+                    if yalla_obs::log::is_active() {
+                        yalla_obs::log::emit(
+                            "cancel",
+                            &[
+                                ("project", shard.name.as_str().into()),
+                                ("generation", yalla_obs::ArgValue::Int(target_gen as i64)),
+                                (
+                                    "checkpoints",
+                                    yalla_obs::ArgValue::Int(token.checkpoints() as i64),
+                                ),
+                            ],
+                        );
+                    }
+                }
+                Err(e) => {
+                    clear_active();
+                    return Response::error(e.to_string());
+                }
+            }
         }
     }
 
@@ -558,8 +783,10 @@ impl ServeState {
             Ok(s) => s,
             Err(e) => return Response::error(e),
         };
-        let state = shard.state.lock().expect("shard lock");
-        let Some(last) = &state.last else {
+        // Reads come off the published slot — a rerun mid-pipeline never
+        // blocks a `get`, which simply sees the previous run's artifacts.
+        let published = shard.published.lock().expect("published lock");
+        let Some(last) = &published.last else {
             return Response::error(format!("project `{project}` has no completed run"));
         };
         let text = match artifact.as_str() {
@@ -587,14 +814,20 @@ impl ServeState {
         let mut sorted: Vec<&Arc<ProjectShard>> = shards.values().collect();
         sorted.sort_by(|a, b| a.name.cmp(&b.name));
         for shard in sorted {
-            let state = shard.state.lock().expect("shard lock");
+            // Queue + published locks only: status stays microseconds
+            // even while a rerun holds the session. `generation` is the
+            // last *published* generation — a cancelled attempt never
+            // shows up here as current.
+            let pending = shard.edits.lock().expect("edits lock").pending.len();
+            let pubd = shard.published.lock().expect("published lock");
             rows.push(format!(
-                "{{\"project\": \"{}\", \"shard\": \"{:016x}\", \"reruns\": {}, \"pending_edits\": {}, \"last_summary\": \"{}\"}}",
+                "{{\"project\": \"{}\", \"shard\": \"{:016x}\", \"reruns\": {}, \"cancelled\": {}, \"generation\": {}, \"pending_edits\": {pending}, \"last_summary\": \"{}\"}}",
                 escape_json(&shard.name),
                 shard.root_hash,
-                state.reruns,
-                state.pending_edits.len(),
-                escape_json(&state.last_summary)
+                pubd.reruns,
+                pubd.cancelled,
+                pubd.generation,
+                escape_json(&pubd.last_summary)
             ));
         }
         drop(shards);
@@ -963,6 +1196,61 @@ mod tests {
                 .map(<[JsonValue]>::len),
             Some(1)
         );
+    }
+
+    #[test]
+    fn injected_cancellation_retries_and_reports_supersede() {
+        let state = state();
+        state.handle_line(&open_req("p1"));
+        // Trip the first attempt's token at its first checkpoint (run
+        // entry) — the same path a superseding edit takes, landed
+        // deterministically. The rerun must absorb the cancel, retry,
+        // and still answer correctly.
+        state.set_cancel_every(1);
+        let r = state.handle_line("{\"op\": \"rerun\", \"project\": \"p1\"}");
+        state.set_cancel_every(0);
+        assert!(r.text.contains("\"ok\": true"), "{}", r.text);
+        assert!(r.text.contains("\"superseded\": 1"), "{}", r.text);
+        let r = state
+            .handle_line("{\"op\": \"get\", \"project\": \"p1\", \"artifact\": \"lightweight\"}");
+        assert!(r.text.contains("class W;"), "{}", r.text);
+        let status = state.handle_line("{\"op\": \"status\"}");
+        assert!(status.text.contains("\"cancelled\": 1"), "{}", status.text);
+        // The cancelled attempt published nothing: exactly one rerun.
+        assert!(status.text.contains("\"reruns\": 1"), "{}", status.text);
+    }
+
+    #[test]
+    fn cancelled_attempts_leave_caches_byte_consistent() {
+        // A run cancelled at every possible boundary, then a clean run:
+        // the artifacts must be byte-identical to a never-cancelled
+        // shard's. Cancel points only stop *between* stages, so no
+        // half-written artifact can ever be published or cached.
+        let clean = state();
+        clean.handle_line(&open_req("p1"));
+        clean.handle_line("{\"op\": \"rerun\", \"project\": \"p1\"}");
+        let want = clean
+            .handle_line("{\"op\": \"get\", \"project\": \"p1\", \"artifact\": \"lightweight\"}");
+
+        let state = state();
+        state.handle_line(&open_req("p1"));
+        for boundary in 1..=8 {
+            state.set_cancel_every(boundary);
+            let r = state.handle_line("{\"op\": \"rerun\", \"project\": \"p1\"}");
+            assert!(r.text.contains("\"ok\": true"), "{}", r.text);
+        }
+        state.set_cancel_every(0);
+        let got = state
+            .handle_line("{\"op\": \"get\", \"project\": \"p1\", \"artifact\": \"lightweight\"}");
+        let artifact = |r: &Response| {
+            yalla_obs::json::parse(&r.text)
+                .expect("valid JSON")
+                .get("text")
+                .and_then(JsonValue::as_str)
+                .expect("artifact text")
+                .to_string()
+        };
+        assert_eq!(artifact(&got), artifact(&want));
     }
 
     fn temp_store(tag: &str) -> Arc<Store> {

@@ -60,7 +60,7 @@ use yalla_cpp::hash::{self, Fnv64};
 use yalla_cpp::loc::FileId;
 use yalla_cpp::vfs::Vfs;
 use yalla_cpp::ParsedTu;
-use yalla_exec::{Dag, Executor};
+use yalla_exec::{CancelToken, Dag, Executor, Priority};
 use yalla_store::{Store, NS_RUN};
 
 pub use yalla_cpp::cache::CacheLookup;
@@ -496,6 +496,34 @@ impl Session {
     ///
     /// Same failure modes as [`Session::rerun`].
     pub fn rerun_on(&mut self, exec: &Executor) -> Result<SessionRun, YallaError> {
+        self.rerun_with(exec, &CancelToken::new(), Priority::Interactive)
+    }
+
+    /// Runs the pipeline as a stage DAG on `exec`, polling `cancel` at
+    /// every *cancel point* and queueing every node at `priority`.
+    ///
+    /// Cancel points are the stage and per-source-rewrite boundaries
+    /// plus the disk-store probe — the only places a run can stop with
+    /// its caches guaranteed consistent: a stage either completed and
+    /// published its artifact under its content key, or it never ran.
+    /// Each point is a [`CancelToken::checkpoint`] call, so an armed
+    /// token (`trip_after(k)`) deterministically cancels the run at its
+    /// `k`-th boundary. A cancelled run returns
+    /// [`YallaError::Cancelled`] after every in-flight node has
+    /// finished; no result is assembled and no run bundle is persisted,
+    /// but stages that completed before the cancel keep their memoized
+    /// artifacts, so a retry resumes from them.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Session::rerun`], plus
+    /// [`YallaError::Cancelled`].
+    pub fn rerun_with(
+        &mut self,
+        exec: &Executor,
+        cancel: &CancelToken,
+        priority: Priority,
+    ) -> Result<SessionRun, YallaError> {
         let _run_span = yalla_obs::span("engine", "substitute");
         yalla_obs::count(yalla_obs::metrics::names::ENGINE_RUNS, 1);
         yalla_obs::count(yalla_obs::metrics::names::SESSION_RERUNS, 1);
@@ -526,6 +554,12 @@ impl Session {
         let emit_cell: Arc<OnceLock<Arc<EmitArtifact>>> = Arc::new(OnceLock::new());
         let verify_cell: Arc<OnceLock<Arc<VerifyArtifact>>> = Arc::new(OnceLock::new());
         let log = Arc::new(Mutex::new(RunLog::default()));
+
+        // Cancel point: run entry. A rerun superseded before it starts
+        // costs nothing.
+        if cancel.checkpoint() {
+            return Err(YallaError::Cancelled);
+        }
 
         // ---- warm pre-pass ---------------------------------------------
         // Walk the key chain with cheap hashing only; every stage proven
@@ -571,6 +605,13 @@ impl Session {
             }
             _ => None,
         };
+
+        // Cancel point: store boundary. Guards the disk probe below (a
+        // superseded rerun skips the store lookups entirely) and gives
+        // fully-warm runs a second boundary before they publish.
+        if cancel.checkpoint() {
+            return Err(YallaError::Cancelled);
+        }
 
         // ---- disk tier (memory → disk → recompute) ---------------------
         // When the memory tier cannot prove the whole run warm, ask the
@@ -642,15 +683,19 @@ impl Session {
                 dag.cached("parse", &[])
             }
             None => {
-                let (cache, vfs, opts, main, cell, log) = (
+                let (cache, vfs, opts, main, cell, log, cancel) = (
                     Arc::clone(&self.parse_cache),
                     Arc::clone(&vfs),
                     Arc::clone(&opts),
                     main_source.clone(),
                     Arc::clone(&parse_cell),
                     Arc::clone(&log),
+                    cancel.clone(),
                 );
                 dag.node("parse", &[], move || {
+                    if cancel.checkpoint() {
+                        return Err(YallaError::Cancelled);
+                    }
                     let span = yalla_obs::span("engine", "parse");
                     let parsed = cache.parse(&vfs, &opts.defines, &main)?;
                     let dur = span.finish();
@@ -680,15 +725,19 @@ impl Session {
                 dag.cached("analyze", &[parse_id])
             }
             None => {
-                let (slot, vfs, opts, parse_cell, cell, log) = (
+                let (slot, vfs, opts, parse_cell, cell, log, cancel) = (
                     Arc::clone(&self.analysis),
                     Arc::clone(&vfs),
                     Arc::clone(&opts),
                     Arc::clone(&parse_cell),
                     Arc::clone(&analysis_cell),
                     Arc::clone(&log),
+                    cancel.clone(),
                 );
                 dag.node("analyze", &[parse_id], move || {
+                    if cancel.checkpoint() {
+                        return Err(YallaError::Cancelled);
+                    }
                     let parsed = parse_cell.get().expect("parse completed");
                     let key = analyze_key_of(parsed.closure_hash, &opts);
                     let span = yalla_obs::span("engine", "analyze");
@@ -718,14 +767,18 @@ impl Session {
                 dag.cached("plan", &[analyze_id])
             }
             None => {
-                let (slot, opts, analysis_cell, cell, log) = (
+                let (slot, opts, analysis_cell, cell, log, cancel) = (
                     Arc::clone(&self.plan),
                     Arc::clone(&opts),
                     Arc::clone(&analysis_cell),
                     Arc::clone(&plan_cell),
                     Arc::clone(&log),
+                    cancel.clone(),
                 );
                 dag.node("plan", &[analyze_id], move || {
+                    if cancel.checkpoint() {
+                        return Err(YallaError::Cancelled);
+                    }
                     let analysis = analysis_cell.get().expect("analyze completed");
                     let key = plan_key_of(analysis);
                     let span = yalla_obs::span("engine", "plan");
@@ -754,14 +807,18 @@ impl Session {
                 dag.cached("emit", &[plan_id])
             }
             None => {
-                let (slot, opts, plan_cell, cell, log) = (
+                let (slot, opts, plan_cell, cell, log, cancel) = (
                     Arc::clone(&self.emit),
                     Arc::clone(&opts),
                     Arc::clone(&plan_cell),
                     Arc::clone(&emit_cell),
                     Arc::clone(&log),
+                    cancel.clone(),
                 );
                 dag.node("emit", &[plan_id], move || {
+                    if cancel.checkpoint() {
+                        return Err(YallaError::Cancelled);
+                    }
                     let (plan, plan_key) = plan_cell.get().expect("plan completed");
                     let span = yalla_obs::span("engine", "emit");
                     let (artifact, lookup) = refresh(&slot, *plan_key, || {
@@ -792,7 +849,7 @@ impl Session {
                 rewrite_ids.push(dag.cached(format!("rewrite {source}"), &[plan_id]));
                 continue;
             }
-            let (map, vfs, opts, source, parse_cell, analysis_cell, plan_cell, log) = (
+            let (map, vfs, opts, source, parse_cell, analysis_cell, plan_cell, log, cancel) = (
                 Arc::clone(&self.rewrites),
                 Arc::clone(&vfs),
                 Arc::clone(&opts),
@@ -801,8 +858,12 @@ impl Session {
                 Arc::clone(&analysis_cell),
                 Arc::clone(&plan_cell),
                 Arc::clone(&log),
+                cancel.clone(),
             );
             rewrite_ids.push(dag.node(format!("rewrite {source}"), &[plan_id], move || {
+                if cancel.checkpoint() {
+                    return Err(YallaError::Cancelled);
+                }
                 let parsed = parse_cell.get().expect("parse completed");
                 let analysis = analysis_cell.get().expect("analyze completed");
                 let (plan, plan_key) = plan_cell.get().expect("plan completed");
@@ -867,7 +928,11 @@ impl Session {
                     Arc::clone(&verify_cell),
                     Arc::clone(&log),
                 );
+                let cancel = cancel.clone();
                 dag.node("verify", &verify_deps, move || {
+                    if cancel.checkpoint() {
+                        return Err(YallaError::Cancelled);
+                    }
                     let parsed = parse_cell.get().expect("parse completed");
                     let (_, plan_key) = plan_cell.get().expect("plan completed");
                     let emit_art = emit_cell.get().expect("emit completed");
@@ -900,8 +965,11 @@ impl Session {
         }
 
         // ---- run --------------------------------------------------------
-        let run = dag.run(exec);
+        let run = dag.run_at(exec, priority);
         if let Some(err) = run.error {
+            // A cancelled run returns only after every in-flight node has
+            // finished (the DAG waits for the whole graph), so no node is
+            // still writing into the stage slots when the caller retries.
             return Err(err);
         }
 

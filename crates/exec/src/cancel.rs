@@ -1,0 +1,138 @@
+//! Cooperative cancellation tokens.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag threaded from the request
+//! layer (`yalla serve`) through `Session::rerun` into the DAG node
+//! closures. Cancellation is *cooperative*: nothing is interrupted
+//! mid-computation — the pipeline polls the token at well-defined
+//! *cancel points* (stage and per-source-rewrite boundaries, plus the
+//! disk-store probe) and abandons the run with a clean error when the
+//! flag is up. That makes stage boundaries the only places a run can
+//! stop, which is exactly what keeps the memoized stage slots and the
+//! on-disk store consistent: a stage either completed and published its
+//! artifact under its content key, or it never ran.
+//!
+//! For deterministic race testing the token can also be *armed* with
+//! [`CancelToken::trip_after`]: the N-th [`CancelToken::checkpoint`]
+//! call cancels the token itself, no timing involved. Iterating N over
+//! the boundary count injects a cancellation at every stage boundary of
+//! a run — the interleaving harness (`tests/cancel.rs`) and the fuzz
+//! `--cancel-every` mode are built on this.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct TokenInner {
+    cancelled: AtomicBool,
+    /// When non-zero, the `trip_at`-th checkpoint cancels the token.
+    trip_at: AtomicU64,
+    /// Cancel points observed so far (across all clones).
+    checkpoints: AtomicU64,
+}
+
+/// A cooperative cancellation flag shared by everyone working on one
+/// run. Clones observe the same state.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raises the flag. Idempotent; never blocks. Work already past its
+    /// last cancel point completes normally — cancellation is advisory
+    /// until the next checkpoint.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True once [`CancelToken::cancel`] was called (or an armed trip
+    /// fired). A pure read: does not count as a cancel point.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Records one cancel point and returns whether the run should stop.
+    /// If the token was armed with [`CancelToken::trip_after`] and this
+    /// is the N-th checkpoint, the token cancels itself first — the
+    /// deterministic injection hook.
+    pub fn checkpoint(&self) -> bool {
+        let seen = self.inner.checkpoints.fetch_add(1, Ordering::AcqRel) + 1;
+        let trip = self.inner.trip_at.load(Ordering::Acquire);
+        if trip != 0 && seen >= trip {
+            self.cancel();
+        }
+        self.is_cancelled()
+    }
+
+    /// Arms the token to cancel itself at the `n`-th checkpoint
+    /// (1-based). `0` disarms. Checkpoints already recorded count.
+    pub fn trip_after(&self, n: u64) {
+        self.inner.trip_at.store(n, Ordering::Release);
+    }
+
+    /// Cancel points recorded so far — how far a run got before it was
+    /// (or would have been) stopped.
+    pub fn checkpoints(&self) -> u64 {
+        self.inner.checkpoints.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live_and_counts_checkpoints() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(!t.checkpoint());
+        assert!(!t.checkpoint());
+        assert_eq!(t.checkpoints(), 2);
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones_and_sticky() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        c.cancel();
+        assert!(t.is_cancelled());
+        assert!(t.checkpoint(), "checkpoint reports the raised flag");
+        c.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn armed_token_trips_at_the_exact_checkpoint() {
+        let t = CancelToken::new();
+        t.trip_after(3);
+        assert!(!t.checkpoint());
+        assert!(!t.checkpoint());
+        assert!(!t.is_cancelled(), "not tripped before the armed point");
+        assert!(t.checkpoint(), "third checkpoint trips");
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn trip_counts_checkpoints_across_clones() {
+        let t = CancelToken::new();
+        t.trip_after(2);
+        let c = t.clone();
+        assert!(!c.checkpoint());
+        assert!(t.checkpoint(), "clone checkpoints share the counter");
+    }
+
+    #[test]
+    fn is_cancelled_is_not_a_cancel_point() {
+        let t = CancelToken::new();
+        t.trip_after(1);
+        for _ in 0..10 {
+            assert!(!t.is_cancelled());
+        }
+        assert!(t.checkpoint(), "only checkpoint() advances the trip");
+    }
+}

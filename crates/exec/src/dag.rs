@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use crate::executor::{Executor, Latch};
+use crate::executor::{Executor, Latch, Priority};
 
 type NodeFn<E> = Box<dyn FnOnce() -> Result<(), E> + Send + 'static>;
 
@@ -112,6 +112,7 @@ struct RunState<E> {
     panic: Mutex<Option<Box<dyn Any + Send>>>,
     latch: Latch,
     exec: Executor,
+    priority: Priority,
 }
 
 impl<E: Send + 'static> RunState<E> {
@@ -148,7 +149,7 @@ impl<E: Send + 'static> RunState<E> {
         // onto the worker thread, so telemetry emitted inside the task —
         // store lookups, event-log lines — joins back to the request.
         let req_id = yalla_obs::reqid::current();
-        self.exec.spawn(move || {
+        self.exec.spawn_at(self.priority, move || {
             let _ambient = yalla_obs::reqid::set(req_id);
             let task = state.tasks[i]
                 .lock()
@@ -228,13 +229,24 @@ impl<E: Send + 'static> Dag<E> {
         id
     }
 
-    /// Executes the graph on `exec`, blocking until every node completed
-    /// or was skipped.
+    /// Executes the graph on `exec` at [`Priority::Interactive`],
+    /// blocking until every node completed or was skipped.
     ///
     /// # Panics
     ///
     /// Re-raises the first panic any node closure raised.
     pub fn run(self, exec: &Executor) -> DagOutcome<E> {
+        self.run_at(exec, Priority::Interactive)
+    }
+
+    /// Executes the graph on `exec`, queueing every node at `priority`.
+    /// Background graphs (a daemon warm-up prefetch) only occupy idle
+    /// workers — queued interactive tasks always go first.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic any node closure raised.
+    pub fn run_at(self, exec: &Executor, priority: Priority) -> DagOutcome<E> {
         let n = self.nodes.len();
         let mut tasks = Vec::with_capacity(n);
         let mut cached = Vec::with_capacity(n);
@@ -270,6 +282,7 @@ impl<E: Send + 'static> Dag<E> {
             panic: Mutex::new(None),
             latch: Latch::new(n),
             exec: exec.clone(),
+            priority,
         });
         let roots: Vec<usize> = (0..n)
             .filter(|&i| state.pending_deps[i].load(Ordering::Acquire) == 0)

@@ -1,11 +1,19 @@
 //! The work-stealing thread pool.
 //!
-//! Topology: one deque per worker plus a shared injector for external
-//! submissions. A worker pops its own deque from the back (LIFO — the
-//! task it just spawned is the cache-warm one), and when empty steals
-//! from the injector and then from sibling deques from the front (FIFO —
-//! the oldest task is the one least likely to conflict). Idle workers
+//! Topology: one deque per worker plus a *two-level* shared injector for
+//! external submissions. A worker pops its own deque from the back (LIFO
+//! — the task it just spawned is the cache-warm one), and when empty
+//! takes from the interactive injector, steals from sibling deques from
+//! the front (FIFO — the oldest task is the one least likely to
+//! conflict), and only then drains the background injector. Idle workers
 //! park on a condvar; every submission re-arms them.
+//!
+//! The two injector levels implement [`Priority`]: interactive work (a
+//! client-blocking rerun's stage DAG) always runs ahead of background
+//! work (daemon warm-up prefetches) — background tasks are scheduled
+//! strictly from idle capacity and can be starved indefinitely under
+//! interactive load, by design. Nothing preempts: a background task that
+//! already started runs to completion (or to its next cancel point).
 //!
 //! The pool never blocks a worker on another task's completion:
 //! [`Executor::wait`] turns a blocked worker into a helper that keeps
@@ -32,9 +40,29 @@ const PARK_TIMEOUT: Duration = Duration::from_millis(5);
 /// latch is still closed (tasks are in flight on other workers).
 const HELP_TIMEOUT: Duration = Duration::from_micros(500);
 
+/// Scheduling class for a submitted task.
+///
+/// Interactive tasks (the default for [`Executor::spawn`] and
+/// [`crate::Dag::run`]) go to the high-priority injector; background
+/// tasks go to a separate low-priority injector that workers only drain
+/// when no interactive work exists anywhere in the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// A client is waiting on this work: run it as soon as a worker
+    /// frees up, ahead of any queued background task.
+    #[default]
+    Interactive,
+    /// Speculative work nobody is waiting on (warm-up prefetch): runs
+    /// from idle capacity only and may be starved under load.
+    Background,
+}
+
 struct Inner {
     deques: Vec<Mutex<VecDeque<Task>>>,
     injector: Mutex<VecDeque<Task>>,
+    /// The low-priority lane: drained only when deques, the interactive
+    /// injector, and every steal target are all empty.
+    background: Mutex<VecDeque<Task>>,
     sleep: Mutex<()>,
     wake: Condvar,
     shutdown: AtomicBool,
@@ -45,14 +73,20 @@ impl Inner {
         if !self.injector.lock().expect("injector lock").is_empty() {
             return true;
         }
-        self.deques
+        if self
+            .deques
             .iter()
             .any(|d| !d.lock().expect("deque lock").is_empty())
+        {
+            return true;
+        }
+        !self.background.lock().expect("background lock").is_empty()
     }
 
-    /// Pops a task: own deque back, injector front, then steal siblings
-    /// front. `me` is the calling worker's index, or `None` for external
-    /// helpers (which only take from the injector and steal).
+    /// Pops a task: own deque back, interactive injector front, steal
+    /// siblings front, and only then the background injector front. `me`
+    /// is the calling worker's index, or `None` for external helpers
+    /// (which skip the own-deque step).
     fn find_task(&self, me: Option<usize>, stats: &mut WorkerStats) -> Option<Task> {
         if let Some(i) = me {
             if let Some(t) = self.deques[i].lock().expect("deque lock").pop_back() {
@@ -74,7 +108,7 @@ impl Inner {
                 return Some(t);
             }
         }
-        None
+        self.background.lock().expect("background lock").pop_front()
     }
 
     fn notify(&self) {
@@ -219,6 +253,7 @@ impl Executor {
         let inner = Arc::new(Inner {
             deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             injector: Mutex::new(VecDeque::new()),
+            background: Mutex::new(VecDeque::new()),
             sleep: Mutex::new(()),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -255,19 +290,44 @@ impl Executor {
         self.core.workers
     }
 
-    /// Submits a task. Tasks spawned from a worker thread of this pool go
-    /// to that worker's own deque (LIFO); external submissions go to the
-    /// shared injector.
+    /// Submits an interactive task. Tasks spawned from a worker thread of
+    /// this pool go to that worker's own deque (LIFO); external
+    /// submissions go to the shared interactive injector.
     pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
+        self.spawn_at(Priority::Interactive, task);
+    }
+
+    /// Submits a background task: it runs only when no interactive work
+    /// is queued anywhere in the pool. Shorthand for
+    /// [`Executor::spawn_at`] with [`Priority::Background`].
+    pub fn spawn_background(&self, task: impl FnOnce() + Send + 'static) {
+        self.spawn_at(Priority::Background, task);
+    }
+
+    /// Submits a task at an explicit [`Priority`]. Background tasks
+    /// always go to the low-priority injector — even when spawned from a
+    /// worker thread — so speculative work never rides the LIFO fast
+    /// path ahead of a client-blocking task.
+    pub fn spawn_at(&self, priority: Priority, task: impl FnOnce() + Send + 'static) {
         let task: Task = Box::new(task);
         let inner = &self.core.inner;
-        match current_index(inner) {
-            Some(i) => inner.deques[i].lock().expect("deque lock").push_back(task),
-            None => inner
-                .injector
-                .lock()
-                .expect("injector lock")
-                .push_back(task),
+        match priority {
+            Priority::Interactive => match current_index(inner) {
+                Some(i) => inner.deques[i].lock().expect("deque lock").push_back(task),
+                None => inner
+                    .injector
+                    .lock()
+                    .expect("injector lock")
+                    .push_back(task),
+            },
+            Priority::Background => {
+                yalla_obs::count("exec.tasks_background", 1);
+                inner
+                    .background
+                    .lock()
+                    .expect("background lock")
+                    .push_back(task);
+            }
         }
         inner.notify();
     }
@@ -503,6 +563,64 @@ mod tests {
         // Not exercised via the environment (tests run in parallel);
         // the parse rules are covered through Executor::new instead.
         assert!(hardware_threads() >= 1);
+    }
+
+    #[test]
+    fn interactive_tasks_run_ahead_of_earlier_background_tasks() {
+        // Hold the single worker hostage, queue a background task, then
+        // an interactive one: the interactive task must run first even
+        // though it was submitted later.
+        let exec = Executor::new(1);
+        let release = Arc::new(Latch::new(1));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let done = Arc::new(Latch::new(3));
+        {
+            let release = Arc::clone(&release);
+            let done = Arc::clone(&done);
+            exec.spawn(move || {
+                release.wait();
+                done.count_down();
+            });
+        }
+        // Give the worker a moment to pick up the blocker, so the next
+        // two submissions genuinely queue behind it.
+        std::thread::sleep(Duration::from_millis(20));
+        {
+            let order = Arc::clone(&order);
+            let done = Arc::clone(&done);
+            exec.spawn_background(move || {
+                order.lock().unwrap().push("background");
+                done.count_down();
+            });
+        }
+        {
+            let order = Arc::clone(&order);
+            let done = Arc::clone(&done);
+            exec.spawn(move || {
+                order.lock().unwrap().push("interactive");
+                done.count_down();
+            });
+        }
+        release.count_down();
+        exec.wait(&done);
+        assert_eq!(*order.lock().unwrap(), vec!["interactive", "background"]);
+    }
+
+    #[test]
+    fn background_tasks_run_when_the_pool_is_idle() {
+        let exec = Executor::new(2);
+        let latch = Arc::new(Latch::new(16));
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let latch = Arc::clone(&latch);
+            let hits = Arc::clone(&hits);
+            exec.spawn_background(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+                latch.count_down();
+            });
+        }
+        exec.wait(&latch);
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
     }
 
     #[test]

@@ -23,6 +23,13 @@
 //!   succeeded, errors cancel all transitively dependent nodes, and nodes
 //!   marked *cached* complete inline without ever being scheduled (the
 //!   session layer's warm cache hits short-circuit scheduling).
+//! * [`Priority`] — a two-level injector: interactive tasks (a client is
+//!   blocked on them) always dequeue ahead of background tasks (warm-up
+//!   prefetch), which run from idle capacity only. [`Dag::run_at`]
+//!   schedules a whole graph at one priority.
+//! * [`CancelToken`] — a cooperative cancellation flag polled at stage
+//!   boundaries, with a deterministic trip-at-checkpoint-N injection
+//!   mode for race testing (see [`cancel`]).
 //!
 //! Worker threads buffer their own `exec.*` counters in a
 //! [`yalla_obs::metrics::LocalCounters`] and merge them into the shared
@@ -32,8 +39,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cancel;
 pub mod dag;
 pub mod executor;
 
+pub use cancel::CancelToken;
 pub use dag::{Dag, DagOutcome, NodeId, NodeOutcome, NodeStatus};
-pub use executor::{Executor, Latch};
+pub use executor::{Executor, Latch, Priority};

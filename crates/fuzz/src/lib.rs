@@ -60,6 +60,11 @@ pub struct FuzzConfig {
     /// Also run the daemon shard-race mode every this many cases
     /// (0 disables it).
     pub race_every: u64,
+    /// In race cases, arm the daemon's deterministic cancel-injection:
+    /// the first attempt of every rerun trips its cancel token at this
+    /// checkpoint, on top of real supersedes from racing edits (0
+    /// disables injection).
+    pub cancel_every: u64,
     /// Cache dir for session-fuzz cases: each step additionally checks a
     /// warm-from-disk restart against the cold oracle (`None` disables).
     pub store_dir: Option<std::path::PathBuf>,
@@ -76,6 +81,7 @@ impl Default for FuzzConfig {
             sabotage: Sabotage::None,
             session_every: 25,
             race_every: 50,
+            cancel_every: 0,
             store_dir: None,
             entry_args: (3, 5),
         }
@@ -175,7 +181,8 @@ pub fn run_campaign(config: &FuzzConfig) -> Result<CampaignReport, String> {
         }
 
         if config.race_every > 0 && (i + 1) % config.race_every == 0 {
-            let race = race::run_race_case(case_seed ^ 0x5a5a, 4, 8)?;
+            let race =
+                race::run_race_case_with_cancel(case_seed ^ 0x5a5a, 4, 8, config.cancel_every)?;
             report.race_cases += 1;
             report.race_mismatches += race.mismatches.len();
         }

@@ -24,6 +24,16 @@
 //! finding. `yalla fuzz --race-every N` runs one case every N
 //! differential cases with a schedule seed derived from the campaign
 //! seed.
+//!
+//! **Cancel mode** (`yalla fuzz --cancel-every N`,
+//! [`run_race_case_with_cancel`]): the same schedules run with the
+//! daemon's cancel-injection hook armed, so the first attempt of every
+//! rerun trips its token at the N-th checkpoint — as if a superseding
+//! edit had landed exactly at that stage boundary — on top of whatever
+//! *real* supersedes the racing edit threads produce. The oracles are
+//! unchanged and must still hold: every cancelled attempt retries to
+//! completion, so the final state stays byte-equal to the sequential
+//! cold run and no torn fingerprint may appear in any cache.
 
 use std::sync::Arc;
 
@@ -151,11 +161,34 @@ pub fn run_race_case(
     threads: usize,
     requests_per_thread: usize,
 ) -> Result<RaceCaseReport, String> {
+    run_race_case_with_cancel(seed, threads, requests_per_thread, 0)
+}
+
+/// [`run_race_case`] with the daemon's deterministic cancel-injection
+/// armed: when `cancel_every > 0`, the first attempt of every rerun in
+/// the schedule trips its cancel token at the `cancel_every`-th
+/// checkpoint and must recover by retrying. Both oracles are unchanged —
+/// injected cancellation may cost retries, never correctness.
+///
+/// # Errors
+///
+/// Same contract as [`run_race_case`].
+///
+/// # Panics
+///
+/// Panics only on poisoned harness-internal locks.
+pub fn run_race_case_with_cancel(
+    seed: u64,
+    threads: usize,
+    requests_per_thread: usize,
+    cancel_every: u64,
+) -> Result<RaceCaseReport, String> {
     let threads = threads.max(2);
     // Vary the contention profile with the seed: 1 worker makes every
     // rerun strictly serial, more workers interleave them with edits.
     let workers = 1 + (seed % 4) as usize;
     let state = Arc::new(ServeState::new(Executor::new(workers)));
+    state.set_cancel_every(cancel_every);
 
     let r = state.handle_line(&open_request(threads));
     if !r.text.contains("\"ok\": true") {
@@ -291,6 +324,22 @@ mod tests {
             let report = run_race_case(seed, 4, 8).unwrap();
             assert!(report.clean(), "seed {seed}: {:?}", report.mismatches);
             assert!(report.requests > 4 * 8, "all requests counted");
+        }
+    }
+
+    #[test]
+    fn race_case_stays_clean_with_injected_cancellation() {
+        // Sweep the injection point across the early checkpoints: entry,
+        // store boundary, and into the stage nodes. Every rerun's first
+        // attempt is cancelled there and must retry to a byte-identical
+        // final state.
+        for boundary in [1u64, 2, 3, 5] {
+            let report = run_race_case_with_cancel(7, 4, 8, boundary).unwrap();
+            assert!(
+                report.clean(),
+                "boundary {boundary}: {:?}",
+                report.mismatches
+            );
         }
     }
 

@@ -54,6 +54,9 @@ pub mod names {
     pub const EXEC_TASKS_STOLEN: &str = "exec.tasks_stolen";
     /// Times a worker parked with no work available.
     pub const EXEC_PARKS: &str = "exec.parks";
+    /// Tasks spawned at background priority (prefetch / warm-up work that
+    /// only runs from idle capacity).
+    pub const EXEC_TASKS_BACKGROUND: &str = "exec.tasks_background";
     /// Worker threads in the global executor (gauge).
     pub const EXEC_WORKERS: &str = "exec.workers";
     /// Requests handled by the `yalla serve` daemon.
@@ -62,6 +65,15 @@ pub mod names {
     pub const SERVE_REJECTED: &str = "serve.rejected";
     /// Edits the daemon batched (queued without an immediate rerun).
     pub const SERVE_EDITS_BATCHED: &str = "serve.edits_batched";
+    /// Reruns the daemon cancelled mid-flight because a newer edit
+    /// superseded them (the cancelled attempt's edits coalesce into the
+    /// retry).
+    pub const SERVE_CANCELLED: &str = "serve.cancelled";
+    /// Edits absorbed into an already-running rerun via supersede-and-retry
+    /// coalescing (beyond plain pre-rerun batching).
+    pub const SERVE_EDITS_COALESCED: &str = "serve.edits_coalesced";
+    /// Background warm-up reruns completed by the daemon after a restart.
+    pub const SERVE_PREFETCHES: &str = "serve.prefetches";
     /// Reruns the daemon executed on behalf of clients.
     pub const SERVE_RERUNS: &str = "serve.reruns";
     /// Project shards the daemon currently holds warm (gauge).
@@ -128,6 +140,10 @@ pub mod names {
     pub const LATENCY_STORE_HIT: &str = "latency.store.hit";
     /// Store-lookup latency histogram for lookups that missed (µs).
     pub const LATENCY_STORE_MISS: &str = "latency.store.miss";
+    /// Latency histogram for rerun attempts that were cancelled mid-flight
+    /// (µs from attempt start to the cooperative stop — the wasted work a
+    /// supersede saves the client from waiting out).
+    pub const LATENCY_SERVE_RERUN_CANCELLED: &str = "latency.serve.rerun_cancelled";
 
     /// Every well-known telemetry name — the static counter/gauge
     /// constants plus the expanded dynamic families (per-stage cache
@@ -157,10 +173,14 @@ pub mod names {
             EXEC_TASKS_EXECUTED,
             EXEC_TASKS_STOLEN,
             EXEC_PARKS,
+            EXEC_TASKS_BACKGROUND,
             EXEC_WORKERS,
             SERVE_REQUESTS,
             SERVE_REJECTED,
             SERVE_EDITS_BATCHED,
+            SERVE_CANCELLED,
+            SERVE_EDITS_COALESCED,
+            SERVE_PREFETCHES,
             SERVE_RERUNS,
             SERVE_SHARDS,
             STORE_HITS,
@@ -174,6 +194,7 @@ pub mod names {
             FUZZ_SHRINK_STEPS,
             LATENCY_STORE_HIT,
             LATENCY_STORE_MISS,
+            LATENCY_SERVE_RERUN_CANCELLED,
         ]
         .iter()
         .map(ToString::to_string)

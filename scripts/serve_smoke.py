@@ -70,6 +70,26 @@ def connect(sock_path):
     return req
 
 
+def poll_status(req, predicate, what, deadline_s=30):
+    """Polls `status` until `predicate(response)` holds.
+
+    The daemon answers `status` from the shard snapshot without waiting
+    on any in-flight pipeline pass, so polling is cheap and converges as
+    soon as the daemon publishes the state under test — unlike a fixed
+    sleep, which is both slow on fast machines and flaky on loaded CI
+    runners.
+    """
+    deadline = time.monotonic() + deadline_s
+    while True:
+        r = req({"op": "status"})
+        assert r["ok"], r
+        if predicate(r):
+            return r
+        if time.monotonic() > deadline:
+            raise SystemExit("timed out waiting for %s; last status: %r" % (what, r))
+        time.sleep(0.05)
+
+
 def open_request():
     return {
         "op": "open",
@@ -99,6 +119,9 @@ def basic_cycle():
         assert 0.0 <= r["store_hit_ratio"] <= 1.0, r
         by_class = r["requests_by_class"]
         assert by_class["open"] >= 1 and by_class["rerun"] >= 2, r
+        shard = r["shards"][0]
+        assert shard["cancelled"] == 0, "no rerun was superseded in this cycle: %r" % r
+        assert shard["generation"] == 0, "no edit was applied in this cycle: %r" % r
         r = req({"op": "metrics"})
         assert r["ok"], r
         text = r["text"]
@@ -142,9 +165,12 @@ def kill_and_restart():
             [BINARY, "serve", "--socket", sock2, "--cache-dir", cache_dir, "--workers", "2"]
         )
         req = connect(sock2)
-        r = req({"op": "status"})
-        assert r["ok"] and len(r["shards"]) == 1, (
-            "restarted daemon did not rebuild its pool from disk: %r" % r
+        # The pool rebuild races with the first client connection, so
+        # poll rather than assert on the very first `status` response.
+        r = poll_status(
+            req,
+            lambda r: len(r["shards"]) == 1,
+            "the restarted daemon to rebuild its pool from disk",
         )
         assert r["shards"][0]["project"] == "ci", r
         r = req({"op": "rerun", "project": "ci"})

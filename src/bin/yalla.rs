@@ -409,7 +409,8 @@ fn run() -> Result<(), String> {
 
 const FUZZ_USAGE: &str = "usage: yalla fuzz [--seed N] [--iters K] [--shrink] \
 [--sabotage none|probe-offset|zero-return] [--session-every N] [--race-every N] \
-[--store <DIR>] [--repro-dir <DIR>] [--metrics] | yalla fuzz --replay <FIXTURE>...";
+[--cancel-every N] [--store <DIR>] [--repro-dir <DIR>] [--metrics] | \
+yalla fuzz --replay <FIXTURE>...";
 
 /// Replays checked-in repro fixtures: each must run divergence-free.
 fn replay_fixtures(paths: &[String]) -> Result<(), String> {
@@ -476,6 +477,14 @@ fn run_fuzz(args: &[String]) -> Result<(), String> {
                 config.race_every = value("--race-every")?
                     .parse()
                     .map_err(|e| format!("bad --race-every: {e}"))?;
+            }
+            "--cancel-every" => {
+                // Race cases arm the daemon's cancel-injection hook: every
+                // rerun's first attempt trips at this checkpoint and must
+                // recover by retrying with the same oracles holding.
+                config.cancel_every = value("--cancel-every")?
+                    .parse()
+                    .map_err(|e| format!("bad --cancel-every: {e}"))?;
             }
             "--store" => config.store_dir = Some(PathBuf::from(value("--store")?)),
             "--repro-dir" => repro_dir = PathBuf::from(value("--repro-dir")?),

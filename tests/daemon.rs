@@ -227,6 +227,131 @@ fn sigkill_and_restart_on_same_cache_dir_is_disk_warm() {
     let _ = std::fs::remove_dir_all(&cache);
 }
 
+/// A slow subject's rerun is superseded twice by fast edits from another
+/// connection: exactly one final rerun completes (absorbing both edits
+/// through cancelled rounds), `serve.cancelled` counts the aborted
+/// attempts, and `status` never reports a cancelled generation as
+/// current — mid-flight it still shows the last *published* generation.
+#[test]
+fn superseded_rerun_coalesces_edits_and_cancels_cleanly() {
+    let path = socket_path("supersede");
+    let server = Server::start(&path, Executor::new(2)).expect("start server");
+
+    // A slow project: 400ms of modeled build latency per rerun attempt
+    // gives the superseding edits a wide window to land.
+    let mut setup = connect(&path);
+    let open = format!(
+        "{{\"op\": \"open\", \"project\": \"slow\", \"header\": \"slow.hpp\", \
+         \"sources\": [\"s0.cpp\"], \"build_latency_us\": 400000, \"files\": {{\
+         \"slow.hpp\": \"{}\", \"s0.cpp\": \"{}\"}}}}",
+        escape_json(&header_text(9)).replace("pj9", "slow"),
+        escape_json(&source_text(9, 0, 0)).replace("pj9", "slow")
+    );
+    let r = client_request(&mut setup, &open).unwrap();
+    assert!(ok(&r), "{r:?}");
+    // Cold warm-up rerun: publishes generation 0.
+    let r = client_request(&mut setup, "{\"op\": \"rerun\", \"project\": \"slow\"}").unwrap();
+    assert!(ok(&r), "{r:?}");
+
+    // The slow rerun, on its own connection.
+    let rerun = {
+        let path = path.clone();
+        std::thread::spawn(move || {
+            let mut stream = connect(&path);
+            client_request(&mut stream, "{\"op\": \"rerun\", \"project\": \"slow\"}").unwrap()
+        })
+    };
+    // Two superseding edits while the rerun sleeps its modeled build.
+    std::thread::sleep(std::time::Duration::from_millis(80));
+    for rev in [1usize, 2] {
+        let edit = format!(
+            "{{\"op\": \"edit\", \"project\": \"slow\", \"path\": \"s0.cpp\", \"text\": \"{}\"}}",
+            escape_json(&source_text(9, 0, rev)).replace("pj9", "slow")
+        );
+        let r = client_request(&mut setup, &edit).unwrap();
+        assert!(ok(&r), "{r:?}");
+        // Status right after the supersede: the cancelled attempt must
+        // not surface — the published generation is still the last
+        // *completed* one (0, from the warm-up rerun).
+        let status = client_request(&mut setup, "{\"op\": \"status\"}").unwrap();
+        let shard = &status.get("shards").and_then(JsonValue::as_array).unwrap()[0];
+        assert_eq!(
+            shard.get("generation").and_then(JsonValue::as_f64),
+            Some(0.0),
+            "cancelled generation leaked into status: {status:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(80));
+    }
+
+    let r = rerun.join().expect("rerun thread");
+    assert!(ok(&r), "{r:?}");
+    // Exactly one final rerun completed (the warm-up plus this one),
+    // having absorbed both edits through at least one cancelled round.
+    assert_eq!(
+        r.get("reruns").and_then(JsonValue::as_f64),
+        Some(2.0),
+        "{r:?}"
+    );
+    assert_eq!(
+        r.get("edits_applied").and_then(JsonValue::as_f64),
+        Some(2.0),
+        "{r:?}"
+    );
+    assert!(
+        r.get("superseded")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0)
+            >= 1.0,
+        "expected at least one cancelled round: {r:?}"
+    );
+    assert_eq!(
+        r.get("generation").and_then(JsonValue::as_f64),
+        Some(2.0),
+        "{r:?}"
+    );
+
+    // The published artifact is the final source, not a stale one.
+    let got = client_request(
+        &mut setup,
+        "{\"op\": \"get\", \"project\": \"slow\", \"artifact\": \"source:s0.cpp\"}",
+    )
+    .unwrap();
+    assert!(
+        got.get("text")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("")
+            .contains("scale(m, 2)"),
+        "{got:?}"
+    );
+
+    // The daemon counted the aborted attempts.
+    let metrics = client_request(&mut setup, "{\"op\": \"metrics\"}").unwrap();
+    let text = metrics.get("text").and_then(JsonValue::as_str).unwrap();
+    let cancelled: i64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("yalla_serve_cancelled "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0);
+    assert!(
+        cancelled >= 1,
+        "serve.cancelled should count the aborted attempts:\n{text}"
+    );
+    let status = client_request(&mut setup, "{\"op\": \"status\"}").unwrap();
+    let shard = &status.get("shards").and_then(JsonValue::as_array).unwrap()[0];
+    assert!(
+        shard
+            .get("cancelled")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0)
+            >= 1.0,
+        "{status:?}"
+    );
+
+    let r = client_request(&mut setup, "{\"op\": \"shutdown\"}").unwrap();
+    assert!(ok(&r), "{r:?}");
+    server.join();
+}
+
 #[test]
 fn stress_eight_clients_no_deadlock_no_bleed() {
     const PROJECTS: usize = 4;

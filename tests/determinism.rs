@@ -115,6 +115,92 @@ fn artifacts_are_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn cancellation_at_stage_boundaries_is_invisible_in_artifacts() {
+    use yalla::exec::{CancelToken, Priority};
+    use yalla::YallaError;
+    // The exhaustive boundary × worker sweep on a small synthetic project
+    // lives in tests/cancel.rs; this leg anchors the same guarantee on a
+    // real corpus subject: a run cancelled at *any* stage boundary, on
+    // any worker count, must recover to artifacts byte-identical to the
+    // never-cancelled baseline (which the suite above ties to the pinned
+    // goldens).
+    let subjects = all_subjects();
+    let subject = &subjects[0];
+    let baseline = run_cold(subject, 1);
+    let options = Options {
+        header: subject.header.clone(),
+        sources: subject.sources.clone(),
+        ..Options::default()
+    };
+    // Probe the checkpoint count with an unarmed token. Under a disk-warm
+    // store (YALLA_CACHE_DIR) the run short-circuits early and has fewer
+    // boundaries — the sweep shrinks with it.
+    let boundaries = {
+        let exec = Executor::new(1);
+        let mut session = Session::new(options.clone(), subject.vfs.clone());
+        let token = CancelToken::new();
+        session
+            .rerun_with(&exec, &token, Priority::Interactive)
+            .expect("probe run");
+        token.checkpoints()
+    };
+    for workers in [1usize, 2, 8] {
+        let exec = Executor::new(workers);
+        for boundary in 1..=boundaries {
+            let mut session = Session::new(options.clone(), subject.vfs.clone());
+            let token = CancelToken::new();
+            token.trip_after(boundary);
+            match session.rerun_with(&exec, &token, Priority::Interactive) {
+                Err(YallaError::Cancelled) => {}
+                Ok(_) => panic!(
+                    "{}: run survived a token armed for boundary {boundary}/{boundaries} \
+                     on {workers} workers",
+                    subject.name
+                ),
+                Err(e) => panic!(
+                    "{}: boundary {boundary}: unexpected error {e}",
+                    subject.name
+                ),
+            }
+            let run = session.rerun_on(&exec).unwrap_or_else(|e| {
+                panic!(
+                    "{}: recovery after boundary {boundary} on {workers} workers: {e}",
+                    subject.name
+                )
+            });
+            // Compare everything but the summary: the recovery run is
+            // legitimately part-cached, so its stage outcomes differ.
+            assert_eq!(
+                run.result.lightweight_header, baseline.lightweight,
+                "{}: lightweight diverged after cancel at boundary {boundary} on {workers} workers",
+                subject.name
+            );
+            assert_eq!(
+                run.result.wrappers_file, baseline.wrappers,
+                "{}: wrappers diverged after cancel at boundary {boundary} on {workers} workers",
+                subject.name
+            );
+            assert_eq!(
+                run.result
+                    .rewritten_sources
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<std::collections::BTreeMap<_, _>>(),
+                baseline.rewritten,
+                "{}: rewritten sources diverged after cancel at boundary {boundary} on {workers} workers",
+                subject.name
+            );
+            assert_eq!(
+                format!("{:?}", run.result.report.verification),
+                baseline.verification,
+                "{}: verification diverged after cancel at boundary {boundary} on {workers} workers",
+                subject.name
+            );
+        }
+    }
+}
+
+#[test]
 fn warm_rerun_is_fully_cached_on_every_worker_count() {
     // Scheduling must not poison the stage caches: a second rerun on the
     // same session — whatever the worker count — must hit every stage.

@@ -189,6 +189,63 @@ impl UsageReport {
             && self.fields.is_empty()
             && self.enums.is_empty()
     }
+
+    /// Merges another TU's usage of the *same* target header into this
+    /// report. Symbol entries union by key; call sites, spans, and
+    /// lambdas append in merge order — so merging reports in a fixed TU
+    /// order yields a deterministic combined report. This is how a
+    /// multi-root session folds per-TU usage into one plan: every key
+    /// names a header-side symbol, so the union resolves against any
+    /// TU's symbol table that includes the header.
+    pub fn merge_from(&mut self, other: UsageReport) {
+        use std::collections::btree_map::Entry;
+        for (key, usage) in other.classes {
+            let entry = self.classes.entry(key).or_default();
+            entry.natures.extend(usage.natures);
+            entry.by_value_spans.extend(usage.by_value_spans);
+        }
+        for (key, f) in other.functions {
+            match self.functions.entry(key) {
+                Entry::Occupied(mut e) => e.get_mut().calls.extend(f.calls),
+                Entry::Vacant(e) => {
+                    e.insert(f);
+                }
+            }
+        }
+        for (key, m) in other.methods {
+            match self.methods.entry(key) {
+                Entry::Occupied(mut e) => e.get_mut().calls.extend(m.calls),
+                Entry::Vacant(e) => {
+                    e.insert(m);
+                }
+            }
+        }
+        for (key, f) in other.fields {
+            match self.fields.entry(key) {
+                Entry::Occupied(mut e) => {
+                    let existing = e.get_mut();
+                    existing.spans.extend(f.spans);
+                    existing.receiver_types.extend(f.receiver_types);
+                }
+                Entry::Vacant(e) => {
+                    e.insert(f);
+                }
+            }
+        }
+        self.lambdas.extend(other.lambdas);
+        for (key, en) in other.enums {
+            match self.enums.entry(key) {
+                Entry::Occupied(mut e) => {
+                    let existing = e.get_mut();
+                    existing.constants.extend(en.constants);
+                    existing.type_decl_spans.extend(en.type_decl_spans);
+                }
+                Entry::Vacant(e) => {
+                    e.insert(en);
+                }
+            }
+        }
+    }
 }
 
 struct Collector<'a> {

@@ -66,7 +66,11 @@ impl Slo {
                 let name = header
                     .strip_prefix("slo.")
                     .ok_or_else(|| err(format!("expected [slo.<class>], got [{header}]")))?;
-                if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                if name.is_empty()
+                    || !name
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+                {
                     return Err(err(format!("bad class name `{name}`")));
                 }
                 if bounds.contains_key(name) {

@@ -93,6 +93,29 @@ pub struct Options {
     pub extra_symbols: Vec<String>,
     /// Run the verification pass (on by default).
     pub verify: bool,
+    /// Translation-unit roots to preprocess + parse, each as its own DAG
+    /// node fanning out across the executor. Empty (the default) keeps
+    /// the classic single-TU shape: only `sources[0]` roots a parse and
+    /// every other source is a support file of that TU. Usage analysis
+    /// unions every root's usage of the target header (in root order, so
+    /// artifacts stay byte-identical at any worker count); a source that
+    /// names a root is rewritten against its own TU, any other source
+    /// against the primary root's.
+    pub tu_roots: Vec<String>,
+}
+
+impl Options {
+    /// The effective parse roots: `tu_roots` when set, else the classic
+    /// single root `sources[0]`. The first entry is the *primary* root —
+    /// the TU that must include the target header and that anchors
+    /// analysis, verification, and the `Report`'s before/after stats.
+    pub fn parse_roots(&self) -> Vec<String> {
+        if self.tu_roots.is_empty() {
+            self.sources.first().cloned().into_iter().collect()
+        } else {
+            self.tu_roots.clone()
+        }
+    }
 }
 
 impl Default for Options {
@@ -105,6 +128,7 @@ impl Default for Options {
             defines: Vec::new(),
             extra_symbols: Vec::new(),
             verify: true,
+            tu_roots: Vec::new(),
         }
     }
 }

@@ -87,6 +87,10 @@ pub(crate) fn run_key_of(closure_hash: u64, opts: &Options, vfs: &Vfs) -> u64 {
         h.write_str(s);
         h.write_u64(vfs.hash_of(s).unwrap_or(0));
     }
+    // Empty for classic single-TU runs, so their keys are unchanged.
+    for r in &opts.tu_roots {
+        h.write_str(r);
+    }
     h.finish()
 }
 

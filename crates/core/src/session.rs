@@ -136,12 +136,18 @@ pub struct SessionRun {
     /// Per-stage cache outcomes, in pipeline order.
     pub stages: Vec<StageOutcome>,
     /// Translation units re-parsed during this rerun (0 on a warm no-op
-    /// rerun, 1 when any file in the TU's include closure changed).
+    /// rerun; with multiple `tu_roots`, every root whose include closure
+    /// changed counts).
     pub files_reparsed: usize,
     /// Source rewrites recomputed during this rerun.
     pub rewrites_recomputed: usize,
     /// Source rewrites served from cache.
     pub rewrites_cached: usize,
+    /// Longest single-root parse this rerun (zero when every root hit).
+    /// With many `tu_roots` this is the parse stage's critical path: the
+    /// floor any worker count must still pay, which the `mega` bench
+    /// uses to model parse scaling independently of host core count.
+    pub parse_longest: Duration,
 }
 
 impl SessionRun {
@@ -286,6 +292,22 @@ fn note(stage: Stage, lookup: CacheLookup, totals: bool) {
 
 // ---- stage keys (pure hashing; shared by the warm pre-pass and nodes) ----
 
+/// Content address of the whole run's parse inputs: a single root's
+/// closure hash passes through unchanged (so existing single-TU disk
+/// keys stay valid), multiple roots fold in root order.
+fn combined_closure_hash(hashes: &[u64]) -> u64 {
+    match hashes {
+        [one] => *one,
+        many => {
+            let mut h = Fnv64::new();
+            for c in many {
+                h.write_u64(*c);
+            }
+            h.finish()
+        }
+    }
+}
+
 fn analyze_key_of(closure_hash: u64, opts: &Options) -> u64 {
     let mut h = Fnv64::new();
     h.write_u64(closure_hash);
@@ -295,6 +317,9 @@ fn analyze_key_of(closure_hash: u64, opts: &Options) -> u64 {
     }
     for e in &opts.extra_symbols {
         h.write_str(e);
+    }
+    for r in &opts.tu_roots {
+        h.write_str(r);
     }
     h.finish()
 }
@@ -359,9 +384,14 @@ fn verify_key_of(
 }
 
 /// Per-stage bookkeeping the DAG nodes write and the assembly reads.
+/// Parse is aggregated like rewrite: one counter set across every TU
+/// root (a hit only when *all* roots hit; duration is summed work time).
 #[derive(Debug, Default, Clone)]
 struct RunLog {
-    parse: Option<(CacheLookup, Duration)>,
+    parse_dur: Duration,
+    parse_longest: Duration,
+    parse_misses: usize,
+    parse_invalidated: bool,
     analyze: Option<(CacheLookup, Duration)>,
     plan: Option<(CacheLookup, Duration)>,
     emit: Option<(CacheLookup, Duration)>,
@@ -537,18 +567,36 @@ impl Session {
             .first()
             .ok_or_else(|| YallaError::SourceNotFound("<no sources given>".into()))?
             .clone();
+        let roots: Arc<Vec<String>> = Arc::new(opts.parse_roots());
+        let mut seen_missing = HashSet::new();
         let missing: Vec<String> = opts
             .sources
             .iter()
-            .filter(|s| vfs.lookup(s).is_none())
+            .chain(roots.iter())
+            .filter(|s| vfs.lookup(s).is_none() && seen_missing.insert(s.as_str().to_string()))
             .cloned()
             .collect();
         if !missing.is_empty() {
             return Err(YallaError::SourcesNotFound(missing));
         }
+        // Which TU a source's rewrite reads from: its own root when the
+        // source names one, otherwise the primary root's TU (the classic
+        // single-TU shape, where sources[1..] are support files).
+        let root_index: HashMap<&str, usize> = roots
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.as_str(), i))
+            .collect();
+        let owners: Vec<usize> = opts
+            .sources
+            .iter()
+            .map(|s| root_index.get(s.as_str()).copied().unwrap_or(0))
+            .collect();
 
-        // Cells carrying each stage's output to its dependents.
-        let parse_cell: Arc<OnceLock<CachedParse>> = Arc::new(OnceLock::new());
+        // Cells carrying each stage's output to its dependents (one parse
+        // cell per TU root; the analyze node reads them all).
+        let parse_cells: Arc<Vec<OnceLock<CachedParse>>> =
+            Arc::new((0..roots.len()).map(|_| OnceLock::new()).collect());
         let analysis_cell: Arc<OnceLock<Arc<AnalysisArtifact>>> = Arc::new(OnceLock::new());
         let plan_cell: Arc<OnceLock<(Arc<Plan>, u64)>> = Arc::new(OnceLock::new());
         let emit_cell: Arc<OnceLock<Arc<EmitArtifact>>> = Arc::new(OnceLock::new());
@@ -567,10 +615,17 @@ impl Session {
         // The chain stops at the first stage whose key needs a recomputed
         // predecessor — later stages become live nodes and re-check their
         // slots at run time.
-        let warm_parse = self.parse_cache.probe(&vfs, &opts.defines, &main_source);
-        let warm_analysis = warm_parse
-            .as_ref()
-            .and_then(|p| slot_hit(&self.analysis, analyze_key_of(p.closure_hash, &opts)));
+        let warm_parses: Vec<Option<CachedParse>> = roots
+            .iter()
+            .map(|r| self.parse_cache.probe(&vfs, &opts.defines, r))
+            .collect();
+        let warm_closure: Option<u64> = warm_parses
+            .iter()
+            .map(|p| p.as_ref().map(|p| p.closure_hash))
+            .collect::<Option<Vec<u64>>>()
+            .map(|hashes| combined_closure_hash(&hashes));
+        let warm_analysis = warm_closure
+            .and_then(|closure| slot_hit(&self.analysis, analyze_key_of(closure, &opts)));
         let warm_plan = warm_analysis.as_ref().and_then(|a| {
             let key = plan_key_of(a);
             slot_hit(&self.plan, key).map(|p| (p, key))
@@ -578,13 +633,15 @@ impl Session {
         let warm_emit = warm_plan
             .as_ref()
             .and_then(|(_, key)| slot_hit(&self.emit, *key));
-        let rewrite_warm: Vec<bool> = match (&warm_parse, &warm_analysis, &warm_plan) {
-            (Some(p), Some(a), Some((_, plan_key))) => {
+        let rewrite_warm: Vec<bool> = match (&warm_closure, &warm_analysis, &warm_plan) {
+            (Some(_), Some(a), Some((_, plan_key))) => {
                 let map = self.rewrites.lock().expect("rewrites lock");
                 opts.sources
                     .iter()
-                    .map(|s| {
-                        let key = rewrite_key_of(&vfs, &p.tu, a, *plan_key, s);
+                    .zip(&owners)
+                    .map(|(s, &owner)| {
+                        let tu = &warm_parses[owner].as_ref().expect("all roots warm").tu;
+                        let key = rewrite_key_of(&vfs, tu, a, *plan_key, s);
                         map.get(s).is_some_and(|slot| slot.key == key)
                     })
                     .collect()
@@ -592,15 +649,15 @@ impl Session {
             _ => vec![false; opts.sources.len()],
         };
         let all_rewrites_warm = rewrite_warm.iter().all(|w| *w);
-        let warm_verify = match (&warm_parse, &warm_plan, &warm_emit) {
-            (Some(p), Some((_, plan_key)), Some(e)) if all_rewrites_warm => {
+        let warm_verify = match (&warm_closure, &warm_plan, &warm_emit) {
+            (Some(closure), Some((_, plan_key)), Some(e)) if all_rewrites_warm => {
                 let map = self.rewrites.lock().expect("rewrites lock");
                 let rewritten: BTreeMap<String, Arc<String>> = opts
                     .sources
                     .iter()
                     .map(|s| (s.clone(), Arc::clone(&map[s].artifact)))
                     .collect();
-                let key = verify_key_of(p.closure_hash, *plan_key, &opts, e, &rewritten);
+                let key = verify_key_of(*closure, *plan_key, &opts, e, &rewritten);
                 slot_hit(&self.verify, key)
             }
             _ => None,
@@ -623,10 +680,16 @@ impl Session {
         // process (or a daemon restarted after `kill -9`) disk-warm.
         if warm_verify.is_none() {
             if let Some(store) = &self.store {
-                let closure_hash = warm_parse.as_ref().map(|p| p.closure_hash).or_else(|| {
-                    self.parse_cache
-                        .probe_disk(&vfs, &opts.defines, &main_source)
-                });
+                let closure_hash = roots
+                    .iter()
+                    .zip(&warm_parses)
+                    .map(|(root, warm)| {
+                        warm.as_ref()
+                            .map(|p| p.closure_hash)
+                            .or_else(|| self.parse_cache.probe_disk(&vfs, &opts.defines, root))
+                    })
+                    .collect::<Option<Vec<u64>>>()
+                    .map(|hashes| combined_closure_hash(&hashes));
                 if let Some(closure_hash) = closure_hash {
                     let run_key = persist::run_key_of(closure_hash, &opts, &vfs);
                     // Zero-copy hit: the record is validated once and the
@@ -636,7 +699,9 @@ impl Session {
                         .and_then(|view| persist::decode_run(&view));
                     if let Some(result) = bundle {
                         yalla_obs::global().instant("engine", "run (disk-warm)");
-                        note(Stage::Parse, CacheLookup::Hit, false);
+                        for _ in roots.iter() {
+                            note(Stage::Parse, CacheLookup::Hit, false);
+                        }
                         note(Stage::Analyze, CacheLookup::Hit, true);
                         note(Stage::Plan, CacheLookup::Hit, true);
                         note(Stage::Emit, CacheLookup::Hit, true);
@@ -665,6 +730,7 @@ impl Session {
                             files_reparsed: 0,
                             rewrites_recomputed: 0,
                             rewrites_cached: opts.sources.len(),
+                            parse_longest: Duration::ZERO,
                         });
                     }
                 }
@@ -674,47 +740,62 @@ impl Session {
         // ---- build the stage DAG ---------------------------------------
         let mut dag: Dag<YallaError> = Dag::new();
 
-        let parse_id = match &warm_parse {
-            Some(p) => {
-                parse_cell.set(p.clone()).expect("fresh cell");
-                note(Stage::Parse, CacheLookup::Hit, false);
-                yalla_obs::global().instant("engine", "parse (cached)");
-                log.lock().expect("run log").parse = Some((CacheLookup::Hit, Duration::ZERO));
-                dag.cached("parse", &[])
+        // One parse node per TU root, all independent — a mega project's
+        // per-TU preprocessing and parsing fans out across the pool just
+        // like per-source rewrites always have.
+        let mut parse_ids = Vec::with_capacity(roots.len());
+        for (i, root) in roots.iter().enumerate() {
+            let label = if roots.len() == 1 {
+                "parse".to_string()
+            } else {
+                format!("parse {root}")
+            };
+            match &warm_parses[i] {
+                Some(p) => {
+                    parse_cells[i].set(p.clone()).expect("fresh cell");
+                    note(Stage::Parse, CacheLookup::Hit, false);
+                    yalla_obs::global().instant("engine", "parse (cached)");
+                    parse_ids.push(dag.cached(label, &[]));
+                }
+                None => {
+                    let (cache, vfs, opts, root, cells, log, cancel) = (
+                        Arc::clone(&self.parse_cache),
+                        Arc::clone(&vfs),
+                        Arc::clone(&opts),
+                        root.clone(),
+                        Arc::clone(&parse_cells),
+                        Arc::clone(&log),
+                        cancel.clone(),
+                    );
+                    parse_ids.push(dag.node(label, &[], move || {
+                        if cancel.checkpoint() {
+                            return Err(YallaError::Cancelled);
+                        }
+                        let span = yalla_obs::span("engine", "parse");
+                        let parsed = cache.parse(&vfs, &opts.defines, &root)?;
+                        let dur = span.finish();
+                        note(Stage::Parse, parsed.lookup, false);
+                        let dur = if parsed.lookup.is_hit() {
+                            yalla_obs::global().instant("engine", "parse (cached)");
+                            Duration::ZERO
+                        } else {
+                            yalla_obs::count(yalla_obs::metrics::names::SESSION_TUS_REPARSED, 1);
+                            dur
+                        };
+                        let mut log = log.lock().expect("run log");
+                        if !parsed.lookup.is_hit() {
+                            log.files_reparsed += 1;
+                            log.parse_misses += 1;
+                            log.parse_invalidated |= parsed.lookup == CacheLookup::Invalidated;
+                        }
+                        log.parse_dur += dur;
+                        log.parse_longest = log.parse_longest.max(dur);
+                        cells[i].set(parsed).expect("parse node runs once");
+                        Ok(())
+                    }));
+                }
             }
-            None => {
-                let (cache, vfs, opts, main, cell, log, cancel) = (
-                    Arc::clone(&self.parse_cache),
-                    Arc::clone(&vfs),
-                    Arc::clone(&opts),
-                    main_source.clone(),
-                    Arc::clone(&parse_cell),
-                    Arc::clone(&log),
-                    cancel.clone(),
-                );
-                dag.node("parse", &[], move || {
-                    if cancel.checkpoint() {
-                        return Err(YallaError::Cancelled);
-                    }
-                    let span = yalla_obs::span("engine", "parse");
-                    let parsed = cache.parse(&vfs, &opts.defines, &main)?;
-                    let dur = span.finish();
-                    note(Stage::Parse, parsed.lookup, false);
-                    let dur = if parsed.lookup.is_hit() {
-                        yalla_obs::global().instant("engine", "parse (cached)");
-                        Duration::ZERO
-                    } else {
-                        yalla_obs::count(yalla_obs::metrics::names::SESSION_TUS_REPARSED, 1);
-                        dur
-                    };
-                    let mut log = log.lock().expect("run log");
-                    log.files_reparsed = usize::from(!parsed.lookup.is_hit());
-                    log.parse = Some((parsed.lookup, dur));
-                    cell.set(parsed).expect("parse node runs once");
-                    Ok(())
-                })
-            }
-        };
+        }
 
         let analyze_id = match &warm_analysis {
             Some(a) => {
@@ -722,27 +803,34 @@ impl Session {
                 note(Stage::Analyze, CacheLookup::Hit, true);
                 yalla_obs::global().instant("engine", "analyze (cached)");
                 log.lock().expect("run log").analyze = Some((CacheLookup::Hit, Duration::ZERO));
-                dag.cached("analyze", &[parse_id])
+                dag.cached("analyze", &parse_ids)
             }
             None => {
-                let (slot, vfs, opts, parse_cell, cell, log, cancel) = (
+                let (slot, vfs, opts, parse_cells, cell, log, cancel) = (
                     Arc::clone(&self.analysis),
                     Arc::clone(&vfs),
                     Arc::clone(&opts),
-                    Arc::clone(&parse_cell),
+                    Arc::clone(&parse_cells),
                     Arc::clone(&analysis_cell),
                     Arc::clone(&log),
                     cancel.clone(),
                 );
-                dag.node("analyze", &[parse_id], move || {
+                dag.node("analyze", &parse_ids, move || {
                     if cancel.checkpoint() {
                         return Err(YallaError::Cancelled);
                     }
-                    let parsed = parse_cell.get().expect("parse completed");
-                    let key = analyze_key_of(parsed.closure_hash, &opts);
+                    let parsed_roots: Vec<Arc<ParsedTu>> = parse_cells
+                        .iter()
+                        .map(|c| Arc::clone(&c.get().expect("parse completed").tu))
+                        .collect();
+                    let hashes: Vec<u64> = parse_cells
+                        .iter()
+                        .map(|c| c.get().expect("parse completed").closure_hash)
+                        .collect();
+                    let key = analyze_key_of(combined_closure_hash(&hashes), &opts);
                     let span = yalla_obs::span("engine", "analyze");
                     let (artifact, lookup) =
-                        refresh(&slot, key, || stage_analyze(&parsed.tu, &vfs, &opts))?;
+                        refresh(&slot, key, || stage_analyze(&parsed_roots, &vfs, &opts))?;
                     let dur = span.finish();
                     note(Stage::Analyze, lookup, true);
                     let dur = if lookup.is_hit() {
@@ -849,12 +937,13 @@ impl Session {
                 rewrite_ids.push(dag.cached(format!("rewrite {source}"), &[plan_id]));
                 continue;
             }
-            let (map, vfs, opts, source, parse_cell, analysis_cell, plan_cell, log, cancel) = (
+            let owner = owners[i];
+            let (map, vfs, opts, source, parse_cells, analysis_cell, plan_cell, log, cancel) = (
                 Arc::clone(&self.rewrites),
                 Arc::clone(&vfs),
                 Arc::clone(&opts),
                 source.clone(),
-                Arc::clone(&parse_cell),
+                Arc::clone(&parse_cells),
                 Arc::clone(&analysis_cell),
                 Arc::clone(&plan_cell),
                 Arc::clone(&log),
@@ -864,7 +953,7 @@ impl Session {
                 if cancel.checkpoint() {
                     return Err(YallaError::Cancelled);
                 }
-                let parsed = parse_cell.get().expect("parse completed");
+                let parsed = parse_cells[owner].get().expect("parse completed");
                 let analysis = analysis_cell.get().expect("analyze completed");
                 let (plan, plan_key) = plan_cell.get().expect("plan completed");
                 let key = rewrite_key_of(&vfs, &parsed.tu, analysis, *plan_key, &source);
@@ -916,13 +1005,13 @@ impl Session {
                 dag.cached("verify", &verify_deps);
             }
             None => {
-                let (slot, map, vfs, opts, main, parse_cell, plan_cell, emit_cell, cell, log) = (
+                let (slot, map, vfs, opts, main, parse_cells, plan_cell, emit_cell, cell, log) = (
                     Arc::clone(&self.verify),
                     Arc::clone(&self.rewrites),
                     Arc::clone(&vfs),
                     Arc::clone(&opts),
                     main_source.clone(),
-                    Arc::clone(&parse_cell),
+                    Arc::clone(&parse_cells),
                     Arc::clone(&plan_cell),
                     Arc::clone(&emit_cell),
                     Arc::clone(&verify_cell),
@@ -933,7 +1022,11 @@ impl Session {
                     if cancel.checkpoint() {
                         return Err(YallaError::Cancelled);
                     }
-                    let parsed = parse_cell.get().expect("parse completed");
+                    let hashes: Vec<u64> = parse_cells
+                        .iter()
+                        .map(|c| c.get().expect("parse completed").closure_hash)
+                        .collect();
+                    let closure_hash = combined_closure_hash(&hashes);
                     let (_, plan_key) = plan_cell.get().expect("plan completed");
                     let emit_art = emit_cell.get().expect("emit completed");
                     let rewritten: BTreeMap<String, Arc<String>> = {
@@ -943,8 +1036,7 @@ impl Session {
                             .map(|s| (s.clone(), Arc::clone(&map[s].artifact)))
                             .collect()
                     };
-                    let key =
-                        verify_key_of(parsed.closure_hash, *plan_key, &opts, emit_art, &rewritten);
+                    let key = verify_key_of(closure_hash, *plan_key, &opts, emit_art, &rewritten);
                     let span = yalla_obs::span("engine", "verify");
                     let (artifact, lookup) = refresh(&slot, key, || {
                         Ok(stage_verify(&vfs, &rewritten, emit_art, &opts, &main))
@@ -975,7 +1067,13 @@ impl Session {
 
         // ---- assemble the result ----------------------------------------
         let log = log.lock().expect("run log").clone();
-        let parsed = parse_cell.get().expect("parse completed");
+        let parsed = parse_cells[0].get().expect("parse completed");
+        let closure_hash = combined_closure_hash(
+            &parse_cells
+                .iter()
+                .map(|c| c.get().expect("parse completed").closure_hash)
+                .collect::<Vec<u64>>(),
+        );
         let (plan, _) = plan_cell.get().expect("plan completed");
         let emit_art = emit_cell.get().expect("emit completed");
         let verify_art = verify_cell.get().expect("verify completed");
@@ -988,7 +1086,16 @@ impl Session {
         } else {
             CacheLookup::Miss
         };
-        let (parse_lookup, parse_dur) = log.parse.expect("parse recorded");
+        let (parse_lookup, parse_dur) = (
+            if log.parse_misses == 0 {
+                CacheLookup::Hit
+            } else if log.parse_invalidated {
+                CacheLookup::Invalidated
+            } else {
+                CacheLookup::Miss
+            },
+            log.parse_dur,
+        );
         let (analyze_lookup, analyze_dur) = log.analyze.expect("analyze recorded");
         let (plan_lookup, plan_dur) = log.plan.expect("plan recorded");
         let (emit_lookup, emit_dur) = log.emit.expect("emit recorded");
@@ -1099,7 +1206,7 @@ impl Session {
         // (evicted, or a sabotaged earlier write). Best-effort by design.
         if let Some(store) = &self.store {
             let all_hit = stages.iter().all(|s| s.lookup.is_hit());
-            let run_key = persist::run_key_of(parsed.closure_hash, &opts, &vfs);
+            let run_key = persist::run_key_of(closure_hash, &opts, &vfs);
             if !(all_hit && store.contains(NS_RUN, run_key)) {
                 if let Some(payload) = persist::encode_run(&result) {
                     store.put(NS_RUN, run_key, &payload);
@@ -1113,6 +1220,7 @@ impl Session {
             files_reparsed: log.files_reparsed,
             rewrites_recomputed: log.rewrites_recomputed,
             rewrites_cached: log.rewrites_cached,
+            parse_longest: log.parse_longest,
         })
     }
 }
@@ -1121,11 +1229,22 @@ impl Session {
 
 /// The analyze stage: symbol table + usage collection + pre-declared
 /// symbols (paper §6, Fig. 5 lines 2–10).
+///
+/// With multiple TU roots, the primary root (first entry) anchors the
+/// symbol table, target-file set, and fingerprint; every other root
+/// contributes its own usage of the same header — collected against its
+/// own TU, merged in root order, so the combined report (and everything
+/// planned from it) is byte-identical at any worker count. A secondary
+/// root that does not include the target header simply contributes
+/// nothing. All usage keys name header-side symbols, which the shared
+/// header declares identically in every TU, so resolving the merged
+/// report against the primary table is sound.
 fn stage_analyze(
-    parsed: &ParsedTu,
+    parsed_roots: &[Arc<ParsedTu>],
     vfs: &Vfs,
     opts: &Options,
 ) -> Result<AnalysisArtifact, YallaError> {
+    let parsed = &parsed_roots[0];
     let header_file = vfs
         .resolve_include(&opts.header, None, false)
         .map_err(|_| YallaError::HeaderNotIncluded(opts.header.clone()))?;
@@ -1140,6 +1259,19 @@ fn stage_analyze(
 
     let table = SymbolTable::build(&parsed.ast);
     let mut usage = UsageReport::collect(&parsed.ast, &table, &target_files, &source_files);
+    for tu in &parsed_roots[1..] {
+        if !tu.stats.headers.contains(&header_file) {
+            continue;
+        }
+        let tu_targets = crate::engine::reachable_from(header_file, &tu.stats.include_edges);
+        let tu_table = SymbolTable::build(&tu.ast);
+        usage.merge_from(UsageReport::collect(
+            &tu.ast,
+            &tu_table,
+            &tu_targets,
+            &source_files,
+        ));
+    }
     // Pre-declared symbols (paper §6): force-listed classes/functions
     // enter the plan as if used, so the lightweight header covers them
     // before the sources grow into them.

@@ -28,7 +28,8 @@
 //! needs to look up a whole-run artifact bundle on disk.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use yalla_store::module::{ModuleBuilder, ModuleReader, PartitionBuilder};
 use yalla_store::{Store, NS_PARSE};
@@ -37,6 +38,116 @@ use crate::error::Result;
 use crate::frontend::{Frontend, ParsedTu};
 use crate::hash::{self, Fnv64};
 use crate::vfs::Vfs;
+
+/// Sentinel for "no explicit budget set — consult `YALLA_MEM_BUDGET`".
+const BUDGET_UNSET: u64 = u64::MAX;
+
+/// Process-wide in-memory byte budget, shared by every cache in
+/// [`BudgetMode::Global`] mode. `BUDGET_UNSET` defers to the
+/// `YALLA_MEM_BUDGET` environment variable; `0` means unlimited.
+static GLOBAL_MEM_BUDGET: AtomicU64 = AtomicU64::new(BUDGET_UNSET);
+
+/// Estimated bytes of parsed TUs resident across every in-memory parse
+/// cache in the process, and the high-water mark since the last reset.
+static RESIDENT_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_RESIDENT_BYTES: AtomicU64 = AtomicU64::new(0);
+
+fn env_mem_budget() -> Option<u64> {
+    static CACHED: OnceLock<Option<u64>> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        let raw = std::env::var("YALLA_MEM_BUDGET").ok()?;
+        // An unparsable value is ignored rather than fatal: the CLI flag
+        // validates loudly; the env var is best-effort plumbing.
+        parse_mem_budget(&raw).ok().filter(|&b| b > 0)
+    })
+}
+
+/// Sets the process-wide parse-cache byte budget. `None` (or `Some(0)`)
+/// disables eviction. Overrides `YALLA_MEM_BUDGET` for every cache in
+/// [`BudgetMode::Global`] mode; the budget is consulted on each insert,
+/// so a change applies to already-open caches too.
+pub fn set_mem_budget(bytes: Option<u64>) {
+    GLOBAL_MEM_BUDGET.store(bytes.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The effective process-wide budget: the explicit
+/// [`set_mem_budget`] value if one was set, else `YALLA_MEM_BUDGET`,
+/// else unlimited.
+pub fn mem_budget() -> Option<u64> {
+    match GLOBAL_MEM_BUDGET.load(Ordering::Relaxed) {
+        BUDGET_UNSET => env_mem_budget(),
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// Parses a human-readable byte budget: a decimal count with an
+/// optional binary suffix (`k`/`K` = 2^10, `m`/`M` = 2^20, `g`/`G` =
+/// 2^30), e.g. `64M`, `512k`, `2G`, `1048576`. `0` disables the budget.
+///
+/// # Errors
+///
+/// Returns a human-readable message for empty, non-numeric, or
+/// overflowing inputs.
+pub fn parse_mem_budget(s: &str) -> std::result::Result<u64, String> {
+    let t = s.trim();
+    let (digits, mult) = match t.chars().last() {
+        Some('k') | Some('K') => (&t[..t.len() - 1], 1u64 << 10),
+        Some('m') | Some('M') => (&t[..t.len() - 1], 1u64 << 20),
+        Some('g') | Some('G') => (&t[..t.len() - 1], 1u64 << 30),
+        _ => (t, 1),
+    };
+    let n: u64 = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid byte budget {t:?} (want e.g. 64M, 512k, 1048576)"))?;
+    n.checked_mul(mult)
+        .ok_or_else(|| format!("byte budget {t:?} overflows u64"))
+}
+
+/// Estimated bytes of parsed TUs currently resident in in-memory parse
+/// caches, process-wide.
+pub fn bytes_resident() -> u64 {
+    RESIDENT_BYTES.load(Ordering::Relaxed)
+}
+
+/// High-water mark of [`bytes_resident`] since process start or the
+/// last [`reset_peak_resident`].
+pub fn peak_bytes_resident() -> u64 {
+    PEAK_RESIDENT_BYTES.load(Ordering::Relaxed)
+}
+
+/// Resets the [`peak_bytes_resident`] high-water mark to the current
+/// resident total (benches call this between presets).
+pub fn reset_peak_resident() {
+    PEAK_RESIDENT_BYTES.store(RESIDENT_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+fn add_resident(bytes: u64) {
+    let now = RESIDENT_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK_RESIDENT_BYTES.fetch_max(now, Ordering::Relaxed);
+    yalla_obs::gauge(yalla_obs::metrics::names::CACHE_BYTES_RESIDENT, now as i64);
+}
+
+fn sub_resident(bytes: u64) {
+    let prev = RESIDENT_BYTES.fetch_sub(bytes, Ordering::Relaxed);
+    yalla_obs::gauge(
+        yalla_obs::metrics::names::CACHE_BYTES_RESIDENT,
+        prev.saturating_sub(bytes) as i64,
+    );
+}
+
+/// Where a cache takes its in-memory byte budget from.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum BudgetMode {
+    /// Follow the process-wide budget ([`set_mem_budget`] /
+    /// `YALLA_MEM_BUDGET`), re-read on every insert.
+    #[default]
+    Global,
+    /// A fixed per-cache budget; `None` disables eviction. Used by
+    /// tests and benches that must not depend on process-global state.
+    Fixed(Option<u64>),
+}
 
 /// How a cache lookup resolved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +195,12 @@ struct Entry {
     deps: Vec<(String, u64)>,
     closure_hash: u64,
     tu: Arc<ParsedTu>,
+    /// Deterministic estimate of this entry's in-memory footprint
+    /// (see [`ParseCache::approx_entry_bytes`]).
+    bytes: u64,
+    /// LRU clock tick of the last hit or insert; the eviction scan
+    /// removes the minimum-stamp entry first.
+    stamp: u64,
 }
 
 /// Parse versions retained per `(path, defines)` key. A small history
@@ -126,6 +243,13 @@ const VERSIONS_PER_KEY: usize = 4;
 pub struct ParseCache {
     entries: Mutex<HashMap<(String, u64), Vec<Entry>>>,
     store: Option<Arc<Store>>,
+    /// In-memory byte budget policy; enforced after every insert.
+    budget: BudgetMode,
+    /// Estimated bytes held by *this* cache (the budget is per cache;
+    /// the process-wide gauge sums every cache).
+    resident: AtomicU64,
+    /// Monotone LRU clock; bumped on every hit and insert.
+    clock: AtomicU64,
 }
 
 impl ParseCache {
@@ -139,7 +263,31 @@ impl ParseCache {
         ParseCache {
             entries: Mutex::new(HashMap::new()),
             store,
+            budget: BudgetMode::Global,
+            resident: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
         }
+    }
+
+    /// An empty cache with a fixed per-cache byte budget (`None`
+    /// disables eviction), independent of the process-global setting.
+    pub fn with_budget(store: Option<Arc<Store>>, budget: Option<u64>) -> Self {
+        let mut cache = ParseCache::with_store(store);
+        cache.budget = BudgetMode::Fixed(budget);
+        cache
+    }
+
+    /// The byte budget this cache enforces right now.
+    pub fn effective_budget(&self) -> Option<u64> {
+        match self.budget {
+            BudgetMode::Fixed(b) => b.filter(|&b| b > 0),
+            BudgetMode::Global => mem_budget(),
+        }
+    }
+
+    /// Estimated bytes of parsed TUs this cache currently holds.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
     }
 
     /// The attached on-disk store, if any.
@@ -251,7 +399,14 @@ impl ParseCache {
 
     /// Drops every entry.
     pub fn clear(&self) {
-        self.entries.lock().expect("parse cache lock").clear();
+        let mut entries = self.entries.lock().expect("parse cache lock");
+        let freed: u64 = entries
+            .values()
+            .flat_map(|vs| vs.iter().map(|e| e.bytes))
+            .sum();
+        entries.clear();
+        self.resident.fetch_sub(freed, Ordering::Relaxed);
+        sub_resident(freed);
     }
 
     /// Looks up `path` without parsing: returns the validated cached TU
@@ -274,9 +429,10 @@ impl ParseCache {
     /// re-persists it, so disk warmth converges back toward memory
     /// warmth.
     fn lookup_and_repair(&self, key: &(String, u64), vfs: &Vfs) -> Option<CachedParse> {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed);
         let (cached, deps) = {
             let mut entries = self.entries.lock().expect("parse cache lock");
-            let cached = Self::lookup_valid(&mut entries, key, vfs)?;
+            let cached = Self::lookup_valid(&mut entries, key, vfs, tick)?;
             // lookup_valid promoted the hit to versions[0].
             let deps = self.store.is_some().then(|| entries[key][0].deps.clone());
             (cached, deps)
@@ -293,6 +449,7 @@ impl ParseCache {
         entries: &mut HashMap<(String, u64), Vec<Entry>>,
         key: &(String, u64),
         vfs: &Vfs,
+        tick: u64,
     ) -> Option<CachedParse> {
         let versions = entries.get_mut(key)?;
         let valid = versions.iter().position(|entry| {
@@ -303,7 +460,8 @@ impl ParseCache {
         })?;
         // Most-recently-used first, so the history evicts the version
         // least likely to come back.
-        let entry = versions.remove(valid);
+        let mut entry = versions.remove(valid);
+        entry.stamp = tick;
         let cached = CachedParse {
             tu: Arc::clone(&entry.tu),
             closure_hash: entry.closure_hash,
@@ -362,18 +520,54 @@ impl ParseCache {
         }
         let closure_hash = closure.finish();
         self.persist_manifest(&key, vfs.hash_of(path), &deps, closure_hash);
-        let mut entries = self.entries.lock().expect("parse cache lock");
-        let versions = entries.entry(key).or_default();
-        versions.retain(|e| e.closure_hash != closure_hash);
-        versions.insert(
-            0,
-            Entry {
-                deps,
-                closure_hash,
-                tu: Arc::clone(&tu),
-            },
-        );
-        versions.truncate(VERSIONS_PER_KEY);
+        let bytes = Self::approx_entry_bytes(&tu, &deps);
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let spilled = {
+            let mut entries = self.entries.lock().expect("parse cache lock");
+            let versions = entries.entry(key).or_default();
+            let mut freed: u64 = 0;
+            versions.retain(|e| {
+                let keep = e.closure_hash != closure_hash;
+                if !keep {
+                    freed += e.bytes;
+                }
+                keep
+            });
+            versions.insert(
+                0,
+                Entry {
+                    deps,
+                    closure_hash,
+                    tu: Arc::clone(&tu),
+                    bytes,
+                    stamp,
+                },
+            );
+            for e in versions.drain(VERSIONS_PER_KEY.min(versions.len())..) {
+                freed += e.bytes;
+            }
+            self.resident.fetch_add(bytes, Ordering::Relaxed);
+            self.resident.fetch_sub(freed, Ordering::Relaxed);
+            add_resident(bytes);
+            sub_resident(freed);
+            match self.effective_budget() {
+                Some(budget) => Self::enforce_budget(&mut entries, &self.resident, budget, stamp),
+                None => Vec::new(),
+            }
+        };
+        // Spill outside the map lock: each evicted entry's dependency
+        // manifest is (re-)persisted to the store tier, so the record
+        // round-trips — a later probe_disk recovers the closure hash and
+        // the run-bundle tier rebuilds the artifacts without a cold parse.
+        if !spilled.is_empty() {
+            yalla_obs::count(
+                yalla_obs::metrics::names::CACHE_EVICTIONS,
+                spilled.len() as i64,
+            );
+            for s in spilled {
+                self.persist_manifest(&s.key, Some(s.root_hash), &s.deps, s.closure_hash);
+            }
+        }
         Ok(CachedParse {
             tu,
             closure_hash,
@@ -383,6 +577,78 @@ impl ParseCache {
                 CacheLookup::Miss
             },
         })
+    }
+
+    /// Deterministic estimate of an entry's in-memory footprint: a
+    /// per-line constant for the retained AST/tokens plus the dep table.
+    /// It is a *model*, not an allocator measurement — what matters for
+    /// the budget is that it is stable across runs and monotone in TU
+    /// size, so eviction decisions (and the bench's peak-resident
+    /// numbers) are reproducible.
+    fn approx_entry_bytes(tu: &ParsedTu, deps: &[(String, u64)]) -> u64 {
+        let lines = tu.stats.lines_compiled as u64;
+        let dep_bytes: u64 = deps.iter().map(|(p, _)| p.len() as u64 + 24).sum();
+        256 + lines * 160 + dep_bytes
+    }
+
+    /// Evicts least-recently-used entries (never the one stamped
+    /// `keep_stamp`, so the insert that triggered enforcement always
+    /// survives — a cache smaller than one TU still makes progress)
+    /// until this cache's resident estimate fits `budget`. Returns the
+    /// spill manifests for the caller to persist after the lock drops.
+    fn enforce_budget(
+        entries: &mut HashMap<(String, u64), Vec<Entry>>,
+        resident: &AtomicU64,
+        budget: u64,
+        keep_stamp: u64,
+    ) -> Vec<Spill> {
+        let mut spilled = Vec::new();
+        while resident.load(Ordering::Relaxed) > budget {
+            let victim = entries
+                .iter()
+                .flat_map(|(k, vs)| vs.iter().map(move |e| (e.stamp, k)))
+                .filter(|&(stamp, _)| stamp != keep_stamp)
+                .min_by_key(|&(stamp, _)| stamp)
+                .map(|(stamp, k)| (stamp, k.clone()));
+            let Some((stamp, key)) = victim else {
+                break;
+            };
+            let versions = entries.get_mut(&key).expect("victim key present");
+            let idx = versions
+                .iter()
+                .position(|e| e.stamp == stamp)
+                .expect("victim version present");
+            let e = versions.remove(idx);
+            if versions.is_empty() {
+                entries.remove(&key);
+            }
+            resident.fetch_sub(e.bytes, Ordering::Relaxed);
+            sub_resident(e.bytes);
+            spilled.push(Spill {
+                key,
+                root_hash: e.deps.first().map(|d| d.1).unwrap_or_default(),
+                deps: e.deps,
+                closure_hash: e.closure_hash,
+            });
+        }
+        spilled
+    }
+}
+
+/// What the eviction path carries out of the lock: enough to persist
+/// the dependency manifest of a spilled entry to the store tier.
+struct Spill {
+    key: (String, u64),
+    root_hash: u64,
+    deps: Vec<(String, u64)>,
+    closure_hash: u64,
+}
+
+impl Drop for ParseCache {
+    /// Returns this cache's resident estimate to the process-wide gauge
+    /// (serve shards come and go; the gauge must not leak their bytes).
+    fn drop(&mut self) {
+        sub_resident(self.resident.load(Ordering::Relaxed));
     }
 }
 
@@ -558,6 +824,123 @@ mod tests {
         // Without a store, probe_disk is inert.
         assert_eq!(ParseCache::new().probe_disk(&v, &[], "main.cpp"), None);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_budget_suffixes_parse() {
+        assert_eq!(parse_mem_budget("1048576"), Ok(1 << 20));
+        assert_eq!(parse_mem_budget("512k"), Ok(512 << 10));
+        assert_eq!(parse_mem_budget("64M"), Ok(64 << 20));
+        assert_eq!(parse_mem_budget(" 2G "), Ok(2 << 30));
+        assert_eq!(parse_mem_budget("0"), Ok(0));
+        assert!(parse_mem_budget("").is_err());
+        assert!(parse_mem_budget("lots").is_err());
+        assert!(parse_mem_budget("99999999999G").is_err());
+    }
+
+    #[test]
+    fn tiny_budget_evicts_lru_and_reparses_correctly() {
+        let mut v = vfs();
+        for i in 0..6 {
+            v.add_file(
+                &format!("tu{i}.cpp"),
+                format!("#include \"lib.hpp\"\nint t{i};\n"),
+            );
+        }
+        // A budget of one byte: after every insert, everything except the
+        // newest entry is evicted.
+        let cache = ParseCache::with_budget(None, Some(1));
+        for i in 0..6 {
+            cache.parse(&v, &[], &format!("tu{i}.cpp")).unwrap();
+        }
+        assert_eq!(cache.len(), 1, "only the newest TU survives");
+        assert!(cache.resident_bytes() > 0);
+        // Evicted TUs reparse as misses (not stale invalidations), and the
+        // result is identical to the original parse.
+        let again = cache.parse(&v, &[], "tu0.cpp").unwrap();
+        assert_eq!(again.lookup, CacheLookup::Miss);
+        // Unbounded cache on the same inputs agrees on the closure hash.
+        let free = ParseCache::with_budget(None, None);
+        assert_eq!(
+            free.parse(&v, &[], "tu0.cpp").unwrap().closure_hash,
+            again.closure_hash
+        );
+    }
+
+    #[test]
+    fn eviction_prefers_least_recently_used() {
+        let mut v = vfs();
+        v.add_file("a.cpp", "#include \"lib.hpp\"\nint a;\n");
+        v.add_file("b.cpp", "#include \"lib.hpp\"\nint b;\n");
+        // Size the budget from the real estimates: exactly two of these
+        // near-identical TUs fit, a third overflows by well under the
+        // 64-byte margin's complement.
+        let sizer = ParseCache::with_budget(None, None);
+        sizer.parse(&v, &[], "a.cpp").unwrap();
+        sizer.parse(&v, &[], "b.cpp").unwrap();
+        let budget = sizer.resident_bytes() + 64;
+        let bounded = ParseCache::with_budget(None, Some(budget));
+        bounded.parse(&v, &[], "a.cpp").unwrap();
+        bounded.parse(&v, &[], "b.cpp").unwrap();
+        // Touch a so b becomes the LRU victim when main.cpp arrives.
+        assert!(bounded.probe(&v, &[], "a.cpp").is_some());
+        bounded.parse(&v, &[], "main.cpp").unwrap();
+        assert!(
+            bounded.probe(&v, &[], "a.cpp").is_some(),
+            "recently used survives"
+        );
+        assert!(
+            bounded.probe(&v, &[], "b.cpp").is_none(),
+            "LRU entry evicted"
+        );
+    }
+
+    #[test]
+    fn evicted_entries_spill_manifests_to_the_store() {
+        let dir =
+            std::env::temp_dir().join(format!("yalla-parsecache-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(Store::open(&dir).expect("open store"));
+        let mut v = vfs();
+        for i in 0..4 {
+            v.add_file(
+                &format!("tu{i}.cpp"),
+                format!("#include \"lib.hpp\"\nint t{i};\n"),
+            );
+        }
+        let cache = ParseCache::with_budget(Some(Arc::clone(&store)), Some(1));
+        let mut hashes = Vec::new();
+        for i in 0..4 {
+            hashes.push(
+                cache
+                    .parse(&v, &[], &format!("tu{i}.cpp"))
+                    .unwrap()
+                    .closure_hash,
+            );
+        }
+        // Every evicted TU's manifest round-trips: a fresh cache on the
+        // same store recovers each closure hash from disk alone.
+        let fresh = ParseCache::with_store(Some(store));
+        for (i, expect) in hashes.iter().enumerate() {
+            assert_eq!(
+                fresh.probe_disk(&v, &[], &format!("tu{i}.cpp")),
+                Some(*expect),
+                "spilled manifest for tu{i}.cpp must validate from disk"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resident_accounting_balances_on_clear() {
+        let v = vfs();
+        let before = bytes_resident();
+        let cache = ParseCache::new();
+        cache.parse(&v, &[], "main.cpp").unwrap();
+        assert!(cache.resident_bytes() > 0);
+        assert!(bytes_resident() >= before + cache.resident_bytes());
+        cache.clear();
+        assert_eq!(cache.resident_bytes(), 0);
     }
 
     #[test]

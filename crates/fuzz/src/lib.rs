@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 pub mod grammar;
+pub mod mega;
 pub mod oracle;
 pub mod race;
 pub mod repro;
@@ -35,10 +36,13 @@ pub mod session_fuzz;
 pub mod shrink;
 
 pub use grammar::ProjectModel;
+pub use mega::{MegaConfig, MegaProject};
 pub use oracle::{CaseOutcome, Divergence, ExecTrace, Sabotage};
 pub use race::{run_race_case, RaceCaseReport, RaceMismatch};
 pub use repro::{parse_fixture, render_fixture, Repro};
-pub use session_fuzz::{run_session_case, run_session_case_with_store, SessionCaseReport};
+pub use session_fuzz::{
+    edit_stream_seed, run_session_case, run_session_case_with_store, SessionCaseReport,
+};
 pub use shrink::{shrink, Shrunk};
 
 use yalla_obs::metrics::names;
@@ -110,6 +114,12 @@ pub struct CampaignReport {
     pub cases: u64,
     /// Session-fuzz cases executed.
     pub session_cases: u64,
+    /// The case seed each session-fuzz case ran under, in order. A
+    /// session case at campaign position `i` is seeded by position `i`'s
+    /// case seed alone, so this list's prefix is identical across
+    /// campaigns that differ only in `--iters` — the replay-stability
+    /// test pins that.
+    pub session_case_seeds: Vec<u64>,
     /// Warm-vs-cold mismatches across all session cases.
     pub session_mismatches: usize,
     /// Shard-race cases executed.
@@ -171,12 +181,17 @@ pub fn run_campaign(config: &FuzzConfig) -> Result<CampaignReport, String> {
         }
 
         if config.session_every > 0 && (i + 1) % config.session_every == 0 {
+            // The session case is seeded by the case seed directly (the
+            // edit stream derives from it inside run_session_case), so a
+            // recorded case seed replays the identical project and edit
+            // stream no matter what `--iters` the replay runs under.
             let session = session_fuzz::run_session_case_with_store(
-                case_seed ^ 0xa5a5,
+                case_seed,
                 6,
                 config.store_dir.as_deref(),
             )?;
             report.session_cases += 1;
+            report.session_case_seeds.push(case_seed);
             report.session_mismatches += session.mismatches.len();
         }
 
@@ -229,6 +244,40 @@ mod tests {
             "warm-from-disk restarts must match the cold oracle"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn session_case_seeding_is_stable_across_iteration_budgets() {
+        // Two campaigns from the same master seed, differing only in
+        // `--iters`: the shorter campaign's session-case seeds must be a
+        // prefix of the longer one's — replaying under a bigger budget
+        // never drifts the cases already seen.
+        let short = run_campaign(&FuzzConfig {
+            seed: 99,
+            iters: 4,
+            session_every: 2,
+            ..FuzzConfig::default()
+        })
+        .unwrap();
+        let long = run_campaign(&FuzzConfig {
+            seed: 99,
+            iters: 8,
+            session_every: 2,
+            ..FuzzConfig::default()
+        })
+        .unwrap();
+        assert_eq!(short.session_case_seeds.len(), 2);
+        assert_eq!(long.session_case_seeds.len(), 4);
+        assert_eq!(
+            short.session_case_seeds,
+            long.session_case_seeds[..2],
+            "session-case seeds drifted with --iters"
+        );
+        // And a recorded case seed replays the identical edit stream.
+        let a = run_session_case(short.session_case_seeds[0], 5).unwrap();
+        let b = run_session_case(short.session_case_seeds[0], 5).unwrap();
+        assert_eq!(a.edit_log, b.edit_log);
+        assert!(!a.edit_log.is_empty());
     }
 
     #[test]

@@ -1,0 +1,365 @@
+//! Mega-corpus generation: realistic 1k–10k-file project trees.
+//!
+//! A [`MegaConfig`] describes a synthetic project shaped like the large
+//! codebases the paper targets: a deep *shared* include DAG (layered, so
+//! it is acyclic by construction, with sliding-window fan-out producing
+//! diamond includes), a facade header (`mega_lib.hpp`) that fronts the
+//! whole shared region, many translation units that all pay for that
+//! shared closure, and per-TU private header chains that soak up the
+//! remaining file budget. Generation is pure: the same `(config, seed)`
+//! pair yields byte-identical trees in any process on any host, which
+//! the determinism suite checks across fresh processes.
+//!
+//! The named presets (`mega-1k`, `mega-4k`, `mega-10k`) are the replayable
+//! corpus the `mega` bench and CI smoke drive.
+
+use yalla_core::Options;
+use yalla_corpus::gen::DetRng;
+use yalla_cpp::vfs::Vfs;
+
+/// Facade header fronting the shared include DAG; the substitution target.
+pub const MEGA_HEADER: &str = "mega_lib.hpp";
+/// Namespace wrapping all generated shared library code.
+pub const MEGA_NAMESPACE: &str = "mg";
+/// Ceiling on shared-region headers, so the expensive closure stays a
+/// bounded cost that many TUs *share* rather than growing with `files`.
+const MAX_SHARED: usize = 256;
+
+/// Shape of a generated mega project.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MegaConfig {
+    /// Total file count to aim for (headers + TUs + facade).
+    pub files: usize,
+    /// Layers in the shared include DAG.
+    pub depth: usize,
+    /// Includes each shared header emits into the next layer.
+    pub fanout: usize,
+    /// Translation units (each is a parse root and a rewritten source).
+    pub tus: usize,
+    /// Generation seed; same `(config, seed)` → byte-identical tree.
+    pub seed: u64,
+}
+
+impl MegaConfig {
+    /// Looks up a named preset: `mega-1k`, `mega-4k`, or `mega-10k`.
+    pub fn preset(name: &str) -> Option<MegaConfig> {
+        match name {
+            "mega-1k" => Some(MegaConfig {
+                files: 1_000,
+                depth: 6,
+                fanout: 3,
+                tus: 24,
+                seed: 0x11,
+            }),
+            "mega-4k" => Some(MegaConfig {
+                files: 4_000,
+                depth: 8,
+                fanout: 3,
+                tus: 48,
+                seed: 0x44,
+            }),
+            "mega-10k" => Some(MegaConfig {
+                files: 10_000,
+                depth: 10,
+                fanout: 4,
+                tus: 96,
+                seed: 0xaa,
+            }),
+            _ => None,
+        }
+    }
+
+    /// All preset names, in ascending size order.
+    pub fn preset_names() -> &'static [&'static str] {
+        &["mega-1k", "mega-4k", "mega-10k"]
+    }
+}
+
+/// A fully generated mega project: every file plus the engine options
+/// that drive it (all TUs as parse roots).
+#[derive(Debug, Clone)]
+pub struct MegaProject {
+    /// `(path, text)` for every generated file, in emission order.
+    pub files: Vec<(String, String)>,
+    /// TU paths (`tu_<k>.cpp`), in index order.
+    pub tus: Vec<String>,
+    /// Shared-region header count (excluding the facade).
+    pub shared_headers: usize,
+    /// Private header count across all TU chains.
+    pub private_headers: usize,
+}
+
+impl MegaProject {
+    /// Generates the project tree for `config`. Deterministic: driven
+    /// entirely by [`DetRng`] seeded from `config.seed`.
+    pub fn generate(config: &MegaConfig) -> MegaProject {
+        let depth = config.depth.max(1);
+        let fanout = config.fanout.max(1);
+        let tus = config.tus.max(1);
+        // Shared region: bounded, at least one header per layer. An
+        // eighth of the file budget (capped) keeps the shared closure
+        // genuinely expensive — the cost every TU pays — while private
+        // chains soak up the rest of the tree.
+        let shared = (config.files / 8).clamp(depth, MAX_SHARED);
+        let layer_sizes = split_layers(shared, depth);
+        let mut rng = DetRng::new(config.seed);
+
+        let mut files: Vec<(String, String)> = Vec::new();
+
+        // Shared DAG, deepest layer first so includes always point at
+        // files already emitted (edges only go layer i -> i+1).
+        for (layer, &size) in layer_sizes.iter().enumerate().rev() {
+            let next = layer_sizes.get(layer + 1).copied().unwrap_or(0);
+            for idx in 0..size {
+                let text = render_shared_header(layer, idx, next, fanout, &mut rng);
+                files.push((shared_path(layer, idx), text));
+            }
+        }
+
+        // Facade: includes every layer-0 header.
+        let mut facade = String::from("#pragma once\n");
+        for idx in 0..layer_sizes[0] {
+            facade.push_str(&format!("#include \"{}\"\n", shared_path(0, idx)));
+        }
+        files.push((MEGA_HEADER.to_string(), facade));
+
+        // Private chains: split the remaining file budget across TUs.
+        let spent = shared + 1 + tus;
+        let private_total = config.files.saturating_sub(spent);
+        let chain_lens = split_layers(private_total, tus);
+
+        let mut tu_paths = Vec::with_capacity(tus);
+        for (k, &chain) in chain_lens.iter().enumerate() {
+            // Chain tail first so each link includes an existing file.
+            for j in (0..chain).rev() {
+                let mut text = String::from("#pragma once\n");
+                if j + 1 < chain {
+                    text.push_str(&format!("#include \"{}\"\n", private_path(k, j + 1)));
+                }
+                let k1 = rng.next(23) as i64 + 1;
+                text.push_str(&format!(
+                    "inline int p{k}_{j}(int a) {{ return a + {k1}; }}\n"
+                ));
+                files.push((private_path(k, j), text));
+            }
+            let tu = render_tu(k, chain, &layer_sizes, &mut rng);
+            let path = tu_path(k);
+            files.push((path.clone(), tu));
+            tu_paths.push(path);
+        }
+
+        MegaProject {
+            files,
+            tus: tu_paths,
+            shared_headers: shared,
+            private_headers: private_total,
+        }
+    }
+
+    /// Renders into a fresh VFS plus engine options: the facade is the
+    /// substitution target and every TU is a parse root.
+    pub fn render(&self) -> (Vfs, Options) {
+        let mut vfs = Vfs::new();
+        for (path, text) in &self.files {
+            vfs.add_file(path, text.clone());
+        }
+        let options = Options {
+            header: MEGA_HEADER.to_string(),
+            sources: self.tus.clone(),
+            tu_roots: self.tus.clone(),
+            ..Options::default()
+        };
+        (vfs, options)
+    }
+
+    /// FNV-64 over every `(path, text)` pair in sorted path order — the
+    /// byte-identity fingerprint the determinism tests compare across
+    /// processes and worker counts.
+    pub fn tree_hash(&self) -> u64 {
+        let mut sorted: Vec<&(String, String)> = self.files.iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        for (path, text) in sorted {
+            eat(path.as_bytes());
+            eat(&[0]);
+            eat(text.as_bytes());
+            eat(&[0xff]);
+        }
+        h
+    }
+
+    /// Total generated file count.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+}
+
+/// Splits `total` into `parts` buckets, remainder spread over the
+/// earliest buckets, so layer/chain sizes are deterministic.
+fn split_layers(total: usize, parts: usize) -> Vec<usize> {
+    let base = total / parts;
+    let rem = total % parts;
+    (0..parts).map(|i| base + usize::from(i < rem)).collect()
+}
+
+fn shared_path(layer: usize, idx: usize) -> String {
+    format!("mg_{layer}_{idx}.hpp")
+}
+
+fn private_path(tu: usize, j: usize) -> String {
+    format!("tu{tu}_p{j}.hpp")
+}
+
+fn tu_path(k: usize) -> String {
+    format!("tu_{k}.cpp")
+}
+
+/// One shared header: `#pragma once`, a sliding window of includes into
+/// the next layer (overlapping windows produce diamond includes), and a
+/// small `mg` declaration payload — a free function always, plus a class
+/// every 4th header and an enum every 5th, mirroring the paper's Table 1
+/// symbol kinds without inflating per-header cost.
+fn render_shared_header(
+    layer: usize,
+    idx: usize,
+    next_layer: usize,
+    fanout: usize,
+    rng: &mut DetRng,
+) -> String {
+    let mut out = String::from("#pragma once\n");
+    if next_layer > 0 {
+        let mut seen = Vec::new();
+        for t in 0..fanout {
+            let target = (idx * fanout + t) % next_layer;
+            if !seen.contains(&target) {
+                seen.push(target);
+                out.push_str(&format!(
+                    "#include \"{}\"\n",
+                    shared_path(layer + 1, target)
+                ));
+            }
+        }
+    }
+    let k = rng.next(29) as i64 + 1;
+    out.push_str(&format!("namespace {MEGA_NAMESPACE} {{\n"));
+    out.push_str(&format!(
+        "inline int h{layer}_{idx}(int a, int b) {{ return a * {k} + b; }}\n"
+    ));
+    if idx.is_multiple_of(4) {
+        let km = rng.next(17) as i64 + 1;
+        out.push_str(&format!(
+            "class H{layer}_{idx} {{\npublic:\n  int f0;\n  int get(int a0) const {{ return f0 * {km} + a0; }}\n  void bump(int a0) {{ f0 = f0 + a0 * {km}; }}\n}};\n"
+        ));
+    }
+    if idx.is_multiple_of(5) {
+        let v = rng.next(9) as i64;
+        out.push_str(&format!(
+            "enum E{layer}_{idx} {{ E{layer}_{idx}_A = {v}, E{layer}_{idx}_B }};\n"
+        ));
+    }
+    out.push_str(&format!("}} // namespace {MEGA_NAMESPACE}\n"));
+    out
+}
+
+/// One translation unit: includes the facade (and its private chain head
+/// when it has one) and defines functions touching shared symbols drawn
+/// from layer 0, so every TU's usage analysis reaches into the shared
+/// closure.
+fn render_tu(k: usize, chain: usize, layer_sizes: &[usize], rng: &mut DetRng) -> String {
+    let mut out = format!("#include \"{MEGA_HEADER}\"\n");
+    if chain > 0 {
+        out.push_str(&format!("#include \"{}\"\n", private_path(k, 0)));
+    }
+    let l0 = layer_sizes[0].max(1);
+    let calls = 2 + rng.next(3);
+    out.push_str(&format!("int tu{k}_fn(int a) {{\n  int acc = a;\n"));
+    for _ in 0..calls {
+        let idx = rng.next(l0);
+        let kk = rng.next(13) as i64 + 1;
+        out.push_str(&format!(
+            "  acc = acc + {MEGA_NAMESPACE}::h0_{idx}(acc % 31 + 1, {kk});\n"
+        ));
+    }
+    // Touch a class from layer 0 when one lands on this TU's draw.
+    let cls = rng.next(l0);
+    let cls = cls - (cls % 4);
+    out.push_str(&format!(
+        "  {MEGA_NAMESPACE}::H0_{cls} o = {MEGA_NAMESPACE}::H0_{cls}();\n  o.bump(acc % 5 + 1);\n  acc = acc + o.get(acc % 3);\n"
+    ));
+    if chain > 0 {
+        out.push_str(&format!("  acc = acc + p{k}_0(acc % 11);\n"));
+    }
+    out.push_str("  return acc;\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_resolve_and_unknown_is_none() {
+        for name in MegaConfig::preset_names() {
+            assert!(MegaConfig::preset(name).is_some(), "{name}");
+        }
+        assert!(MegaConfig::preset("mega-2k").is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_process() {
+        let cfg = MegaConfig::preset("mega-1k").unwrap();
+        let a = MegaProject::generate(&cfg);
+        let b = MegaProject::generate(&cfg);
+        assert_eq!(a.tree_hash(), b.tree_hash());
+        assert_eq!(a.files, b.files);
+    }
+
+    #[test]
+    fn file_count_hits_the_target() {
+        for name in MegaConfig::preset_names() {
+            let cfg = MegaConfig::preset(name).unwrap();
+            let p = MegaProject::generate(&cfg);
+            let want = cfg.files;
+            assert!(
+                p.file_count() >= want && p.file_count() <= want + 1,
+                "{name}: {} vs {want}",
+                p.file_count()
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = MegaConfig::preset("mega-1k").unwrap();
+        let other = MegaConfig {
+            seed: cfg.seed + 1,
+            ..cfg
+        };
+        assert_ne!(
+            MegaProject::generate(&cfg).tree_hash(),
+            MegaProject::generate(&other).tree_hash()
+        );
+    }
+
+    #[test]
+    fn every_include_points_at_an_emitted_file() {
+        let cfg = MegaConfig::preset("mega-1k").unwrap();
+        let p = MegaProject::generate(&cfg);
+        let paths: std::collections::HashSet<&str> =
+            p.files.iter().map(|(p, _)| p.as_str()).collect();
+        for (path, text) in &p.files {
+            for line in text.lines() {
+                if let Some(inc) = line.strip_prefix("#include \"") {
+                    let inc = inc.trim_end_matches('"');
+                    assert!(paths.contains(inc), "{path} includes missing {inc}");
+                }
+            }
+        }
+    }
+}

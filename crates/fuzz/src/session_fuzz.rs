@@ -40,6 +40,12 @@ pub struct SessionMismatch {
 pub struct SessionCaseReport {
     /// Edits applied.
     pub edits: usize,
+    /// Description of every edit, in application order. Because the edit
+    /// stream is a pure function of the case seed (see
+    /// [`edit_stream_seed`]), replaying the same case seed must
+    /// reproduce this log byte-for-byte — the replay-stability test
+    /// holds it to that.
+    pub edit_log: Vec<String>,
     /// Mismatches found (empty on success).
     pub mismatches: Vec<SessionMismatch>,
     /// Identical-content touches that still re-ran a stage (cache
@@ -55,6 +61,18 @@ enum EditKind {
     TouchMain,
     TouchDriver,
     TweakDriver,
+}
+
+/// Derives the edit-stream RNG seed from a case seed — a pure
+/// splitmix64-style mix, so the stream is a function of the case seed
+/// *alone*. Campaign position (`--iters`, `--session-every` cadence)
+/// must never leak into it: a divergence replayed later, under a
+/// different iteration budget, has to walk the exact same edits.
+pub fn edit_stream_seed(case_seed: u64) -> u64 {
+    let mut z = case_seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Runs one session-fuzz case: `edits` random edits against the project
@@ -96,9 +114,10 @@ pub fn run_session_case_with_store(
     let mut session = Session::with_store(options.clone(), vfs, store.clone());
     session.rerun().map_err(|e| format!("cold run: {e}"))?;
 
-    let mut rng = DetRng::new(seed ^ 0x5e55_10f5);
+    let mut rng = DetRng::new(edit_stream_seed(seed));
     let mut report = SessionCaseReport {
         edits: 0,
+        edit_log: Vec::new(),
         mismatches: Vec::new(),
         touch_recomputes: 0,
     };
@@ -114,6 +133,7 @@ pub fn run_session_case_with_store(
         };
         let description = apply_edit(&mut session, &mut model, kind, &mut rng, &mut extra_lib_fns)?;
         report.edits += 1;
+        report.edit_log.push(description.clone());
 
         let warm = session.rerun().map_err(|e| format!("warm rerun: {e}"))?;
         if matches!(kind, EditKind::TouchMain | EditKind::TouchDriver) && !warm.fully_cached() {

@@ -1,0 +1,152 @@
+//! Property tests for the mega-corpus generator.
+//!
+//! Three guarantees the mega workload engine leans on: the include DAG
+//! is always acyclic, every emitted project runs clean under a cold
+//! engine, and generation is a pure function of `(config, seed)` — the
+//! last one checked across *fresh processes*, not just within one, by
+//! re-execing this test binary.
+
+use std::collections::{HashMap, HashSet};
+
+use yalla_core::Session;
+use yalla_fuzz::{MegaConfig, MegaProject};
+
+/// Small configs the per-seed properties sweep (kept well under the
+/// named presets so the sweep stays fast on one core).
+fn sweep_configs() -> Vec<MegaConfig> {
+    vec![
+        MegaConfig {
+            files: 80,
+            depth: 3,
+            fanout: 2,
+            tus: 4,
+            seed: 0,
+        },
+        MegaConfig {
+            files: 150,
+            depth: 5,
+            fanout: 3,
+            tus: 8,
+            seed: 0,
+        },
+        MegaConfig {
+            files: 300,
+            depth: 4,
+            fanout: 4,
+            tus: 12,
+            seed: 0,
+        },
+    ]
+}
+
+/// Parses the `#include "..."` edges out of a generated tree.
+fn include_edges(p: &MegaProject) -> HashMap<&str, Vec<&str>> {
+    let mut edges: HashMap<&str, Vec<&str>> = HashMap::new();
+    for (path, text) in &p.files {
+        let deps = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("#include \""))
+            .map(|l| l.trim_end_matches('"'))
+            .collect();
+        edges.insert(path, deps);
+    }
+    edges
+}
+
+#[test]
+fn include_dag_is_always_acyclic() {
+    for mut cfg in sweep_configs() {
+        for seed in 0..8u64 {
+            cfg.seed = seed;
+            let p = MegaProject::generate(&cfg);
+            let edges = include_edges(&p);
+            // Iterative three-color DFS over every file.
+            let mut state: HashMap<&str, u8> = HashMap::new();
+            for &start in edges.keys() {
+                if state.contains_key(start) {
+                    continue;
+                }
+                let mut stack = vec![(start, 0usize)];
+                state.insert(start, 1);
+                while let Some((node, next)) = stack.pop() {
+                    let deps = &edges[node];
+                    if next < deps.len() {
+                        stack.push((node, next + 1));
+                        let dep = deps[next];
+                        match state.get(dep) {
+                            Some(1) => panic!("include cycle through {dep} (seed {seed})"),
+                            Some(_) => {}
+                            None => {
+                                state.insert(dep, 1);
+                                stack.push((dep, 0));
+                            }
+                        }
+                    } else {
+                        state.insert(node, 2);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_emitted_project_runs_clean_under_a_cold_engine() {
+    for mut cfg in sweep_configs() {
+        for seed in 0..3u64 {
+            cfg.seed = seed;
+            let p = MegaProject::generate(&cfg);
+            let (vfs, options) = p.render();
+            let mut session = Session::with_store(options, vfs, None);
+            let run = session
+                .rerun()
+                .unwrap_or_else(|e| panic!("cold engine failed (cfg {cfg:?}): {e}"));
+            assert!(
+                run.result.report.verification.passed(),
+                "verification failed (cfg {cfg:?}): {:?}",
+                run.result.report.verification.violations
+            );
+            assert_eq!(
+                run.result.rewritten_sources.len(),
+                p.tus.len(),
+                "every TU must be rewritten (cfg {cfg:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn fresh_processes_emit_byte_identical_trees() {
+    // Child leg: regenerate the requested preset and write its tree
+    // hash where the parent asked.
+    if let Ok(out) = std::env::var("YALLA_MEGA_HASH_OUT") {
+        let name = std::env::var("YALLA_MEGA_PRESET").unwrap();
+        let cfg = MegaConfig::preset(&name).unwrap();
+        let p = MegaProject::generate(&cfg);
+        std::fs::write(out, format!("{:016x} {}", p.tree_hash(), p.file_count())).unwrap();
+        return;
+    }
+    let exe = std::env::current_exe().unwrap();
+    let dir = std::env::temp_dir().join(format!("mega-hash-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for preset in MegaConfig::preset_names() {
+        let mut hashes = HashSet::new();
+        for child in 0..2 {
+            let out = dir.join(format!("{preset}.{child}"));
+            let status = std::process::Command::new(&exe)
+                .args(["fresh_processes_emit_byte_identical_trees", "--exact"])
+                .env("YALLA_MEGA_HASH_OUT", &out)
+                .env("YALLA_MEGA_PRESET", preset)
+                .status()
+                .unwrap();
+            assert!(status.success(), "child process failed for {preset}");
+            hashes.insert(std::fs::read_to_string(&out).unwrap());
+        }
+        assert_eq!(
+            hashes.len(),
+            1,
+            "{preset}: fresh processes disagreed: {hashes:?}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -41,6 +41,13 @@ pub mod names {
     pub const CACHE_MISSES: &str = "cache.misses";
     /// Cached artifacts recomputed because their input keys changed.
     pub const CACHE_INVALIDATIONS: &str = "cache.invalidations";
+    /// In-memory parse-cache entries evicted by the byte budget
+    /// (`--mem-budget` / `YALLA_MEM_BUDGET`); each eviction spills to the
+    /// on-disk store tier when one is attached.
+    pub const CACHE_EVICTIONS: &str = "cache.evictions";
+    /// Estimated bytes of parsed TUs currently resident in in-memory
+    /// parse caches, process-wide (gauge).
+    pub const CACHE_BYTES_RESIDENT: &str = "cache.bytes_resident";
     /// Session reruns executed (`Session::rerun`).
     pub const SESSION_RERUNS: &str = "session.reruns";
     /// Translation units actually re-parsed by session reruns (parse-stage
@@ -167,6 +174,8 @@ pub mod names {
             CACHE_HITS,
             CACHE_MISSES,
             CACHE_INVALIDATIONS,
+            CACHE_EVICTIONS,
+            CACHE_BYTES_RESIDENT,
             SESSION_RERUNS,
             SESSION_TUS_REPARSED,
             SIM_ITERATIONS,

@@ -6,8 +6,9 @@
 //! ```text
 //! yalla --header <NAME> [--include-dir <DIR>]... [--out-dir <DIR>]
 //!       [--define NAME=VALUE]... [--keep <SYMBOL>]... [--no-verify]
-//!       [--iterate <SCRIPT>] [--cache-dir <DIR>] [--self-profile <OUT.json>]
-//!       [--event-log <OUT.jsonl>] [--metrics] <SOURCES>...
+//!       [--iterate <SCRIPT>] [--cache-dir <DIR>] [--mem-budget <BYTES[k|M|G]>]
+//!       [--self-profile <OUT.json>] [--event-log <OUT.jsonl>] [--metrics]
+//!       <SOURCES>...
 //! ```
 //!
 //! With `--cache-dir <DIR>` (or the `YALLA_CACHE_DIR` environment
@@ -28,7 +29,8 @@
 //!
 //! ```text
 //! yalla serve --socket <PATH> [--workers N|max] [--cache-dir <DIR>]
-//!             [--event-log <OUT.jsonl>] [--metrics]
+//!             [--mem-budget <BYTES[k|M|G]>] [--event-log <OUT.jsonl>]
+//!             [--metrics]
 //! yalla stat <SOCKET>
 //! ```
 //!
@@ -109,12 +111,13 @@ struct Cli {
     self_profile: Option<PathBuf>,
     event_log: Option<PathBuf>,
     metrics: bool,
+    mem_budget: Option<u64>,
 }
 
 const USAGE: &str = "usage: yalla --header <NAME> [--include-dir <DIR>]... \
 [--out-dir <DIR>] [--define NAME=VALUE]... [--keep <SYMBOL>]... [--no-verify] \
-[--iterate <SCRIPT>] [--cache-dir <DIR>] [--self-profile <OUT.json>] \
-[--event-log <OUT.jsonl>] [--metrics] <SOURCES>...";
+[--iterate <SCRIPT>] [--cache-dir <DIR>] [--mem-budget <BYTES[k|M|G]>] \
+[--self-profile <OUT.json>] [--event-log <OUT.jsonl>] [--metrics] <SOURCES>...";
 
 fn parse_args() -> Result<Cli, String> {
     let mut args = std::env::args().skip(1);
@@ -131,6 +134,7 @@ fn parse_args() -> Result<Cli, String> {
         self_profile: None,
         event_log: None,
         metrics: false,
+        mem_budget: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -165,6 +169,13 @@ fn parse_args() -> Result<Cli, String> {
                 cli.cache_dir = Some(PathBuf::from(
                     args.next().ok_or("--cache-dir needs a directory")?,
                 ));
+            }
+            "--mem-budget" => {
+                let v = args.next().ok_or("--mem-budget needs a value")?;
+                cli.mem_budget = Some(
+                    yalla::cpp::cache::parse_mem_budget(&v)
+                        .map_err(|e| format!("bad --mem-budget: {e}"))?,
+                );
             }
             "--self-profile" => {
                 cli.self_profile = Some(PathBuf::from(
@@ -324,6 +335,9 @@ fn run() -> Result<(), String> {
     if let Some(path) = &cli.event_log {
         yalla::obs::log::init_file(path)
             .map_err(|e| format!("opening event log {}: {e}", path.display()))?;
+    }
+    if let Some(bytes) = cli.mem_budget {
+        yalla::cpp::cache::set_mem_budget(Some(bytes));
     }
     let mut vfs = Vfs::new();
     for dir in &cli.include_dirs {
@@ -545,7 +559,8 @@ fn run_fuzz(args: &[String]) -> Result<(), String> {
 }
 
 const SERVE_USAGE: &str = "usage: yalla serve --socket <PATH> [--workers N|max] \
-[--cache-dir <DIR>] [--event-log <OUT.jsonl>] [--metrics]";
+[--cache-dir <DIR>] [--mem-budget <BYTES[k|M|G]>] [--event-log <OUT.jsonl>] \
+[--metrics]";
 
 #[cfg(unix)]
 fn run_serve(args: &[String]) -> Result<(), String> {
@@ -554,6 +569,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     let mut cache_dir: Option<PathBuf> = None;
     let mut event_log: Option<PathBuf> = None;
     let mut metrics = false;
+    let mut mem_budget: Option<u64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -562,6 +578,13 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         match arg.as_str() {
             "--socket" => socket = Some(PathBuf::from(value("--socket")?)),
             "--cache-dir" => cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--mem-budget" => {
+                let v = value("--mem-budget")?;
+                mem_budget = Some(
+                    yalla::cpp::cache::parse_mem_budget(&v)
+                        .map_err(|e| format!("bad --mem-budget: {e}"))?,
+                );
+            }
             "--event-log" => event_log = Some(PathBuf::from(value("--event-log")?)),
             "--workers" => {
                 let v = value("--workers")?;
@@ -582,6 +605,11 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     let socket = socket.ok_or(format!("missing --socket\n{SERVE_USAGE}"))?;
     if metrics {
         yalla::obs::enable();
+    }
+    if let Some(bytes) = mem_budget {
+        // Every shard's ParseCache consults the process-wide budget, so
+        // setting it before the server starts bounds the whole pool.
+        yalla::cpp::cache::set_mem_budget(Some(bytes));
     }
     if let Some(path) = &event_log {
         yalla::obs::log::init_file(path)
